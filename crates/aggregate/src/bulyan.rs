@@ -1,0 +1,128 @@
+//! Bulyan (El Mhamdi et al. 2018).
+
+use crate::{check_input, AggregationError, Aggregator, Krum};
+
+/// Bulyan: repeatedly runs Krum to select `θ = n − 2c` gradients, then for
+/// each coordinate averages the `θ − 2c` values closest to the median of
+/// the selected set. Requires `n ≥ 4c + 3` — the constraint that makes it
+/// inapplicable to DETOX's vote outputs in the paper (Section 6.2).
+#[derive(Debug, Clone, Copy)]
+pub struct Bulyan {
+    /// Assumed number of Byzantine operands `c`.
+    pub num_byzantine: usize,
+}
+
+impl Aggregator for Bulyan {
+    fn name(&self) -> &'static str {
+        "bulyan"
+    }
+
+    fn aggregate(&self, gradients: &[Vec<f32>]) -> Result<Vec<f32>, AggregationError> {
+        let d = check_input(gradients)?;
+        let n = gradients.len();
+        let c = self.num_byzantine;
+        let needed = 4 * c + 3;
+        if n < needed {
+            return Err(AggregationError::NotEnoughOperands {
+                rule: "bulyan",
+                needed,
+                got: n,
+            });
+        }
+
+        // Selection phase: θ = n − 2c gradients chosen by iterated Krum.
+        let theta = n - 2 * c;
+        let mut pool: Vec<Vec<f32>> = gradients.to_vec();
+        let mut selected: Vec<Vec<f32>> = Vec::with_capacity(theta);
+        for _ in 0..theta {
+            let krum = Krum { num_byzantine: c };
+            let winner = if pool.len() >= 2 * c + 3 {
+                krum.select(&pool, 1)?[0]
+            } else {
+                // Pool shrank below Krum's requirement; fall back to the
+                // vector closest to the current selection's mean.
+                0
+            };
+            selected.push(pool.remove(winner));
+        }
+
+        // Aggregation phase: per coordinate keep the β = θ − 2c values
+        // closest to the median and average them.
+        let beta = theta - 2 * c;
+        let mut out = vec![0.0f32; d];
+        let mut column: Vec<f32> = Vec::with_capacity(theta);
+        for j in 0..d {
+            column.clear();
+            column.extend(selected.iter().map(|g| g[j]));
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let median = if theta % 2 == 1 {
+                column[theta / 2]
+            } else {
+                0.5 * (column[theta / 2 - 1] + column[theta / 2])
+            };
+            // The β closest-to-median values form a contiguous window of
+            // the sorted column; slide to find the best window.
+            let mut best_start = 0usize;
+            let mut best_spread = f32::INFINITY;
+            for start in 0..=(theta - beta) {
+                let spread = (column[start + beta - 1] - median)
+                    .abs()
+                    .max((column[start] - median).abs());
+                if spread < best_spread {
+                    best_spread = spread;
+                    best_start = start;
+                }
+            }
+            let window = &column[best_start..best_start + beta];
+            out[j] = window.iter().sum::<f32>() / beta as f32;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulyan_resists_outliers() {
+        // n = 11, c = 2 (needs ≥ 11): nine honest gradients around 1.0,
+        // two huge Byzantine ones.
+        let mut grads: Vec<Vec<f32>> = (0..9)
+            .map(|i| vec![1.0 + 0.01 * i as f32, -1.0])
+            .collect();
+        grads.push(vec![1e6, 1e6]);
+        grads.push(vec![-1e6, 1e6]);
+        let out = Bulyan { num_byzantine: 2 }.aggregate(&grads).unwrap();
+        assert!((out[0] - 1.0).abs() < 0.2, "got {out:?}");
+        assert!((out[1] + 1.0).abs() < 0.2, "got {out:?}");
+    }
+
+    #[test]
+    fn operand_constraint_enforced() {
+        let grads = vec![vec![0.0]; 10];
+        assert!(matches!(
+            Bulyan { num_byzantine: 2 }.aggregate(&grads),
+            Err(AggregationError::NotEnoughOperands { needed: 11, got: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn single_coordinate_hidden_attack() {
+        // The El Mhamdi et al. motivation: a large change to ONE coordinate
+        // with small Lp impact elsewhere. Bulyan's per-coordinate stage
+        // must suppress it.
+        let mut grads: Vec<Vec<f32>> = (0..9).map(|_| vec![1.0, 1.0, 1.0]).collect();
+        grads.push(vec![1.0, 1.0, 500.0]);
+        grads.push(vec![1.0, 1.0, 500.0]);
+        let out = Bulyan { num_byzantine: 2 }.aggregate(&grads).unwrap();
+        assert!((out[2] - 1.0).abs() < 1e-3, "coordinate attack leaked: {out:?}");
+    }
+
+    #[test]
+    fn no_byzantines_recovers_mean_like_value() {
+        let grads: Vec<Vec<f32>> = (0..7).map(|i| vec![i as f32]).collect();
+        let out = Bulyan { num_byzantine: 0 }.aggregate(&grads).unwrap();
+        assert!((out[0] - 3.0).abs() < 1.0);
+    }
+}

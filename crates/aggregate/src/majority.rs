@@ -1,0 +1,151 @@
+//! Exact-equality majority vote over gradient replicas (paper Eq. 3).
+
+use crate::{check_input, AggregationError};
+
+/// Outcome of a majority vote across the `r` replicas of one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MajorityOutcome {
+    /// The winning gradient.
+    pub value: Vec<f32>,
+    /// How many replicas matched the winner exactly.
+    pub votes: usize,
+    /// Whether the winner had a strict majority (`votes > r/2`). With an
+    /// honest majority this implies the value is the true gradient.
+    pub is_strict: bool,
+}
+
+/// Majority vote with *exact* equality semantics (the paper ensures all
+/// honest replicas of a file return bit-identical gradients, Section 2).
+///
+/// Runs the Boyer–Moore MJRTY scan (the paper's Appendix A.1 cites
+/// Boyer & Moore 1991 for linear-time voting) to find the only possible
+/// strict-majority candidate in `O(n·d)`, then verifies its count. If no
+/// strict majority exists, falls back to plurality by exhaustive pairwise
+/// counting (ties broken by first appearance, matching "picks out the
+/// gradient that appears the maximum number of times").
+///
+/// # Errors
+///
+/// Returns [`AggregationError`] on empty or ragged input.
+pub fn majority_vote(replicas: &[Vec<f32>]) -> Result<MajorityOutcome, AggregationError> {
+    check_input(replicas)?;
+    let n = replicas.len();
+
+    // Boyer–Moore MJRTY pass.
+    let mut candidate = 0usize;
+    let mut count = 0usize;
+    for (i, r) in replicas.iter().enumerate() {
+        if count == 0 {
+            candidate = i;
+            count = 1;
+        } else if bitwise_eq(r, &replicas[candidate]) {
+            count += 1;
+        } else {
+            count -= 1;
+        }
+    }
+    // Verify the candidate.
+    let votes = replicas
+        .iter()
+        .filter(|r| bitwise_eq(r, &replicas[candidate]))
+        .count();
+    if votes * 2 > n {
+        return Ok(MajorityOutcome {
+            value: replicas[candidate].clone(),
+            votes,
+            is_strict: true,
+        });
+    }
+
+    // No strict majority: plurality fallback.
+    let mut best_idx = 0usize;
+    let mut best_votes = 0usize;
+    for i in 0..n {
+        let v = replicas
+            .iter()
+            .filter(|r| bitwise_eq(r, &replicas[i]))
+            .count();
+        if v > best_votes {
+            best_votes = v;
+            best_idx = i;
+        }
+    }
+    Ok(MajorityOutcome {
+        value: replicas[best_idx].clone(),
+        votes: best_votes,
+        is_strict: best_votes * 2 > n,
+    })
+}
+
+/// Bit-exact equality, treating NaNs with equal bit patterns as equal so a
+/// Byzantine NaN payload cannot sabotage the comparison logic.
+fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_majority_wins() {
+        let honest = vec![1.0f32, 2.0];
+        let evil = vec![9.0f32, 9.0];
+        let out = majority_vote(&[honest.clone(), evil, honest.clone()]).unwrap();
+        assert_eq!(out.value, honest);
+        assert_eq!(out.votes, 2);
+        assert!(out.is_strict);
+    }
+
+    #[test]
+    fn byzantine_majority_distorts() {
+        // r' = 2 of r = 3 replicas Byzantine (colluding on the same value):
+        // the vote is corrupted — exactly the paper's distortion condition.
+        let honest = vec![1.0f32];
+        let evil = vec![9.0f32];
+        let out = majority_vote(&[evil.clone(), honest, evil.clone()]).unwrap();
+        assert_eq!(out.value, evil);
+        assert!(out.is_strict);
+    }
+
+    #[test]
+    fn plurality_fallback() {
+        // Three distinct values: first maximal one wins with votes = 1.
+        let out = majority_vote(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        assert_eq!(out.votes, 1);
+        assert!(!out.is_strict);
+        assert_eq!(out.value, vec![1.0]);
+    }
+
+    #[test]
+    fn nan_payload_handled() {
+        let evil = vec![f32::NAN];
+        let honest = vec![0.5f32];
+        let out = majority_vote(&[honest.clone(), evil.clone(), honest.clone()]).unwrap();
+        assert_eq!(out.value, honest);
+        assert!(out.is_strict);
+        // Even an all-NaN strict majority is counted consistently.
+        let out = majority_vote(&[evil.clone(), evil.clone(), honest]).unwrap();
+        assert!(out.is_strict);
+        assert!(out.value[0].is_nan());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(majority_vote(&[]).unwrap_err(), AggregationError::Empty);
+    }
+
+    #[test]
+    fn five_replicas_three_votes() {
+        let h = vec![1.0f32, -1.0];
+        let e1 = vec![5.0f32, 5.0];
+        let e2 = vec![6.0f32, 6.0];
+        let out = majority_vote(&[e1, h.clone(), e2, h.clone(), h.clone()]).unwrap();
+        assert_eq!(out.value, h);
+        assert_eq!(out.votes, 3);
+        assert!(out.is_strict);
+    }
+}

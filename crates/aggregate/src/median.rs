@@ -1,0 +1,220 @@
+//! Coordinate-wise median-family aggregators and the plain mean.
+
+use crate::{check_input, AggregationError, Aggregator};
+
+/// Plain averaging — the non-robust baseline that a single Byzantine
+/// worker defeats (Blanchard et al. 2017).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean;
+
+impl Aggregator for Mean {
+    fn name(&self) -> &'static str {
+        "mean"
+    }
+
+    fn aggregate(&self, gradients: &[Vec<f32>]) -> Result<Vec<f32>, AggregationError> {
+        let d = check_input(gradients)?;
+        let n = gradients.len() as f32;
+        let mut out = vec![0.0f32; d];
+        for g in gradients {
+            for (o, x) in out.iter_mut().zip(g) {
+                *o += x;
+            }
+        }
+        for o in &mut out {
+            *o /= n;
+        }
+        Ok(out)
+    }
+}
+
+/// Coordinate-wise median (Yin et al. 2018/2019) — ByzShield's second
+/// aggregation stage after the per-file majority votes (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinateMedian;
+
+impl Aggregator for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "coordinate-median"
+    }
+
+    fn aggregate(&self, gradients: &[Vec<f32>]) -> Result<Vec<f32>, AggregationError> {
+        let d = check_input(gradients)?;
+        let mut out = vec![0.0f32; d];
+        let mut column = vec![0.0f32; gradients.len()];
+        for j in 0..d {
+            for (c, g) in column.iter_mut().zip(gradients) {
+                *c = g[j];
+            }
+            out[j] = median_in_place(&mut column);
+        }
+        Ok(out)
+    }
+}
+
+/// Mean-around-median a.k.a. trimmed mean (Xie et al. 2018, Yin et al.
+/// 2018, El Mhamdi et al. 2018): per coordinate, average the `n − 2β`
+/// values closest to the median, where `β` is the trim count per side.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    /// Number of extreme values removed from *each* side per coordinate.
+    pub trim: usize,
+}
+
+impl Aggregator for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+
+    fn aggregate(&self, gradients: &[Vec<f32>]) -> Result<Vec<f32>, AggregationError> {
+        let d = check_input(gradients)?;
+        let n = gradients.len();
+        if n <= 2 * self.trim {
+            return Err(AggregationError::NotEnoughOperands {
+                rule: "trimmed-mean",
+                needed: 2 * self.trim + 1,
+                got: n,
+            });
+        }
+        let mut out = vec![0.0f32; d];
+        let mut column = vec![0.0f32; n];
+        for j in 0..d {
+            for (c, g) in column.iter_mut().zip(gradients) {
+                *c = g[j];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let kept = &column[self.trim..n - self.trim];
+            out[j] = kept.iter().sum::<f32>() / kept.len() as f32;
+        }
+        Ok(out)
+    }
+}
+
+/// Median-of-means (Minsker 2015; DETOX's aggregation stage): partition
+/// the gradients into `num_groups` contiguous groups, average within each
+/// group, then take the coordinate-wise median of the group means.
+#[derive(Debug, Clone, Copy)]
+pub struct MedianOfMeans {
+    /// Number of groups to average within.
+    pub num_groups: usize,
+}
+
+impl Aggregator for MedianOfMeans {
+    fn name(&self) -> &'static str {
+        "median-of-means"
+    }
+
+    fn aggregate(&self, gradients: &[Vec<f32>]) -> Result<Vec<f32>, AggregationError> {
+        check_input(gradients)?;
+        let n = gradients.len();
+        if self.num_groups == 0 || self.num_groups > n {
+            return Err(AggregationError::NotEnoughOperands {
+                rule: "median-of-means",
+                needed: self.num_groups.max(1),
+                got: n,
+            });
+        }
+        // Contiguous, nearly-equal groups.
+        let mean = Mean;
+        let base = n / self.num_groups;
+        let extra = n % self.num_groups;
+        let mut means = Vec::with_capacity(self.num_groups);
+        let mut start = 0usize;
+        for gidx in 0..self.num_groups {
+            let size = base + usize::from(gidx < extra);
+            means.push(mean.aggregate(&gradients[start..start + size])?);
+            start += size;
+        }
+        CoordinateMedian.aggregate(&means)
+    }
+}
+
+/// Median of a mutable slice (sorts in place). Average of the two middle
+/// elements for even lengths.
+pub(crate) fn median_in_place(values: &mut [f32]) -> f32 {
+    debug_assert!(!values.is_empty());
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        let out = Mean.aggregate(&[vec![1.0, 0.0], vec![3.0, 2.0]]).unwrap();
+        assert_eq!(out, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn median_resists_one_outlier() {
+        let honest1 = vec![1.0f32, 1.0];
+        let honest2 = vec![1.1f32, 0.9];
+        let evil = vec![1e9f32, -1e9];
+        let out = CoordinateMedian
+            .aggregate(&[honest1, evil, honest2])
+            .unwrap();
+        assert!((out[0] - 1.1).abs() < 1e-6);
+        assert!((out[1] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_is_broken_by_one_outlier() {
+        // The Blanchard et al. observation motivating robust rules.
+        let out = Mean
+            .aggregate(&[vec![1.0], vec![1.0], vec![1e9]])
+            .unwrap();
+        assert!(out[0] > 1e8);
+    }
+
+    #[test]
+    fn even_count_median_averages() {
+        let out = CoordinateMedian
+            .aggregate(&[vec![1.0], vec![2.0], vec![3.0], vec![10.0]])
+            .unwrap();
+        assert_eq!(out, vec![2.5]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let out = TrimmedMean { trim: 1 }
+            .aggregate(&[vec![-100.0], vec![1.0], vec![2.0], vec![3.0], vec![100.0]])
+            .unwrap();
+        assert_eq!(out, vec![2.0]);
+        assert!(matches!(
+            TrimmedMean { trim: 2 }.aggregate(&vec![vec![1.0]; 4]),
+            Err(AggregationError::NotEnoughOperands { .. })
+        ));
+    }
+
+    #[test]
+    fn median_of_means() {
+        // 6 gradients in 3 groups of 2: group means 1.5, 3.5, 1000 → median 3.5.
+        let grads = vec![
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![1000.0],
+            vec![1000.0],
+        ];
+        let out = MedianOfMeans { num_groups: 3 }.aggregate(&grads).unwrap();
+        assert_eq!(out, vec![3.5]);
+        assert!(MedianOfMeans { num_groups: 9 }.aggregate(&grads).is_err());
+    }
+
+    #[test]
+    fn median_handles_nan_payload_without_poisoning_everything() {
+        // A NaN column sorts to an arbitrary position but must not panic.
+        let out = CoordinateMedian
+            .aggregate(&[vec![1.0], vec![f32::NAN], vec![2.0], vec![1.5], vec![1.2]])
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based robustness tests: aggregators that claim to tolerate a
+//! minority of arbitrary gradients must keep their output near the honest
+//! cluster no matter what the Byzantine values are.
+
+use byz_aggregate::{
+    majority_vote, Aggregator, Bulyan, CoordinateMedian, GeometricMedian, Mean, MultiKrum,
+    SignSgdMajority, TrimmedMean,
+};
+use proptest::prelude::*;
+
+/// Honest gradients clustered near a common center, plus Byzantine
+/// gradients anywhere in a huge box.
+fn scenario(
+    num_honest: usize,
+    num_byz: usize,
+    dim: usize,
+) -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<f32>)> {
+    (
+        prop::collection::vec(-5.0f32..5.0, dim),
+        prop::collection::vec(prop::collection::vec(-0.5f32..0.5, dim), num_honest),
+        prop::collection::vec(prop::collection::vec(-1e6f32..1e6, dim), num_byz),
+    )
+        .prop_map(move |(center, honest_offsets, byz)| {
+            let mut grads: Vec<Vec<f32>> = honest_offsets
+                .into_iter()
+                .map(|off| center.iter().zip(&off).map(|(c, o)| c + o).collect())
+                .collect();
+            grads.extend(byz);
+            (grads, center)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn median_stays_near_honest_cluster((grads, center) in scenario(7, 3, 4)) {
+        // 7 honest vs 3 Byzantine: median of each coordinate lies within
+        // the honest range, hence within 0.5 of the center.
+        let out = CoordinateMedian.aggregate(&grads).unwrap();
+        for (o, c) in out.iter().zip(&center) {
+            prop_assert!((o - c).abs() <= 0.5 + 1e-4, "coordinate drifted: {o} vs {c}");
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_stays_near_honest_cluster((grads, center) in scenario(7, 3, 4)) {
+        let out = TrimmedMean { trim: 3 }.aggregate(&grads).unwrap();
+        for (o, c) in out.iter().zip(&center) {
+            prop_assert!((o - c).abs() <= 0.5 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn bulyan_stays_near_honest_cluster((grads, center) in scenario(9, 2, 3)) {
+        // n = 11 ≥ 4·2 + 3.
+        let out = Bulyan { num_byzantine: 2 }.aggregate(&grads).unwrap();
+        for (o, c) in out.iter().zip(&center) {
+            prop_assert!((o - c).abs() <= 0.6, "Bulyan drifted: {o} vs {c}");
+        }
+    }
+
+    #[test]
+    fn multikrum_output_is_bounded_by_honest_cluster((grads, center) in scenario(8, 2, 3)) {
+        // n = 10 ≥ 2·2 + 3; selected gradients should all be honest, so the
+        // average stays within the honest box.
+        let out = MultiKrum { num_byzantine: 2, num_selected: 3 }.aggregate(&grads).unwrap();
+        for (o, c) in out.iter().zip(&center) {
+            prop_assert!((o - c).abs() <= 0.5 + 1e-4, "Multi-Krum drifted: {o} vs {c}");
+        }
+    }
+
+    #[test]
+    fn geometric_median_bounded((grads, center) in scenario(8, 3, 3)) {
+        // The geometric median of a set with an honest majority lies within
+        // a modest multiple of the honest radius.
+        let out = GeometricMedian::default().aggregate(&grads).unwrap();
+        for (o, c) in out.iter().zip(&center) {
+            prop_assert!((o - c).abs() <= 2.5, "geometric median drifted: {o} vs {c}");
+        }
+    }
+
+    #[test]
+    fn sign_majority_output_is_ternary(grads in prop::collection::vec(
+        prop::collection::vec(-10.0f32..10.0, 5), 1..9))
+    {
+        let out = SignSgdMajority.aggregate(&grads).unwrap();
+        for o in out {
+            prop_assert!(o == -1.0 || o == 0.0 || o == 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_equals_manual_average(grads in prop::collection::vec(
+        prop::collection::vec(-10.0f32..10.0, 3), 1..6))
+    {
+        let out = Mean.aggregate(&grads).unwrap();
+        for j in 0..3 {
+            let expect: f32 = grads.iter().map(|g| g[j]).sum::<f32>() / grads.len() as f32;
+            prop_assert!((out[j] - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn majority_vote_exact_recovery_with_honest_majority(
+        honest in prop::collection::vec(-10.0f32..10.0, 4),
+        byz in prop::collection::vec(prop::collection::vec(-1e6f32..1e6, 4), 1..3),
+    ) {
+        // r = 5 replicas, ≤ 2 Byzantine: exact recovery guaranteed.
+        let mut replicas = vec![honest.clone(); 5 - byz.len()];
+        replicas.extend(byz);
+        let out = majority_vote(&replicas).unwrap();
+        prop_assert!(out.is_strict);
+        prop_assert_eq!(out.value, honest);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fractional Repetition Code placement (DRACO / DETOX baseline,
+//! paper Section 5.3.1).
+
+use crate::{Assignment, AssignmentError, SchemeKind};
+use byz_graph::BipartiteGraph;
+
+/// Builder for the FRC grouping used by DRACO and DETOX: the `K` workers
+/// are split into `K/r` groups of `r`; every worker in group `g`
+/// processes the single file `g`. Each worker therefore has load `l = 1`
+/// and each file replication `r`.
+///
+/// To compare at equal *total* file counts with ByzShield, use
+/// [`FrcAssignment::with_files_per_group`], which gives every group
+/// `files_per_group` distinct files (all replicated across the whole
+/// group); the vote-group structure — the quantity that determines FRC's
+/// worst-case distortion `ε̂ = ⌊q/r'⌋·r/K` — is unchanged.
+#[derive(Debug, Clone)]
+pub struct FrcAssignment {
+    num_workers: usize,
+    replication: usize,
+    files_per_group: usize,
+}
+
+impl FrcAssignment {
+    /// Creates the standard FRC placement: one file per group.
+    ///
+    /// # Errors
+    ///
+    /// * [`AssignmentError::GroupSizeDoesNotDivide`] unless `r | K`;
+    /// * [`AssignmentError::ReplicationNotOdd`] for even `r`.
+    pub fn new(num_workers: usize, replication: usize) -> Result<Self, AssignmentError> {
+        Self::with_files_per_group(num_workers, replication, 1)
+    }
+
+    /// Creates an FRC placement where each group holds `files_per_group`
+    /// distinct files.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrcAssignment::new`]; additionally rejects
+    /// `files_per_group == 0` via
+    /// [`AssignmentError::ReplicationOutOfRange`].
+    pub fn with_files_per_group(
+        num_workers: usize,
+        replication: usize,
+        files_per_group: usize,
+    ) -> Result<Self, AssignmentError> {
+        if replication == 0 || !num_workers.is_multiple_of(replication) {
+            return Err(AssignmentError::GroupSizeDoesNotDivide {
+                workers: num_workers,
+                replication,
+            });
+        }
+        if replication.is_multiple_of(2) {
+            return Err(AssignmentError::ReplicationNotOdd(replication));
+        }
+        if files_per_group == 0 {
+            return Err(AssignmentError::ReplicationOutOfRange {
+                replication: 0,
+                min: 1,
+                max: usize::MAX,
+            });
+        }
+        Ok(FrcAssignment {
+            num_workers,
+            replication,
+            files_per_group,
+        })
+    }
+
+    /// Number of vote groups `K / r`.
+    pub fn num_groups(&self) -> usize {
+        self.num_workers / self.replication
+    }
+
+    /// Materializes the assignment graph.
+    pub fn build(&self) -> Assignment {
+        let groups = self.num_groups();
+        let num_files = groups * self.files_per_group;
+        let mut graph = BipartiteGraph::new(self.num_workers, num_files);
+        for worker in 0..self.num_workers {
+            let group = worker / self.replication;
+            for t in 0..self.files_per_group {
+                let file = group * self.files_per_group + t;
+                graph
+                    .add_edge(worker, file)
+                    .expect("indices in range by construction");
+            }
+        }
+        Assignment::from_parts(SchemeKind::Frc, graph, self.files_per_group, self.replication)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grouping() {
+        let a = FrcAssignment::new(15, 3).unwrap().build();
+        assert_eq!(a.num_workers(), 15);
+        assert_eq!(a.num_files(), 5);
+        assert_eq!(a.load(), 1);
+        assert_eq!(a.replication(), 3);
+        // Workers 0..3 form group 0 and all hold file 0.
+        assert_eq!(a.graph().workers_of(0), &[0, 1, 2]);
+        assert_eq!(a.graph().files_of(4), &[1]);
+    }
+
+    #[test]
+    fn multi_file_groups() {
+        let a = FrcAssignment::with_files_per_group(15, 3, 5).unwrap().build();
+        assert_eq!(a.num_files(), 25);
+        assert_eq!(a.load(), 5);
+        // Group 0's workers hold files 0..5.
+        assert_eq!(a.graph().files_of(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(a.graph().files_of(2), &[0, 1, 2, 3, 4]);
+        assert!(a.graph().is_biregular());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            FrcAssignment::new(16, 3),
+            Err(AssignmentError::GroupSizeDoesNotDivide { .. })
+        ));
+        assert_eq!(
+            FrcAssignment::new(16, 4).unwrap_err(),
+            AssignmentError::ReplicationNotOdd(4)
+        );
+        assert!(FrcAssignment::with_files_per_group(15, 3, 0).is_err());
+    }
+
+    /// FRC's expansion is poor: its graph disconnects into K/r components,
+    /// so µ₁ = 1 (no spectral gap). This is exactly why an omniscient
+    /// adversary defeats it.
+    #[test]
+    fn frc_has_no_spectral_gap() {
+        let a = FrcAssignment::new(15, 3).unwrap().build();
+        let mu1 = a.second_eigenvalue().unwrap();
+        assert!((mu1 - 1.0).abs() < 1e-9, "µ₁ = {mu1}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Latin squares and mutually orthogonal families (paper Section 4.1.1).
+
+use crate::AssignmentError;
+use byz_field::FiniteField;
+use std::fmt;
+
+/// A Latin square of degree `l`: an `l × l` array over symbols
+/// `{0, …, l−1}` in which every symbol appears exactly once per row and
+/// once per column (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatinSquare {
+    degree: usize,
+    /// Row-major cells; `cells[i * degree + j] = L(i, j)`.
+    cells: Vec<u64>,
+}
+
+impl LatinSquare {
+    /// Builds a square from row-major cells, validating the Latin property.
+    ///
+    /// Returns `None` if the array is not a Latin square of the implied
+    /// degree.
+    pub fn from_cells(degree: usize, cells: Vec<u64>) -> Option<Self> {
+        if cells.len() != degree * degree {
+            return None;
+        }
+        let sq = LatinSquare { degree, cells };
+        sq.is_latin().then_some(sq)
+    }
+
+    /// The canonical algebraic construction `L_α(i, j) = α·i + j` over
+    /// `GF(l)` (paper Section 4.1.1). `alpha` must be a nonzero field
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is zero or out of range — callers iterate over
+    /// nonzero field elements, so this indicates a programming error.
+    pub fn from_field(field: &FiniteField, alpha: u64) -> Self {
+        assert!(alpha != 0, "alpha must be a nonzero field element");
+        assert!(alpha < field.order(), "alpha out of range");
+        let l = field.order() as usize;
+        let mut cells = Vec::with_capacity(l * l);
+        for i in 0..field.order() {
+            for j in 0..field.order() {
+                cells.push(field.add(field.mul(alpha, i), j));
+            }
+        }
+        LatinSquare { degree: l, cells }
+    }
+
+    /// The degree `l` of the square.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The symbol at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        debug_assert!(row < self.degree && col < self.degree);
+        self.cells[row * self.degree + col]
+    }
+
+    /// All cell coordinates `(row, col)` holding `symbol`, in row-major
+    /// order. For a Latin square this always has exactly `degree` entries.
+    pub fn cells_with_symbol(&self, symbol: u64) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.degree);
+        for i in 0..self.degree {
+            for j in 0..self.degree {
+                if self.get(i, j) == symbol {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the Latin property: each symbol exactly once per row and per
+    /// column, symbols drawn from `{0, …, l−1}`.
+    pub fn is_latin(&self) -> bool {
+        let l = self.degree;
+        for i in 0..l {
+            let mut row_seen = vec![false; l];
+            let mut col_seen = vec![false; l];
+            for j in 0..l {
+                let rv = self.get(i, j);
+                let cv = self.get(j, i);
+                if rv >= l as u64 || cv >= l as u64 {
+                    return false;
+                }
+                if row_seen[rv as usize] || col_seen[cv as usize] {
+                    return false;
+                }
+                row_seen[rv as usize] = true;
+                col_seen[cv as usize] = true;
+            }
+        }
+        true
+    }
+
+    /// Checks orthogonality with another square of the same degree
+    /// (Definition 2): every ordered symbol pair occurs in exactly one cell.
+    pub fn is_orthogonal_to(&self, other: &LatinSquare) -> bool {
+        if self.degree != other.degree {
+            return false;
+        }
+        let l = self.degree;
+        let mut seen = vec![false; l * l];
+        for i in 0..l {
+            for j in 0..l {
+                let key = self.get(i, j) as usize * l + other.get(i, j) as usize;
+                if seen[key] {
+                    return false;
+                }
+                seen[key] = true;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for LatinSquare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.degree {
+            for j in 0..self.degree {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A family of mutually orthogonal Latin squares (MOLS) of common degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MolsFamily {
+    degree: usize,
+    squares: Vec<LatinSquare>,
+}
+
+impl MolsFamily {
+    /// Constructs `count` MOLS of prime-power degree `l` via
+    /// `L_α(i, j) = α·i + j` over `GF(l)` for `α = 1, …, count`
+    /// (paper Section 4.1.1). At most `l − 1` such squares exist.
+    ///
+    /// # Errors
+    ///
+    /// * [`AssignmentError::DegreeNotPrimePower`] if no field of order `l`
+    ///   exists;
+    /// * [`AssignmentError::ReplicationOutOfRange`] if
+    ///   `count` is 0 or exceeds `l − 1`.
+    pub fn construct(l: u64, count: usize) -> Result<Self, AssignmentError> {
+        let field =
+            FiniteField::new(l).map_err(|_| AssignmentError::DegreeNotPrimePower(l))?;
+        if count == 0 || count as u64 > l - 1 {
+            return Err(AssignmentError::ReplicationOutOfRange {
+                replication: count,
+                min: 1,
+                max: (l - 1) as usize,
+            });
+        }
+        let squares = (1..=count as u64)
+            .map(|alpha| LatinSquare::from_field(&field, alpha))
+            .collect();
+        Ok(MolsFamily {
+            degree: l as usize,
+            squares,
+        })
+    }
+
+    /// Common degree of the family.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of squares in the family.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.squares.len()
+    }
+
+    /// `true` if the family is empty (cannot occur via [`construct`]).
+    ///
+    /// [`construct`]: MolsFamily::construct
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.squares.is_empty()
+    }
+
+    /// The squares, in order `L_1, …, L_r`.
+    #[inline]
+    pub fn squares(&self) -> &[LatinSquare] {
+        &self.squares
+    }
+
+    /// Verifies pairwise orthogonality of the whole family.
+    pub fn is_mutually_orthogonal(&self) -> bool {
+        for (i, a) in self.squares.iter().enumerate() {
+            for b in &self.squares[i + 1..] {
+                if !a.is_orthogonal_to(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 1: the first MOLS of degree 5 is the cyclic square
+    /// L1(i, j) = i + j (mod 5).
+    #[test]
+    fn table1_first_square() {
+        let fam = MolsFamily::construct(5, 3).unwrap();
+        let l1 = &fam.squares()[0];
+        let expected = [
+            [0, 1, 2, 3, 4],
+            [1, 2, 3, 4, 0],
+            [2, 3, 4, 0, 1],
+            [3, 4, 0, 1, 2],
+            [4, 0, 1, 2, 3],
+        ];
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                assert_eq!(l1.get(i, j), want);
+            }
+        }
+    }
+
+    /// Paper Table 1: L2(i, j) = 2i + j and L3(i, j) = 3i + j (mod 5).
+    #[test]
+    fn table1_second_and_third_squares() {
+        let fam = MolsFamily::construct(5, 3).unwrap();
+        let l2_expected = [
+            [0, 1, 2, 3, 4],
+            [2, 3, 4, 0, 1],
+            [4, 0, 1, 2, 3],
+            [1, 2, 3, 4, 0],
+            [3, 4, 0, 1, 2],
+        ];
+        let l3_expected = [
+            [0, 1, 2, 3, 4],
+            [3, 4, 0, 1, 2],
+            [1, 2, 3, 4, 0],
+            [4, 0, 1, 2, 3],
+            [2, 3, 4, 0, 1],
+        ];
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(fam.squares()[1].get(i, j), l2_expected[i][j], "L2 ({i},{j})");
+                assert_eq!(fam.squares()[2].get(i, j), l3_expected[i][j], "L3 ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn constructed_squares_are_latin_and_orthogonal() {
+        for l in [3u64, 4, 5, 7, 8, 9, 11] {
+            let fam = MolsFamily::construct(l, (l - 1) as usize).unwrap();
+            for sq in fam.squares() {
+                assert!(sq.is_latin(), "degree {l}");
+            }
+            assert!(fam.is_mutually_orthogonal(), "degree {l}");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert_eq!(
+            MolsFamily::construct(6, 2).unwrap_err(),
+            AssignmentError::DegreeNotPrimePower(6)
+        );
+        assert!(matches!(
+            MolsFamily::construct(5, 5),
+            Err(AssignmentError::ReplicationOutOfRange { .. })
+        ));
+        assert!(matches!(
+            MolsFamily::construct(5, 0),
+            Err(AssignmentError::ReplicationOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_cells_validation() {
+        assert!(LatinSquare::from_cells(2, vec![0, 1, 1, 0]).is_some());
+        // Repeated symbol in a row.
+        assert!(LatinSquare::from_cells(2, vec![0, 0, 1, 1]).is_none());
+        // Symbol out of range.
+        assert!(LatinSquare::from_cells(2, vec![0, 2, 2, 0]).is_none());
+        // Wrong length.
+        assert!(LatinSquare::from_cells(2, vec![0, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn cells_with_symbol_matches_paper_example() {
+        // Paper Example 1: the locations of symbol 0 in L1 are
+        // (0,0), (1,4), (2,3), (3,2), (4,1).
+        let fam = MolsFamily::construct(5, 3).unwrap();
+        assert_eq!(
+            fam.squares()[0].cells_with_symbol(0),
+            vec![(0, 0), (1, 4), (2, 3), (3, 2), (4, 1)]
+        );
+    }
+
+    #[test]
+    fn non_orthogonal_detected() {
+        let sq = MolsFamily::construct(5, 1).unwrap().squares()[0].clone();
+        // A square is never orthogonal to itself (for degree > 1).
+        assert!(!sq.is_orthogonal_to(&sq));
+    }
+}

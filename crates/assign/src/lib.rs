@@ -1,0 +1,51 @@
+//! Redundant task-assignment schemes for Byzantine-robust training.
+//!
+//! This crate implements every worker–file placement studied in the
+//! ByzShield paper:
+//!
+//! * [`MolsAssignment`] — Algorithm 2: files laid out on an `l × l` grid,
+//!   workers populated from `r` mutually orthogonal Latin squares
+//!   (Section 4.1). Requires prime-power `l` and `r ≤ l − 1`.
+//! * [`RamanujanAssignment`] — the array-code Ramanujan bigraph
+//!   construction of Section 4.2.1 (both Case 1 `m < s` and Case 2
+//!   `m ≥ s, s | m`).
+//! * [`FrcAssignment`] — the Fractional Repetition Code grouping used by
+//!   DRACO and DETOX (Section 5.3.1): workers split into `K/r` groups, all
+//!   workers of a group replicate the same file.
+//! * [`RandomAssignment`] — a uniform random `r`-replication placement
+//!   baseline.
+//!
+//! All schemes produce an [`Assignment`]: a biregular
+//! [`BipartiteGraph`](byz_graph::BipartiteGraph)
+//! plus the `(K, f, l, r)` system parameters, ready for distortion
+//! analysis and cluster simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use byz_assign::{Assignment, MolsAssignment, SchemeKind};
+//!
+//! // The paper's Example 1: K = 15 workers, l = 5, r = 3, f = 25 files.
+//! let a = MolsAssignment::new(5, 3).unwrap().build();
+//! assert_eq!(a.num_workers(), 15);
+//! assert_eq!(a.num_files(), 25);
+//! assert_eq!(a.load(), 5);
+//! assert_eq!(a.replication(), 3);
+//! assert_eq!(a.kind(), SchemeKind::Mols);
+//! // Worker U0 stores exactly the files from paper Table 2(a).
+//! assert_eq!(a.graph().files_of(0), &[0, 9, 13, 17, 21]);
+//! ```
+
+mod frc;
+mod latin;
+mod mols;
+mod ramanujan;
+mod random;
+mod scheme;
+
+pub use frc::FrcAssignment;
+pub use latin::{LatinSquare, MolsFamily};
+pub use mols::MolsAssignment;
+pub use ramanujan::{RamanujanAssignment, RamanujanCase};
+pub use random::RandomAssignment;
+pub use scheme::{Assignment, AssignmentError, SchemeKind};

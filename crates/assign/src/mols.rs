@@ -1,0 +1,183 @@
+//! MOLS-based task assignment (paper Algorithm 2).
+
+use crate::{Assignment, AssignmentError, MolsFamily, SchemeKind};
+use byz_graph::BipartiteGraph;
+
+/// Builder for the MOLS-based placement of paper Section 4.1.2.
+///
+/// The batch is partitioned into `f = l²` files arranged on an `l × l`
+/// grid. For each of the `r` MOLS `L_{k+1}` and each symbol `s`, worker
+/// `U_{k·l + s}` receives the files in the cells of `L_{k+1}` holding
+/// symbol `s`. This yields `K = r·l` workers each loaded with `l` files,
+/// every file replicated `r` times.
+#[derive(Debug, Clone)]
+pub struct MolsAssignment {
+    mols: MolsFamily,
+    replication: usize,
+}
+
+impl MolsAssignment {
+    /// Creates the builder for degree `l` (prime power) and replication
+    /// `r`.
+    ///
+    /// The ByzShield analysis (Lemma 2) requires `2 < r < l`; we also
+    /// require odd `r` so the majority vote cannot tie (paper Section 2).
+    ///
+    /// # Errors
+    ///
+    /// * [`AssignmentError::DegreeNotPrimePower`] for invalid `l`;
+    /// * [`AssignmentError::ReplicationOutOfRange`] unless `2 < r < l`;
+    /// * [`AssignmentError::ReplicationNotOdd`] for even `r`.
+    pub fn new(l: u64, r: usize) -> Result<Self, AssignmentError> {
+        if r <= 2 || r as u64 >= l {
+            return Err(AssignmentError::ReplicationOutOfRange {
+                replication: r,
+                min: 3,
+                max: l.saturating_sub(1) as usize,
+            });
+        }
+        if r.is_multiple_of(2) {
+            return Err(AssignmentError::ReplicationNotOdd(r));
+        }
+        let mols = MolsFamily::construct(l, r)?;
+        Ok(MolsAssignment { mols, replication: r })
+    }
+
+    /// The MOLS family driving the placement.
+    pub fn mols(&self) -> &MolsFamily {
+        &self.mols
+    }
+
+    /// Materializes the assignment graph (Algorithm 2).
+    pub fn build(&self) -> Assignment {
+        let l = self.mols.degree();
+        let r = self.replication;
+        let num_workers = r * l;
+        let num_files = l * l;
+        let mut graph = BipartiteGraph::new(num_workers, num_files);
+        for (k, square) in self.mols.squares().iter().enumerate() {
+            for s in 0..l as u64 {
+                let worker = k * l + s as usize;
+                for (i, j) in square.cells_with_symbol(s) {
+                    let file = i * l + j;
+                    graph
+                        .add_edge(worker, file)
+                        .expect("indices in range by construction");
+                }
+            }
+        }
+        Assignment::from_parts(SchemeKind::Mols, graph, l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 2: the complete file allocation for l = 5, r = 3.
+    #[test]
+    fn table2_full_allocation() {
+        let a = MolsAssignment::new(5, 3).unwrap().build();
+        let expected: [&[usize]; 15] = [
+            // Table 2(a): 1st replica (L1).
+            &[0, 9, 13, 17, 21],
+            &[1, 5, 14, 18, 22],
+            &[2, 6, 10, 19, 23],
+            &[3, 7, 11, 15, 24],
+            &[4, 8, 12, 16, 20],
+            // Table 2(b): 2nd replica (L2).
+            &[0, 8, 11, 19, 22],
+            &[1, 9, 12, 15, 23],
+            &[2, 5, 13, 16, 24],
+            &[3, 6, 14, 17, 20],
+            &[4, 7, 10, 18, 21],
+            // Table 2(c): 3rd replica (L3).
+            &[0, 7, 14, 16, 23],
+            &[1, 8, 10, 17, 24],
+            &[2, 9, 11, 18, 20],
+            &[3, 5, 12, 19, 21],
+            &[4, 6, 13, 15, 22],
+        ];
+        for (worker, files) in expected.iter().enumerate() {
+            assert_eq!(a.graph().files_of(worker), *files, "worker U{worker}");
+        }
+    }
+
+    #[test]
+    fn parameters_and_biregularity() {
+        let a = MolsAssignment::new(7, 5).unwrap().build();
+        assert_eq!(a.num_workers(), 35);
+        assert_eq!(a.num_files(), 49);
+        assert_eq!(a.load(), 7);
+        assert_eq!(a.replication(), 5);
+        assert!(a.graph().is_biregular());
+    }
+
+    /// Same-LS workers share no files; cross-LS workers share exactly one
+    /// (consequences of Definitions 1 and 2 noted after Example 1).
+    #[test]
+    fn pairwise_intersection_structure() {
+        let a = MolsAssignment::new(5, 3).unwrap().build();
+        let l = 5;
+        for u in 0..a.num_workers() {
+            for v in (u + 1)..a.num_workers() {
+                let fu = a.graph().files_of(u);
+                let fv = a.graph().files_of(v);
+                let common = fu.iter().filter(|x| fv.contains(x)).count();
+                if u / l == v / l {
+                    assert_eq!(common, 0, "same-class workers {u},{v} share a file");
+                } else {
+                    assert_eq!(common, 1, "cross-class workers {u},{v} share {common} files");
+                }
+            }
+        }
+    }
+
+    /// Lemma 2: the MOLS graph has spectrum {(1,1), (1/r, r(l−1)), (0, r−1)}.
+    #[test]
+    fn lemma2_spectrum() {
+        let a = MolsAssignment::new(5, 3).unwrap().build();
+        let clusters = a.graph().clustered_spectrum(1e-6).unwrap();
+        assert_eq!(clusters.len(), 3);
+        let (e0, m0) = clusters[0];
+        let (e1, m1) = clusters[1];
+        let (e2, m2) = clusters[2];
+        assert!((e0 - 1.0).abs() < 1e-9);
+        assert_eq!(m0, 1);
+        assert!((e1 - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m1, 3 * (5 - 1));
+        assert!(e2.abs() < 1e-9);
+        assert_eq!(m2, 3 - 1);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            MolsAssignment::new(5, 2),
+            Err(AssignmentError::ReplicationOutOfRange { .. })
+        ));
+        assert!(matches!(
+            MolsAssignment::new(5, 5),
+            Err(AssignmentError::ReplicationOutOfRange { .. })
+        ));
+        assert_eq!(
+            MolsAssignment::new(9, 4).unwrap_err(),
+            AssignmentError::ReplicationNotOdd(4)
+        );
+        assert_eq!(
+            MolsAssignment::new(10, 3).unwrap_err(),
+            AssignmentError::DegreeNotPrimePower(10)
+        );
+    }
+
+    /// Prime-power (non-prime) degrees work: l = 9 = 3², r = 5.
+    #[test]
+    fn prime_power_degree() {
+        let a = MolsAssignment::new(9, 5).unwrap().build();
+        assert_eq!(a.num_workers(), 45);
+        assert_eq!(a.num_files(), 81);
+        assert!(a.graph().is_biregular());
+        let mu1 = a.second_eigenvalue().unwrap();
+        assert!((mu1 - 0.2).abs() < 1e-9, "µ₁ = {mu1}, expected 1/r = 0.2");
+    }
+}

@@ -1,0 +1,232 @@
+//! Ramanujan bigraph task assignment via LDPC array codes
+//! (paper Section 4.2.1, following Burnwal–Vidyasagar–Sinha).
+
+use crate::{Assignment, AssignmentError, SchemeKind};
+use byz_field::is_prime;
+use byz_graph::BipartiteGraph;
+
+/// Which side of the `m` vs `s` dichotomy a construction falls on (Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RamanujanCase {
+    /// `m < s`: `H = Bᵀ`, parameters `(K, f, l, r) = (ms, s², s, m)`.
+    Case1,
+    /// `m ≥ s` and `s | m`: `H = B`, parameters `(K, f, l, r) = (s², ms, m, s)`.
+    Case2,
+}
+
+/// Builder for the array-code Ramanujan bigraph placement.
+///
+/// The construction forms the `s² × ms` block matrix
+///
+/// ```text
+/// B = [ I  I    I    …  I        ]
+///     [ I  P    P²   …  P^(m−1)  ]
+///     [ I  P²   P⁴   …  P^2(m−1) ]
+///     [ …                        ]
+/// ```
+///
+/// from powers of the `s × s` cyclic-shift permutation `P`, then uses
+/// `H = Bᵀ` (Case 1, `m < s`) or `H = B` (Case 2, `m ≥ s`) as the
+/// worker × file bi-adjacency matrix.
+#[derive(Debug, Clone)]
+pub struct RamanujanAssignment {
+    s: u64,
+    m: u64,
+    case: RamanujanCase,
+}
+
+impl RamanujanAssignment {
+    /// Creates the builder from the construction parameters: prime `s` and
+    /// integer `m ≥ 2`.
+    ///
+    /// The replication factor is `m` in Case 1 and `s` in Case 2; we
+    /// require it to be odd so majority votes cannot tie.
+    ///
+    /// # Errors
+    ///
+    /// * [`AssignmentError::SNotPrime`] if `s` is composite;
+    /// * [`AssignmentError::ReplicationOutOfRange`] if `m < 2`;
+    /// * [`AssignmentError::SDoesNotDivideM`] in Case 2 when `s ∤ m`;
+    /// * [`AssignmentError::ReplicationNotOdd`] for an even replication
+    ///   factor.
+    pub fn new(m: u64, s: u64) -> Result<Self, AssignmentError> {
+        if !is_prime(s) {
+            return Err(AssignmentError::SNotPrime(s));
+        }
+        if m < 2 {
+            return Err(AssignmentError::ReplicationOutOfRange {
+                replication: m as usize,
+                min: 2,
+                max: usize::MAX,
+            });
+        }
+        let case = if m < s {
+            RamanujanCase::Case1
+        } else {
+            if !m.is_multiple_of(s) {
+                return Err(AssignmentError::SDoesNotDivideM { s, m });
+            }
+            RamanujanCase::Case2
+        };
+        let replication = match case {
+            RamanujanCase::Case1 => m,
+            RamanujanCase::Case2 => s,
+        };
+        if replication % 2 == 0 {
+            return Err(AssignmentError::ReplicationNotOdd(replication as usize));
+        }
+        Ok(RamanujanAssignment { s, m, case })
+    }
+
+    /// Which case of Eq. (6) this instance is.
+    pub fn case(&self) -> RamanujanCase {
+        self.case
+    }
+
+    /// System parameters `(K, f, l, r)` per Eq. (6).
+    pub fn parameters(&self) -> (usize, usize, usize, usize) {
+        let (s, m) = (self.s as usize, self.m as usize);
+        match self.case {
+            RamanujanCase::Case1 => (m * s, s * s, s, m),
+            RamanujanCase::Case2 => (s * s, m * s, m, s),
+        }
+    }
+
+    /// Materializes the assignment graph.
+    pub fn build(&self) -> Assignment {
+        let (k, f, l, r) = self.parameters();
+        let s = self.s as usize;
+        let m = self.m as usize;
+        let mut graph = BipartiteGraph::new(k, f);
+
+        // Enumerate the nonzero entries of B: block (a, b) of B (for
+        // a in 0..s block-rows, b in 0..m block-cols) is P^(a·b), whose
+        // entry (i, j) is 1 iff j ≡ i − a·b (mod s).
+        //
+        // Case 2: worker = B row   = a·s + i, file = B col = b·s + j.
+        // Case 1: H = Bᵀ, so worker = B col = b·s + j, file = B row = a·s + i.
+        for a in 0..s {
+            for b in 0..m {
+                let shift = (a * b) % s;
+                for i in 0..s {
+                    let j = (i + s - shift) % s;
+                    let (worker, file) = match self.case {
+                        RamanujanCase::Case2 => (a * s + i, b * s + j),
+                        RamanujanCase::Case1 => (b * s + j, a * s + i),
+                    };
+                    graph
+                        .add_edge(worker, file)
+                        .expect("indices in range by construction");
+                }
+            }
+        }
+        let kind = match self.case {
+            RamanujanCase::Case1 => SchemeKind::RamanujanCase1,
+            RamanujanCase::Case2 => SchemeKind::RamanujanCase2,
+        };
+        Assignment::from_parts(kind, graph, l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_selection_and_parameters() {
+        // m = 3 < s = 5: Case 1, (K, f, l, r) = (15, 25, 5, 3).
+        let a = RamanujanAssignment::new(3, 5).unwrap();
+        assert_eq!(a.case(), RamanujanCase::Case1);
+        assert_eq!(a.parameters(), (15, 25, 5, 3));
+
+        // m = 5 = s: Case 2, (K, f, l, r) = (25, 25, 5, 5) — the paper's
+        // K = 25 cluster (Section 6.1).
+        let b = RamanujanAssignment::new(5, 5).unwrap();
+        assert_eq!(b.case(), RamanujanCase::Case2);
+        assert_eq!(b.parameters(), (25, 25, 5, 5));
+
+        // m = 10 = 2·5: Case 2 with f = 50.
+        let c = RamanujanAssignment::new(10, 5);
+        // r = s = 5 odd, s | m: accepted.
+        assert_eq!(c.unwrap().parameters(), (25, 50, 10, 5));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(
+            RamanujanAssignment::new(3, 4).unwrap_err(),
+            AssignmentError::SNotPrime(4)
+        );
+        assert!(matches!(
+            RamanujanAssignment::new(1, 5),
+            Err(AssignmentError::ReplicationOutOfRange { .. })
+        ));
+        assert_eq!(
+            RamanujanAssignment::new(7, 5).unwrap_err(),
+            AssignmentError::SDoesNotDivideM { s: 5, m: 7 }
+        );
+        // Case 1 with even replication m = 2.
+        assert_eq!(
+            RamanujanAssignment::new(2, 5).unwrap_err(),
+            AssignmentError::ReplicationNotOdd(2)
+        );
+        // Case 2 with even prime s = 2 (replication 2).
+        assert_eq!(
+            RamanujanAssignment::new(4, 2).unwrap_err(),
+            AssignmentError::ReplicationNotOdd(2)
+        );
+    }
+
+    #[test]
+    fn biregularity_both_cases() {
+        for (m, s) in [(3u64, 5u64), (5, 7), (5, 5), (10, 5), (3, 3)] {
+            let Ok(builder) = RamanujanAssignment::new(m, s) else {
+                continue;
+            };
+            let a = builder.build();
+            let (k, f, l, r) = builder.parameters();
+            assert_eq!(a.num_workers(), k);
+            assert_eq!(a.num_files(), f);
+            assert_eq!(a.graph().left_degree(), Some(l), "(m,s)=({m},{s})");
+            assert_eq!(a.graph().right_degree(), Some(r), "(m,s)=({m},{s})");
+        }
+    }
+
+    /// Lemma 2: Case 1 spectrum {(1,1), (1/r, r(l−1)), (0, r−1)} — identical
+    /// to the MOLS spectrum.
+    #[test]
+    fn lemma2_spectrum_case1() {
+        let a = RamanujanAssignment::new(3, 5).unwrap().build();
+        let clusters = a.graph().clustered_spectrum(1e-6).unwrap();
+        assert_eq!(clusters.len(), 3);
+        assert!((clusters[0].0 - 1.0).abs() < 1e-9);
+        assert_eq!(clusters[0].1, 1);
+        assert!((clusters[1].0 - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(clusters[1].1, 3 * 4);
+        assert!(clusters[2].0.abs() < 1e-9);
+        assert_eq!(clusters[2].1, 2);
+    }
+
+    /// Lemma 2: Case 2 spectrum {(1,1), (1/r, r(r−1)), (0, r−1)}.
+    #[test]
+    fn lemma2_spectrum_case2() {
+        let a = RamanujanAssignment::new(5, 5).unwrap().build();
+        let clusters = a.graph().clustered_spectrum(1e-6).unwrap();
+        assert_eq!(clusters.len(), 3);
+        assert!((clusters[0].0 - 1.0).abs() < 1e-9);
+        assert_eq!(clusters[0].1, 1);
+        assert!((clusters[1].0 - 0.2).abs() < 1e-9);
+        assert_eq!(clusters[1].1, 5 * 4);
+        assert!(clusters[2].0.abs() < 1e-9);
+        assert_eq!(clusters[2].1, 4);
+    }
+
+    /// The first block-column of B is a stack of identities: in Case 2 the
+    /// first s files are assigned to workers {a·s + i : a} with j = i.
+    #[test]
+    fn identity_block_structure() {
+        let a = RamanujanAssignment::new(5, 5).unwrap().build();
+        // File 0 (b = 0, j = 0) is held by workers a·5 + 0 for a = 0..5.
+        assert_eq!(a.graph().workers_of(0), &[0, 5, 10, 15, 20]);
+    }
+}

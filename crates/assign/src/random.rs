@@ -1,0 +1,138 @@
+//! Uniform random replication placement (baseline for ablations).
+
+use crate::{Assignment, AssignmentError, SchemeKind};
+use byz_graph::BipartiteGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Builder for a random biregular placement: each of the `f` files is
+/// assigned to `r` distinct workers chosen so that every worker ends up
+/// with exactly `l = f·r/K` files.
+///
+/// This is the "random assignment" whose *average-case* robustness DETOX's
+/// guarantees lean on; ByzShield's point is that worst-case attacks defeat
+/// placements without engineered expansion.
+#[derive(Debug, Clone)]
+pub struct RandomAssignment {
+    num_workers: usize,
+    num_files: usize,
+    replication: usize,
+}
+
+impl RandomAssignment {
+    /// Creates the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignmentError::InfeasibleRandom`] unless `r ≤ K` and
+    /// `K | f·r` (needed for exact biregularity), and
+    /// [`AssignmentError::ReplicationNotOdd`] for even `r`.
+    pub fn new(
+        num_workers: usize,
+        num_files: usize,
+        replication: usize,
+    ) -> Result<Self, AssignmentError> {
+        if replication == 0 || replication > num_workers || !(num_files * replication).is_multiple_of(num_workers)
+        {
+            return Err(AssignmentError::InfeasibleRandom {
+                workers: num_workers,
+                files: num_files,
+                replication,
+            });
+        }
+        if replication.is_multiple_of(2) {
+            return Err(AssignmentError::ReplicationNotOdd(replication));
+        }
+        Ok(RandomAssignment {
+            num_workers,
+            num_files,
+            replication,
+        })
+    }
+
+    /// Materializes a random placement using the supplied RNG.
+    ///
+    /// Uses an edge-coloring style construction: a pool with `l` copies of
+    /// each worker is shuffled and dealt to files `r` at a time; collisions
+    /// (a file receiving the same worker twice) are repaired by swapping
+    /// with later slots, retrying with fresh shuffles in the rare case no
+    /// repair exists.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Assignment {
+        let load = self.num_files * self.replication / self.num_workers;
+        'retry: loop {
+            let mut pool: Vec<usize> = (0..self.num_workers)
+                .flat_map(|w| std::iter::repeat_n(w, load))
+                .collect();
+            pool.shuffle(rng);
+
+            let mut graph = BipartiteGraph::new(self.num_workers, self.num_files);
+            for file in 0..self.num_files {
+                let base = file * self.replication;
+                for slot in 0..self.replication {
+                    let idx = base + slot;
+                    // Ensure pool[idx] is distinct from earlier picks for
+                    // this file; swap forward if not.
+                    let taken = &pool[base..idx];
+                    if taken.contains(&pool[idx]) {
+                        let Some(swap) = (idx + 1..pool.len())
+                            .find(|&j| !taken.contains(&pool[j]))
+                        else {
+                            continue 'retry;
+                        };
+                        pool.swap(idx, swap);
+                    }
+                    graph
+                        .add_edge(pool[idx], file)
+                        .expect("indices in range by construction");
+                }
+            }
+            return Assignment::from_parts(SchemeKind::Random, graph, load, self.replication);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_biregular_graph() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let a = RandomAssignment::new(15, 25, 3).unwrap().build(&mut rng);
+            assert_eq!(a.num_workers(), 15);
+            assert_eq!(a.num_files(), 25);
+            assert_eq!(a.graph().left_degree(), Some(5));
+            assert_eq!(a.graph().right_degree(), Some(3));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RandomAssignment::new(15, 25, 3)
+            .unwrap()
+            .build(&mut StdRng::seed_from_u64(42));
+        let b = RandomAssignment::new(15, 25, 3)
+            .unwrap()
+            .build(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            RandomAssignment::new(15, 24, 3),
+            Err(AssignmentError::InfeasibleRandom { .. })
+        ));
+        assert!(matches!(
+            RandomAssignment::new(2, 4, 3),
+            Err(AssignmentError::InfeasibleRandom { .. })
+        ));
+        assert_eq!(
+            RandomAssignment::new(10, 20, 2).unwrap_err(),
+            AssignmentError::ReplicationNotOdd(2)
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! The common [`Assignment`] product type shared by all placement schemes.
+
+use byz_graph::{BipartiteGraph, ExpansionBound, GraphError};
+use std::fmt;
+
+/// Which construction produced an assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// MOLS-based (paper Algorithm 2).
+    Mols,
+    /// Ramanujan bigraph, Case 1 (`m < s`).
+    RamanujanCase1,
+    /// Ramanujan bigraph, Case 2 (`m ≥ s`, `s | m`).
+    RamanujanCase2,
+    /// Fractional Repetition Code grouping (DRACO / DETOX).
+    Frc,
+    /// Uniform random replication.
+    Random,
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SchemeKind::Mols => "MOLS",
+            SchemeKind::RamanujanCase1 => "Ramanujan-1",
+            SchemeKind::RamanujanCase2 => "Ramanujan-2",
+            SchemeKind::Frc => "FRC",
+            SchemeKind::Random => "Random",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors raised when a scheme's parameter constraints are violated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignmentError {
+    /// MOLS needs a prime-power degree `l`.
+    DegreeNotPrimePower(u64),
+    /// MOLS supports at most `l − 1` mutually orthogonal squares, and the
+    /// ByzShield analysis needs `2 < r < l` (Lemma 2); Ramanujan Case 1
+    /// likewise needs `2 ≤ m < s`.
+    ReplicationOutOfRange {
+        replication: usize,
+        min: usize,
+        max: usize,
+    },
+    /// Majority voting needs an odd replication factor (paper Section 2).
+    ReplicationNotOdd(usize),
+    /// Ramanujan constructions need a prime `s`.
+    SNotPrime(u64),
+    /// Ramanujan Case 2 requires `s | m`.
+    SDoesNotDivideM { s: u64, m: u64 },
+    /// FRC requires the group size `r` to divide `K`.
+    GroupSizeDoesNotDivide { workers: usize, replication: usize },
+    /// Random assignment requires `K ≥ r` and `f·r` divisible by `K` for
+    /// biregularity.
+    InfeasibleRandom {
+        workers: usize,
+        files: usize,
+        replication: usize,
+    },
+    /// An internal graph operation failed (should not happen for valid
+    /// parameters).
+    Graph(GraphError),
+}
+
+impl fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentError::DegreeNotPrimePower(l) => {
+                write!(f, "MOLS degree {l} must be a prime power")
+            }
+            AssignmentError::ReplicationOutOfRange { replication, min, max } => {
+                write!(f, "replication {replication} outside supported range [{min}, {max}]")
+            }
+            AssignmentError::ReplicationNotOdd(r) => {
+                write!(f, "majority voting needs odd replication, got {r}")
+            }
+            AssignmentError::SNotPrime(s) => write!(f, "Ramanujan parameter s = {s} must be prime"),
+            AssignmentError::SDoesNotDivideM { s, m } => {
+                write!(f, "Ramanujan Case 2 requires s | m, got s = {s}, m = {m}")
+            }
+            AssignmentError::GroupSizeDoesNotDivide { workers, replication } => {
+                write!(f, "FRC needs r | K, got K = {workers}, r = {replication}")
+            }
+            AssignmentError::InfeasibleRandom { workers, files, replication } => write!(
+                f,
+                "random biregular assignment infeasible for K = {workers}, f = {files}, r = {replication}"
+            ),
+            AssignmentError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+impl From<GraphError> for AssignmentError {
+    fn from(e: GraphError) -> Self {
+        AssignmentError::Graph(e)
+    }
+}
+
+/// A concrete worker–file placement: the bipartite graph plus its system
+/// parameters `(K, f, l, r)` and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    kind: SchemeKind,
+    graph: BipartiteGraph,
+    load: usize,
+    replication: usize,
+}
+
+impl Assignment {
+    /// Wraps a graph whose biregular degrees match `(load, replication)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph degrees disagree with the declared parameters;
+    /// scheme constructors guarantee this internally.
+    pub(crate) fn from_parts(
+        kind: SchemeKind,
+        graph: BipartiteGraph,
+        load: usize,
+        replication: usize,
+    ) -> Self {
+        debug_assert_eq!(graph.left_degree(), Some(load), "load mismatch");
+        debug_assert_eq!(graph.right_degree(), Some(replication), "replication mismatch");
+        Assignment {
+            kind,
+            graph,
+            load,
+            replication,
+        }
+    }
+
+    /// Which scheme produced this assignment.
+    #[inline]
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// The underlying worker–file bipartite graph.
+    #[inline]
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Number of workers `K`.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.graph.num_workers()
+    }
+
+    /// Number of files `f`.
+    #[inline]
+    pub fn num_files(&self) -> usize {
+        self.graph.num_files()
+    }
+
+    /// Computational load `l` (files per worker).
+    #[inline]
+    pub fn load(&self) -> usize {
+        self.load
+    }
+
+    /// Replication factor `r` (copies per file).
+    #[inline]
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Majority threshold `r' = (r + 1) / 2`: a file is distorted only if
+    /// at least `r'` of its copies are Byzantine (paper Section 2).
+    #[inline]
+    pub fn majority_threshold(&self) -> usize {
+        self.replication.div_ceil(2)
+    }
+
+    /// Spectral expansion bound (β, γ) for `q` Byzantine workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectral-computation failures.
+    pub fn expansion_bound(&self, q: usize) -> Result<ExpansionBound, GraphError> {
+        self.graph.expansion_bound(q)
+    }
+
+    /// Convenience: second-largest eigenvalue `µ₁` of `A·Aᵀ`.
+    pub fn second_eigenvalue(&self) -> Result<f64, GraphError> {
+        self.graph.second_eigenvalue()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_kind_display() {
+        assert_eq!(SchemeKind::Mols.to_string(), "MOLS");
+        assert_eq!(SchemeKind::RamanujanCase2.to_string(), "Ramanujan-2");
+        assert_eq!(SchemeKind::Frc.to_string(), "FRC");
+    }
+
+    #[test]
+    fn majority_threshold() {
+        let g = BipartiteGraph::from_edges(3, 1, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let a = Assignment::from_parts(SchemeKind::Frc, g, 1, 3);
+        assert_eq!(a.majority_threshold(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests over all assignment schemes.
+
+use byz_assign::{FrcAssignment, MolsAssignment, RamanujanAssignment, RandomAssignment};
+use byz_field::is_prime;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Valid (l, r) parameter pairs for the MOLS scheme: prime-power l,
+/// odd 2 < r < l.
+fn mols_params() -> impl Strategy<Value = (u64, usize)> {
+    let valid: Vec<(u64, usize)> = [5u64, 7, 8, 9, 11, 13]
+        .into_iter()
+        .flat_map(|l| (3..l as usize).step_by(2).map(move |r| (l, r)))
+        .collect();
+    prop::sample::select(valid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mols_structure((l, r) in mols_params()) {
+        let a = MolsAssignment::new(l, r).unwrap().build();
+        let l = l as usize;
+        prop_assert_eq!(a.num_workers(), r * l);
+        prop_assert_eq!(a.num_files(), l * l);
+        prop_assert_eq!(a.graph().left_degree(), Some(l));
+        prop_assert_eq!(a.graph().right_degree(), Some(r));
+        // Every file's replica set spans r distinct parallel classes.
+        for file in 0..a.num_files() {
+            let classes: std::collections::BTreeSet<usize> =
+                a.graph().workers_of(file).iter().map(|w| w / l).collect();
+            prop_assert_eq!(classes.len(), r);
+        }
+    }
+
+    #[test]
+    fn mols_second_eigenvalue_is_one_over_r((l, r) in mols_params()) {
+        let a = MolsAssignment::new(l, r).unwrap().build();
+        let mu1 = a.second_eigenvalue().unwrap();
+        prop_assert!((mu1 - 1.0 / r as f64).abs() < 1e-8, "µ₁ = {}", mu1);
+    }
+
+    #[test]
+    fn gamma_bound_dominates_volume_argument((l, r) in mols_params(), q_frac in 0.1f64..0.49) {
+        // γ must always be a valid (possibly loose) upper bound; sanity:
+        // it is nonnegative and at most q·l / r' (the trivial edge-count
+        // bound divided by the distortion threshold is looser than γ only
+        // sometimes, so just check nonnegativity and monotonicity in q).
+        let a = MolsAssignment::new(l, r).unwrap().build();
+        let k = a.num_workers();
+        let q = ((k as f64 * q_frac) as usize).max(1);
+        let b1 = a.expansion_bound(q).unwrap();
+        let b2 = a.expansion_bound(q + 1).unwrap();
+        prop_assert!(b1.gamma() >= 0.0);
+        prop_assert!(b2.gamma() >= b1.gamma(), "γ not monotone in q");
+        prop_assert!(b1.beta() <= (q * a.load()) as f64 + 1e-9, "β exceeds ql");
+    }
+
+    #[test]
+    fn ramanujan_case1_matches_mols_spectrum(s in prop::sample::select(vec![5u64, 7, 11]),
+                                             m in prop::sample::select(vec![3u64])) {
+        prop_assume!(m < s && is_prime(s));
+        let ram = RamanujanAssignment::new(m, s).unwrap().build();
+        let mols = MolsAssignment::new(s, m as usize).unwrap().build();
+        let sr = ram.graph().clustered_spectrum(1e-6).unwrap();
+        let sm = mols.graph().clustered_spectrum(1e-6).unwrap();
+        prop_assert_eq!(sr.len(), sm.len());
+        for (a, b) in sr.iter().zip(sm.iter()) {
+            prop_assert!((a.0 - b.0).abs() < 1e-7);
+            prop_assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn frc_group_structure(groups in 2usize..8, r in prop::sample::select(vec![3usize, 5, 7])) {
+        let k = groups * r;
+        let a = FrcAssignment::new(k, r).unwrap().build();
+        prop_assert_eq!(a.num_files(), groups);
+        // All workers of a group hold exactly the group file.
+        for w in 0..k {
+            prop_assert_eq!(a.graph().files_of(w), &[w / r]);
+        }
+    }
+
+    #[test]
+    fn random_assignment_biregular(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = RandomAssignment::new(15, 25, 3).unwrap().build(&mut rng);
+        prop_assert_eq!(a.graph().left_degree(), Some(5));
+        prop_assert_eq!(a.graph().right_degree(), Some(3));
+        // Each file's replicas are distinct workers.
+        for fidx in 0..25 {
+            let ws = a.graph().workers_of(fidx);
+            let set: std::collections::BTreeSet<_> = ws.iter().collect();
+            prop_assert_eq!(set.len(), ws.len());
+        }
+    }
+}

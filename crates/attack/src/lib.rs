@@ -1,0 +1,37 @@
+//! Byzantine attack vectors and worker-selection strategies
+//! (paper Sections 2 and 6.1).
+//!
+//! An attack has two orthogonal parts:
+//!
+//! 1. **Which workers are Byzantine** — [`ByzantineSelector`]. The paper's
+//!    omniscient adversary knows the full task assignment and picks the
+//!    `q` workers maximizing the distorted-file fraction ε̂
+//!    ([`ByzantineSelector::Omniscient`], backed by the exact solvers in
+//!    `byz-distortion`); DETOX/DRACO instead assume a random choice
+//!    ([`ByzantineSelector::Random`]).
+//! 2. **What the Byzantine workers send** — [`AttackVector`]:
+//!    * [`Alie`] — "A Little Is Enough" (Baruch et al. 2019): perturb the
+//!      per-dimension batch mean by `z_max` standard deviations, staying
+//!      inside the empirical noise so medians shift without outlier
+//!      detection firing;
+//!    * [`ConstantAttack`] — every coordinate equals a fixed value;
+//!    * [`ReversedGradient`] — send `−c·g` for the true gradient `g`;
+//!    * [`InnerProductAttack`] — "Fall of Empires" (Xie et al. 2019):
+//!      `−ε·µ`, close enough to evade distance filters yet anti-parallel
+//!      to the true update;
+//!    * [`RandomNoise`] — Gaussian garbage (a weak sanity-check attack).
+//!
+//! Colluding Byzantines coordinate through [`AttackContext`], which gives
+//! every attacker the same view (true gradient, honest moment estimates,
+//! cluster parameters) — the paper's full-knowledge collusion model.
+
+mod selector;
+mod stats;
+mod vectors;
+
+pub use selector::ByzantineSelector;
+pub use stats::{normal_cdf, normal_quantile};
+pub use vectors::{
+    Alie, AttackContext, AttackVector, ConstantAttack, InnerProductAttack, RandomNoise,
+    ReversedGradient,
+};

@@ -1,0 +1,124 @@
+//! Strategies for choosing WHICH workers are Byzantine each iteration.
+
+use byz_assign::Assignment;
+use byz_distortion::{cmax_auto, cmax_greedy};
+use rand::seq::index::sample;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How the adversary picks its `q` workers.
+#[derive(Debug, Clone)]
+pub enum ByzantineSelector {
+    /// Uniformly random choice each iteration — the weaker adversary that
+    /// DETOX/DRACO's guarantees assume.
+    Random {
+        /// Seed for the per-iteration choices.
+        seed: u64,
+    },
+    /// The paper's omniscient adversary: the set maximizing the distorted
+    /// fraction ε̂ for the known assignment, computed exactly when
+    /// tractable and by greedy + local search otherwise. The optimal set
+    /// is static for a static assignment, so it is computed once.
+    Omniscient,
+    /// An explicitly pinned set (for reproducing specific scenarios).
+    Fixed(Vec<usize>),
+}
+
+impl ByzantineSelector {
+    /// The Byzantine set for iteration `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` exceeds the worker count, or a fixed set has the
+    /// wrong size.
+    pub fn select(&self, assignment: &Assignment, q: usize, iteration: usize) -> Vec<usize> {
+        let k = assignment.num_workers();
+        assert!(q <= k, "q = {q} exceeds K = {k}");
+        match self {
+            ByzantineSelector::Random { seed } => {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (iteration as u64).wrapping_mul(0x9E37_79B9));
+                let mut chosen: Vec<usize> = sample(&mut rng, k, q).into_iter().collect();
+                chosen.sort_unstable();
+                chosen
+            }
+            ByzantineSelector::Omniscient => {
+                // Exact for small instances; greedy fallback on big ones to
+                // keep per-experiment setup fast. The greedy attacker
+                // matches the optimum on every paper instance (Table 3-6
+                // regression tests).
+                if assignment.num_workers() <= 25 {
+                    cmax_auto(assignment, q).witness
+                } else {
+                    let mut rng = StdRng::seed_from_u64(0xA77AC);
+                    cmax_greedy(assignment, q, 24, &mut rng).witness
+                }
+            }
+            ByzantineSelector::Fixed(set) => {
+                assert_eq!(set.len(), q, "fixed Byzantine set has wrong size");
+                assert!(set.iter().all(|&w| w < k), "fixed set out of range");
+                set.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byz_assign::MolsAssignment;
+    use byz_distortion::count_distorted;
+
+    fn assignment() -> Assignment {
+        MolsAssignment::new(5, 3).unwrap().build()
+    }
+
+    #[test]
+    fn random_changes_across_iterations_but_is_reproducible() {
+        let a = assignment();
+        let sel = ByzantineSelector::Random { seed: 5 };
+        let s0 = sel.select(&a, 4, 0);
+        let s1 = sel.select(&a, 4, 1);
+        assert_eq!(s0.len(), 4);
+        assert_ne!(s0, s1, "astronomically unlikely to match");
+        assert_eq!(s0, sel.select(&a, 4, 0));
+    }
+
+    #[test]
+    fn omniscient_achieves_cmax() {
+        let a = assignment();
+        // Table 3: q = 5 distorts 8 files.
+        let set = ByzantineSelector::Omniscient.select(&a, 5, 0);
+        assert_eq!(count_distorted(&a, &set), 8);
+    }
+
+    #[test]
+    fn omniscient_beats_random_on_average() {
+        let a = assignment();
+        let omn = ByzantineSelector::Omniscient.select(&a, 5, 0);
+        let omn_distorted = count_distorted(&a, &omn);
+        let rand_sel = ByzantineSelector::Random { seed: 1 };
+        let avg_random: f64 = (0..50)
+            .map(|t| count_distorted(&a, &rand_sel.select(&a, 5, t)) as f64)
+            .sum::<f64>()
+            / 50.0;
+        assert!(
+            omn_distorted as f64 > avg_random,
+            "omniscient {omn_distorted} vs random avg {avg_random}"
+        );
+    }
+
+    #[test]
+    fn fixed_selector_validates() {
+        let a = assignment();
+        let sel = ByzantineSelector::Fixed(vec![0, 5, 10]);
+        assert_eq!(sel.select(&a, 3, 9), vec![0, 5, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn fixed_selector_size_checked() {
+        let a = assignment();
+        ByzantineSelector::Fixed(vec![0, 1]).select(&a, 3, 0);
+    }
+}

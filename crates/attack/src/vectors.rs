@@ -1,0 +1,272 @@
+//! The attack payloads Byzantine workers return instead of true gradients.
+
+use crate::stats::normal_quantile;
+use rand::Rng;
+
+/// Everything a colluding, omniscient Byzantine worker knows when forging
+/// a gradient for one file (paper Section 2: attackers know the data
+/// assignment of all participants and the model at every iteration).
+#[derive(Debug, Clone)]
+pub struct AttackContext<'a> {
+    /// The true gradient the worker was supposed to compute for this file.
+    pub true_gradient: &'a [f32],
+    /// Per-dimension mean of the honest per-file gradients this iteration
+    /// (the moment estimate the ALIE collusion computes).
+    pub honest_mean: &'a [f32],
+    /// Per-dimension standard deviation of the honest per-file gradients.
+    pub honest_std: &'a [f32],
+    /// Total number of vote participants the defense will see.
+    pub num_workers: usize,
+    /// Number of Byzantine participants among them.
+    pub num_byzantine: usize,
+    /// Training iteration (attacks may adapt over time).
+    pub iteration: usize,
+}
+
+/// A rule for forging a Byzantine gradient.
+pub trait AttackVector {
+    /// Human-readable attack name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Produces the forged gradient. All colluding Byzantines assigned to
+    /// the same file call this with the same context and must produce the
+    /// same payload so their forged copies win majority votes.
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32>;
+}
+
+/// "A Little Is Enough" (Baruch et al. 2019) — the paper's most
+/// sophisticated attack: shift every coordinate of the estimated honest
+/// mean by `z_max` standard deviations. The shift is small enough to look
+/// like ordinary SGD noise yet, because a coordinated minority applies it
+/// in unison, it drags medians (and median-like defenses) off course.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct Alie {
+    /// Optional override for `z_max`; when `None` it is derived from
+    /// `(num_workers, num_byzantine)` as in the original paper.
+    pub z_max: Option<f64>,
+}
+
+impl Alie {
+    /// The original derivation: `z_max = Φ⁻¹((n − ⌊n/2⌋ − s)/ (n − q))`
+    /// where `s = ⌊n/2⌋ + 1 − q` is the number of honest workers the
+    /// attackers additionally need on their side of the median.
+    pub fn derive_z(num_workers: usize, num_byzantine: usize) -> f64 {
+        let n = num_workers as f64;
+        let q = num_byzantine as f64;
+        let s = (n / 2.0).floor() + 1.0 - q;
+        let denom = n - q;
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        let p = ((n - q - s) / denom).clamp(1e-6, 1.0 - 1e-6);
+        normal_quantile(p).clamp(0.0, 4.0)
+    }
+}
+
+
+impl AttackVector for Alie {
+    fn name(&self) -> &'static str {
+        "alie"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32> {
+        let z = self
+            .z_max
+            .unwrap_or_else(|| Self::derive_z(ctx.num_workers, ctx.num_byzantine))
+            as f32;
+        ctx.honest_mean
+            .iter()
+            .zip(ctx.honest_std)
+            .map(|(m, s)| m - z * s)
+            .collect()
+    }
+}
+
+/// Constant attack: a matrix with all elements equal to a fixed value,
+/// with the true gradient's dimensions (paper Section 6.1).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantAttack {
+    /// The value every coordinate is set to.
+    pub value: f32,
+}
+
+impl Default for ConstantAttack {
+    fn default() -> Self {
+        // A large negative constant pushes the model in a fixed wrong
+        // direction, matching the paper's description of the attack as
+        // "powerful".
+        ConstantAttack { value: -100.0 }
+    }
+}
+
+impl AttackVector for ConstantAttack {
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32> {
+        vec![self.value; ctx.true_gradient.len()]
+    }
+}
+
+/// Reversed gradient: return `−c·g` instead of the true gradient `g`
+/// (paper Section 6.1; the weakest of the three attacks).
+#[derive(Debug, Clone, Copy)]
+pub struct ReversedGradient {
+    /// Positive magnification `c`.
+    pub magnitude: f32,
+}
+
+impl Default for ReversedGradient {
+    fn default() -> Self {
+        ReversedGradient { magnitude: 100.0 }
+    }
+}
+
+impl AttackVector for ReversedGradient {
+    fn name(&self) -> &'static str {
+        "reversed-gradient"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32> {
+        ctx.true_gradient
+            .iter()
+            .map(|g| -self.magnitude * g)
+            .collect()
+    }
+}
+
+/// Gaussian noise payload — not from the paper's evaluation, provided as a
+/// weak-attack sanity check for ablations. Deterministic per
+/// `(iteration, dimension)` so colluding replicas stay identical.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomNoise {
+    /// Noise scale.
+    pub sigma: f32,
+    /// Base seed shared by the colluders.
+    pub seed: u64,
+}
+
+impl AttackVector for RandomNoise {
+    fn name(&self) -> &'static str {
+        "random-noise"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ (ctx.iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        (0..ctx.true_gradient.len())
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                self.sigma * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+            })
+            .collect()
+    }
+}
+
+
+/// Inner-product manipulation, a.k.a. "Fall of Empires" (Xie, Koyejo &
+/// Gupta 2019): all colluders send `−ε·µ` for the honest mean `µ` and a
+/// small `ε > 0`. The payload sits close to the honest cluster (evading
+/// distance-based filters like Krum) yet has *negative inner product*
+/// with the true update direction, so whatever leaks into the aggregate
+/// pushes the model backwards.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerProductAttack {
+    /// Magnitude ε of the reversed mean.
+    pub epsilon: f32,
+}
+
+impl Default for InnerProductAttack {
+    fn default() -> Self {
+        InnerProductAttack { epsilon: 0.5 }
+    }
+}
+
+impl AttackVector for InnerProductAttack {
+    fn name(&self) -> &'static str {
+        "inner-product"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32> {
+        ctx.honest_mean.iter().map(|m| -self.epsilon * m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        g: &'a [f32],
+        mean: &'a [f32],
+        std: &'a [f32],
+    ) -> AttackContext<'a> {
+        AttackContext {
+            true_gradient: g,
+            honest_mean: mean,
+            honest_std: std,
+            num_workers: 25,
+            num_byzantine: 5,
+            iteration: 3,
+        }
+    }
+
+    #[test]
+    fn alie_shifts_mean_by_z_sigma() {
+        let g = [1.0f32, 2.0];
+        let mean = [0.5f32, 1.5];
+        let std = [0.1f32, 0.2];
+        let atk = Alie { z_max: Some(2.0) };
+        let out = atk.forge(&ctx(&g, &mean, &std));
+        assert!((out[0] - (0.5 - 0.2)).abs() < 1e-6);
+        assert!((out[1] - (1.5 - 0.4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alie_derived_z_is_moderate() {
+        // The point of ALIE: z is SMALL (within the noise), typically < 2.
+        let z = Alie::derive_z(25, 5);
+        assert!(z > 0.0 && z < 2.5, "z_max = {z}");
+        let z = Alie::derive_z(15, 3);
+        assert!(z > 0.0 && z < 2.5, "z_max = {z}");
+    }
+
+    #[test]
+    fn constant_fills_with_value() {
+        let g = [1.0f32, 2.0, 3.0];
+        let out = ConstantAttack { value: -7.0 }.forge(&ctx(&g, &g, &g));
+        assert_eq!(out, vec![-7.0, -7.0, -7.0]);
+    }
+
+    #[test]
+    fn reversed_gradient_flips_and_scales() {
+        let g = [1.0f32, -2.0];
+        let out = ReversedGradient { magnitude: 100.0 }.forge(&ctx(&g, &g, &g));
+        assert_eq!(out, vec![-100.0, 200.0]);
+    }
+
+    #[test]
+    fn inner_product_attack_reverses_the_mean() {
+        let g = [1.0f32, -2.0];
+        let mean = [0.5f32, -1.0];
+        let out = InnerProductAttack { epsilon: 0.5 }.forge(&ctx(&g, &mean, &g));
+        assert_eq!(out, vec![-0.25, 0.5]);
+        // Negative inner product with the honest mean.
+        let dot: f32 = out.iter().zip(&mean).map(|(a, b)| a * b).sum();
+        assert!(dot < 0.0);
+    }
+
+    #[test]
+    fn random_noise_is_deterministic_per_iteration() {
+        let g = [0.0f32; 8];
+        let atk = RandomNoise { sigma: 1.0, seed: 9 };
+        let a = atk.forge(&ctx(&g, &g, &g));
+        let b = atk.forge(&ctx(&g, &g, &g));
+        assert_eq!(a, b, "colluding replicas must agree");
+    }
+}

@@ -1,0 +1,77 @@
+//! Aggregator scaling benches — the asymptotic-complexity discussion of
+//! paper Appendix A.1 (median-family O(K·d) vs Krum-family O(K²·d)).
+
+use byz_aggregate::{
+    Aggregator, Bulyan, CoordinateMedian, GeometricMedian, Krum, Mean, MedianOfMeans, MultiKrum,
+    SignSgdMajority, TrimmedMean,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gradients(n: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregators_by_rule");
+    let grads = gradients(25, 4096, 1);
+    let rules: Vec<(&str, Box<dyn Aggregator>)> = vec![
+        ("mean", Box::new(Mean)),
+        ("coordinate-median", Box::new(CoordinateMedian)),
+        ("trimmed-mean", Box::new(TrimmedMean { trim: 5 })),
+        ("median-of-means", Box::new(MedianOfMeans { num_groups: 5 })),
+        ("signsgd", Box::new(SignSgdMajority)),
+        ("krum", Box::new(Krum { num_byzantine: 5 })),
+        (
+            "multi-krum",
+            Box::new(MultiKrum { num_byzantine: 5, num_selected: 15 }),
+        ),
+        ("bulyan", Box::new(Bulyan { num_byzantine: 5 })),
+        ("geometric-median", Box::new(GeometricMedian::default())),
+    ];
+    for (name, rule) in &rules {
+        group.bench_function(*name, |b| {
+            b.iter(|| rule.aggregate(std::hint::black_box(&grads)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_workers(c: &mut Criterion) {
+    // Median should scale ~linearly in K, Krum ~quadratically (A.1).
+    let mut group = c.benchmark_group("aggregators_scaling_K");
+    for &k in &[10usize, 20, 40, 80] {
+        let grads = gradients(k, 1024, 2);
+        group.bench_with_input(BenchmarkId::new("median", k), &grads, |b, g| {
+            b.iter(|| CoordinateMedian.aggregate(std::hint::black_box(g)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("krum", k), &grads, |b, g| {
+            let rule = Krum { num_byzantine: 2 };
+            b.iter(|| rule.aggregate(std::hint::black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregators_scaling_d");
+    for &d in &[1024usize, 4096, 16384] {
+        let grads = gradients(25, d, 3);
+        group.bench_with_input(BenchmarkId::new("median", d), &grads, |b, g| {
+            b.iter(|| CoordinateMedian.aggregate(std::hint::black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rules,
+    bench_scaling_in_workers,
+    bench_scaling_in_dimension
+);
+criterion_main!(benches);

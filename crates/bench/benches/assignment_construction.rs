@@ -1,0 +1,43 @@
+//! Construction-cost benches for the task-assignment schemes, including
+//! the spectral verification (Jacobi eigendecomposition of AAᵀ).
+
+use byz_assign::{FrcAssignment, MolsAssignment, RamanujanAssignment};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_construction");
+    for &(l, r) in &[(5u64, 3usize), (7, 5), (11, 7), (13, 9)] {
+        group.bench_with_input(
+            BenchmarkId::new("mols", format!("l{l}_r{r}")),
+            &(l, r),
+            |b, &(l, r)| b.iter(|| MolsAssignment::new(l, r).unwrap().build()),
+        );
+    }
+    for &(m, s) in &[(3u64, 5u64), (5, 7), (5, 5), (7, 7)] {
+        group.bench_with_input(
+            BenchmarkId::new("ramanujan", format!("m{m}_s{s}")),
+            &(m, s),
+            |b, &(m, s)| b.iter(|| RamanujanAssignment::new(m, s).unwrap().build()),
+        );
+    }
+    group.bench_function("frc_k25_r5", |b| {
+        b.iter(|| FrcAssignment::new(25, 5).unwrap().build())
+    });
+    group.finish();
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_verification");
+    for &(l, r) in &[(5u64, 3usize), (7, 5), (11, 7)] {
+        let a = MolsAssignment::new(l, r).unwrap().build();
+        group.bench_with_input(
+            BenchmarkId::new("gram_spectrum", format!("l{l}_r{r}")),
+            &a,
+            |b, a| b.iter(|| a.graph().gram_spectrum().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions, bench_spectrum);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! c_max(q) solver benches: exhaustive vs branch-and-bound vs greedy
+//! (Section 5.3.2's "exhaustive simulations" and this repo's improvement).
+
+use byz_assign::{MolsAssignment, RamanujanAssignment};
+use byz_distortion::{cmax_branch_and_bound, cmax_exhaustive, cmax_greedy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cmax_solvers");
+    group.sample_size(10);
+    let small = MolsAssignment::new(5, 3).unwrap().build();
+    for &q in &[3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("exhaustive_K15", q), &q, |b, &q| {
+            b.iter(|| cmax_exhaustive(&small, q))
+        });
+        group.bench_with_input(BenchmarkId::new("bnb_K15", q), &q, |b, &q| {
+            b.iter(|| cmax_branch_and_bound(&small, q, u64::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_K15", q), &q, |b, &q| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| cmax_greedy(&small, q, 8, &mut rng))
+        });
+    }
+    // The K = 25 cluster at a q where enumeration starts to hurt.
+    let medium = RamanujanAssignment::new(5, 5).unwrap().build();
+    group.bench_function("bnb_K25_q8", |b| {
+        b.iter(|| cmax_branch_and_bound(&medium, 8, u64::MAX))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end training iteration cost for the three pipelines (the
+//! wall-clock substance behind Figure 12, measured on this simulator).
+
+use byzshield::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_iters(scheme: SchemeSpec, aggregator: AggregatorKind, iters: usize) {
+    let spec = ExperimentSpec {
+        iterations: iters,
+        eval_every: 0,
+        ..ExperimentSpec::new(scheme, aggregator, ClusterSize::K25, AttackKind::Alie, 3)
+    };
+    let curve = experiments::run_experiment(&spec);
+    assert!(curve.error.is_none());
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_iteration");
+    group.sample_size(10);
+    group.bench_function("byzshield_median_5iters", |b| {
+        b.iter(|| run_iters(SchemeSpec::ByzShield, AggregatorKind::Median, 5))
+    });
+    group.bench_function("detox_mom_5iters", |b| {
+        b.iter(|| run_iters(SchemeSpec::Detox, AggregatorKind::MedianOfMeans, 5))
+    });
+    group.bench_function("baseline_median_5iters", |b| {
+        b.iter(|| run_iters(SchemeSpec::Baseline, AggregatorKind::Median, 5))
+    });
+    group.finish();
+}
+
+fn bench_file_gradient(c: &mut Criterion) {
+    let (train, _) = experiments::standard_dataset(3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let sample_len: usize = train.item_shape().iter().product();
+    let model = Mlp::new(&[sample_len, 64, 10], &mut rng);
+    let oracle = FileGradientOracle::new(&model, &train, InputLayout::Flat);
+    let params = flatten_params(&model.parameters());
+    let file: Vec<usize> = (0..12).collect();
+    c.bench_function("file_gradient_12_samples", |b| {
+        b.iter(|| oracle.file_gradient(std::hint::black_box(&params), &file))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_file_gradient);
+criterion_main!(benches);

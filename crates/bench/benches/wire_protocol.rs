@@ -1,0 +1,45 @@
+//! Wire-protocol throughput: frame encode/decode and the compression
+//! codecs (sign packing, fingerprints) behind the communication-
+//! efficiency extensions.
+
+use byz_wire::{packed_sign_majority, Fingerprint, Message, PackedSigns};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_frames");
+    for &d in &[1024usize, 16384, 131072] {
+        let msg = Message::GradientReturn {
+            iteration: 7,
+            worker: 3,
+            file: 21,
+            gradient: (0..d).map(|i| i as f32 * 0.01).collect(),
+        };
+        group.bench_with_input(BenchmarkId::new("encode", d), &msg, |b, m| {
+            b.iter(|| m.encode())
+        });
+        let frame = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", d), &frame, |b, f| {
+            b.iter(|| Message::decode(std::hint::black_box(f)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codecs");
+    let g: Vec<f32> = (0..65536).map(|i| ((i as f32) * 0.37).sin()).collect();
+    group.bench_function("sign_pack_64k", |b| {
+        b.iter(|| PackedSigns::pack(std::hint::black_box(&g)))
+    });
+    let packed: Vec<PackedSigns> = (0..25).map(|_| PackedSigns::pack(&g)).collect();
+    group.bench_function("packed_majority_25x64k", |b| {
+        b.iter(|| packed_sign_majority(std::hint::black_box(&packed)).unwrap())
+    });
+    group.bench_function("fingerprint_64k", |b| {
+        b.iter(|| Fingerprint::of(std::hint::black_box(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frames, bench_codecs);
+criterion_main!(benches);

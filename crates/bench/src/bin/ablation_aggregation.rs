@@ -1,0 +1,30 @@
+//! Ablation: ByzShield's vote stage paired with different second-stage
+//! aggregators (the paper's conclusion suggests Bulyan/Multi-Krum could
+//! "potentially yield even better results"). Constant attack, K = 25,
+//! q = 5, omniscient selection.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+
+fn main() {
+    let spec = |agg| {
+        ExperimentSpec::new(
+            SchemeSpec::ByzShield,
+            agg,
+            ClusterSize::K25,
+            AttackKind::Constant,
+            5,
+        )
+    };
+    run_figure(
+        "ablation_aggregation",
+        "ByzShield vote stage + different second-stage aggregators (constant attack, q = 5)",
+        vec![
+            spec(AggregatorKind::Median),
+            spec(AggregatorKind::TrimmedMean),
+            spec(AggregatorKind::MultiKrum),
+            spec(AggregatorKind::Bulyan),
+            spec(AggregatorKind::Mean), // non-robust control: votes alone don't save it
+        ],
+    );
+}

@@ -1,0 +1,51 @@
+//! Ablation: how much does the adversary's knowledge matter? DETOX's
+//! guarantees assume a RANDOM Byzantine set; the paper's point is that an
+//! omniscient set defeats the same placement. Same FRC placement, same
+//! attack, only the selection strategy changes.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+use byz_assign::FrcAssignment;
+use byz_attack::ByzantineSelector;
+use byz_distortion::count_distorted;
+
+fn main() {
+    // Part 1: expected distorted fraction, random vs omniscient, on FRC.
+    let frc = FrcAssignment::new(25, 5).expect("valid").build();
+    println!("FRC (K = 25, r = 5): distorted vote-group fraction by selection strategy\n");
+    println!("{:>3} | {:>10} | {:>10}", "q", "random(avg)", "omniscient");
+    println!("{}", "-".repeat(32));
+    for q in [3usize, 6, 9, 12] {
+        let sel = ByzantineSelector::Random { seed: 7 };
+        let trials = 200;
+        let avg: f64 = (0..trials)
+            .map(|t| count_distorted(&frc, &sel.select(&frc, q, t)) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let omn = count_distorted(&frc, &ByzantineSelector::Omniscient.select(&frc, q, 0));
+        println!(
+            "{:>3} | {:>10.2} | {:>10.2}",
+            q,
+            avg / frc.num_files() as f64,
+            omn as f64 / frc.num_files() as f64
+        );
+    }
+    println!();
+
+    // Part 2: end-to-end accuracy under both adversaries (DETOX-MoM, q = 9).
+    let spec = |selector| ExperimentSpec {
+        selector,
+        ..ExperimentSpec::new(
+            SchemeSpec::Detox,
+            AggregatorKind::MedianOfMeans,
+            ClusterSize::K25,
+            AttackKind::ReversedGradient,
+            9,
+        )
+    };
+    run_figure(
+        "ablation_attacker_knowledge",
+        "DETOX-MoM under random vs omniscient Byzantine selection (revgrad, q = 9)",
+        vec![spec(SelectorKind::Random), spec(SelectorKind::Omniscient)],
+    );
+}

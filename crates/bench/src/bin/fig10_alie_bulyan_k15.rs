@@ -1,0 +1,19 @@
+//! Regenerates paper Figure 10: ALIE attack vs Bulyan-based defenses on
+//! the K = 15 cluster, q = 2.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+
+fn main() {
+    let spec = |scheme, agg| {
+        ExperimentSpec::new(scheme, agg, ClusterSize::K15, AttackKind::Alie, 2)
+    };
+    run_figure(
+        "fig10_alie_bulyan_k15",
+        "ALIE attack and Bulyan-based defenses (K = 15)",
+        vec![
+            spec(SchemeSpec::Baseline, AggregatorKind::Bulyan),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median),
+        ],
+    );
+}

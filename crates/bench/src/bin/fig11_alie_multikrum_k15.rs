@@ -1,0 +1,20 @@
+//! Regenerates paper Figure 11: ALIE attack vs Multi-Krum-based defenses
+//! on the K = 15 cluster, q = 2.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+
+fn main() {
+    let spec = |scheme, agg| {
+        ExperimentSpec::new(scheme, agg, ClusterSize::K15, AttackKind::Alie, 2)
+    };
+    run_figure(
+        "fig11_alie_multikrum_k15",
+        "ALIE attack and Multi-Krum-based defenses (K = 15)",
+        vec![
+            spec(SchemeSpec::Baseline, AggregatorKind::MultiKrum),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median),
+            spec(SchemeSpec::Detox, AggregatorKind::MultiKrum),
+        ],
+    );
+}

@@ -1,0 +1,85 @@
+//! Regenerates paper Figure 12: per-iteration time estimate split into
+//! computation / communication / aggregation for baseline median,
+//! ByzShield, and DETOX median-of-means (the ALIE, q = 3, K = 25 setup).
+//!
+//! Two complementary sources:
+//! 1. the calibrated [`CostModel`] reproducing the EC2 cluster's geometry
+//!    (ResNet-18-sized model, paper batch size 750) — this is the Figure
+//!    12 analogue; and
+//! 2. *measured* wall-clock times of this reproduction's own simulator on
+//!    the synthetic task, for the same three pipelines.
+
+use byz_cluster::{Cluster, CostModel, ExecutionMode};
+use byzshield::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    println!("Figure 12: per-iteration time estimate (ALIE attack, median defenses, q = 3)\n");
+
+    // ── Part 1: calibrated cost model at the paper's scale ────────────
+    let model = CostModel::default();
+    let byzshield = RamanujanAssignment::new(5, 5).expect("valid parameters").build();
+    let detox = FrcAssignment::new(25, 5).expect("valid parameters").build();
+
+    let base = model.estimate_baseline(25, 750, 1.0);
+    let bs = model.estimate(&byzshield, 750, 25, 1.0);
+    let dx = model.estimate(&detox, 750, 5, 1.0);
+
+    println!("cost model (ResNet-18-sized, EC2-like constants), seconds per iteration:");
+    println!(
+        "{:>14} | {:>12} | {:>14} | {:>12} | {:>8}",
+        "scheme", "computation", "communication", "aggregation", "total"
+    );
+    for (name, est) in [("Median", base), ("ByzShield", bs), ("DETOX-MoM", dx)] {
+        println!(
+            "{:>14} | {:>12.3} | {:>14.3} | {:>12.3} | {:>8.3}",
+            name,
+            est.computation.as_secs_f64(),
+            est.communication.as_secs_f64(),
+            est.aggregation.as_secs_f64(),
+            est.total().as_secs_f64()
+        );
+    }
+    println!(
+        "\npaper's measured full-training times: Median 3.14 h, ByzShield 10.81 h, \
+         DETOX-MoM 4 h → ratios 1 : 3.4 : 1.3"
+    );
+    let ratio_bs = bs.total().as_secs_f64() / base.total().as_secs_f64();
+    let ratio_dx = dx.total().as_secs_f64() / base.total().as_secs_f64();
+    println!("model's ratios: 1 : {ratio_bs:.1} : {ratio_dx:.1}\n");
+
+    // ── Part 2: measured wall-clock on this repo's simulator ──────────
+    println!("measured on this simulator (synthetic task, one computation round):");
+    let (train, _) = experiments::standard_dataset(7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let sample_len: usize = train.item_shape().iter().product();
+    let net = Mlp::new(&[sample_len, 64, 10], &mut rng);
+    let params = flatten_params(&net.parameters());
+
+    for (name, assignment) in [
+        ("Median (r = 1)", FrcAssignment::new(25, 1).expect("valid").build()),
+        ("ByzShield", RamanujanAssignment::new(5, 5).expect("valid").build()),
+        ("DETOX-MoM", FrcAssignment::new(25, 5).expect("valid").build()),
+    ] {
+        let oracle = FileGradientOracle::new(&net, &train, InputLayout::Flat);
+        let f = assignment.num_files();
+        let per_file = 300 / f;
+        let files: Vec<Vec<usize>> = (0..f)
+            .map(|i| ((i * per_file)..((i + 1) * per_file)).collect())
+            .collect();
+        let cluster = Cluster::new(assignment, ExecutionMode::Sequential);
+        let compute = |p: &[f32], file: usize| oracle.file_gradient(p, &files[file]);
+        let start = Instant::now();
+        let round = cluster.compute_round_local(&compute, &params);
+        let total = start.elapsed();
+        println!(
+            "{:>16}: round {:>8.1?} (slowest worker {:>8.1?}, {} replica gradients)",
+            name,
+            total,
+            round.slowest_worker(),
+            round.replicas.iter().map(Vec::len).sum::<usize>(),
+        );
+    }
+}

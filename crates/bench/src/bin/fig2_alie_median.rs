@@ -1,0 +1,24 @@
+//! Regenerates paper Figure 2: ALIE attack vs median-based defenses on the
+//! K = 25 cluster (baseline coordinate-wise median, ByzShield, DETOX with
+//! median-of-means), q ∈ {3, 5}.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+
+fn main() {
+    let spec = |scheme, agg, q| {
+        ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::Alie, q)
+    };
+    run_figure(
+        "fig2_alie_median",
+        "ALIE attack and median-based defenses (K = 25)",
+        vec![
+            spec(SchemeSpec::Baseline, AggregatorKind::Median, 3),
+            spec(SchemeSpec::Baseline, AggregatorKind::Median, 5),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median, 3),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median, 5),
+            spec(SchemeSpec::Detox, AggregatorKind::MedianOfMeans, 3),
+            spec(SchemeSpec::Detox, AggregatorKind::MedianOfMeans, 5),
+        ],
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Figure 5: constant attack vs signSGD-based defenses
+//! on the K = 25 cluster (baseline signSGD, ByzShield with median,
+//! DETOX-signSGD), q ∈ {3, 5}. The paper pairs signSGD with the constant
+//! attack because sign flips barely move a symmetric gradient
+//! distribution.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+
+fn main() {
+    let spec = |scheme, agg, q| {
+        ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::Constant, q)
+    };
+    run_figure(
+        "fig5_constant_signsgd",
+        "Constant attack and signSGD-based defenses (K = 25)",
+        vec![
+            spec(SchemeSpec::Baseline, AggregatorKind::SignSgd, 3),
+            spec(SchemeSpec::Baseline, AggregatorKind::SignSgd, 5),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median, 3),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median, 5),
+            spec(SchemeSpec::Detox, AggregatorKind::SignSgd, 3),
+            spec(SchemeSpec::Detox, AggregatorKind::SignSgd, 5),
+        ],
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Figure 9: ALIE attack vs median-based defenses on
+//! the K = 15 cluster (MOLS l = 5, r = 3 for ByzShield), q = 2.
+
+use byz_bench::run_figure;
+use byzshield::prelude::*;
+
+fn main() {
+    let spec = |scheme, agg| {
+        ExperimentSpec::new(scheme, agg, ClusterSize::K15, AttackKind::Alie, 2)
+    };
+    run_figure(
+        "fig9_alie_median_k15",
+        "ALIE attack and median-based defenses (K = 15)",
+        vec![
+            spec(SchemeSpec::Baseline, AggregatorKind::Median),
+            spec(SchemeSpec::ByzShield, AggregatorKind::Median),
+            spec(SchemeSpec::Detox, AggregatorKind::MedianOfMeans),
+        ],
+    );
+}

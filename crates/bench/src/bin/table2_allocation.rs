@@ -1,0 +1,26 @@
+//! Regenerates paper Table 2: the complete file allocation for the
+//! MOLS-based assignment with l = 5, r = 3 (15 workers, 25 files).
+
+use byz_assign::MolsAssignment;
+
+fn main() {
+    let assignment = MolsAssignment::new(5, 3)
+        .expect("valid parameters")
+        .build();
+    println!("Table 2: file allocation for l = 5, r = 3 based on MOLS\n");
+    for replica in 0..assignment.replication() {
+        println!("2({}): replica {} (from L{})", (b'a' + replica as u8) as char, replica + 1, replica + 1);
+        println!("{:>6} | stores", "node");
+        for slot in 0..assignment.load() {
+            let worker = replica * assignment.load() + slot;
+            let files: Vec<String> = assignment
+                .graph()
+                .files_of(worker)
+                .iter()
+                .map(|f| f.to_string())
+                .collect();
+            println!("{:>6} | {}", format!("U{worker}"), files.join(", "));
+        }
+        println!();
+    }
+}

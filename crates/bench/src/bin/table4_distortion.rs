@@ -1,0 +1,17 @@
+//! Regenerates paper Table 4: distortion fraction evaluation for the
+//! Ramanujan Case 2 assignment with (m, s) = (5, 5), i.e.
+//! (K, f, l, r) = (25, 25, 5, 5), q = 3..12.
+
+use byz_assign::RamanujanAssignment;
+use byz_bench::distortion_table;
+
+fn main() {
+    let assignment = RamanujanAssignment::new(5, 5)
+        .expect("valid parameters")
+        .build();
+    distortion_table(
+        "Table 4: distortion fraction, Ramanujan Case 2 (25, 25, 5, 5)",
+        &assignment,
+        3..=12,
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Table 6: distortion fraction evaluation for the
+//! MOLS-based assignment with (K, f, l, r) = (21, 49, 7, 3), q = 2..10.
+
+use byz_assign::MolsAssignment;
+use byz_bench::distortion_table;
+
+fn main() {
+    let assignment = MolsAssignment::new(7, 3).expect("valid parameters").build();
+    distortion_table(
+        "Table 6: distortion fraction, MOLS (21, 49, 7, 3)",
+        &assignment,
+        2..=10,
+    );
+}

@@ -1,0 +1,124 @@
+//! Terminal line charts for the figure harnesses: renders accuracy
+//! curves the way the paper's matplotlib figures look, but in ASCII.
+
+use byzshield::prelude::Curve;
+
+/// Marker glyphs cycled across curves.
+const MARKS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&', '$'];
+
+/// Renders the curves as an ASCII chart of the given size, with
+/// iteration on the x-axis and accuracy (%) on the y-axis.
+///
+/// Curves with errors (inapplicable defenses) are listed in the legend
+/// but not plotted — the paper's "cannot be paired" cases.
+pub fn render_ascii_chart(curves: &[Curve], width: usize, height: usize) -> String {
+    let plotted: Vec<&Curve> = curves
+        .iter()
+        .filter(|c| c.error.is_none() && !c.points.is_empty())
+        .collect();
+    let mut out = String::new();
+    if plotted.is_empty() {
+        out.push_str("(no plottable curves)\n");
+        return out;
+    }
+    let max_iter = plotted
+        .iter()
+        .flat_map(|c| c.points.iter().map(|p| p.iteration))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    // Canvas.
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, curve) in plotted.iter().enumerate() {
+        let mark = MARKS[ci % MARKS.len()];
+        for p in &curve.points {
+            let x = ((p.iteration as f64 / max_iter as f64) * (width - 1) as f64).round()
+                as usize;
+            let y = (p.accuracy.clamp(0.0, 1.0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y;
+            grid[row][x.min(width - 1)] = mark;
+        }
+    }
+
+    // Y-axis labels at 0 / 50 / 100%.
+    for (row, line) in grid.iter().enumerate() {
+        let y_pct = 100.0 * (height - 1 - row) as f64 / (height - 1) as f64;
+        let label = if row == 0 || row == height - 1 || row == (height - 1) / 2 {
+            format!("{y_pct:>5.0}% |")
+        } else {
+            format!("{:>6} |", "")
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>6} +{}\n{:>8}0{:>width$}\n",
+        "",
+        "-".repeat(width),
+        "",
+        max_iter,
+        width = width - 1
+    ));
+
+    // Legend.
+    for (ci, curve) in plotted.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} {}  (mean ε̂ = {:.2})\n",
+            MARKS[ci % MARKS.len()],
+            curve.label,
+            curve.mean_epsilon_hat
+        ));
+    }
+    for curve in curves.iter().filter(|c| c.error.is_some()) {
+        out.push_str(&format!("  - {} (inapplicable)\n", curve.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzshield::prelude::CurvePoint;
+
+    fn curve(label: &str, pts: &[(usize, f64)]) -> Curve {
+        Curve {
+            label: label.into(),
+            points: pts
+                .iter()
+                .map(|&(iteration, accuracy)| CurvePoint {
+                    iteration,
+                    accuracy,
+                })
+                .collect(),
+            mean_epsilon_hat: 0.1,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn renders_marks_and_legend() {
+        let c1 = curve("ByzShield, q = 3", &[(10, 0.3), (20, 0.6), (30, 0.8)]);
+        let c2 = curve("Median, q = 3", &[(10, 0.2), (20, 0.4), (30, 0.5)]);
+        let chart = render_ascii_chart(&[c1, c2], 40, 10);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("ByzShield, q = 3"));
+        assert!(chart.contains("100% |"));
+        assert!(chart.contains("0% |"));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert!(render_ascii_chart(&[], 40, 10).contains("no plottable"));
+    }
+
+    #[test]
+    fn high_accuracy_lands_on_top_row() {
+        let c = curve("x", &[(100, 1.0)]);
+        let chart = render_ascii_chart(&[c], 20, 5);
+        let top_line = chart.lines().next().unwrap();
+        assert!(top_line.contains('o'), "top row: {top_line:?}");
+    }
+}

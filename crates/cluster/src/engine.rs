@@ -1,0 +1,252 @@
+//! The synchronous computation round engine.
+
+use byz_assign::Assignment;
+use std::time::{Duration, Instant};
+
+/// The gradient oracle a worker runs: given the current model parameters
+/// and a file index, return the summed gradient over that file's samples
+/// (paper Algorithm 1, line 7).
+///
+/// Implementations must be deterministic in `(params, file)` so that the
+/// replicas of a file computed by different honest workers agree exactly
+/// — the property the majority vote of Eq. (3) relies on.
+///
+/// [`Cluster::compute_round`] (which may fan out to threads) requires
+/// `Sync` implementors; [`Cluster::compute_round_local`] accepts
+/// non-`Sync` ones (e.g. oracles over `Rc`-based autograd models) and
+/// always runs sequentially.
+pub trait WorkerCompute {
+    /// Computes the gradient of `file` at `params`.
+    fn gradient(&self, params: &[f32], file: usize) -> Vec<f32>;
+}
+
+impl<F> WorkerCompute for F
+where
+    F: Fn(&[f32], usize) -> Vec<f32>,
+{
+    fn gradient(&self, params: &[f32], file: usize) -> Vec<f32> {
+        self(params, file)
+    }
+}
+
+/// How the round is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Single-threaded, workers processed in index order. Deterministic
+    /// and convenient for tests/experiments.
+    Sequential,
+    /// One OS thread per worker batch via crossbeam scoped threads —
+    /// exercises the actual concurrent fan-out/fan-in structure.
+    Threaded {
+        /// Maximum simultaneously running worker threads.
+        max_threads: usize,
+    },
+}
+
+/// The gathered results of one synchronous round.
+#[derive(Debug, Clone)]
+pub struct ComputedRound {
+    /// `replicas[file]` = the `(worker, gradient)` pairs for each worker
+    /// assigned to that file, in ascending worker order.
+    pub replicas: Vec<Vec<(usize, Vec<f32>)>>,
+    /// Per-worker wall-clock compute time.
+    pub worker_compute: Vec<Duration>,
+    /// Wall-clock time of the whole round (with synchronization barriers,
+    /// this is what the PS observes).
+    pub elapsed: Duration,
+}
+
+impl ComputedRound {
+    /// The straggler time: the slowest worker's compute duration, which
+    /// bounds a synchronous iteration.
+    pub fn slowest_worker(&self) -> Duration {
+        self.worker_compute.iter().copied().max().unwrap_or_default()
+    }
+}
+
+/// A simulated synchronous cluster bound to a task assignment.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    assignment: Assignment,
+    mode: ExecutionMode,
+}
+
+impl Cluster {
+    /// Creates a cluster executing rounds in the given mode.
+    pub fn new(assignment: Assignment, mode: ExecutionMode) -> Self {
+        Cluster { assignment, mode }
+    }
+
+    /// The worker–file assignment in force.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Executes one computation round at `params` in the cluster's mode:
+    /// every worker computes the true gradient of each of its assigned
+    /// files.
+    pub fn compute_round(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+    ) -> ComputedRound {
+        let start = Instant::now();
+        let k = self.assignment.num_workers();
+        let per_worker: Vec<(Vec<Vec<f32>>, Duration)> = match self.mode {
+            ExecutionMode::Sequential => (0..k)
+                .map(|w| self.run_worker(w, compute, params))
+                .collect(),
+            ExecutionMode::Threaded { max_threads } => {
+                let chunk = k.div_ceil(max_threads.max(1));
+                let mut results: Vec<Option<(Vec<Vec<f32>>, Duration)>> = vec![None; k];
+                crossbeam::thread::scope(|scope| {
+                    for (chunk_idx, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+                        let first_worker = chunk_idx * chunk;
+                        scope.spawn(move |_| {
+                            for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                                *slot =
+                                    Some(self.run_worker(first_worker + off, compute, params));
+                            }
+                        });
+                    }
+                })
+                .expect("worker thread panicked");
+                results
+                    .into_iter()
+                    .map(|r| r.expect("all workers ran"))
+                    .collect()
+            }
+        };
+
+        self.gather(per_worker, start)
+    }
+
+    /// Executes one computation round sequentially regardless of the
+    /// cluster's mode. Accepts non-`Sync` computers (e.g. gradient oracles
+    /// over single-threaded autograd models).
+    pub fn compute_round_local(
+        &self,
+        compute: &dyn WorkerCompute,
+        params: &[f32],
+    ) -> ComputedRound {
+        let start = Instant::now();
+        let k = self.assignment.num_workers();
+        let per_worker: Vec<(Vec<Vec<f32>>, Duration)> = (0..k)
+            .map(|w| self.run_worker(w, compute, params))
+            .collect();
+        self.gather(per_worker, start)
+    }
+
+    /// Collects per-worker results into per-file replica lists (ascending
+    /// worker order is implied by iterating workers in order).
+    fn gather(
+        &self,
+        per_worker: Vec<(Vec<Vec<f32>>, Duration)>,
+        start: Instant,
+    ) -> ComputedRound {
+        let mut replicas: Vec<Vec<(usize, Vec<f32>)>> =
+            vec![Vec::new(); self.assignment.num_files()];
+        let mut worker_compute = Vec::with_capacity(per_worker.len());
+        for (w, (grads, took)) in per_worker.into_iter().enumerate() {
+            worker_compute.push(took);
+            for (file, grad) in self.assignment.graph().files_of(w).iter().zip(grads) {
+                replicas[*file].push((w, grad));
+            }
+        }
+        for (file, reps) in replicas.iter_mut().enumerate() {
+            reps.sort_by_key(|(w, _)| *w);
+            debug_assert_eq!(
+                reps.len(),
+                self.assignment.replication(),
+                "file {file} has wrong replica count"
+            );
+        }
+        ComputedRound {
+            replicas,
+            worker_compute,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn run_worker(
+        &self,
+        worker: usize,
+        compute: &dyn WorkerCompute,
+        params: &[f32],
+    ) -> (Vec<Vec<f32>>, Duration) {
+        let start = Instant::now();
+        let grads = self
+            .assignment
+            .graph()
+            .files_of(worker)
+            .iter()
+            .map(|&file| compute.gradient(params, file))
+            .collect();
+        (grads, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byz_assign::MolsAssignment;
+
+    fn toy_compute(params: &[f32], file: usize) -> Vec<f32> {
+        // Deterministic pseudo-gradient: g_j = params_j + file.
+        params.iter().map(|p| p + file as f32).collect()
+    }
+
+    fn assignment() -> Assignment {
+        MolsAssignment::new(5, 3).unwrap().build()
+    }
+
+    #[test]
+    fn sequential_round_structure() {
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let round = cluster.compute_round(&toy_compute, &[1.0, 2.0]);
+        assert_eq!(round.replicas.len(), 25);
+        for (file, reps) in round.replicas.iter().enumerate() {
+            assert_eq!(reps.len(), 3, "file {file}");
+            // Replicas agree exactly (honest determinism).
+            for (_, g) in reps {
+                assert_eq!(g, &vec![1.0 + file as f32, 2.0 + file as f32]);
+            }
+            // Worker order ascending.
+            assert!(reps.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        assert_eq!(round.worker_compute.len(), 15);
+        assert!(round.slowest_worker() <= round.elapsed);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let seq = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let thr = Cluster::new(assignment(), ExecutionMode::Threaded { max_threads: 4 });
+        let params = vec![0.5, -0.5, 2.0];
+        let a = seq.compute_round(&toy_compute, &params);
+        let b = thr.compute_round(&toy_compute, &params);
+        for (ra, rb) in a.replicas.iter().zip(&b.replicas) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn threaded_handles_more_threads_than_workers() {
+        let thr = Cluster::new(assignment(), ExecutionMode::Threaded { max_threads: 64 });
+        let round = thr.compute_round(&toy_compute, &[1.0]);
+        assert_eq!(round.replicas.len(), 25);
+    }
+
+    #[test]
+    fn closure_implements_worker_compute() {
+        let doubled = |params: &[f32], _file: usize| params.iter().map(|p| p * 2.0).collect();
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let round = cluster.compute_round(&doubled, &[3.0]);
+        assert_eq!(round.replicas[0][0].1, vec![6.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synchronous parameter-server cluster simulation.
+//!
+//! The paper runs PyTorch + MPICH on EC2; this crate simulates the same
+//! synchronous training protocol in-process (DESIGN.md §2 documents the
+//! substitution):
+//!
+//! * [`Cluster`] executes one *computation round*: fan the current model
+//!   out to every worker, have each worker compute the gradient of every
+//!   file assigned to it by the [`Assignment`](byz_assign::Assignment) graph, and gather the
+//!   per-file replica gradients back — either sequentially (bitwise
+//!   deterministic) or on real worker threads via crossbeam scoped threads
+//!   ([`ExecutionMode::Threaded`]).
+//! * [`CostModel`] converts the round's measured compute times plus the
+//!   cluster's communication geometry (model broadcast, `l` gradient
+//!   uploads per worker, PS aggregation passes) into the per-iteration
+//!   computation/communication/aggregation split reported in the paper's
+//!   Figure 12.
+//!
+//! Byzantine behaviour is *not* injected here: the engine always computes
+//! true gradients, and the training protocol (in the `byzshield` crate)
+//! replaces returns from Byzantine workers afterwards. This mirrors the
+//! omniscient attack model — attackers know everything the honest cluster
+//! computed — and keeps the substrate reusable.
+
+mod engine;
+mod timing;
+
+pub use engine::{Cluster, ComputedRound, ExecutionMode, WorkerCompute};
+pub use timing::{CostModel, IterationTimeEstimate};

@@ -1,0 +1,254 @@
+//! Model checkpointing: compact binary snapshots of training state.
+//!
+//! Long robust-training runs (the paper's took up to 10.8 hours) need
+//! restartability. A [`Checkpoint`] captures the flat parameter vector,
+//! the iteration counter and a free-form tag, serialized with an
+//! integrity checksum so a torn write cannot be silently loaded.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   u32  = 0xB55A_FE01
+//! version u32  = 1
+//! iteration u64
+//! tag_len  u32, tag bytes (UTF-8)
+//! param_len u32, params as f32 LE
+//! checksum u64 (FNV-1a over everything above)
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0xB55A_FE01;
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file is not a checkpoint (wrong magic).
+    NotACheckpoint,
+    /// Unsupported format version.
+    UnsupportedVersion(u32),
+    /// The checksum does not match — truncated or corrupted file.
+    Corrupted,
+    /// The tag is not valid UTF-8.
+    BadTag,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::NotACheckpoint => write!(f, "not a checkpoint file"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Corrupted => write!(f, "checkpoint corrupted (checksum mismatch)"),
+            CheckpointError::BadTag => write!(f, "checkpoint tag is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A restartable training snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Iteration at which the snapshot was taken.
+    pub iteration: u64,
+    /// Free-form description (scheme, attack, q, …).
+    pub tag: String,
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+impl Checkpoint {
+    /// Serializes to a byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.tag.len() + self.params.len() * 4);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.iteration.to_le_bytes());
+        out.extend_from_slice(&(self.tag.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.tag.as_bytes());
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for &p in &self.params {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses a byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`CheckpointError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 28 {
+            return Err(CheckpointError::Corrupted);
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if fnv1a(body) != stored {
+            return Err(CheckpointError::Corrupted);
+        }
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], CheckpointError> {
+            if pos + n > body.len() {
+                return Err(CheckpointError::Corrupted);
+            }
+            let s = &body[pos..pos + n];
+            pos += n;
+            Ok(s)
+        };
+        let magic = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(CheckpointError::NotACheckpoint);
+        }
+        let version = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let iteration = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let tag_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let tag = String::from_utf8(take(tag_len)?.to_vec())
+            .map_err(|_| CheckpointError::BadTag)?;
+        let param_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let mut params = Vec::with_capacity(param_len);
+        for _ in 0..param_len {
+            params.push(f32::from_le_bytes(take(4)?.try_into().expect("4 bytes")));
+        }
+        Ok(Checkpoint {
+            iteration,
+            tag,
+            params,
+        })
+    }
+
+    /// Writes the checkpoint to a file (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&self.to_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// See [`CheckpointError`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            iteration: 420,
+            tag: "byzshield-k25-alie-q5".into(),
+            params: (0..1000).map(|i| (i as f32).sin()).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), ck);
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("byz-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupted)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() - 5]),
+            Err(CheckpointError::Corrupted)
+        ));
+        assert!(Checkpoint::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_detected() {
+        // Build a buffer with a bad magic but valid checksum.
+        let mut body = Vec::new();
+        body.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        body.extend_from_slice(&VERSION.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&body),
+            Err(CheckpointError::NotACheckpoint)
+        ));
+    }
+
+    #[test]
+    fn empty_params_ok() {
+        let ck = Checkpoint {
+            iteration: 0,
+            tag: String::new(),
+            params: vec![],
+        };
+        assert_eq!(Checkpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+}

@@ -1,0 +1,104 @@
+//! # ByzShield: Byzantine-robust distributed training
+//!
+//! A from-scratch Rust reproduction of *"ByzShield: An Efficient and
+//! Robust System for Distributed Training"* (Konstantinidis &
+//! Ramamoorthy, MLSys 2021).
+//!
+//! ByzShield defends synchronous parameter-server SGD against an
+//! **omniscient** adversary controlling up to `q` of the `K` workers. Its
+//! defense has three ingredients:
+//!
+//! 1. **Redundant, expander-structured task assignment** — each batch is
+//!    split into `f` files, each replicated on `r` workers according to a
+//!    bipartite graph built from mutually orthogonal Latin squares or
+//!    Ramanujan bigraphs (`byz-assign`). The graph's spectral expansion
+//!    bounds how many file majorities *any* `q` workers can corrupt
+//!    (`byz-graph`, `byz-distortion`).
+//! 2. **Per-file majority voting** — honest replicas agree exactly, so a
+//!    file's gradient is corrupted only if `r′ = (r+1)/2` of its replicas
+//!    are Byzantine (`byz-aggregate::majority_vote`).
+//! 3. **Robust aggregation of the vote winners** — coordinate-wise median
+//!    by default (`byz-aggregate`).
+//!
+//! This crate ties the substrates together into the paper's Algorithm 1:
+//!
+//! * [`Trainer`] / [`TrainingConfig`] — the end-to-end protocol with
+//!   pluggable assignment, attack, Byzantine selection and defense;
+//! * [`Defense`] — ByzShield-style (vote → aggregate), DETOX-style
+//!   (vote → hierarchical aggregate) and baseline (direct aggregate)
+//!   pipelines;
+//! * [`experiments`] — preconfigured drivers that regenerate the paper's
+//!   figures (accuracy-vs-iteration curves under ALIE / constant /
+//!   reversed-gradient attacks);
+//! * re-exports of every substrate crate under one roof.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use byzshield::prelude::*;
+//!
+//! // The paper's K = 15 cluster: MOLS assignment with l = 5, r = 3.
+//! let assignment = MolsAssignment::new(5, 3).unwrap().build();
+//!
+//! // An omniscient adversary controlling q = 3 workers corrupts at most
+//! // 3 of the 25 file majorities (Table 3)...
+//! let attack = cmax_auto(&assignment, 3);
+//! assert_eq!(attack.value, 3);
+//!
+//! // ...whereas the same adversary against DETOX's FRC grouping corrupts
+//! // a whole vote group.
+//! let frc = FrcAssignment::new(15, 3).unwrap().build();
+//! assert_eq!(frc_epsilon(3, 3, 15), 0.2);
+//! ```
+
+mod checkpoint;
+pub mod experiments;
+mod metrics;
+mod oracle;
+mod protocol;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use metrics::{evaluate_accuracy, GradientMoments};
+pub use oracle::{FileGradientOracle, InputLayout};
+pub use protocol::{
+    Defense, IterationRecord, Trainer, TrainingConfig, TrainingError, TrainingHistory,
+};
+
+/// One-stop imports for applications and experiments.
+pub mod prelude {
+    pub use crate::experiments::{
+        self, AggregatorKind, AttackKind, ClusterSize, Curve, CurvePoint, ExperimentSpec,
+        SchemeSpec, SelectorKind,
+    };
+    pub use crate::{
+        evaluate_accuracy, Checkpoint, CheckpointError, Defense, FileGradientOracle, InputLayout, IterationRecord, Trainer,
+        TrainingConfig, TrainingError, TrainingHistory,
+    };
+    pub use byz_aggregate::{
+        majority_vote, Aggregator, Auror, Bulyan, CoordinateMedian, GeometricMedian, Krum, Mean,
+        MedianOfMeans, MultiKrum, SignSgdMajority, TrimmedMean,
+    };
+    pub use byz_assign::{
+        Assignment, FrcAssignment, MolsAssignment, RamanujanAssignment, RandomAssignment,
+        SchemeKind,
+    };
+    pub use byz_attack::{
+        Alie, AttackContext, AttackVector, ByzantineSelector, ConstantAttack,
+        InnerProductAttack, RandomNoise, ReversedGradient,
+    };
+    pub use byz_cluster::{Cluster, CostModel, ExecutionMode, IterationTimeEstimate};
+    pub use byz_data::{BatchSampler, Dataset, SyntheticConfig, SyntheticImages};
+    pub use byz_distortion::{
+        baseline_epsilon, claim2_exact_epsilon, cmax_auto, cmax_branch_and_bound,
+        cmax_exhaustive, cmax_greedy, count_distorted, frc_epsilon, CmaxResult,
+    };
+    pub use byz_draco::{CyclicCode, DracoError, FrcCode};
+    pub use byz_wire::{
+        packed_sign_majority, LocalAttack, Message, MessagePassingCluster, PackedSigns,
+        RoundSummary, ServerConfig, Transport, WireError,
+    };
+    pub use byz_nn::{
+        flatten_params, load_params, num_params, MiniResNet, Mlp, Module, Sgd, StepDecaySchedule,
+    };
+    pub use byz_tensor::Tensor;
+}

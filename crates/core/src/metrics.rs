@@ -1,0 +1,104 @@
+//! Evaluation metrics and gradient statistics.
+
+use crate::InputLayout;
+use byz_data::Dataset;
+use byz_nn::{load_params, Module};
+
+/// Top-1 accuracy of a model (at the given flat parameters) over the
+/// first `max_samples` samples of `dataset`, evaluated in mini-batches.
+pub fn evaluate_accuracy<M: Module>(
+    model: &M,
+    params: &[f32],
+    dataset: &Dataset,
+    layout: InputLayout,
+    max_samples: usize,
+) -> f64 {
+    let tensors = model.parameters();
+    load_params(&tensors, params);
+    let n = dataset.len().min(max_samples);
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + 256).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, labels) = match layout {
+            InputLayout::Flat => dataset.gather_flat(&indices),
+            InputLayout::Image => dataset.gather(&indices),
+        };
+        let preds = model.forward(&x).argmax_rows();
+        correct += preds
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        start = end;
+    }
+    correct as f64 / n as f64
+}
+
+/// Per-dimension mean and standard deviation across a set of gradients —
+/// the moment estimates the colluding ALIE attackers compute
+/// (Baruch et al. 2019).
+#[derive(Debug, Clone)]
+pub struct GradientMoments {
+    /// Per-dimension mean.
+    pub mean: Vec<f32>,
+    /// Per-dimension standard deviation (population).
+    pub std: Vec<f32>,
+}
+
+impl GradientMoments {
+    /// Computes the moments of the given gradient set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or ragged dimensions.
+    pub fn compute(gradients: &[&[f32]]) -> Self {
+        assert!(!gradients.is_empty(), "need at least one gradient");
+        let d = gradients[0].len();
+        let n = gradients.len() as f32;
+        let mut mean = vec![0.0f32; d];
+        for g in gradients {
+            assert_eq!(g.len(), d, "ragged gradients");
+            for (m, x) in mean.iter_mut().zip(*g) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; d];
+        for g in gradients {
+            for ((s, x), m) in std.iter_mut().zip(*g).zip(&mean) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+        }
+        GradientMoments { mean, std }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_known_set() {
+        let a = [1.0f32, 0.0];
+        let b = [3.0f32, 0.0];
+        let m = GradientMoments::compute(&[&a, &b]);
+        assert_eq!(m.mean, vec![2.0, 0.0]);
+        assert_eq!(m.std, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gradient")]
+    fn moments_reject_empty() {
+        GradientMoments::compute(&[]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The file-gradient oracle: computes the per-file gradients of paper
+//! Algorithm 1, line 7.
+
+use byz_data::Dataset;
+use byz_nn::{grad_vector, load_params, zero_grads, Module};
+
+/// How samples are presented to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputLayout {
+    /// Each sample flattened to 1-D (`[b, dim]`) — MLPs.
+    Flat,
+    /// Samples keep their item shape (`[b, c, h, w]`) — CNNs.
+    Image,
+}
+
+/// Computes `g_{t,i} = Σ_{j ∈ B_{t,i}} ∇l_j(w_t)`, the summed gradient of
+/// one file's samples at the current parameters.
+///
+/// Honest workers assigned the same file call this with identical inputs
+/// and the computation is deterministic, so their returned gradients are
+/// bit-identical — the exact-equality property the majority vote relies
+/// on (paper Section 2). The trainer therefore computes each file's
+/// gradient once per iteration and shares it among that file's honest
+/// replicas, which is mathematically indistinguishable from `r`
+/// independent honest computations.
+pub struct FileGradientOracle<'a, M: Module> {
+    model: &'a M,
+    dataset: &'a Dataset,
+    layout: InputLayout,
+}
+
+impl<'a, M: Module> FileGradientOracle<'a, M> {
+    /// Creates the oracle for a model and dataset.
+    pub fn new(model: &'a M, dataset: &'a Dataset, layout: InputLayout) -> Self {
+        FileGradientOracle {
+            model,
+            dataset,
+            layout,
+        }
+    }
+
+    /// The input layout in force.
+    pub fn layout(&self) -> InputLayout {
+        self.layout
+    }
+
+    /// Computes the summed loss gradient of the given samples at `params`,
+    /// returned as a flat vector in parameter order.
+    pub fn file_gradient(&self, params: &[f32], sample_indices: &[usize]) -> Vec<f32> {
+        let tensors = self.model.parameters();
+        load_params(&tensors, params);
+        zero_grads(&tensors);
+        let (x, labels) = match self.layout {
+            InputLayout::Flat => self.dataset.gather_flat(sample_indices),
+            InputLayout::Image => self.dataset.gather(sample_indices),
+        };
+        let logits = self.model.forward(&x);
+        // cross_entropy averages over the file; scale back to the SUM over
+        // the file's samples, matching g_{t,i} = Σ ∇l_j (Algorithm 1).
+        let loss = logits
+            .cross_entropy(&labels)
+            .scale(sample_indices.len() as f32);
+        loss.backward();
+        grad_vector(&tensors)
+    }
+
+    /// The mean cross-entropy loss of the given samples at `params`
+    /// (diagnostic; no gradients).
+    pub fn loss(&self, params: &[f32], sample_indices: &[usize]) -> f32 {
+        let tensors = self.model.parameters();
+        load_params(&tensors, params);
+        let (x, labels) = match self.layout {
+            InputLayout::Flat => self.dataset.gather_flat(sample_indices),
+            InputLayout::Image => self.dataset.gather(sample_indices),
+        };
+        self.model.forward(&x).cross_entropy(&labels).item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byz_data::{SyntheticConfig, SyntheticImages};
+    use byz_nn::{flatten_params, num_params, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Mlp) {
+        let cfg = SyntheticConfig {
+            num_classes: 3,
+            channels: 1,
+            hw: 4,
+            train_samples: 60,
+            test_samples: 10,
+            noise: 0.2,
+            max_shift: 0,
+            seed: 11,
+        };
+        let (train, _) = SyntheticImages::new(cfg).generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Mlp::new(&[16, 8, 3], &mut rng);
+        (train, model)
+    }
+
+    #[test]
+    fn gradient_is_deterministic() {
+        let (train, model) = setup();
+        let oracle = FileGradientOracle::new(&model, &train, InputLayout::Flat);
+        let params = flatten_params(&model.parameters());
+        let g1 = oracle.file_gradient(&params, &[0, 1, 2]);
+        let g2 = oracle.file_gradient(&params, &[0, 1, 2]);
+        assert_eq!(g1, g2, "honest replicas must agree bit-exactly");
+        assert_eq!(g1.len(), num_params(&model.parameters()));
+    }
+
+    #[test]
+    fn file_gradients_sum_to_batch_gradient() {
+        // Σ over files of the file gradients equals the whole-batch summed
+        // gradient (the linearity Algorithm 1 exploits).
+        let (train, model) = setup();
+        let oracle = FileGradientOracle::new(&model, &train, InputLayout::Flat);
+        let params = flatten_params(&model.parameters());
+        let whole = oracle.file_gradient(&params, &[0, 1, 2, 3]);
+        let g01 = oracle.file_gradient(&params, &[0, 1]);
+        let g23 = oracle.file_gradient(&params, &[2, 3]);
+        for i in 0..whole.len() {
+            assert!(
+                (whole[i] - (g01[i] + g23[i])).abs() < 1e-3,
+                "linearity violated at {i}: {} vs {}",
+                whole[i],
+                g01[i] + g23[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_depends_on_params() {
+        let (train, model) = setup();
+        let oracle = FileGradientOracle::new(&model, &train, InputLayout::Flat);
+        let p1 = flatten_params(&model.parameters());
+        let mut p2 = p1.clone();
+        p2[0] += 1.0;
+        assert_ne!(
+            oracle.file_gradient(&p1, &[0, 1]),
+            oracle.file_gradient(&p2, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let (train, model) = setup();
+        let oracle = FileGradientOracle::new(&model, &train, InputLayout::Flat);
+        let params = flatten_params(&model.parameters());
+        let loss = oracle.loss(&params, &[0, 1, 2, 3, 4]);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+}

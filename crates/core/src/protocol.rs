@@ -1,0 +1,369 @@
+//! The end-to-end training protocol (paper Algorithm 1).
+
+use crate::{evaluate_accuracy, FileGradientOracle, GradientMoments, InputLayout};
+use byz_aggregate::{majority_vote, AggregationError, Aggregator};
+use byz_assign::Assignment;
+use byz_attack::{AttackContext, AttackVector, ByzantineSelector};
+use byz_data::{split_batch_into_files, BatchSampler, Dataset};
+use byz_distortion::count_distorted;
+use byz_nn::{flatten_params, Module, Sgd, StepDecaySchedule};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How the parameter server combines the returned gradients.
+pub enum Defense {
+    /// ByzShield / DETOX style: per-file majority vote (Eq. 3), then the
+    /// given robust aggregator over the `f` vote winners. ByzShield pairs
+    /// this with [`CoordinateMedian`](byz_aggregate::CoordinateMedian);
+    /// DETOX with [`MedianOfMeans`](byz_aggregate::MedianOfMeans) or
+    /// Multi-Krum.
+    VoteThenAggregate(Box<dyn Aggregator>),
+    /// Baseline style: the aggregator is applied directly to the workers'
+    /// returned gradients (no voting; use with a replication-1
+    /// assignment).
+    Direct(Box<dyn Aggregator>),
+}
+
+impl Defense {
+    /// The inner aggregation rule's name.
+    pub fn aggregator_name(&self) -> &'static str {
+        match self {
+            Defense::VoteThenAggregate(a) | Defense::Direct(a) => a.name(),
+        }
+    }
+}
+
+impl fmt::Debug for Defense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Defense::VoteThenAggregate(a) => write!(f, "VoteThenAggregate({})", a.name()),
+            Defense::Direct(a) => write!(f, "Direct({})", a.name()),
+        }
+    }
+}
+
+/// Training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Batch size `b` per iteration (must be divisible by `f`).
+    pub batch_size: usize,
+    /// Number of synchronous SGD iterations `T`.
+    pub iterations: usize,
+    /// Learning-rate schedule `(x, y, z)`.
+    pub lr_schedule: StepDecaySchedule,
+    /// Momentum `µ`.
+    pub momentum: f32,
+    /// Number of Byzantine workers `q`.
+    pub num_byzantine: usize,
+    /// Evaluate test accuracy every this many iterations (0 = only at the
+    /// end).
+    pub eval_every: usize,
+    /// Cap on test samples used per evaluation (keeps runs fast).
+    pub eval_samples: usize,
+    /// Seed for batch sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            batch_size: 250,
+            iterations: 200,
+            lr_schedule: StepDecaySchedule::new(0.05, 0.96, 15),
+            momentum: 0.9,
+            num_byzantine: 0,
+            eval_every: 20,
+            eval_samples: 1_000,
+            seed: 0xB12,
+        }
+    }
+}
+
+/// Why a training run stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainingError {
+    /// The defense's aggregation rule rejected its input — e.g. Bulyan's
+    /// `n ≥ 4c + 3` requirement cannot be met (the inapplicability the
+    /// paper hits in Figures 3 and 7).
+    DefenseInapplicable {
+        iteration: usize,
+        source: AggregationError,
+    },
+    /// The batch size is not divisible by the file count.
+    BatchNotDivisible { batch: usize, files: usize },
+    /// `q` exceeds the number of workers.
+    TooManyByzantine { q: usize, workers: usize },
+}
+
+impl fmt::Display for TrainingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainingError::DefenseInapplicable { iteration, source } => {
+                write!(f, "defense inapplicable at iteration {iteration}: {source}")
+            }
+            TrainingError::BatchNotDivisible { batch, files } => {
+                write!(f, "batch size {batch} not divisible into {files} files")
+            }
+            TrainingError::TooManyByzantine { q, workers } => {
+                write!(f, "q = {q} Byzantine workers exceeds K = {workers}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainingError {}
+
+/// One recorded point of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (1-based, matching the paper's plots).
+    pub iteration: usize,
+    /// Number of file majorities actually distorted this iteration.
+    pub distorted_files: usize,
+    /// Distorted fraction ε̂ this iteration.
+    pub epsilon_hat: f64,
+    /// Top-1 test accuracy, when evaluated this iteration.
+    pub test_accuracy: Option<f64>,
+    /// Wall-clock time spent computing gradients this iteration.
+    pub compute_time: Duration,
+    /// Wall-clock time spent on voting + aggregation this iteration.
+    pub aggregate_time: Duration,
+}
+
+/// The full history of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingHistory {
+    /// Per-iteration records.
+    pub records: Vec<IterationRecord>,
+    /// Final test accuracy over the capped evaluation set.
+    pub final_accuracy: f64,
+    /// Total wall-clock training time.
+    pub total_time: Duration,
+}
+
+impl TrainingHistory {
+    /// The accuracy curve as `(iteration, accuracy)` points.
+    pub fn accuracy_curve(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.test_accuracy.map(|a| (r.iteration, a)))
+            .collect()
+    }
+
+    /// Mean observed distortion fraction across iterations.
+    pub fn mean_epsilon_hat(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.epsilon_hat).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+/// The synchronous Byzantine-robust trainer (paper Algorithm 1).
+///
+/// Each iteration:
+/// 1. sample a batch and split it into `f` files (`byz-data`);
+/// 2. compute the true per-file gradients (each file once — honest
+///    replicas are bit-identical, see [`FileGradientOracle`]);
+/// 3. choose the Byzantine set (random / omniscient / fixed) and replace
+///    every replica held by a Byzantine worker with the attack payload;
+/// 4. run the defense (vote → aggregate, or direct aggregation);
+/// 5. update the model through SGD-with-momentum and the step-decay
+///    schedule.
+pub struct Trainer<'a, M: Module> {
+    model: &'a M,
+    train: &'a Dataset,
+    test: &'a Dataset,
+    assignment: Assignment,
+    layout: InputLayout,
+    selector: ByzantineSelector,
+    attack: Box<dyn AttackVector>,
+    defense: Defense,
+    config: TrainingConfig,
+}
+
+impl<'a, M: Module> Trainer<'a, M> {
+    /// Assembles a trainer. See the crate example for typical wiring.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        model: &'a M,
+        train: &'a Dataset,
+        test: &'a Dataset,
+        assignment: Assignment,
+        layout: InputLayout,
+        selector: ByzantineSelector,
+        attack: Box<dyn AttackVector>,
+        defense: Defense,
+        config: TrainingConfig,
+    ) -> Self {
+        Trainer {
+            model,
+            train,
+            test,
+            assignment,
+            layout,
+            selector,
+            attack,
+            defense,
+            config,
+        }
+    }
+
+    /// The assignment in force.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Runs the full training loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainingError`] on configuration problems or when the
+    /// defense becomes inapplicable (paper Section 6.1's constraints).
+    pub fn run(&mut self) -> Result<TrainingHistory, TrainingError> {
+        let f = self.assignment.num_files();
+        let k = self.assignment.num_workers();
+        let q = self.config.num_byzantine;
+        if !self.config.batch_size.is_multiple_of(f) {
+            return Err(TrainingError::BatchNotDivisible {
+                batch: self.config.batch_size,
+                files: f,
+            });
+        }
+        if q > k {
+            return Err(TrainingError::TooManyByzantine { q, workers: k });
+        }
+
+        let start = Instant::now();
+        let oracle = FileGradientOracle::new(self.model, self.train, self.layout);
+        let params_tensors = self.model.parameters();
+        let mut opt = Sgd::new(
+            params_tensors.clone(),
+            self.config.lr_schedule,
+            self.config.momentum,
+        );
+        let mut sampler = BatchSampler::new(
+            self.train.len(),
+            self.config.batch_size,
+            self.config.seed,
+        );
+        let mut history = TrainingHistory::default();
+        let mut params = flatten_params(&params_tensors);
+
+        for t in 1..=self.config.iterations {
+            // 1. Batch → files.
+            let batch = sampler.next_batch();
+            let files = split_batch_into_files(&batch, f);
+
+            // 2. True per-file gradients (computed once; honest replicas
+            //    are identical by construction).
+            let compute_start = Instant::now();
+            let true_grads: Vec<Vec<f32>> = files
+                .iter()
+                .map(|file| oracle.file_gradient(&params, file))
+                .collect();
+            let compute_time = compute_start.elapsed();
+
+            // 3. Byzantine selection + forgery.
+            let byzantine = self.selector.select(&self.assignment, q, t);
+            let mut is_byz = vec![false; k];
+            for &w in &byzantine {
+                is_byz[w] = true;
+            }
+            let moments =
+                GradientMoments::compute(&true_grads.iter().map(Vec::as_slice).collect::<Vec<_>>());
+            let distorted_count = count_distorted(&self.assignment, &byzantine);
+
+            let agg_start = Instant::now();
+            // Per-file replica values ĝ as the PS sees them (Eq. 2).
+            let mut per_file_returns: Vec<Vec<Vec<f32>>> = Vec::with_capacity(f);
+            for (file_idx, true_grad) in true_grads.iter().enumerate() {
+                let workers = self.assignment.graph().workers_of(file_idx);
+                let mut returns = Vec::with_capacity(workers.len());
+                for &w in workers {
+                    if is_byz[w] {
+                        let ctx = AttackContext {
+                            true_gradient: true_grad,
+                            honest_mean: &moments.mean,
+                            honest_std: &moments.std,
+                            num_workers: k,
+                            num_byzantine: q,
+                            iteration: t,
+                        };
+                        returns.push(self.attack.forge(&ctx));
+                    } else {
+                        returns.push(true_grad.clone());
+                    }
+                }
+                per_file_returns.push(returns);
+            }
+
+            // 4. Defense.
+            let aggregated = match &self.defense {
+                Defense::VoteThenAggregate(aggregator) => {
+                    let winners: Vec<Vec<f32>> = per_file_returns
+                        .iter()
+                        .map(|reps| {
+                            majority_vote(reps)
+                                .expect("replica sets are nonempty and rectangular")
+                                .value
+                        })
+                        .collect();
+                    aggregator.aggregate(&winners)
+                }
+                Defense::Direct(aggregator) => {
+                    // Without voting, every return is an operand (baseline
+                    // schemes use replication 1, so this is one per
+                    // worker).
+                    let all: Vec<Vec<f32>> =
+                        per_file_returns.iter().flatten().cloned().collect();
+                    aggregator.aggregate(&all)
+                }
+            }
+            .map_err(|source| TrainingError::DefenseInapplicable {
+                iteration: t,
+                source,
+            })?;
+            let aggregate_time = agg_start.elapsed();
+
+            // 5. Model update. File gradients are SUMS over b/f samples;
+            //    the aggregate approximates a per-file sum, so scaling by
+            //    f/b yields a per-sample mean-gradient step (Algorithm 1,
+            //    line 17).
+            let scale = f as f32 / self.config.batch_size as f32;
+            let scaled: Vec<f32> = aggregated.iter().map(|g| g * scale).collect();
+            opt.step_with_gradient(&scaled);
+            params = flatten_params(&params_tensors);
+
+            // Bookkeeping.
+            let evaluate = self.config.eval_every != 0 && t % self.config.eval_every == 0;
+            let test_accuracy = evaluate.then(|| {
+                evaluate_accuracy(
+                    self.model,
+                    &params,
+                    self.test,
+                    self.layout,
+                    self.config.eval_samples,
+                )
+            });
+            history.records.push(IterationRecord {
+                iteration: t,
+                distorted_files: distorted_count,
+                epsilon_hat: distorted_count as f64 / f as f64,
+                test_accuracy,
+                compute_time,
+                aggregate_time,
+            });
+        }
+
+        history.final_accuracy = evaluate_accuracy(
+            self.model,
+            &params,
+            self.test,
+            self.layout,
+            self.config.eval_samples,
+        );
+        history.total_time = start.elapsed();
+        Ok(history)
+    }
+}

@@ -1,0 +1,133 @@
+//! Batch sampling and file partitioning.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draws the per-iteration batches `B_t` (paper Eq. 1): each call returns
+/// `batch_size` sample indices chosen without replacement, reshuffling the
+/// dataset every epoch.
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    num_samples: usize,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    rng: StdRng,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `num_samples` dataset indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero or exceeds `num_samples`.
+    pub fn new(num_samples: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(
+            batch_size <= num_samples,
+            "batch size {batch_size} exceeds dataset size {num_samples}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..num_samples).collect();
+        order.shuffle(&mut rng);
+        BatchSampler {
+            num_samples,
+            batch_size,
+            order,
+            cursor: 0,
+            rng,
+        }
+    }
+
+    /// The configured batch size `b`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Returns the next batch of sample indices.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        if self.cursor + self.batch_size > self.num_samples {
+            self.order.shuffle(&mut self.rng);
+            self.cursor = 0;
+        }
+        let batch = self.order[self.cursor..self.cursor + self.batch_size].to_vec();
+        self.cursor += self.batch_size;
+        batch
+    }
+}
+
+/// Partitions a batch into `num_files` disjoint files of equal size
+/// (paper Section 2: `B_t` is split into files `B_{t,i}`).
+///
+/// # Panics
+///
+/// Panics unless `num_files` divides the batch size — the paper's
+/// constructions always arrange this (`f | b`).
+pub fn split_batch_into_files(batch: &[usize], num_files: usize) -> Vec<Vec<usize>> {
+    assert!(num_files > 0, "need at least one file");
+    assert_eq!(
+        batch.len() % num_files,
+        0,
+        "batch size {} not divisible into {num_files} files",
+        batch.len()
+    );
+    let per_file = batch.len() / num_files;
+    batch
+        .chunks(per_file)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn batches_have_no_duplicates() {
+        let mut s = BatchSampler::new(100, 30, 1);
+        for _ in 0..10 {
+            let b = s.next_batch();
+            assert_eq!(b.len(), 30);
+            let set: BTreeSet<_> = b.iter().collect();
+            assert_eq!(set.len(), 30, "duplicate indices in batch");
+            assert!(b.iter().all(|&i| i < 100));
+        }
+    }
+
+    #[test]
+    fn epoch_covers_everything() {
+        let mut s = BatchSampler::new(12, 4, 2);
+        let mut seen = BTreeSet::new();
+        for _ in 0..3 {
+            seen.extend(s.next_batch());
+        }
+        assert_eq!(seen.len(), 12, "one epoch must touch every sample");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = BatchSampler::new(50, 10, 9);
+        let mut b = BatchSampler::new(50, 10, 9);
+        for _ in 0..5 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn file_split() {
+        let batch: Vec<usize> = (0..12).collect();
+        let files = split_batch_into_files(&batch, 4);
+        assert_eq!(files.len(), 4);
+        assert!(files.iter().all(|f| f.len() == 3));
+        let union: BTreeSet<_> = files.iter().flatten().collect();
+        assert_eq!(union.len(), 12, "files must partition the batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_batch_rejected() {
+        split_batch_into_files(&[1, 2, 3], 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! The synthetic CIFAR-like image generator.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic image task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of classes (CIFAR-10 analogue: 10).
+    pub num_classes: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Square image size.
+    pub hw: usize,
+    /// Training samples.
+    pub train_samples: usize,
+    /// Test samples.
+    pub test_samples: usize,
+    /// Std-dev of additive pixel noise (task difficulty).
+    pub noise: f32,
+    /// Maximum circular spatial shift applied per sample.
+    pub max_shift: usize,
+    /// RNG seed for full reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            num_classes: 10,
+            channels: 3,
+            hw: 16,
+            train_samples: 5_000,
+            test_samples: 1_000,
+            noise: 0.6,
+            max_shift: 2,
+            seed: 0xC1FA_0010,
+        }
+    }
+}
+
+/// Generator for the synthetic CIFAR-like task: smooth per-class template
+/// images plus per-sample circular shifts and Gaussian pixel noise.
+#[derive(Debug, Clone)]
+pub struct SyntheticImages {
+    config: SyntheticConfig,
+    /// Per-class template, each `channels·hw·hw` long.
+    templates: Vec<Vec<f32>>,
+}
+
+impl SyntheticImages {
+    /// Builds the class templates for the given configuration.
+    pub fn new(config: SyntheticConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let hw = config.hw;
+        let templates = (0..config.num_classes)
+            .map(|_| {
+                // Smooth template: sum of a few random 2-D cosine waves per
+                // channel — low-frequency structure like natural images.
+                let mut img = vec![0.0f32; config.channels * hw * hw];
+                for c in 0..config.channels {
+                    for _ in 0..3 {
+                        let fx = rng.gen_range(0.5..2.5) * std::f32::consts::PI / hw as f32;
+                        let fy = rng.gen_range(0.5..2.5) * std::f32::consts::PI / hw as f32;
+                        let phase_x: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+                        let phase_y: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+                        let amp: f32 = rng.gen_range(0.5..1.0);
+                        for y in 0..hw {
+                            for x in 0..hw {
+                                img[(c * hw + y) * hw + x] += amp
+                                    * (fx * x as f32 + phase_x).cos()
+                                    * (fy * y as f32 + phase_y).cos();
+                            }
+                        }
+                    }
+                }
+                img
+            })
+            .collect();
+        SyntheticImages { config, templates }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// The noiseless class template images.
+    pub fn templates(&self) -> &[Vec<f32>] {
+        &self.templates
+    }
+
+    /// Generates the `(train, test)` datasets, both normalized with the
+    /// training statistics.
+    pub fn generate(&self) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut train = self.sample_split(self.config.train_samples, &mut rng);
+        let mut test = self.sample_split(self.config.test_samples, &mut rng);
+        let (mean, std) = train.normalize();
+        // Apply the train statistics to test (standard practice).
+        let n = test.len();
+        let sample_len = test.sample_len();
+        let mut data = Vec::with_capacity(n * sample_len);
+        for i in 0..n {
+            data.extend(test.sample(i).iter().map(|x| (x - mean) / std));
+        }
+        let labels: Vec<usize> = (0..n).map(|i| test.label(i)).collect();
+        test = Dataset::new(
+            data,
+            labels,
+            test.item_shape().to_vec(),
+            test.num_classes(),
+        );
+        (train, test)
+    }
+
+    fn sample_split(&self, count: usize, rng: &mut StdRng) -> Dataset {
+        let cfg = &self.config;
+        let hw = cfg.hw;
+        let sample_len = cfg.channels * hw * hw;
+        let mut data = Vec::with_capacity(count * sample_len);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            // Balanced classes, shuffled order via label = f(i, rng).
+            let label = if i < cfg.num_classes {
+                i // guarantee every class appears at least once
+            } else {
+                rng.gen_range(0..cfg.num_classes)
+            };
+            labels.push(label);
+            let template = &self.templates[label];
+            let dy = rng.gen_range(0..=2 * cfg.max_shift) as isize - cfg.max_shift as isize;
+            let dx = rng.gen_range(0..=2 * cfg.max_shift) as isize - cfg.max_shift as isize;
+            for c in 0..cfg.channels {
+                for y in 0..hw {
+                    for x in 0..hw {
+                        let sy = (y as isize + dy).rem_euclid(hw as isize) as usize;
+                        let sx = (x as isize + dx).rem_euclid(hw as isize) as usize;
+                        // Box–Muller noise.
+                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                        let u2: f32 = rng.gen_range(0.0..1.0);
+                        let noise = cfg.noise
+                            * (-2.0 * u1.ln()).sqrt()
+                            * (std::f32::consts::TAU * u2).cos();
+                        data.push(template[(c * hw + sy) * hw + sx] + noise);
+                    }
+                }
+            }
+        }
+        Dataset::new(
+            data,
+            labels,
+            vec![cfg.channels, hw, hw],
+            cfg.num_classes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            num_classes: 4,
+            channels: 1,
+            hw: 8,
+            train_samples: 200,
+            test_samples: 80,
+            noise: 0.3,
+            max_shift: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let gen = SyntheticImages::new(small_config());
+        let (train, test) = gen.generate();
+        assert_eq!(train.len(), 200);
+        assert_eq!(test.len(), 80);
+        assert_eq!(train.item_shape(), &[1, 8, 8]);
+        assert_eq!(train.num_classes(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticImages::new(small_config()).generate();
+        let b = SyntheticImages::new(small_config()).generate();
+        assert_eq!(a.0.sample(5), b.0.sample(5));
+        assert_eq!(a.1.sample(5), b.1.sample(5));
+    }
+
+    #[test]
+    fn every_class_present() {
+        let gen = SyntheticImages::new(small_config());
+        let (train, _) = gen.generate();
+        for class in 0..4 {
+            assert!(
+                (0..train.len()).any(|i| train.label(i) == class),
+                "class {class} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn train_set_is_normalized() {
+        let gen = SyntheticImages::new(small_config());
+        let (train, _) = gen.generate();
+        let all: Vec<f32> = (0..train.len()).flat_map(|i| train.sample(i).to_vec()).collect();
+        let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
+        let var: f32 = all.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / all.len() as f32;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "var {var}");
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Nearest-template classification on noiseless templates must be
+        // perfect, and on noisy samples clearly better than chance.
+        let gen = SyntheticImages::new(small_config());
+        let (train, _) = gen.generate();
+        // Recompute template means from the data per class.
+        let sample_len = train.sample_len();
+        let mut means = vec![vec![0.0f32; sample_len]; 4];
+        let mut counts = vec![0usize; 4];
+        for i in 0..train.len() {
+            let l = train.label(i);
+            counts[l] += 1;
+            for (m, x) in means[l].iter_mut().zip(train.sample(i)) {
+                *m += x;
+            }
+        }
+        for (m, c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= *c as f32;
+            }
+        }
+        let mut correct = 0usize;
+        for i in 0..train.len() {
+            let s = train.sample(i);
+            let pred = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f32 = means[a].iter().zip(s).map(|(m, x)| (m - x).powi(2)).sum();
+                    let db: f32 = means[b].iter().zip(s).map(|(m, x)| (m - x).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if pred == train.label(i) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / train.len() as f64;
+        assert!(acc > 0.6, "nearest-mean accuracy only {acc}");
+    }
+}

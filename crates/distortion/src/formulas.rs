@@ -1,0 +1,121 @@
+//! Closed-form distortion fractions (paper Sections 5.2 and 5.3.1).
+
+/// Baseline (no redundancy) distortion fraction: every Byzantine worker
+/// corrupts exactly its own gradient, so `ε̂ = q/K`.
+pub fn baseline_epsilon(q: usize, num_workers: usize) -> f64 {
+    q as f64 / num_workers as f64
+}
+
+/// Worst-case distortion fraction for the FRC grouping of DRACO/DETOX
+/// under an omniscient adversary (Section 5.3.1):
+///
+/// ```text
+/// ε̂_FRC = ⌊q / r′⌋ · r / K
+/// ```
+///
+/// The attacker plants `r′ = (r+1)/2` Byzantines in each of `⌊q/r′⌋`
+/// vote groups, corrupting those groups' entire sample share.
+pub fn frc_epsilon(q: usize, replication: usize, num_workers: usize) -> f64 {
+    let r_prime = replication.div_ceil(2);
+    (q / r_prime) as f64 * replication as f64 / num_workers as f64
+}
+
+/// Exact `c_max(q)` for ByzShield's constructions in the small-`q` regime
+/// `q ≤ r` (paper Claim 2). Returns `None` outside that regime.
+pub fn claim2_exact_cmax(q: usize, replication: usize) -> Option<usize> {
+    if q > replication {
+        return None;
+    }
+    let r = replication;
+    let r_prime = r.div_ceil(2);
+    let value = if r == 3 {
+        match q {
+            0 | 1 => 0,
+            2 => 1,
+            _ => 3, // q == 3
+        }
+    } else {
+        // r > 3 (odd).
+        if q < r_prime {
+            0
+        } else if q < r {
+            1
+        } else {
+            2 // q == r
+        }
+    };
+    Some(value)
+}
+
+/// Exact distortion fraction `ε̂ = c_max(q)/f` in the regime `q ≤ r`
+/// (Claim 2). Returns `None` outside that regime.
+pub fn claim2_exact_epsilon(q: usize, replication: usize, num_files: usize) -> Option<f64> {
+    claim2_exact_cmax(q, replication).map(|c| c as f64 / num_files as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_table3() {
+        // Table 3 column ε̂-Baseline for K = 15: q=2 → 0.13, q=3 → 0.2, …
+        assert!((baseline_epsilon(2, 15) - 0.1333).abs() < 1e-3);
+        assert!((baseline_epsilon(3, 15) - 0.2).abs() < 1e-12);
+        assert!((baseline_epsilon(7, 15) - 0.4667).abs() < 1e-3);
+    }
+
+    #[test]
+    fn frc_matches_paper_table3() {
+        // Table 3 column ε̂-FRC for (K, r) = (15, 3), r′ = 2:
+        // q=2 → 0.2, q=3 → 0.2, q=4 → 0.4, q=5 → 0.4, q=6 → 0.6, q=7 → 0.6.
+        let expect = [(2, 0.2), (3, 0.2), (4, 0.4), (5, 0.4), (6, 0.6), (7, 0.6)];
+        for (q, e) in expect {
+            assert!((frc_epsilon(q, 3, 15) - e).abs() < 1e-12, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn frc_matches_paper_table4() {
+        // Table 4: (K, r) = (25, 5), r′ = 3.
+        let expect = [
+            (3, 0.2),
+            (5, 0.2),
+            (6, 0.4),
+            (8, 0.4),
+            (9, 0.6),
+            (11, 0.6),
+            (12, 0.8),
+        ];
+        for (q, e) in expect {
+            assert!((frc_epsilon(q, 5, 25) - e).abs() < 1e-12, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn claim2_r3() {
+        assert_eq!(claim2_exact_cmax(0, 3), Some(0));
+        assert_eq!(claim2_exact_cmax(1, 3), Some(0));
+        assert_eq!(claim2_exact_cmax(2, 3), Some(1));
+        assert_eq!(claim2_exact_cmax(3, 3), Some(3));
+        assert_eq!(claim2_exact_cmax(4, 3), None);
+    }
+
+    #[test]
+    fn claim2_r5() {
+        // r = 5, r′ = 3: q < 3 → 0; 3 ≤ q < 5 → 1; q = 5 → 2.
+        assert_eq!(claim2_exact_cmax(2, 5), Some(0));
+        assert_eq!(claim2_exact_cmax(3, 5), Some(1));
+        assert_eq!(claim2_exact_cmax(4, 5), Some(1));
+        assert_eq!(claim2_exact_cmax(5, 5), Some(2));
+        assert_eq!(claim2_exact_cmax(6, 5), None);
+    }
+
+    #[test]
+    fn claim2_epsilon_matches_table4_small_q() {
+        // Table 4, (f, r) = (25, 5): q=3 → 0.04, q=4 → 0.04, q=5 → 0.08.
+        assert!((claim2_exact_epsilon(3, 5, 25).unwrap() - 0.04).abs() < 1e-12);
+        assert!((claim2_exact_epsilon(4, 5, 25).unwrap() - 0.04).abs() < 1e-12);
+        assert!((claim2_exact_epsilon(5, 5, 25).unwrap() - 0.08).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Worst-case distortion-fraction analysis (paper Section 5).
+//!
+//! Against an *omniscient* adversary the relevant robustness metric is
+//!
+//! ```text
+//! ε̂ = c_max(q) / f
+//! ```
+//!
+//! where `c_max(q)` is the maximum number of files whose majority vote can
+//! be corrupted by the best choice of `q` Byzantine workers. This crate
+//! computes `c_max(q)`:
+//!
+//! * [`cmax_exhaustive`] — enumerates all `C(K, q)` Byzantine sets (the
+//!   paper's "exhaustive simulations", Section 5.3.2);
+//! * [`cmax_branch_and_bound`] — exact like the exhaustive solver but with
+//!   an optimistic edge-budget bound that prunes most of the tree, making
+//!   instances like the paper's `(K, f) = (35, 49)` Table 5 tractable;
+//! * [`cmax_greedy`] — a fast greedy + swap local-search attacker whose
+//!   value is a lower bound (and empirically matches the optimum on every
+//!   paper instance).
+//!
+//! and the closed-form comparisons of Section 5.3:
+//!
+//! * [`baseline_epsilon`] — no redundancy: `ε̂ = q/K`;
+//! * [`frc_epsilon`] — worst-case attack on DRACO/DETOX's FRC grouping:
+//!   `ε̂ = ⌊q/r′⌋·r/K`;
+//! * [`claim2_exact_epsilon`] — exact ByzShield values in the regime
+//!   `q ≤ r` (Claim 2);
+//! * the spectral upper bound γ via `Assignment::expansion_bound`.
+
+mod formulas;
+mod montecarlo;
+mod solver;
+
+pub use formulas::{baseline_epsilon, claim2_exact_cmax, claim2_exact_epsilon, frc_epsilon};
+pub use montecarlo::{monte_carlo_epsilon, MonteCarloEpsilon};
+pub use solver::{
+    cmax_branch_and_bound, cmax_exhaustive, cmax_greedy, count_distorted, CmaxResult,
+};
+
+use byz_assign::Assignment;
+
+/// Default node budget for [`cmax_branch_and_bound`] used by [`cmax_auto`].
+pub const DEFAULT_NODE_LIMIT: u64 = 1_000_000_000;
+
+/// Computes `c_max(q)` with the cheapest solver that can certify exactness
+/// for the instance size, falling back to branch-and-bound with the default
+/// node budget (and finally to the greedy lower bound if even that is
+/// exhausted).
+pub fn cmax_auto(assignment: &Assignment, q: usize) -> CmaxResult {
+    let k = assignment.num_workers();
+    // Rough cost of plain enumeration; under ~2M subsets it is instant.
+    let combos = binomial_saturating(k as u64, q as u64);
+    if combos <= 2_000_000 {
+        cmax_exhaustive(assignment, q)
+    } else {
+        cmax_branch_and_bound(assignment, q, DEFAULT_NODE_LIMIT)
+    }
+}
+
+/// `C(n, k)` with saturation on overflow.
+pub fn binomial_saturating(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial_saturating(5, 2), 10);
+        assert_eq!(binomial_saturating(15, 7), 6435);
+        assert_eq!(binomial_saturating(35, 13), 1_476_337_800);
+        assert_eq!(binomial_saturating(3, 5), 0);
+        assert_eq!(binomial_saturating(200, 100), u64::MAX);
+    }
+}

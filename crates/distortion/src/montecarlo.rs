@@ -1,0 +1,110 @@
+//! Monte-Carlo estimation of the distortion fraction under a RANDOM
+//! Byzantine set — the weaker adversary model whose average-case
+//! guarantees DETOX/DRACO rely on (paper Section 1.2: their results
+//! "depend heavily on a random assignment of tasks … and random choice of
+//! the adversarial workers").
+
+use crate::count_distorted;
+use byz_assign::Assignment;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// Result of a Monte-Carlo sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloEpsilon {
+    /// Mean distorted fraction over the trials.
+    pub mean: f64,
+    /// Sample standard deviation of the distorted fraction.
+    pub std: f64,
+    /// The largest fraction observed in any trial (a lower bound on the
+    /// worst case).
+    pub max: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// Estimates `E[ε̂]` over uniformly random Byzantine sets of size `q`.
+///
+/// # Panics
+///
+/// Panics when `q` exceeds the worker count or `trials == 0`.
+pub fn monte_carlo_epsilon(
+    assignment: &Assignment,
+    q: usize,
+    trials: usize,
+    seed: u64,
+) -> MonteCarloEpsilon {
+    let k = assignment.num_workers();
+    assert!(q <= k, "q = {q} exceeds K = {k}");
+    assert!(trials > 0, "need at least one trial");
+    let f = assignment.num_files() as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let byz: Vec<usize> = sample(&mut rng, k, q).into_iter().collect();
+        values.push(count_distorted(assignment, &byz) as f64 / f);
+    }
+    let mean = values.iter().sum::<f64>() / trials as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+        / (trials as f64 - 1.0).max(1.0);
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    MonteCarloEpsilon {
+        mean,
+        std: var.sqrt(),
+        max,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmax_exhaustive;
+    use byz_assign::{FrcAssignment, MolsAssignment};
+
+    #[test]
+    fn random_average_is_below_worst_case() {
+        let a = MolsAssignment::new(5, 3).unwrap().build();
+        for q in [3usize, 5] {
+            let mc = monte_carlo_epsilon(&a, q, 500, 7);
+            let worst = cmax_exhaustive(&a, q).epsilon_hat(25);
+            assert!(mc.mean <= worst + 1e-12, "q = {q}");
+            assert!(mc.max <= worst + 1e-12, "q = {q}");
+            assert!(mc.std >= 0.0);
+            assert_eq!(mc.trials, 500);
+        }
+    }
+
+    #[test]
+    fn frc_random_vs_worst_gap_is_large() {
+        // The paper's Section 5.3.1 point in numbers: the same FRC
+        // placement looks safe on average but is catastrophic worst-case.
+        let a = FrcAssignment::new(15, 3).unwrap().build();
+        let q = 4;
+        let mc = monte_carlo_epsilon(&a, q, 1_000, 3);
+        let worst = cmax_exhaustive(&a, q).epsilon_hat(a.num_files());
+        assert!(worst >= 0.4 - 1e-12, "⌊4/2⌋ of 5 groups = 0.4");
+        assert!(
+            mc.mean < worst / 2.0,
+            "random average {:.3} should be far below worst case {worst}",
+            mc.mean
+        );
+    }
+
+    #[test]
+    fn zero_byzantines_distort_nothing() {
+        let a = MolsAssignment::new(5, 3).unwrap().build();
+        let mc = monte_carlo_epsilon(&a, 0, 10, 1);
+        assert_eq!(mc.mean, 0.0);
+        assert_eq!(mc.max, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MolsAssignment::new(5, 3).unwrap().build();
+        let x = monte_carlo_epsilon(&a, 4, 100, 11);
+        let y = monte_carlo_epsilon(&a, 4, 100, 11);
+        assert_eq!(x, y);
+    }
+}

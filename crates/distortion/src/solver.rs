@@ -1,0 +1,453 @@
+//! Exact and heuristic solvers for the omniscient attacker's problem:
+//! choose `q` of `K` workers maximizing the number of majority-distorted
+//! files.
+
+use byz_assign::Assignment;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Result of a `c_max(q)` computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmaxResult {
+    /// The (best-found) number of distortable files.
+    pub value: usize,
+    /// A Byzantine worker set achieving `value`.
+    pub witness: Vec<usize>,
+    /// `true` when `value` is provably optimal.
+    pub exact: bool,
+    /// Search nodes explored (diagnostic).
+    pub nodes_explored: u64,
+}
+
+impl CmaxResult {
+    /// The distortion fraction `ε̂ = value / f` for the given file count.
+    pub fn epsilon_hat(&self, num_files: usize) -> f64 {
+        self.value as f64 / num_files as f64
+    }
+}
+
+/// Counts the files whose majority is corrupted by the given Byzantine
+/// worker set: file `i` is distorted iff at least `r′ = (r+1)/2` of its
+/// `r` replicas are Byzantine (paper Section 2, Eq. 3).
+pub fn count_distorted(assignment: &Assignment, byzantine: &[usize]) -> usize {
+    let mut is_byz = vec![false; assignment.num_workers()];
+    for &w in byzantine {
+        is_byz[w] = true;
+    }
+    let threshold = assignment.majority_threshold();
+    (0..assignment.num_files())
+        .filter(|&fidx| {
+            assignment
+                .graph()
+                .workers_of(fidx)
+                .iter()
+                .filter(|&&w| is_byz[w])
+                .count()
+                >= threshold
+        })
+        .count()
+}
+
+/// Exhaustive `c_max(q)`: checks every `C(K, q)` Byzantine set.
+/// Exact but only viable for small instances.
+pub fn cmax_exhaustive(assignment: &Assignment, q: usize) -> CmaxResult {
+    let k = assignment.num_workers();
+    assert!(q <= k, "cannot corrupt more workers than exist");
+    let mut state = SearchState::new(assignment);
+    let mut best = CmaxResult {
+        value: 0,
+        witness: Vec::new(),
+        exact: true,
+        nodes_explored: 0,
+    };
+    let mut chosen = Vec::with_capacity(q);
+    exhaustive_rec(&mut state, q, 0, &mut chosen, &mut best);
+    best
+}
+
+fn exhaustive_rec(
+    state: &mut SearchState<'_>,
+    q: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    best: &mut CmaxResult,
+) {
+    best.nodes_explored += 1;
+    if chosen.len() == q {
+        if state.distorted > best.value {
+            best.value = state.distorted;
+            best.witness = chosen.clone();
+        }
+        return;
+    }
+    let remaining_needed = q - chosen.len();
+    let k = state.assignment.num_workers();
+    // Enough workers must remain to fill the set.
+    for w in start..=(k - remaining_needed) {
+        state.add(w);
+        chosen.push(w);
+        exhaustive_rec(state, q, w + 1, chosen, best);
+        chosen.pop();
+        state.remove(w);
+    }
+}
+
+/// Exact `c_max(q)` via depth-first branch-and-bound.
+///
+/// The pruning bound is the *edge-budget relaxation*: with `rem` Byzantine
+/// picks left, at most `rem·l` additional Byzantine file-copies can be
+/// placed; distorting an undistorted file with `c` Byzantine copies costs
+/// `r′ − c` of them, so the cheapest-first greedy fill of that budget is a
+/// valid optimistic bound on additional distortions (it ignores which
+/// copies any single worker can actually supply).
+///
+/// If more than `node_limit` nodes are explored the search stops and the
+/// incumbent (seeded by [`cmax_greedy`]) is returned with `exact = false`.
+pub fn cmax_branch_and_bound(assignment: &Assignment, q: usize, node_limit: u64) -> CmaxResult {
+    let k = assignment.num_workers();
+    assert!(q <= k, "cannot corrupt more workers than exist");
+
+    // Seed the incumbent with a strong heuristic solution so pruning bites
+    // immediately. A fixed seed keeps the whole computation deterministic.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0x42);
+    let greedy = cmax_greedy(assignment, q, 24, &mut rng);
+
+    let mut best = CmaxResult {
+        value: greedy.value,
+        witness: greedy.witness,
+        exact: true,
+        nodes_explored: 0,
+    };
+    let mut state = SearchState::new(assignment);
+    let mut chosen = Vec::with_capacity(q);
+    let mut truncated = false;
+    bnb_rec(
+        &mut state,
+        q,
+        0,
+        &mut chosen,
+        &mut best,
+        node_limit,
+        &mut truncated,
+    );
+    if truncated {
+        best.exact = false;
+    }
+    best
+}
+
+fn bnb_rec(
+    state: &mut SearchState<'_>,
+    q: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    best: &mut CmaxResult,
+    node_limit: u64,
+    truncated: &mut bool,
+) {
+    if *truncated {
+        return;
+    }
+    best.nodes_explored += 1;
+    if best.nodes_explored > node_limit {
+        *truncated = true;
+        return;
+    }
+    if state.distorted > best.value {
+        best.value = state.distorted;
+        best.witness = chosen.clone();
+    }
+    if chosen.len() == q {
+        return;
+    }
+    let rem = q - chosen.len();
+    if state.distorted + state.optimistic_additional(rem) <= best.value {
+        return;
+    }
+    let k = state.assignment.num_workers();
+    for w in start..=(k - rem) {
+        state.add(w);
+        chosen.push(w);
+        bnb_rec(state, q, w + 1, chosen, best, node_limit, truncated);
+        chosen.pop();
+        state.remove(w);
+    }
+}
+
+/// Greedy + swap-local-search attacker (lower bound on `c_max`).
+///
+/// Each restart builds a set by repeatedly adding the worker with the best
+/// `(new distortions, progress toward thresholds)` marginal, breaking ties
+/// randomly, then tries 1-swap improvements until a local optimum.
+pub fn cmax_greedy<R: Rng + ?Sized>(
+    assignment: &Assignment,
+    q: usize,
+    restarts: usize,
+    rng: &mut R,
+) -> CmaxResult {
+    let k = assignment.num_workers();
+    assert!(q <= k, "cannot corrupt more workers than exist");
+    let mut best = CmaxResult {
+        value: 0,
+        witness: Vec::new(),
+        exact: false,
+        nodes_explored: 0,
+    };
+    if q == 0 {
+        return best;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    for _ in 0..restarts.max(1) {
+        order.shuffle(rng);
+        let mut state = SearchState::new(assignment);
+        let mut set: Vec<usize> = Vec::with_capacity(q);
+        // Greedy construction.
+        for _ in 0..q {
+            let mut best_w = usize::MAX;
+            let mut best_key = (-1i64, -1i64);
+            for &w in &order {
+                if set.contains(&w) {
+                    continue;
+                }
+                let key = state.marginal_key(w);
+                if key > best_key {
+                    best_key = key;
+                    best_w = w;
+                }
+            }
+            state.add(best_w);
+            set.push(best_w);
+            best.nodes_explored += 1;
+        }
+        // 1-swap local search: replace any member with any outsider when
+        // that strictly increases the distortion count.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            'outer: for i in 0..set.len() {
+                let out = set[i];
+                let original = state.distorted;
+                state.remove(out);
+                for w in 0..k {
+                    if w == out || set.contains(&w) {
+                        continue;
+                    }
+                    best.nodes_explored += 1;
+                    state.add(w);
+                    if state.distorted > original {
+                        set[i] = w;
+                        improved = true;
+                        continue 'outer;
+                    }
+                    state.remove(w);
+                }
+                state.add(out);
+            }
+        }
+        if state.distorted > best.value {
+            best.value = state.distorted;
+            best.witness = {
+                let mut s = set.clone();
+                s.sort_unstable();
+                s
+            };
+        }
+    }
+    best
+}
+
+/// Incremental search state: per-file Byzantine replica counts and the
+/// running number of distorted files, with the histogram needed by the
+/// optimistic bound.
+struct SearchState<'a> {
+    assignment: &'a Assignment,
+    /// Byzantine replica count per file.
+    file_counts: Vec<usize>,
+    /// Number of files at or above the distortion threshold.
+    distorted: usize,
+    /// `hist[c]` = number of *undistorted* files with count `c`
+    /// (`0 ≤ c < r′`).
+    hist: Vec<usize>,
+    threshold: usize,
+    load: usize,
+}
+
+impl<'a> SearchState<'a> {
+    fn new(assignment: &'a Assignment) -> Self {
+        let threshold = assignment.majority_threshold();
+        let mut hist = vec![0usize; threshold];
+        hist[0] = assignment.num_files();
+        SearchState {
+            assignment,
+            file_counts: vec![0; assignment.num_files()],
+            distorted: 0,
+            hist,
+            threshold,
+            load: assignment.load(),
+        }
+    }
+
+    fn add(&mut self, worker: usize) {
+        for &fidx in self.assignment.graph().files_of(worker) {
+            let c = self.file_counts[fidx];
+            self.file_counts[fidx] = c + 1;
+            if c + 1 == self.threshold {
+                self.hist[c] -= 1;
+                self.distorted += 1;
+            } else if c + 1 < self.threshold {
+                self.hist[c] -= 1;
+                self.hist[c + 1] += 1;
+            }
+        }
+    }
+
+    fn remove(&mut self, worker: usize) {
+        for &fidx in self.assignment.graph().files_of(worker) {
+            let c = self.file_counts[fidx];
+            self.file_counts[fidx] = c - 1;
+            if c == self.threshold {
+                self.distorted -= 1;
+                self.hist[c - 1] += 1;
+            } else if c < self.threshold {
+                self.hist[c] -= 1;
+                self.hist[c - 1] += 1;
+            }
+        }
+    }
+
+    /// Greedy ordering key for adding `worker`: immediate new distortions
+    /// first, then total progress toward thresholds.
+    fn marginal_key(&self, worker: usize) -> (i64, i64) {
+        let mut new_distorted = 0i64;
+        let mut progress = 0i64;
+        for &fidx in self.assignment.graph().files_of(worker) {
+            let c = self.file_counts[fidx];
+            if c + 1 == self.threshold {
+                new_distorted += 1;
+            } else if c + 1 < self.threshold {
+                // Closer-to-threshold copies are worth more.
+                progress += (c + 1) as i64;
+            }
+        }
+        (new_distorted, progress)
+    }
+
+    /// Optimistic upper bound on additional distortions with `rem` more
+    /// Byzantine workers: fill an edge budget of `rem·l` with the cheapest
+    /// remaining thresholds first.
+    fn optimistic_additional(&self, rem: usize) -> usize {
+        let mut budget = rem * self.load;
+        let mut extra = 0usize;
+        // Cheapest first: files needing 1 more copy, then 2, …
+        for need in 1..=self.threshold {
+            let c = self.threshold - need;
+            let avail = self.hist[c];
+            if avail == 0 {
+                continue;
+            }
+            let affordable = budget / need;
+            let take = avail.min(affordable);
+            extra += take;
+            budget -= take * need;
+            if budget == 0 {
+                break;
+            }
+        }
+        extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byz_assign::{FrcAssignment, MolsAssignment};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example1() -> Assignment {
+        MolsAssignment::new(5, 3).unwrap().build()
+    }
+
+    #[test]
+    fn count_distorted_simple() {
+        let a = example1();
+        // No Byzantines: nothing distorted.
+        assert_eq!(count_distorted(&a, &[]), 0);
+        // A single Byzantine can never reach the threshold r' = 2.
+        assert_eq!(count_distorted(&a, &[0]), 0);
+        // Workers 0 and 5 share exactly file 0 (Table 2).
+        assert_eq!(count_distorted(&a, &[0, 5]), 1);
+    }
+
+    /// Paper Table 3: simulated c_max for the (15, 25, 5, 3) MOLS scheme.
+    #[test]
+    fn table3_exhaustive_values() {
+        let a = example1();
+        let expected = [(2, 1), (3, 3), (4, 5), (5, 8)];
+        for (q, c) in expected {
+            let res = cmax_exhaustive(&a, q);
+            assert_eq!(res.value, c, "q = {q}");
+            assert!(res.exact);
+            assert_eq!(count_distorted(&a, &res.witness), c);
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive() {
+        let a = example1();
+        for q in 2..=7 {
+            let ex = cmax_exhaustive(&a, q);
+            let bb = cmax_branch_and_bound(&a, q, u64::MAX);
+            assert_eq!(bb.value, ex.value, "q = {q}");
+            assert!(bb.exact);
+            assert!(
+                bb.nodes_explored <= ex.nodes_explored,
+                "B&B explored more nodes than plain enumeration at q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_a_lower_bound_and_often_tight() {
+        let a = example1();
+        let mut rng = StdRng::seed_from_u64(3);
+        for q in 2..=7 {
+            let ex = cmax_exhaustive(&a, q);
+            let gr = cmax_greedy(&a, q, 16, &mut rng);
+            assert!(gr.value <= ex.value, "greedy exceeded optimum at q = {q}");
+            assert_eq!(count_distorted(&a, &gr.witness), gr.value);
+            // On this small instance the local search should find the optimum.
+            assert_eq!(gr.value, ex.value, "greedy missed optimum at q = {q}");
+        }
+    }
+
+    #[test]
+    fn frc_worst_case_attack() {
+        // FRC with K = 15, r = 3: q = 4 Byzantines can fully corrupt
+        // ⌊4/2⌋ = 2 groups of the 5.
+        let a = FrcAssignment::new(15, 3).unwrap().build();
+        let res = cmax_exhaustive(&a, 4);
+        assert_eq!(res.value, 2);
+    }
+
+    #[test]
+    fn cmax_monotone_in_q() {
+        let a = example1();
+        let mut prev = 0;
+        for q in 0..=8 {
+            let res = cmax_exhaustive(&a, q);
+            assert!(res.value >= prev);
+            prev = res.value;
+        }
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let a = example1();
+        let res = cmax_branch_and_bound(&a, 6, 1);
+        assert!(!res.exact);
+        // Still returns the greedy incumbent, a valid lower bound.
+        assert!(res.value <= cmax_exhaustive(&a, 6).value);
+        assert_eq!(count_distorted(&a, &res.witness), res.value);
+    }
+}

@@ -1,0 +1,107 @@
+//! Regression tests: simulated c_max(q) must equal the values published in
+//! the paper's Tables 3, 4 and 6 (Table 5's largest instances are covered
+//! by the bench harness where a longer budget is acceptable).
+
+use byz_assign::{MolsAssignment, RamanujanAssignment};
+use byz_distortion::{cmax_auto, cmax_branch_and_bound, cmax_exhaustive, count_distorted};
+
+/// Paper Table 3: MOLS (K, f, l, r) = (15, 25, 5, 3).
+#[test]
+fn table3_mols_15_25_5_3() {
+    let a = MolsAssignment::new(5, 3).unwrap().build();
+    let expected = [(2, 1), (3, 3), (4, 5), (5, 8), (6, 12), (7, 14)];
+    for (q, c) in expected {
+        let res = cmax_auto(&a, q);
+        assert!(res.exact);
+        assert_eq!(res.value, c, "Table 3, q = {q}");
+    }
+}
+
+/// Table 3 footnote: the Ramanujan Case 1 scheme with identical parameters
+/// has identical simulated c_max values.
+#[test]
+fn table3_ramanujan_case1_matches() {
+    let a = RamanujanAssignment::new(3, 5).unwrap().build();
+    let expected = [(2, 1), (3, 3), (4, 5), (5, 8), (6, 12), (7, 14)];
+    for (q, c) in expected {
+        let res = cmax_auto(&a, q);
+        assert!(res.exact);
+        assert_eq!(res.value, c, "Ramanujan Case 1, q = {q}");
+    }
+}
+
+/// Paper Table 4: Ramanujan Case 2 (m, s) = (5, 5), (K, f, l, r) = (25, 25, 5, 5).
+#[test]
+fn table4_ramanujan_case2_25_25_5_5() {
+    let a = RamanujanAssignment::new(5, 5).unwrap().build();
+    let expected = [
+        (3, 1),
+        (4, 1),
+        (5, 2),
+        (6, 4),
+        (7, 5),
+        (8, 7),
+        (9, 9),
+        (10, 12),
+        (11, 14),
+        (12, 17),
+    ];
+    for (q, c) in expected {
+        let res = cmax_branch_and_bound(&a, q, u64::MAX);
+        assert!(res.exact, "q = {q} should complete exactly");
+        assert_eq!(res.value, c, "Table 4, q = {q}");
+        assert_eq!(count_distorted(&a, &res.witness), c);
+    }
+}
+
+/// Paper Table 6: MOLS (K, f, l, r) = (21, 49, 7, 3).
+#[test]
+fn table6_mols_21_49_7_3() {
+    let a = MolsAssignment::new(7, 3).unwrap().build();
+    let expected = [
+        (2, 1),
+        (3, 3),
+        (4, 5),
+        (5, 8),
+        (6, 12),
+        (7, 16),
+        (8, 21),
+        (9, 25),
+        (10, 29),
+    ];
+    for (q, c) in expected {
+        let res = cmax_branch_and_bound(&a, q, u64::MAX);
+        assert!(res.exact, "q = {q} should complete exactly");
+        assert_eq!(res.value, c, "Table 6, q = {q}");
+    }
+}
+
+/// Paper Table 5 (small-q prefix): MOLS (K, f, l, r) = (35, 49, 7, 5).
+/// The full sweep to q = 13 runs in the bench harness; here we verify the
+/// head of the table stays exact and correct.
+#[test]
+fn table5_mols_35_49_7_5_prefix() {
+    let a = MolsAssignment::new(7, 5).unwrap().build();
+    let expected = [(3, 1), (4, 1), (5, 2), (6, 4), (7, 5)];
+    for (q, c) in expected {
+        let res = cmax_branch_and_bound(&a, q, u64::MAX);
+        assert!(res.exact, "q = {q} should complete exactly");
+        assert_eq!(res.value, c, "Table 5, q = {q}");
+    }
+}
+
+/// The γ bound of Claim 1 dominates every simulated c_max (Section 5.3.2's
+/// observation that γ is a tight upper bound).
+#[test]
+fn gamma_dominates_simulated_cmax() {
+    let a = MolsAssignment::new(5, 3).unwrap().build();
+    for q in 2..=7 {
+        let res = cmax_exhaustive(&a, q);
+        let gamma = a.expansion_bound(q).unwrap().gamma();
+        assert!(
+            (res.value as f64) <= gamma + 1e-9,
+            "q = {q}: c_max = {} > γ = {gamma}",
+            res.value
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal complex arithmetic for the Fourier decoder: `C64` scalars and
+//! the two dense solves the syndrome decoder needs.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number over `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Builds from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: C64 = C64::new(0.0, 0.0);
+    /// One.
+    pub const ONE: C64 = C64::new(1.0, 0.0);
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Modulus.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, o: C64) -> C64 {
+        let d = o.norm_sq();
+        C64::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+/// Dense row-major complex matrix (just enough for the decoder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, r: usize, c: usize) -> C64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: C64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `selfᴴ · other` (conjugate-transpose product).
+    pub fn hermitian_mul(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, other.rows, "hermitian_mul shape mismatch");
+        let mut out = CMatrix::zeros(self.cols, other.cols);
+        for i in 0..self.cols {
+            for j in 0..other.cols {
+                let mut acc = C64::ZERO;
+                for k in 0..self.rows {
+                    acc = acc + self.get(k, i).conj() * other.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Plain product `self · other`.
+    pub fn mul(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, other.rows, "mul shape mismatch");
+        let mut out = CMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a.abs() == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.set(i, j, out.get(i, j) + a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v.norm_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a = *a - *b;
+        }
+        out
+    }
+}
+
+/// Solves the square complex system `A·X = B` by Gaussian elimination with
+/// partial (modulus) pivoting. Returns `None` when singular.
+pub fn csolve(a: &CMatrix, b: &CMatrix) -> Option<CMatrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "csolve needs a square matrix");
+    assert_eq!(b.rows(), n, "csolve rhs shape mismatch");
+    let mut aug = a.clone();
+    let mut rhs = b.clone();
+    let m = rhs.cols();
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                aug.get(i, col)
+                    .abs()
+                    .partial_cmp(&aug.get(j, col).abs())
+                    .expect("finite moduli")
+            })?;
+        if aug.get(pivot_row, col).abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = aug.get(col, j);
+                aug.set(col, j, aug.get(pivot_row, j));
+                aug.set(pivot_row, j, tmp);
+            }
+            for j in 0..m {
+                let tmp = rhs.get(col, j);
+                rhs.set(col, j, rhs.get(pivot_row, j));
+                rhs.set(pivot_row, j, tmp);
+            }
+        }
+        for i in (col + 1)..n {
+            let factor = aug.get(i, col) / aug.get(col, col);
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                aug.set(i, j, aug.get(i, j) - factor * aug.get(col, j));
+            }
+            for j in 0..m {
+                rhs.set(i, j, rhs.get(i, j) - factor * rhs.get(col, j));
+            }
+        }
+    }
+    let mut x = CMatrix::zeros(n, m);
+    for j in 0..m {
+        for i in (0..n).rev() {
+            let mut acc = rhs.get(i, j);
+            for k in (i + 1)..n {
+                acc = acc - aug.get(i, k) * x.get(k, j);
+            }
+            x.set(i, j, acc / aug.get(i, i));
+        }
+    }
+    Some(x)
+}
+
+/// Complex least squares via the normal equations `AᴴA·X = AᴴB`.
+pub fn clstsq(a: &CMatrix, b: &CMatrix) -> Option<CMatrix> {
+    let aha = a.hermitian_mul(a);
+    let ahb = a.hermitian_mul(b);
+    csolve(&aha, &ahb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_arithmetic() {
+        let i = C64::new(0.0, 1.0);
+        assert_eq!(i * i, C64::new(-1.0, 0.0));
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.conj(), C64::new(3.0, -4.0));
+        let w = z / z;
+        assert!((w.re - 1.0).abs() < 1e-12 && w.im.abs() < 1e-12);
+        let c = C64::cis(std::f64::consts::PI / 2.0);
+        assert!(c.re.abs() < 1e-12 && (c.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_known_complex_system() {
+        // (1+i)·x = 2i  →  x = 2i/(1+i) = 1 + i.
+        let mut a = CMatrix::zeros(1, 1);
+        a.set(0, 0, C64::new(1.0, 1.0));
+        let mut b = CMatrix::zeros(1, 1);
+        b.set(0, 0, C64::new(0.0, 2.0));
+        let x = csolve(&a, &b).unwrap();
+        assert!((x.get(0, 0).re - 1.0).abs() < 1e-12);
+        assert!((x.get(0, 0).im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_consistent_system() {
+        // Overdetermined consistent: x = (2, i·3)… single unknown twice.
+        let mut a = CMatrix::zeros(2, 1);
+        a.set(0, 0, C64::ONE);
+        a.set(1, 0, C64::new(0.0, 1.0));
+        let mut b = CMatrix::zeros(2, 1);
+        b.set(0, 0, C64::new(2.0, 0.0));
+        b.set(1, 0, C64::new(0.0, 2.0));
+        let x = clstsq(&a, &b).unwrap();
+        assert!((x.get(0, 0).re - 2.0).abs() < 1e-10);
+        assert!(x.get(0, 0).im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = CMatrix::zeros(2, 2);
+        let b = CMatrix::zeros(2, 1);
+        assert!(csolve(&a, &b).is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! DRACO's Fractional Repetition Code with per-group majority decoding.
+
+use crate::DracoError;
+use byz_aggregate::majority_vote;
+
+/// The FRC gradient code: `K` workers in `K/r` groups; every member of
+/// group `g` computes and returns the same group gradient; the PS decodes
+/// each group by majority and sums the group results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrcCode {
+    num_workers: usize,
+    replication: usize,
+}
+
+impl FrcCode {
+    /// Creates the code.
+    ///
+    /// # Errors
+    ///
+    /// [`DracoError::BadParameters`] unless `r` is odd and divides `K`.
+    pub fn new(num_workers: usize, replication: usize) -> Result<Self, DracoError> {
+        if replication == 0 || !num_workers.is_multiple_of(replication) {
+            return Err(DracoError::BadParameters(format!(
+                "replication {replication} must divide worker count {num_workers}"
+            )));
+        }
+        if replication.is_multiple_of(2) {
+            return Err(DracoError::BadParameters(
+                "replication must be odd for majority decoding".into(),
+            ));
+        }
+        Ok(FrcCode {
+            num_workers,
+            replication,
+        })
+    }
+
+    /// Number of groups (= number of distinct group gradients).
+    pub fn num_groups(&self) -> usize {
+        self.num_workers / self.replication
+    }
+
+    /// Group of a worker.
+    pub fn group_of(&self, worker: usize) -> usize {
+        worker / self.replication
+    }
+
+    /// Maximum `q` this code corrects exactly: `(r − 1)/2`.
+    pub fn max_tolerable(&self) -> usize {
+        (self.replication - 1) / 2
+    }
+
+    /// Honest worker returns: every member of group `g` returns
+    /// `group_gradients[g]` verbatim (the encoding is plain repetition).
+    ///
+    /// # Errors
+    ///
+    /// [`DracoError::ShapeMismatch`] on a wrong group count.
+    pub fn encode(&self, group_gradients: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, DracoError> {
+        if group_gradients.len() != self.num_groups() {
+            return Err(DracoError::ShapeMismatch {
+                expected: self.num_groups(),
+                got: group_gradients.len(),
+            });
+        }
+        Ok((0..self.num_workers)
+            .map(|w| group_gradients[self.group_of(w)].clone())
+            .collect())
+    }
+
+    /// Decodes the sum of group gradients from the `K` worker returns,
+    /// exactly, provided at most `q ≤ (r−1)/2` returns are corrupted.
+    ///
+    /// # Errors
+    ///
+    /// * [`DracoError::TooManyAdversaries`] if `q > (r−1)/2` — the
+    ///   information-theoretic bound;
+    /// * [`DracoError::ShapeMismatch`] on malformed input.
+    pub fn decode(&self, returns: &[Vec<f32>], q: usize) -> Result<Vec<f32>, DracoError> {
+        if returns.len() != self.num_workers {
+            return Err(DracoError::ShapeMismatch {
+                expected: self.num_workers,
+                got: returns.len(),
+            });
+        }
+        if q > self.max_tolerable() {
+            return Err(DracoError::TooManyAdversaries {
+                replication: self.replication,
+                q,
+            });
+        }
+        let d = returns[0].len();
+        let mut sum = vec![0.0f32; d];
+        for g in 0..self.num_groups() {
+            let group_returns: Vec<Vec<f32>> = (0..self.replication)
+                .map(|j| returns[g * self.replication + j].clone())
+                .collect();
+            let outcome = majority_vote(&group_returns)
+                .map_err(|_| DracoError::DecodingFailed)?;
+            if outcome.value.len() != d {
+                return Err(DracoError::ShapeMismatch {
+                    expected: d,
+                    got: outcome.value.len(),
+                });
+            }
+            for (s, v) in sum.iter_mut().zip(&outcome.value) {
+                *s += v;
+            }
+        }
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery_within_bound() {
+        // K = 15, r = 5: tolerates q = 2 anywhere — even both in one group.
+        let code = FrcCode::new(15, 5).unwrap();
+        assert_eq!(code.num_groups(), 3);
+        assert_eq!(code.max_tolerable(), 2);
+        let groups = vec![vec![1.0f32, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+        let mut returns = code.encode(&groups).unwrap();
+        // Corrupt two workers of group 0 (the omniscient worst case).
+        returns[0] = vec![-9e9, 9e9];
+        returns[1] = vec![-9e9, 9e9];
+        let sum = code.decode(&returns, 2).unwrap();
+        assert_eq!(sum, vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn bound_violation_rejected() {
+        let code = FrcCode::new(15, 3).unwrap();
+        // r = 3 tolerates only q = 1; q = 2 is over the radius.
+        assert_eq!(
+            code.decode(&vec![vec![0.0]; 15], 2).unwrap_err(),
+            DracoError::TooManyAdversaries { replication: 3, q: 2 }
+        );
+    }
+
+    #[test]
+    fn over_radius_corruption_actually_breaks_decoding() {
+        // Demonstrate WHY the bound exists: 2 colluders in one r = 3
+        // group flip its majority and the decoded sum is wrong.
+        let code = FrcCode::new(9, 3).unwrap();
+        let groups = vec![vec![1.0f32], vec![2.0], vec![3.0]];
+        let mut returns = code.encode(&groups).unwrap();
+        returns[0] = vec![50.0];
+        returns[1] = vec![50.0];
+        // The decoder (told q = 1, within bounds) is silently wrong —
+        // exactly the fragility ByzShield's analysis targets.
+        let sum = code.decode(&returns, 1).unwrap();
+        assert_ne!(sum, vec![6.0]);
+        assert_eq!(sum, vec![55.0]);
+    }
+
+    #[test]
+    fn bad_parameters() {
+        assert!(FrcCode::new(10, 3).is_err());
+        assert!(FrcCode::new(8, 4).is_err());
+        assert!(FrcCode::new(9, 0).is_err());
+    }
+
+    #[test]
+    fn encode_shape_checked() {
+        let code = FrcCode::new(9, 3).unwrap();
+        assert!(matches!(
+            code.encode(&[vec![0.0]]),
+            Err(DracoError::ShapeMismatch { expected: 3, got: 1 })
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests of DRACO's exact-recovery guarantee: for ANY Byzantine
+//! set within the code radius and ANY corruption values, both decoders
+//! return the exact (clean-run) result.
+
+use byz_draco::{CyclicCode, DracoError, FrcCode};
+use proptest::prelude::*;
+
+fn grads(k: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..k)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    let h = (i as u64)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(j as u64)
+                        .wrapping_add(seed);
+                    ((h % 1000) as f32) / 100.0 - 5.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn sum(grads: &[Vec<f32>]) -> Vec<f32> {
+    let mut s = vec![0.0f32; grads[0].len()];
+    for g in grads {
+        for (sv, gv) in s.iter_mut().zip(g) {
+            *sv += gv;
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frc_exact_recovery(
+        seed in 0u64..1_000,
+        byz in prop::collection::btree_set(0usize..15, 0..=2),
+        payload in -1e6f32..1e6,
+    ) {
+        // K = 15, r = 5 tolerates any q ≤ 2.
+        let code = FrcCode::new(15, 5).unwrap();
+        let groups = grads(3, 4, seed);
+        let mut returns = code.encode(&groups).unwrap();
+        for &w in &byz {
+            returns[w] = vec![payload; 4];
+        }
+        let decoded = code.decode(&returns, 2).unwrap();
+        let expected = sum(&groups);
+        for (a, b) in decoded.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn cyclic_exact_recovery(
+        seed in 0u64..1_000,
+        byz in prop::collection::btree_set(0usize..12, 0..=2),
+        payload in prop::collection::vec(-1e4f32..1e4, 6),
+    ) {
+        let code = CyclicCode::new(12, 2).unwrap();
+        let files = grads(12, 3, seed);
+        let mut returns = code.encode(&files).unwrap();
+        for &w in &byz {
+            returns[w] = payload.clone();
+        }
+        match code.decode_sum(&returns) {
+            Ok(decoded) => {
+                let expected = sum(&files);
+                for (a, b) in decoded.iter().zip(&expected) {
+                    prop_assert!((a - b).abs() < 0.5, "{} vs {}", a, b);
+                }
+            }
+            // A payload that happens to be consistent with the honest
+            // codeword (e.g. near-zero corruption) may be undetectable,
+            // but then it is also harmless; only treat real failures as
+            // errors.
+            Err(DracoError::DecodingFailed) => {
+                prop_assert!(false, "decoding failed within the radius");
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_encoding_is_linear(seed in 0u64..500) {
+        // encode(a + b) = encode(a) + encode(b): the property that lets
+        // the PS decode sums of per-file gradients.
+        let code = CyclicCode::new(10, 1).unwrap();
+        let a = grads(10, 2, seed);
+        let b = grads(10, 2, seed.wrapping_add(77));
+        let ab: Vec<Vec<f32>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(u, v)| u + v).collect())
+            .collect();
+        let ea = code.encode(&a).unwrap();
+        let eb = code.encode(&b).unwrap();
+        let eab = code.encode(&ab).unwrap();
+        for i in 0..10 {
+            for j in 0..2 {
+                prop_assert!((eab[i][j] - (ea[i][j] + eb[i][j])).abs() < 1e-3);
+            }
+        }
+    }
+}
+
+/// The information-theoretic wall, deterministically: a q = 2 code facing
+/// 3 coordinated adversaries either fails loudly or — if the adversary is
+/// clever enough to forge a consistent syndrome — returns a wrong sum.
+/// Either way r < 2q + 1 has no exactness guarantee, which is why
+/// ByzShield's bounded-distortion trade-off exists.
+#[test]
+fn radius_is_tight() {
+    let code = CyclicCode::new(15, 2).unwrap();
+    let files = grads(15, 4, 9);
+    let mut returns = code.encode(&files).unwrap();
+    returns[0] = vec![1e5; 8];
+    returns[5] = vec![1e5; 8];
+    returns[10] = vec![1e5; 8];
+    match code.decode_sum(&returns) {
+        Err(DracoError::DecodingFailed) => {}
+        Ok(decoded) => {
+            let expected = sum(&files);
+            let wrong = decoded
+                .iter()
+                .zip(&expected)
+                .any(|(a, b)| (a - b).abs() > 1.0);
+            assert!(wrong, "3 errors against a 2-error code cannot be silently exact");
+        }
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}

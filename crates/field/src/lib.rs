@@ -1,0 +1,403 @@
+//! Finite field arithmetic for ByzShield's combinatorial constructions.
+//!
+//! The MOLS-based task assignment of ByzShield (paper Section 4.1.1) builds
+//! `l - 1` mutually orthogonal Latin squares of degree `l` from the maps
+//! `L_α(i, j) = α·i + j` over the finite field `F_l`, which requires `l` to
+//! be a *prime power*. This crate provides exact arithmetic in:
+//!
+//! * **prime fields** `GF(p)` — machine-integer arithmetic modulo `p`, and
+//! * **extension fields** `GF(p^m)` — polynomial arithmetic modulo an
+//!   irreducible polynomial found by exhaustive search.
+//!
+//! Both are unified behind the [`FiniteField`] handle whose elements are
+//! canonical indices `0..order`, which is exactly the representation the
+//! Latin-square code needs (row/column/symbol sets are `{0, …, l-1}`).
+//!
+//! # Example
+//!
+//! ```
+//! use byz_field::FiniteField;
+//!
+//! // GF(9) = GF(3^2): addition is NOT integer addition mod 9.
+//! let f = FiniteField::new(9).unwrap();
+//! let a = f.add(4, 7);
+//! assert!(a < 9);
+//! // Every nonzero element has a multiplicative inverse.
+//! for x in 1..9 {
+//!     assert_eq!(f.mul(x, f.inv(x).unwrap()), 1);
+//! }
+//! ```
+
+mod poly;
+mod prime;
+
+pub use poly::DensePoly;
+pub use prime::{factorize, is_prime, is_prime_power, primes_up_to};
+
+use std::fmt;
+
+/// Error type for finite-field construction and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// The requested order is not a prime power (fields only exist for `p^m`).
+    NotPrimePower(u64),
+    /// Zero has no multiplicative inverse.
+    ZeroInverse,
+    /// An element index was out of range for this field.
+    ElementOutOfRange { element: u64, order: u64 },
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::NotPrimePower(n) => {
+                write!(f, "{n} is not a prime power; no field of that order exists")
+            }
+            FieldError::ZeroInverse => write!(f, "zero has no multiplicative inverse"),
+            FieldError::ElementOutOfRange { element, order } => {
+                write!(f, "element {element} out of range for field of order {order}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// Internal representation of the field arithmetic.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Prime field: arithmetic directly mod `p`.
+    Prime { p: u64 },
+    /// Extension field GF(p^m) with full add/mul tables over canonical
+    /// element indices. Orders used by task assignment are tiny (≤ a few
+    /// hundred), so dense tables are the simplest correct choice.
+    Extension {
+        p: u64,
+        m: u32,
+        add: Vec<u64>,
+        mul: Vec<u64>,
+    },
+}
+
+/// A finite field `GF(p^m)` whose elements are the canonical indices
+/// `0..order`.
+///
+/// For prime fields the element `k` *is* the residue `k (mod p)`; for
+/// extension fields the element `k` encodes the coefficient vector of a
+/// polynomial over `GF(p)` in base `p` (least-significant coefficient
+/// first). In both cases `0` is the additive identity and `1` the
+/// multiplicative identity.
+#[derive(Debug, Clone)]
+pub struct FiniteField {
+    order: u64,
+    characteristic: u64,
+    degree: u32,
+    repr: Repr,
+}
+
+impl FiniteField {
+    /// Constructs the finite field of the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NotPrimePower`] if `order` is not of the form
+    /// `p^m` for a prime `p` and `m ≥ 1`.
+    pub fn new(order: u64) -> Result<Self, FieldError> {
+        let (p, m) = is_prime_power(order).ok_or(FieldError::NotPrimePower(order))?;
+        if m == 1 {
+            return Ok(FiniteField {
+                order,
+                characteristic: p,
+                degree: 1,
+                repr: Repr::Prime { p },
+            });
+        }
+        // Find an irreducible monic polynomial of degree m over GF(p) and
+        // build dense operation tables.
+        let irreducible = poly::find_irreducible(p, m);
+        let n = order as usize;
+        let mut add = vec![0u64; n * n];
+        let mut mul = vec![0u64; n * n];
+        for a in 0..n as u64 {
+            let pa = poly::from_index(a, p, m);
+            for b in a..n as u64 {
+                let pb = poly::from_index(b, p, m);
+                let s = poly::to_index(&pa.add(&pb, p), p);
+                let prod_poly = pa.mul(&pb, p).rem(&irreducible, p);
+                let pr = poly::to_index(&prod_poly, p);
+                add[a as usize * n + b as usize] = s;
+                add[b as usize * n + a as usize] = s;
+                mul[a as usize * n + b as usize] = pr;
+                mul[b as usize * n + a as usize] = pr;
+            }
+        }
+        Ok(FiniteField {
+            order,
+            characteristic: p,
+            degree: m,
+            repr: Repr::Extension { p, m, add, mul },
+        })
+    }
+
+    /// The number of elements in the field.
+    #[inline]
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+
+    /// The characteristic `p` of the field.
+    #[inline]
+    pub fn characteristic(&self) -> u64 {
+        self.characteristic
+    }
+
+    /// The extension degree `m` (so that `order == p^m`).
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Returns `true` if the field is a prime field (`m == 1`).
+    #[inline]
+    pub fn is_prime_field(&self) -> bool {
+        self.degree == 1
+    }
+
+    #[inline]
+    fn check(&self, x: u64) -> u64 {
+        debug_assert!(
+            x < self.order,
+            "element {x} out of range for field of order {}",
+            self.order
+        );
+        x
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.check(a), self.check(b));
+        match &self.repr {
+            Repr::Prime { p } => (a + b) % p,
+            Repr::Extension { add, .. } => add[a as usize * self.order as usize + b as usize],
+        }
+    }
+
+    /// Field subtraction (`a - b`).
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, self.neg(b))
+    }
+
+    /// Additive inverse.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        let a = self.check(a);
+        match &self.repr {
+            Repr::Prime { p } => (p - a) % p,
+            Repr::Extension { p, m, .. } => {
+                // Negate each base-p digit independently (characteristic-p
+                // vector space).
+                let mut out = 0u64;
+                let mut x = a;
+                let mut pow = 1u64;
+                for _ in 0..*m {
+                    let digit = x % p;
+                    let nd = (p - digit) % p;
+                    out += nd * pow;
+                    pow *= p;
+                    x /= p;
+                }
+                out
+            }
+        }
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        let (a, b) = (self.check(a), self.check(b));
+        match &self.repr {
+            Repr::Prime { p } => (a * b) % p,
+            Repr::Extension { mul, .. } => mul[a as usize * self.order as usize + b as usize],
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] for `a == 0`.
+    pub fn inv(&self, a: u64) -> Result<u64, FieldError> {
+        let a = self.check(a);
+        if a == 0 {
+            return Err(FieldError::ZeroInverse);
+        }
+        match &self.repr {
+            Repr::Prime { p } => Ok(prime::mod_inverse(a, *p)),
+            Repr::Extension { .. } => {
+                // Tiny orders: scan. a * x == 1 has a unique solution.
+                for x in 1..self.order {
+                    if self.mul(a, x) == 1 {
+                        return Ok(x);
+                    }
+                }
+                unreachable!("every nonzero element of a field is invertible")
+            }
+        }
+    }
+
+    /// Field division (`a / b`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] for `b == 0`.
+    pub fn div(&self, a: u64, b: u64) -> Result<u64, FieldError> {
+        Ok(self.mul(a, self.inv(b)?))
+    }
+
+    /// Raises `a` to the `e`-th power by square-and-multiply.
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        let mut base = self.check(a);
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Solves the 2×2 linear system over the field:
+    ///
+    /// ```text
+    /// a·x + b·y = e
+    /// c·x + d·y = f
+    /// ```
+    ///
+    /// Returns `None` when the determinant `ad − bc` is zero. This is the
+    /// primitive behind the orthogonality of the MOLS construction
+    /// (paper Sec. 4.1.1: "linear equations of the form ai+bj=s, ci+dj=t
+    /// have unique solutions provided ad − bc ≠ 0").
+    pub fn solve2x2(&self, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> Option<(u64, u64)> {
+        let det = self.sub(self.mul(a, d), self.mul(b, c));
+        if det == 0 {
+            return None;
+        }
+        let det_inv = self.inv(det).expect("nonzero determinant");
+        // Cramer's rule.
+        let x = self.mul(self.sub(self.mul(e, d), self.mul(b, f)), det_inv);
+        let y = self.mul(self.sub(self.mul(a, f), self.mul(e, c)), det_inv);
+        Some((x, y))
+    }
+
+    /// Iterator over all field elements in canonical order.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_field_basics() {
+        let f = FiniteField::new(5).unwrap();
+        assert_eq!(f.order(), 5);
+        assert_eq!(f.characteristic(), 5);
+        assert_eq!(f.degree(), 1);
+        assert!(f.is_prime_field());
+        assert_eq!(f.add(3, 4), 2);
+        assert_eq!(f.mul(3, 4), 2);
+        assert_eq!(f.neg(2), 3);
+        assert_eq!(f.sub(1, 3), 3);
+        assert_eq!(f.inv(2).unwrap(), 3);
+        assert_eq!(f.div(1, 4).unwrap(), 4);
+        assert_eq!(f.pow(2, 4), 1);
+    }
+
+    #[test]
+    fn non_prime_power_rejected() {
+        assert_eq!(FiniteField::new(6).unwrap_err(), FieldError::NotPrimePower(6));
+        assert_eq!(FiniteField::new(12).unwrap_err(), FieldError::NotPrimePower(12));
+        assert_eq!(FiniteField::new(0).unwrap_err(), FieldError::NotPrimePower(0));
+        assert_eq!(FiniteField::new(1).unwrap_err(), FieldError::NotPrimePower(1));
+    }
+
+    #[test]
+    fn extension_field_gf4() {
+        let f = FiniteField::new(4).unwrap();
+        assert_eq!(f.characteristic(), 2);
+        assert_eq!(f.degree(), 2);
+        assert!(!f.is_prime_field());
+        // Characteristic 2: x + x = 0 for all x.
+        for x in f.elements() {
+            assert_eq!(f.add(x, x), 0);
+        }
+        // GF(4) multiplicative group is cyclic of order 3.
+        for x in 1..4 {
+            assert_eq!(f.pow(x, 3), 1);
+        }
+    }
+
+    #[test]
+    fn extension_field_gf9_inverses() {
+        let f = FiniteField::new(9).unwrap();
+        for x in 1..9 {
+            let ix = f.inv(x).unwrap();
+            assert_eq!(f.mul(x, ix), 1, "inv failed for {x}");
+        }
+        assert_eq!(f.inv(0).unwrap_err(), FieldError::ZeroInverse);
+    }
+
+    #[test]
+    fn gf8_frobenius_fixed_points() {
+        // In GF(8) the map x -> x^2 is an automorphism; its fixed points are
+        // exactly the prime subfield GF(2) = {0, 1}.
+        let f = FiniteField::new(8).unwrap();
+        let fixed: Vec<u64> = f.elements().filter(|&x| f.pow(x, 2) == x).collect();
+        assert_eq!(fixed, vec![0, 1]);
+    }
+
+    #[test]
+    fn solve2x2_unique_solutions() {
+        let f = FiniteField::new(7).unwrap();
+        // 2x + 3y = 1, 5x + y = 6  ->  det = 2*1 - 3*5 = -13 = 1 mod 7.
+        let (x, y) = f.solve2x2(2, 3, 5, 1, 1, 6).unwrap();
+        assert_eq!(f.add(f.mul(2, x), f.mul(3, y)), 1);
+        assert_eq!(f.add(f.mul(5, x), f.mul(1, y)), 6);
+        // Singular system has no unique solution.
+        assert!(f.solve2x2(1, 2, 2, 4, 0, 0).is_none());
+    }
+
+    #[test]
+    fn field_axioms_small_orders() {
+        for order in [2u64, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27] {
+            let f = FiniteField::new(order).unwrap();
+            for a in f.elements() {
+                assert_eq!(f.add(a, 0), a);
+                assert_eq!(f.mul(a, 1), a);
+                assert_eq!(f.add(a, f.neg(a)), 0);
+                for b in f.elements() {
+                    assert_eq!(f.add(a, b), f.add(b, a));
+                    assert_eq!(f.mul(a, b), f.mul(b, a));
+                    for c in f.elements() {
+                        // Spot-check associativity/distributivity on a
+                        // subsample to keep runtime bounded.
+                        if (a + b + c) % 5 == 0 {
+                            assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+                            assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                            assert_eq!(
+                                f.mul(a, f.add(b, c)),
+                                f.add(f.mul(a, b), f.mul(a, c))
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Dense polynomials over `GF(p)` and irreducible-polynomial search,
+//! used to realize extension fields `GF(p^m)`.
+
+/// A dense polynomial over `GF(p)`; `coeffs[i]` is the coefficient of `x^i`.
+/// The zero polynomial is represented by an empty coefficient vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DensePoly {
+    coeffs: Vec<u64>,
+}
+
+impl DensePoly {
+    /// Builds a polynomial from coefficients (constant term first),
+    /// trimming trailing zeros.
+    pub fn new(mut coeffs: Vec<u64>) -> Self {
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        DensePoly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        DensePoly { coeffs: Vec::new() }
+    }
+
+    /// Degree of the polynomial; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficient view (constant term first).
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Polynomial addition over `GF(p)`.
+    pub fn add(&self, other: &DensePoly, p: u64) -> DensePoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u64; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(0);
+            let b = other.coeffs.get(i).copied().unwrap_or(0);
+            *slot = (a + b) % p;
+        }
+        DensePoly::new(out)
+    }
+
+    /// Polynomial multiplication over `GF(p)` (schoolbook; degrees are tiny).
+    pub fn mul(&self, other: &DensePoly, p: u64) -> DensePoly {
+        if self.is_zero() || other.is_zero() {
+            return DensePoly::zero();
+        }
+        let mut out = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] = (out[i + j] + a * b) % p;
+            }
+        }
+        DensePoly::new(out)
+    }
+
+    /// Remainder of division by a monic `divisor` over `GF(p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero or not monic.
+    pub fn rem(&self, divisor: &DensePoly, p: u64) -> DensePoly {
+        let d = divisor.degree().expect("division by zero polynomial");
+        assert_eq!(
+            divisor.coeffs[d], 1,
+            "rem requires a monic divisor (leading coefficient 1)"
+        );
+        let mut rem = self.coeffs.clone();
+        while rem.len() > d {
+            let lead = *rem.last().unwrap();
+            let shift = rem.len() - 1 - d;
+            if lead != 0 {
+                for (i, &dc) in divisor.coeffs.iter().enumerate() {
+                    let idx = shift + i;
+                    let sub = (lead * dc) % p;
+                    rem[idx] = (rem[idx] + p - sub) % p;
+                }
+            }
+            rem.pop();
+        }
+        DensePoly::new(rem)
+    }
+
+    /// Evaluates the polynomial at `x` over `GF(p)` (Horner's rule).
+    pub fn eval(&self, x: u64, p: u64) -> u64 {
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = (acc * x + c) % p;
+        }
+        acc
+    }
+}
+
+/// Decodes the canonical index of a field element into its coefficient
+/// polynomial (base-`p` digits, degree `< m`).
+pub fn from_index(mut idx: u64, p: u64, m: u32) -> DensePoly {
+    let mut coeffs = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        coeffs.push(idx % p);
+        idx /= p;
+    }
+    DensePoly::new(coeffs)
+}
+
+/// Encodes a polynomial of degree `< m` back into its canonical index.
+pub fn to_index(poly: &DensePoly, p: u64) -> u64 {
+    let mut out = 0u64;
+    for &c in poly.coeffs().iter().rev() {
+        out = out * p + c;
+    }
+    out
+}
+
+/// Finds a monic irreducible polynomial of degree `m` over `GF(p)` by
+/// exhaustive search (degrees are tiny for our use).
+pub fn find_irreducible(p: u64, m: u32) -> DensePoly {
+    assert!(m >= 2, "extension degree must be at least 2");
+    let m = m as usize;
+    let candidates = p.pow(m as u32);
+    for lower in 0..candidates {
+        // Candidate: x^m + (polynomial encoded by `lower`).
+        let mut coeffs = from_index(lower, p, m as u32).coeffs().to_vec();
+        coeffs.resize(m + 1, 0);
+        coeffs[m] = 1;
+        let cand = DensePoly::new(coeffs);
+        if is_irreducible(&cand, p) {
+            return cand;
+        }
+    }
+    unreachable!("an irreducible polynomial of every degree exists over GF(p)")
+}
+
+/// Tests irreducibility of a monic polynomial over `GF(p)` by checking that
+/// it has no monic factor of degree `1 ≤ d ≤ deg/2` (exhaustive; fine for
+/// the tiny degrees used here).
+fn is_irreducible(poly: &DensePoly, p: u64) -> bool {
+    let deg = match poly.degree() {
+        Some(d) if d >= 1 => d,
+        _ => return false,
+    };
+    // Degree-1 factors correspond to roots.
+    for x in 0..p {
+        if poly.eval(x, p) == 0 {
+            return false;
+        }
+    }
+    // Higher-degree monic factors.
+    for d in 2..=deg / 2 {
+        let count = p.pow(d as u32);
+        for lower in 0..count {
+            let mut coeffs = from_index(lower, p, d as u32).coeffs().to_vec();
+            coeffs.resize(d + 1, 0);
+            coeffs[d] = 1;
+            let factor = DensePoly::new(coeffs);
+            if poly.rem(&factor, p).is_zero() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_arithmetic() {
+        let p = 3;
+        let a = DensePoly::new(vec![1, 2]); // 1 + 2x
+        let b = DensePoly::new(vec![2, 2]); // 2 + 2x
+        assert_eq!(a.add(&b, p), DensePoly::new(vec![0, 1])); // x
+        // (1+2x)(2+2x) = 2 + 2x + 4x + 4x^2 = 2 + 6x + 4x^2 = 2 + 0x + x^2.
+        assert_eq!(a.mul(&b, p), DensePoly::new(vec![2, 0, 1]));
+    }
+
+    #[test]
+    fn poly_rem() {
+        let p = 2;
+        // x^2 mod (x^2 + x + 1) = x + 1 over GF(2).
+        let x2 = DensePoly::new(vec![0, 0, 1]);
+        let modulus = DensePoly::new(vec![1, 1, 1]);
+        assert_eq!(x2.rem(&modulus, p), DensePoly::new(vec![1, 1]));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for p in [2u64, 3, 5] {
+            for m in [2u32, 3] {
+                for idx in 0..p.pow(m) {
+                    let poly = from_index(idx, p, m);
+                    assert_eq!(to_index(&poly, p), idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irreducible_search() {
+        // The canonical GF(4) modulus x^2 + x + 1 should be found.
+        let irr = find_irreducible(2, 2);
+        assert_eq!(irr, DensePoly::new(vec![1, 1, 1]));
+        // Any found polynomial of degree 3 over GF(3) must have no roots.
+        let irr = find_irreducible(3, 3);
+        for x in 0..3 {
+            assert_ne!(irr.eval(x, 3), 0);
+        }
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = 7;
+        let poly = DensePoly::new(vec![3, 0, 1]); // 3 + x^2
+        assert_eq!(poly.eval(2, p), 0); // 3 + 4 = 7 = 0 mod 7
+        assert_eq!(poly.eval(3, p), 5); // 3 + 9 = 12 = 5 mod 7
+    }
+}

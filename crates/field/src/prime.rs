@@ -1,0 +1,151 @@
+//! Primality and prime-power utilities.
+
+/// Deterministic primality test by trial division (orders used in task
+/// assignment are tiny, so this is more than fast enough).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    if n.is_multiple_of(3) {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// If `n == p^m` for a prime `p` and `m ≥ 1`, returns `(p, m)`.
+pub fn is_prime_power(n: u64) -> Option<(u64, u32)> {
+    if n < 2 {
+        return None;
+    }
+    let factors = factorize(n);
+    if factors.len() == 1 {
+        let (p, m) = factors[0];
+        Some((p, m))
+    } else {
+        None
+    }
+}
+
+/// Prime factorization as `(prime, exponent)` pairs in increasing order.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            let mut e = 0u32;
+            while n.is_multiple_of(d) {
+                n /= d;
+                e += 1;
+            }
+            out.push((d, e));
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// All primes `≤ limit` via a simple sieve.
+pub fn primes_up_to(limit: u64) -> Vec<u64> {
+    if limit < 2 {
+        return Vec::new();
+    }
+    let n = limit as usize;
+    let mut sieve = vec![true; n + 1];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut i = 2usize;
+    while i * i <= n {
+        if sieve[i] {
+            let mut j = i * i;
+            while j <= n {
+                sieve[j] = false;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    sieve
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| if p { Some(i as u64) } else { None })
+        .collect()
+}
+
+/// Modular inverse in `GF(p)` via the extended Euclidean algorithm.
+///
+/// Requires `0 < a < p` and `p` prime.
+pub fn mod_inverse(a: u64, p: u64) -> u64 {
+    let (mut old_r, mut r) = (a as i128, p as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    debug_assert_eq!(old_r, 1, "{a} not invertible mod {p}");
+    (old_s.rem_euclid(p as i128)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for n in [0u64, 1, 4, 6, 9, 91, 7917] {
+            assert!(!is_prime(n), "{n} should be composite");
+        }
+    }
+
+    #[test]
+    fn prime_powers() {
+        assert_eq!(is_prime_power(2), Some((2, 1)));
+        assert_eq!(is_prime_power(4), Some((2, 2)));
+        assert_eq!(is_prime_power(8), Some((2, 3)));
+        assert_eq!(is_prime_power(9), Some((3, 2)));
+        assert_eq!(is_prime_power(27), Some((3, 3)));
+        assert_eq!(is_prime_power(25), Some((5, 2)));
+        assert_eq!(is_prime_power(6), None);
+        assert_eq!(is_prime_power(12), None);
+        assert_eq!(is_prime_power(1), None);
+    }
+
+    #[test]
+    fn factorization() {
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+        assert_eq!(factorize(97), vec![(97, 1)]);
+        assert_eq!(factorize(1024), vec![(2, 10)]);
+    }
+
+    #[test]
+    fn sieve() {
+        assert_eq!(primes_up_to(20), vec![2, 3, 5, 7, 11, 13, 17, 19]);
+        assert!(primes_up_to(1).is_empty());
+    }
+
+    #[test]
+    fn inverses_mod_p() {
+        for p in [5u64, 7, 11, 101] {
+            for a in 1..p {
+                assert_eq!(a * mod_inverse(a, p) % p, 1);
+            }
+        }
+    }
+}

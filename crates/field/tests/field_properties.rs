@@ -1,0 +1,78 @@
+//! Property-based tests of the finite-field axioms.
+
+use byz_field::{is_prime_power, FiniteField};
+use proptest::prelude::*;
+
+/// Strategy yielding small prime-power orders together with two elements.
+fn field_and_elems() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+    let orders: Vec<u64> = (2u64..=32).filter(|&n| is_prime_power(n).is_some()).collect();
+    prop::sample::select(orders).prop_flat_map(|ord| {
+        (Just(ord), 0..ord, 0..ord, 0..ord)
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_is_group((ord, a, b, c) in field_and_elems()) {
+        let f = FiniteField::new(ord).unwrap();
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        prop_assert_eq!(f.add(a, 0), a);
+        prop_assert_eq!(f.add(a, f.neg(a)), 0);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_monoid((ord, a, b, c) in field_and_elems()) {
+        let f = FiniteField::new(ord).unwrap();
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, 1), a);
+        prop_assert_eq!(f.mul(a, 0), 0);
+    }
+
+    #[test]
+    fn distributivity((ord, a, b, c) in field_and_elems()) {
+        let f = FiniteField::new(ord).unwrap();
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    }
+
+    #[test]
+    fn inverses((ord, a, _b, _c) in field_and_elems()) {
+        let f = FiniteField::new(ord).unwrap();
+        if a != 0 {
+            let inv = f.inv(a).unwrap();
+            prop_assert_eq!(f.mul(a, inv), 1);
+            prop_assert_eq!(f.div(1, a).unwrap(), inv);
+        } else {
+            prop_assert!(f.inv(a).is_err());
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul((ord, a, _b, _c) in field_and_elems(), e in 0u64..12) {
+        let f = FiniteField::new(ord).unwrap();
+        let mut expected = 1u64;
+        for _ in 0..e {
+            expected = f.mul(expected, a);
+        }
+        prop_assert_eq!(f.pow(a, e), expected);
+    }
+
+    #[test]
+    fn frobenius_is_additive((ord, a, b, _c) in field_and_elems()) {
+        // In characteristic p, (a + b)^p = a^p + b^p (the freshman's dream).
+        let f = FiniteField::new(ord).unwrap();
+        let p = f.characteristic();
+        prop_assert_eq!(
+            f.pow(f.add(a, b), p),
+            f.add(f.pow(a, p), f.pow(b, p))
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem((ord, a, _b, _c) in field_and_elems()) {
+        // x^order = x for every element of GF(order).
+        let f = FiniteField::new(ord).unwrap();
+        prop_assert_eq!(f.pow(a, ord), a);
+    }
+}

@@ -1,0 +1,443 @@
+//! Bipartite worker–file assignment graphs and their expansion properties.
+//!
+//! ByzShield assigns each batch's `f` files to `K` workers according to a
+//! bipartite graph `G = (U ∪ F, E)` (paper Section 2, "Worker Assignment").
+//! The robustness analysis (Section 3) hinges on the *expansion* of `G`:
+//! a set `S` of Byzantine workers collectively touches at least
+//!
+//! ```text
+//! |N(S)| ≥ β = (q·l/r) / (µ₁ + (1 − µ₁)·q/K)        (Eq. 5)
+//! ```
+//!
+//! files, where `µ₁` is the second-largest eigenvalue of `A·Aᵀ` for the
+//! normalized bi-adjacency matrix `A = H/√(d_L·d_R)`. Claim 1 then bounds
+//! the number of majority-distortable files:
+//!
+//! ```text
+//! c_max(q) ≤ γ = (q·l − β) / ((r − 1)/2)
+//! ```
+//!
+//! This crate provides [`BipartiteGraph`] with neighbor/volume queries, the
+//! normalized spectrum, and [`ExpansionBound`] computing β and γ.
+
+use byz_linalg::{cluster_spectrum, symmetric_eigenvalues, EigenError, Matrix};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from graph construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a worker or file index out of range.
+    IndexOutOfRange {
+        kind: &'static str,
+        index: usize,
+        limit: usize,
+    },
+    /// The graph is not left/right biregular, which the spectral analysis
+    /// assumes.
+    NotBiregular,
+    /// A spectral computation failed.
+    Eigen(EigenError),
+    /// The graph has no edges, so degrees/spectra are undefined.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::IndexOutOfRange { kind, index, limit } => {
+                write!(f, "{kind} index {index} out of range (limit {limit})")
+            }
+            GraphError::NotBiregular => write!(f, "graph is not biregular"),
+            GraphError::Eigen(e) => write!(f, "spectral computation failed: {e}"),
+            GraphError::Empty => write!(f, "graph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<EigenError> for GraphError {
+    fn from(e: EigenError) -> Self {
+        GraphError::Eigen(e)
+    }
+}
+
+/// A bipartite graph between `workers` (left vertices) and `files` (right
+/// vertices), stored as adjacency lists both ways.
+///
+/// Worker and file vertices are identified by their indices
+/// `0..num_workers` and `0..num_files`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BipartiteGraph {
+    num_workers: usize,
+    num_files: usize,
+    /// `worker_files[u]` = sorted file indices assigned to worker `u`.
+    worker_files: Vec<Vec<usize>>,
+    /// `file_workers[v]` = sorted worker indices holding file `v`.
+    file_workers: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty bipartite graph with the given vertex counts.
+    pub fn new(num_workers: usize, num_files: usize) -> Self {
+        BipartiteGraph {
+            num_workers,
+            num_files,
+            worker_files: vec![Vec::new(); num_workers],
+            file_workers: vec![Vec::new(); num_files],
+        }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOutOfRange`] on bad indices.
+    pub fn from_edges(
+        num_workers: usize,
+        num_files: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let mut g = BipartiteGraph::new(num_workers, num_files);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Builds a graph from a 0/1 bi-adjacency matrix `H` whose rows are
+    /// workers and whose columns are files.
+    pub fn from_biadjacency(h: &Matrix) -> Self {
+        let mut g = BipartiteGraph::new(h.rows(), h.cols());
+        for u in 0..h.rows() {
+            for v in 0..h.cols() {
+                if h[(u, v)] != 0.0 {
+                    g.add_edge(u, v).expect("indices in range by construction");
+                }
+            }
+        }
+        g
+    }
+
+    /// Adds the edge `(worker, file)`; duplicate edges are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOutOfRange`] on bad indices.
+    pub fn add_edge(&mut self, worker: usize, file: usize) -> Result<(), GraphError> {
+        if worker >= self.num_workers {
+            return Err(GraphError::IndexOutOfRange {
+                kind: "worker",
+                index: worker,
+                limit: self.num_workers,
+            });
+        }
+        if file >= self.num_files {
+            return Err(GraphError::IndexOutOfRange {
+                kind: "file",
+                index: file,
+                limit: self.num_files,
+            });
+        }
+        if let Err(pos) = self.worker_files[worker].binary_search(&file) {
+            self.worker_files[worker].insert(pos, file);
+            let wpos = self.file_workers[file]
+                .binary_search(&worker)
+                .expect_err("edge sets must stay consistent");
+            self.file_workers[file].insert(wpos, worker);
+        }
+        Ok(())
+    }
+
+    /// Number of worker (left) vertices.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of file (right) vertices.
+    #[inline]
+    pub fn num_files(&self) -> usize {
+        self.num_files
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.worker_files.iter().map(Vec::len).sum()
+    }
+
+    /// Files assigned to `worker` — the paper's `N(U_j)`.
+    #[inline]
+    pub fn files_of(&self, worker: usize) -> &[usize] {
+        &self.worker_files[worker]
+    }
+
+    /// Workers holding `file` — the paper's `N(B_{t,i})`.
+    #[inline]
+    pub fn workers_of(&self, file: usize) -> &[usize] {
+        &self.file_workers[file]
+    }
+
+    /// The set of files touched by any worker in `workers` (`N(S)`).
+    pub fn file_neighborhood(&self, workers: &[usize]) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for &u in workers {
+            out.extend(self.worker_files[u].iter().copied());
+        }
+        out
+    }
+
+    /// Volume (sum of degrees) of a set of workers.
+    pub fn worker_volume(&self, workers: &[usize]) -> usize {
+        workers.iter().map(|&u| self.worker_files[u].len()).sum()
+    }
+
+    /// Left degree if all workers have equal degree.
+    pub fn left_degree(&self) -> Option<usize> {
+        let d = self.worker_files.first()?.len();
+        self.worker_files.iter().all(|fs| fs.len() == d).then_some(d)
+    }
+
+    /// Right degree (replication factor `r`) if all files have equal degree.
+    pub fn right_degree(&self) -> Option<usize> {
+        let d = self.file_workers.first()?.len();
+        self.file_workers.iter().all(|ws| ws.len() == d).then_some(d)
+    }
+
+    /// `true` when the graph is (d_L, d_R)-biregular.
+    pub fn is_biregular(&self) -> bool {
+        self.left_degree().is_some() && self.right_degree().is_some()
+    }
+
+    /// The 0/1 bi-adjacency matrix `H` (workers × files).
+    pub fn biadjacency(&self) -> Matrix {
+        let mut h = Matrix::zeros(self.num_workers, self.num_files);
+        for (u, files) in self.worker_files.iter().enumerate() {
+            for &v in files {
+                h[(u, v)] = 1.0;
+            }
+        }
+        h
+    }
+
+    /// The normalized bi-adjacency matrix `A = H / √(d_L·d_R)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotBiregular`] if degrees are not constant, or
+    /// [`GraphError::Empty`] for an edgeless graph.
+    pub fn normalized_biadjacency(&self) -> Result<Matrix, GraphError> {
+        if self.num_edges() == 0 {
+            return Err(GraphError::Empty);
+        }
+        let dl = self.left_degree().ok_or(GraphError::NotBiregular)?;
+        let dr = self.right_degree().ok_or(GraphError::NotBiregular)?;
+        Ok(self.biadjacency().scale(1.0 / ((dl * dr) as f64).sqrt()))
+    }
+
+    /// Eigenvalues of `A·Aᵀ` in decreasing order (paper Section 3). The
+    /// leading eigenvalue is 1 for any biregular graph.
+    pub fn gram_spectrum(&self) -> Result<Vec<f64>, GraphError> {
+        let a = self.normalized_biadjacency()?;
+        let gram = a
+            .matmul(&a.transpose())
+            .expect("A·Aᵀ dimensions always agree");
+        Ok(symmetric_eigenvalues(&gram)?)
+    }
+
+    /// Second-largest eigenvalue `µ₁` of `A·Aᵀ`.
+    pub fn second_eigenvalue(&self) -> Result<f64, GraphError> {
+        let spec = self.gram_spectrum()?;
+        spec.get(1).copied().ok_or(GraphError::Empty)
+    }
+
+    /// Groups the spectrum of `A·Aᵀ` into `(eigenvalue, multiplicity)`
+    /// clusters — convenient for checking Lemma 2 statements.
+    pub fn clustered_spectrum(&self, tol: f64) -> Result<Vec<(f64, usize)>, GraphError> {
+        Ok(cluster_spectrum(&self.gram_spectrum()?, tol))
+    }
+
+    /// Expansion/distortion bounds for this graph (β of Eq. 5 and γ of
+    /// Claim 1) for a given number of Byzantine workers `q`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spectral errors; also requires biregularity.
+    pub fn expansion_bound(&self, q: usize) -> Result<ExpansionBound, GraphError> {
+        let l = self.left_degree().ok_or(GraphError::NotBiregular)?;
+        let r = self.right_degree().ok_or(GraphError::NotBiregular)?;
+        let mu1 = self.second_eigenvalue()?;
+        Ok(ExpansionBound::new(self.num_workers, self.num_files, l, r, mu1, q))
+    }
+}
+
+/// The spectral expansion bounds of paper Eq. (5) and Claim 1 for a
+/// specific `(K, f, l, r, µ₁, q)` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionBound {
+    /// Number of workers `K`.
+    pub num_workers: usize,
+    /// Number of files `f`.
+    pub num_files: usize,
+    /// Computational load `l` (files per worker).
+    pub load: usize,
+    /// Replication factor `r` (workers per file).
+    pub replication: usize,
+    /// Second-largest eigenvalue `µ₁` of `A·Aᵀ`.
+    pub mu1: f64,
+    /// Number of Byzantine workers `q`.
+    pub num_byzantine: usize,
+}
+
+impl ExpansionBound {
+    /// Builds the bound object from explicit parameters.
+    pub fn new(
+        num_workers: usize,
+        num_files: usize,
+        load: usize,
+        replication: usize,
+        mu1: f64,
+        num_byzantine: usize,
+    ) -> Self {
+        ExpansionBound {
+            num_workers,
+            num_files,
+            load,
+            replication,
+            mu1,
+            num_byzantine,
+        }
+    }
+
+    /// β — lower bound on `|N(S)|`, the number of files collectively
+    /// processed by the `q` Byzantines (Eq. 5).
+    pub fn beta(&self) -> f64 {
+        let q = self.num_byzantine as f64;
+        let l = self.load as f64;
+        let r = self.replication as f64;
+        let k = self.num_workers as f64;
+        (q * l / r) / (self.mu1 + (1.0 - self.mu1) * q / k)
+    }
+
+    /// γ — upper bound on the number of distortable files `c_max(q)`
+    /// (Claim 1). Defined for odd replication `r ≥ 3`.
+    pub fn gamma(&self) -> f64 {
+        let q = self.num_byzantine as f64;
+        let l = self.load as f64;
+        let r = self.replication as f64;
+        (q * l - self.beta()) / ((r - 1.0) / 2.0)
+    }
+
+    /// γ/f — upper bound on the distortion *fraction* ε̂ (Section 5.1).
+    pub fn epsilon_hat_bound(&self) -> f64 {
+        self.gamma() / self.num_files as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 toy graph: K = 6 workers, f = 4 files, r = 3, l = 2.
+    fn figure1_graph() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            6,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 3),
+                (3, 3),
+                (3, 0),
+                (4, 0),
+                (4, 2),
+                (5, 1),
+                (5, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let g = figure1_graph();
+        assert_eq!(g.num_workers(), 6);
+        assert_eq!(g.num_files(), 4);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.files_of(0), &[0, 1]);
+        assert_eq!(g.workers_of(0), &[0, 3, 4]);
+        assert!(g.is_biregular());
+        assert_eq!(g.left_degree(), Some(2));
+        assert_eq!(g.right_degree(), Some(3));
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = BipartiteGraph::new(2, 2);
+        assert!(matches!(
+            g.add_edge(2, 0),
+            Err(GraphError::IndexOutOfRange { kind: "worker", .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(GraphError::IndexOutOfRange { kind: "file", .. })
+        ));
+    }
+
+    #[test]
+    fn neighborhood_and_volume() {
+        let g = figure1_graph();
+        let n = g.file_neighborhood(&[0, 1]);
+        assert_eq!(n.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(g.worker_volume(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    fn leading_eigenvalue_is_one() {
+        let g = figure1_graph();
+        let spec = g.gram_spectrum().unwrap();
+        assert!((spec[0] - 1.0).abs() < 1e-9);
+        for w in spec.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn biadjacency_roundtrip() {
+        let g = figure1_graph();
+        let h = g.biadjacency();
+        let g2 = BipartiteGraph::from_biadjacency(&h);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn non_biregular_detected() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        assert!(!g.is_biregular());
+        assert_eq!(g.normalized_biadjacency().unwrap_err(), GraphError::NotBiregular);
+    }
+
+    #[test]
+    fn expansion_bound_formulas() {
+        // Hand-check β and γ for the paper's Example 1 parameters
+        // (K, f, l, r) = (15, 25, 5, 3) with µ₁ = 1/3 (Lemma 2) and q = 5:
+        // β = (25/3) / (1/3 + (2/3)(1/3)) = (25/3)/(5/9) = 15,
+        // γ = (25 − 15)/1 = 10 — matching Table 3's γ = 10 at q = 5.
+        let b = ExpansionBound::new(15, 25, 5, 3, 1.0 / 3.0, 5);
+        assert!((b.beta() - 15.0).abs() < 1e-12);
+        assert!((b.gamma() - 10.0).abs() < 1e-12);
+        assert!((b.epsilon_hat_bound() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cyclic Jacobi eigenvalue algorithm for real symmetric matrices.
+
+use crate::Matrix;
+use std::fmt;
+
+/// Errors from the eigensolver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EigenError {
+    /// The input matrix is not square.
+    NotSquare { rows: usize, cols: usize },
+    /// The input matrix is not symmetric within tolerance.
+    NotSymmetric { max_asymmetry: f64 },
+    /// The sweep did not reduce off-diagonal mass below tolerance in the
+    /// iteration budget (practically unreachable for symmetric input).
+    NoConvergence { off_diagonal: f64 },
+}
+
+impl fmt::Display for EigenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigenError::NotSquare { rows, cols } => {
+                write!(f, "eigendecomposition needs a square matrix, got {rows}x{cols}")
+            }
+            EigenError::NotSymmetric { max_asymmetry } => {
+                write!(f, "matrix is not symmetric (max |A - Aᵀ| = {max_asymmetry:e})")
+            }
+            EigenError::NoConvergence { off_diagonal } => {
+                write!(f, "Jacobi sweeps did not converge (off-diagonal {off_diagonal:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+const SYMMETRY_TOL: f64 = 1e-9;
+const CONVERGENCE_TOL: f64 = 1e-12;
+const MAX_SWEEPS: usize = 100;
+
+/// Eigenvalues of a real symmetric matrix, sorted in decreasing order.
+///
+/// # Errors
+///
+/// See [`EigenError`].
+pub fn symmetric_eigenvalues(a: &Matrix) -> Result<Vec<f64>, EigenError> {
+    Ok(symmetric_eigen(a)?.0)
+}
+
+/// Full eigendecomposition of a real symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` where eigenvalues are sorted in
+/// decreasing order and the `i`-th *column* of the eigenvector matrix is
+/// the unit eigenvector for the `i`-th eigenvalue.
+///
+/// # Errors
+///
+/// See [`EigenError`].
+pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), EigenError> {
+    let n = a.rows();
+    if a.rows() != a.cols() {
+        return Err(EigenError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let mut max_asym = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            max_asym = max_asym.max((a[(i, j)] - a[(j, i)]).abs());
+        }
+    }
+    if max_asym > SYMMETRY_TOL {
+        return Err(EigenError::NotSymmetric {
+            max_asymmetry: max_asym,
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    // Scale tolerance with the matrix magnitude so tiny and huge spectra
+    // both converge to relative precision.
+    let scale = m.frobenius_norm().max(1.0);
+    let tol = CONVERGENCE_TOL * scale;
+
+    for _ in 0..MAX_SWEEPS {
+        if m.max_off_diagonal() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-3 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Stable rotation computation (Golub & Van Loan §8.5).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let off = m.max_off_diagonal();
+    if off > tol * 10.0 {
+        return Err(EigenError::NoConvergence { off_diagonal: off });
+    }
+
+    // Extract and sort (eigenvalue, column) pairs by decreasing eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigs: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| eigs[j].partial_cmp(&eigs[i]).expect("finite eigenvalues"));
+
+    let sorted_eigs: Vec<f64> = order.iter().map(|&i| eigs[i]).collect();
+    let mut sorted_vecs = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for k in 0..n {
+            sorted_vecs[(k, new_col)] = v[(k, old_col)];
+        }
+    }
+    Ok((sorted_eigs, sorted_vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let m = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let eig = symmetric_eigenvalues(&m).unwrap();
+        assert!((eig[0] - 5.0).abs() < 1e-12);
+        assert!((eig[1] - 2.0).abs() < 1e-12);
+        assert!((eig[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (eig, vecs) = symmetric_eigen(&m).unwrap();
+        assert!((eig[0] - 3.0).abs() < 1e-12);
+        assert!((eig[1] - 1.0).abs() < 1e-12);
+        // Verify A v = λ v for the top eigenvector.
+        let v0 = [vecs[(0, 0)], vecs[(1, 0)]];
+        let av = [
+            2.0 * v0[0] + v0[1],
+            v0[0] + 2.0 * v0[1],
+        ];
+        assert!((av[0] - 3.0 * v0[0]).abs() < 1e-10);
+        assert!((av[1] - 3.0 * v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn all_ones_matrix() {
+        // J_n has spectrum {n, 0^(n-1)} — exactly the structure used in the
+        // Lemma 2 proof.
+        let n = 6;
+        let m = Matrix::filled(n, n, 1.0);
+        let eig = symmetric_eigenvalues(&m).unwrap();
+        assert!((eig[0] - n as f64).abs() < 1e-10);
+        for &e in &eig[1..] {
+            assert!(e.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, -2.0, 2.0],
+            &[0.5, 2.0, 7.0],
+        ]);
+        let eig = symmetric_eigenvalues(&m).unwrap();
+        let trace = 4.0 - 2.0 + 7.0;
+        assert!((eig.iter().sum::<f64>() - trace).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            symmetric_eigenvalues(&rect),
+            Err(EigenError::NotSquare { .. })
+        ));
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            symmetric_eigenvalues(&asym),
+            Err(EigenError::NotSymmetric { .. })
+        ));
+    }
+}

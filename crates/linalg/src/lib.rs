@@ -1,0 +1,95 @@
+//! Dense linear algebra used throughout the ByzShield reproduction.
+//!
+//! The spectral analysis in the paper (Section 3 and Lemma 2) relies on the
+//! eigenvalues of `A·Aᵀ` where `A` is the normalized bi-adjacency matrix of
+//! the worker–file assignment graph. This crate provides just enough dense
+//! linear algebra to compute and verify those spectra from scratch:
+//!
+//! * [`Matrix`] — row-major dense `f64` matrices with multiplication,
+//!   transpose, Kronecker products and norms;
+//! * [`symmetric_eigenvalues`] — the cyclic Jacobi eigenvalue algorithm for
+//!   real symmetric matrices (unconditionally convergent, simple, exact
+//!   enough for the small graphs used in task assignment);
+//! * [`singular_values`] — singular values of a rectangular matrix via the
+//!   eigenvalues of the Gram matrix.
+//!
+//! # Example
+//!
+//! ```
+//! use byz_linalg::{Matrix, symmetric_eigenvalues};
+//!
+//! let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+//! let eig = symmetric_eigenvalues(&m).unwrap();
+//! assert!((eig[0] - 3.0).abs() < 1e-12);
+//! assert!((eig[1] - 1.0).abs() < 1e-12);
+//! ```
+
+mod eigen;
+mod matrix;
+mod solve;
+
+pub use eigen::{symmetric_eigen, symmetric_eigenvalues, EigenError};
+pub use matrix::{Matrix, MatrixError};
+pub use solve::{lstsq, residual_norm, solve, SolveError};
+
+/// Singular values of an arbitrary rectangular matrix, in decreasing order.
+///
+/// Computed as the square roots of the eigenvalues of the smaller Gram
+/// matrix (`AᵀA` or `AAᵀ`). Tiny negative eigenvalues produced by roundoff
+/// are clamped to zero.
+///
+/// # Errors
+///
+/// Propagates [`EigenError`] if the Jacobi sweep fails to converge (does not
+/// happen for well-formed input).
+pub fn singular_values(a: &Matrix) -> Result<Vec<f64>, EigenError> {
+    let gram = if a.rows() <= a.cols() {
+        a.matmul(&a.transpose()).expect("A·Aᵀ dimensions always agree")
+    } else {
+        a.transpose().matmul(a).expect("Aᵀ·A dimensions always agree")
+    };
+    let eig = symmetric_eigenvalues(&gram)?;
+    Ok(eig.into_iter().map(|x| x.max(0.0).sqrt()).collect())
+}
+
+/// Groups a sorted (descending) eigenvalue list into `(value, multiplicity)`
+/// clusters using the given absolute tolerance. This is how we check
+/// statements like Lemma 2's "spectrum `{(1,1), (1/r, r(l−1)), (0, r−1)}`".
+pub fn cluster_spectrum(eigs: &[f64], tol: f64) -> Vec<(f64, usize)> {
+    let mut out: Vec<(f64, usize)> = Vec::new();
+    for &e in eigs {
+        match out.last_mut() {
+            Some((v, count)) if (*v - e).abs() <= tol => {
+                // Running mean keeps the cluster representative stable.
+                *v = (*v * *count as f64 + e) / (*count as f64 + 1.0);
+                *count += 1;
+            }
+            _ => out.push((e, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singular_values_of_diagonal() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 4.0, 0.0]]);
+        let sv = singular_values(&m).unwrap();
+        assert_eq!(sv.len(), 2);
+        assert!((sv[0] - 4.0).abs() < 1e-10);
+        assert!((sv[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cluster_spectrum_groups() {
+        let eigs = [1.0, 0.2000001, 0.1999999, 0.2, 0.0, -0.0000001];
+        let clusters = cluster_spectrum(&eigs, 1e-5);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].1, 1);
+        assert_eq!(clusters[1].1, 3);
+        assert_eq!(clusters[2].1, 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dense linear solvers: Gaussian elimination with partial pivoting and
+//! least squares via normal equations.
+
+use crate::{Matrix, MatrixError};
+
+/// Errors from linear solves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Operand shapes disagree.
+    Shape(MatrixError),
+    /// The system is singular (or numerically so) at the given pivot.
+    Singular { pivot: usize },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Shape(e) => write!(f, "shape error: {e}"),
+            SolveError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at column {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<MatrixError> for SolveError {
+    fn from(e: MatrixError) -> Self {
+        SolveError::Shape(e)
+    }
+}
+
+/// Solves the square system `A·X = B` by Gaussian elimination with
+/// partial pivoting; `B` may have multiple right-hand-side columns.
+///
+/// # Errors
+///
+/// [`SolveError::Shape`] on dimension mismatch, [`SolveError::Singular`]
+/// when a pivot vanishes.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n {
+        return Err(SolveError::Shape(MatrixError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "solve",
+        }));
+    }
+    let mut aug = a.clone();
+    let mut rhs = b.clone();
+    let m = rhs.cols();
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                aug[(i, col)]
+                    .abs()
+                    .partial_cmp(&aug[(j, col)].abs())
+                    .expect("finite entries")
+            })
+            .expect("nonempty range");
+        let pivot = aug[(pivot_row, col)];
+        if pivot.abs() < 1e-12 {
+            return Err(SolveError::Singular { pivot: col });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = aug[(col, j)];
+                aug[(col, j)] = aug[(pivot_row, j)];
+                aug[(pivot_row, j)] = tmp;
+            }
+            for j in 0..m {
+                let tmp = rhs[(col, j)];
+                rhs[(col, j)] = rhs[(pivot_row, j)];
+                rhs[(pivot_row, j)] = tmp;
+            }
+        }
+        // Eliminate below.
+        for i in (col + 1)..n {
+            let factor = aug[(i, col)] / aug[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                aug[(i, j)] -= factor * aug[(col, j)];
+            }
+            for j in 0..m {
+                rhs[(i, j)] -= factor * rhs[(col, j)];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = Matrix::zeros(n, m);
+    for j in 0..m {
+        for i in (0..n).rev() {
+            let mut acc = rhs[(i, j)];
+            for k in (i + 1)..n {
+                acc -= aug[(i, k)] * x[(k, j)];
+            }
+            x[(i, j)] = acc / aug[(i, i)];
+        }
+    }
+    Ok(x)
+}
+
+/// Least-squares solution of the overdetermined system `A·X ≈ B` via the
+/// normal equations `AᵀA·X = AᵀB` (adequate for the small, well-
+/// conditioned systems used by the gradient-code decoders).
+///
+/// # Errors
+///
+/// Propagates [`SolveError`]; singular normal equations mean `A` is
+/// column-rank-deficient.
+pub fn lstsq(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
+    let at = a.transpose();
+    let ata = at.matmul(a)?;
+    let atb = at.matmul(b)?;
+    solve(&ata, &atb)
+}
+
+/// Residual Frobenius norm `‖A·X − B‖_F` (for consistency checks).
+pub fn residual_norm(a: &Matrix, x: &Matrix, b: &Matrix) -> Result<f64, MatrixError> {
+    let ax = a.matmul(x)?;
+    let diff = ax.add(&b.scale(-1.0))?;
+    Ok(diff.frobenius_norm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // x + 2y = 5, 3x + 4y = 11 → x = 1, y = 2.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[11.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0], &[8.0, 12.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert!(matches!(solve(&a, &b), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[7.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 7.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        // Overdetermined but consistent.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0], &[3.0], &[5.0]]);
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-8);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-8);
+        assert!(residual_norm(&a, &x, &b).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_minimizes_residual() {
+        // Inconsistent system: best fit of y = c over observations 1, 3.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[3.0]]);
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-8);
+    }
+}

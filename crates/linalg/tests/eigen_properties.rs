@@ -1,0 +1,59 @@
+//! Property tests for the Jacobi eigensolver on random symmetric matrices.
+
+use byz_linalg::{symmetric_eigen, Matrix};
+use proptest::prelude::*;
+
+fn random_symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f64..10.0, n * n).prop_map(move |v| {
+        let raw = Matrix::from_vec(n, n, v).unwrap();
+        // Symmetrize: (A + Aᵀ)/2.
+        raw.add(&raw.transpose()).unwrap().scale(0.5)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_reconstructs_matrix(m in random_symmetric(5)) {
+        let (eigs, vecs) = symmetric_eigen(&m).unwrap();
+        // Rebuild V Λ Vᵀ and compare to the input.
+        let mut lambda = Matrix::zeros(5, 5);
+        for (i, &e) in eigs.iter().enumerate() {
+            lambda[(i, i)] = e;
+        }
+        let rebuilt = vecs
+            .matmul(&lambda).unwrap()
+            .matmul(&vecs.transpose()).unwrap();
+        prop_assert!(rebuilt.approx_eq(&m, 1e-8), "V Λ Vᵀ != A");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal(m in random_symmetric(6)) {
+        let (_, vecs) = symmetric_eigen(&m).unwrap();
+        let gram = vecs.transpose().matmul(&vecs).unwrap();
+        prop_assert!(gram.approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_trace_preserved(m in random_symmetric(7)) {
+        let (eigs, _) = symmetric_eigen(&m).unwrap();
+        for w in eigs.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        let trace: f64 = (0..7).map(|i| m[(i, i)]).sum();
+        prop_assert!((eigs.iter().sum::<f64>() - trace).abs() < 1e-8);
+    }
+
+    #[test]
+    fn psd_gram_matrices_have_nonnegative_spectrum(
+        v in prop::collection::vec(-5.0f64..5.0, 4 * 6)
+    ) {
+        let a = Matrix::from_vec(4, 6, v).unwrap();
+        let gram = a.matmul(&a.transpose()).unwrap();
+        let (eigs, _) = symmetric_eigen(&gram).unwrap();
+        for &e in &eigs {
+            prop_assert!(e >= -1e-9, "Gram matrix eigenvalue {e} negative");
+        }
+    }
+}

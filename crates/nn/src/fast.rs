@@ -1,0 +1,364 @@
+//! A hand-differentiated MLP with no interior mutability.
+//!
+//! The autograd [`Mlp`](crate::Mlp) is built on `Rc<RefCell<…>>` graph
+//! nodes and therefore cannot be shared across the threaded cluster
+//! engine. [`FastMlp`] is the same network — identical parameter layout,
+//! identical forward math — with the backward pass written out by hand
+//! over plain `Vec<f32>` buffers. It is `Send + Sync`, substantially
+//! faster, and cross-validated against the autograd implementation in
+//! this module's tests (and property-tested in
+//! `tests/fast_vs_autograd.rs`).
+
+use rand::Rng;
+
+/// A ReLU MLP with explicit forward/backward passes.
+///
+/// Parameter layout (matching [`crate::Mlp`]'s flat vector): for each
+/// layer `i`, the weight matrix `[dims[i] × dims[i+1]]` row-major,
+/// followed by the bias `[dims[i+1]]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastMlp {
+    dims: Vec<usize>,
+    /// One flat buffer per layer: weights then bias, per the layout above.
+    layers: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl FastMlp {
+    /// Builds with Kaiming-uniform init from the given RNG (the same
+    /// scheme as [`crate::Linear::new`], so seeds produce comparable
+    /// networks).
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = dims
+            .windows(2)
+            .map(|pair| {
+                let (fan_in, fan_out) = (pair[0], pair[1]);
+                let bound = (6.0 / fan_in as f32).sqrt();
+                let w = (0..fan_in * fan_out)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect();
+                (w, vec![0.0; fan_out])
+            })
+            .collect();
+        FastMlp {
+            dims: dims.to_vec(),
+            layers,
+        }
+    }
+
+    /// The layer widths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|(w, b)| w.len() + b.len()).sum()
+    }
+
+    /// Serializes all parameters into one flat vector (weights-then-bias
+    /// per layer — the same wire layout as the autograd model).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for (w, b) in &self.layers {
+            out.extend_from_slice(w);
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Loads parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_params(), "parameter length mismatch");
+        let mut offset = 0;
+        for (w, b) in &mut self.layers {
+            let (wn, bn) = (w.len(), b.len());
+            w.copy_from_slice(&flat[offset..offset + wn]);
+            offset += wn;
+            b.copy_from_slice(&flat[offset..offset + bn]);
+            offset += bn;
+        }
+    }
+
+    /// Forward pass: logits for a batch `x` of shape `[batch, dims[0]]`
+    /// (flat row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` is not a multiple of the input width.
+    pub fn logits(&self, x: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(x.len(), batch * self.dims[0], "input shape mismatch");
+        let mut act = x.to_vec();
+        for (li, (w, b)) in self.layers.iter().enumerate() {
+            let (n_in, n_out) = (self.dims[li], self.dims[li + 1]);
+            let mut next = vec![0.0f32; batch * n_out];
+            for s in 0..batch {
+                let row = &act[s * n_in..(s + 1) * n_in];
+                let out_row = &mut next[s * n_out..(s + 1) * n_out];
+                out_row.copy_from_slice(b);
+                for (i, &a) in row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let w_row = &w[i * n_out..(i + 1) * n_out];
+                    for (o, &wv) in out_row.iter_mut().zip(w_row) {
+                        *o += a * wv;
+                    }
+                }
+            }
+            // ReLU between layers, raw logits at the output.
+            if li + 2 < self.dims.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            act = next;
+        }
+        act
+    }
+
+    /// Row-wise argmax over the logits (predictions).
+    pub fn predict(&self, x: &[f32], batch: usize) -> Vec<usize> {
+        let n_out = *self.dims.last().expect("nonempty dims");
+        let logits = self.logits(x, batch);
+        (0..batch)
+            .map(|s| {
+                let row = &logits[s * n_out..(s + 1) * n_out];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .expect("nonempty row")
+            })
+            .collect()
+    }
+
+    /// Combined forward/backward pass for the summed cross-entropy loss
+    /// over the batch: returns `(loss_sum, flat_gradient)`.
+    ///
+    /// The gradient layout matches [`FastMlp::params_flat`]. The *sum*
+    /// (not mean) convention matches the per-file gradients of paper
+    /// Algorithm 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or out-of-range labels.
+    pub fn gradient_sum(&self, x: &[f32], batch: usize, labels: &[usize]) -> (f32, Vec<f32>) {
+        assert_eq!(labels.len(), batch, "one label per sample");
+        let num_layers = self.layers.len();
+
+        // Forward, keeping every post-activation (input counts as act[0]).
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(num_layers + 1);
+        acts.push(x.to_vec());
+        for (li, (w, b)) in self.layers.iter().enumerate() {
+            let (n_in, n_out) = (self.dims[li], self.dims[li + 1]);
+            let prev = &acts[li];
+            let mut next = vec![0.0f32; batch * n_out];
+            for s in 0..batch {
+                let row = &prev[s * n_in..(s + 1) * n_in];
+                let out_row = &mut next[s * n_out..(s + 1) * n_out];
+                out_row.copy_from_slice(b);
+                for (i, &a) in row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let w_row = &w[i * n_out..(i + 1) * n_out];
+                    for (o, &wv) in out_row.iter_mut().zip(w_row) {
+                        *o += a * wv;
+                    }
+                }
+            }
+            if li + 1 < num_layers {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(next);
+        }
+
+        // Softmax + cross-entropy at the top; delta = softmax − one_hot.
+        let n_out = *self.dims.last().expect("nonempty dims");
+        let logits = acts.last().expect("forward ran");
+        let mut loss = 0.0f32;
+        let mut delta = vec![0.0f32; batch * n_out];
+        for s in 0..batch {
+            let row = &logits[s * n_out..(s + 1) * n_out];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let sum_exp: f32 = row.iter().map(|v| (v - max).exp()).sum();
+            let log_sum = sum_exp.ln() + max;
+            let label = labels[s];
+            assert!(label < n_out, "label {label} out of range");
+            loss += log_sum - row[label];
+            let d_row = &mut delta[s * n_out..(s + 1) * n_out];
+            for (j, dv) in d_row.iter_mut().enumerate() {
+                *dv = (row[j] - log_sum).exp();
+            }
+            d_row[label] -= 1.0;
+        }
+
+        // Backward through the layers.
+        let mut grads: Vec<(Vec<f32>, Vec<f32>)> = self
+            .layers
+            .iter()
+            .map(|(w, b)| (vec![0.0; w.len()], vec![0.0; b.len()]))
+            .collect();
+        let mut d_out = delta;
+        for li in (0..num_layers).rev() {
+            let (n_in, n_out) = (self.dims[li], self.dims[li + 1]);
+            let prev = &acts[li];
+            let (gw, gb) = &mut grads[li];
+            // dW = prevᵀ · d_out; db = Σ_s d_out.
+            for s in 0..batch {
+                let p_row = &prev[s * n_in..(s + 1) * n_in];
+                let d_row = &d_out[s * n_out..(s + 1) * n_out];
+                for (gbv, &dv) in gb.iter_mut().zip(d_row) {
+                    *gbv += dv;
+                }
+                for (i, &pv) in p_row.iter().enumerate() {
+                    if pv == 0.0 {
+                        continue;
+                    }
+                    let gw_row = &mut gw[i * n_out..(i + 1) * n_out];
+                    for (g, &dv) in gw_row.iter_mut().zip(d_row) {
+                        *g += pv * dv;
+                    }
+                }
+            }
+            if li > 0 {
+                // d_prev = d_out · Wᵀ, masked by the ReLU derivative.
+                let w = &self.layers[li].0;
+                let mut d_prev = vec![0.0f32; batch * n_in];
+                for s in 0..batch {
+                    let d_row = &d_out[s * n_out..(s + 1) * n_out];
+                    let dp_row = &mut d_prev[s * n_in..(s + 1) * n_in];
+                    for (i, dp) in dp_row.iter_mut().enumerate() {
+                        // ReLU mask: gradient flows only where the
+                        // activation was positive.
+                        if prev[s * n_in + i] > 0.0 {
+                            let w_row = &w[i * n_out..(i + 1) * n_out];
+                            *dp = w_row.iter().zip(d_row).map(|(wv, dv)| wv * dv).sum();
+                        }
+                    }
+                }
+                d_out = d_prev;
+            }
+        }
+
+        // Flatten in the params_flat layout.
+        let mut flat = Vec::with_capacity(self.num_params());
+        for (gw, gb) in grads {
+            flat.extend(gw);
+            flat.extend(gb);
+        }
+        (loss, flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flatten_params, grad_vector, load_params, zero_grads, Mlp, Module};
+    use byz_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layout_matches_autograd_mlp() {
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let fast = FastMlp::new(&[6, 4, 3], &mut rng_a);
+        let auto = Mlp::new(&[6, 4, 3], &mut rng_b);
+        assert_eq!(fast.num_params(), 6 * 4 + 4 + 4 * 3 + 3);
+        // Same RNG stream + same init scheme ⇒ identical flat parameters.
+        assert_eq!(fast.params_flat(), flatten_params(&auto.parameters()));
+    }
+
+    #[test]
+    fn logits_match_autograd() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fast = FastMlp::new(&[6, 5, 3], &mut rng);
+        let auto = {
+            let mut rng = StdRng::seed_from_u64(0);
+            let m = Mlp::new(&[6, 5, 3], &mut rng);
+            load_params(&m.parameters(), &fast.params_flat());
+            m
+        };
+        let x: Vec<f32> = (0..12).map(|i| (i as f32) * 0.3 - 1.5).collect();
+        let fast_logits = fast.logits(&x, 2);
+        let auto_logits = auto
+            .forward(&Tensor::from_vec(vec![2, 6], x.clone()))
+            .to_vec();
+        for (a, b) in fast_logits.iter().zip(&auto_logits) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_autograd() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fast = FastMlp::new(&[6, 5, 3], &mut rng);
+        let auto = {
+            let mut rng = StdRng::seed_from_u64(0);
+            let m = Mlp::new(&[6, 5, 3], &mut rng);
+            load_params(&m.parameters(), &fast.params_flat());
+            m
+        };
+        let x: Vec<f32> = (0..18).map(|i| ((i * 7) % 11) as f32 * 0.2 - 1.0).collect();
+        let labels = [2usize, 0, 1];
+
+        let (fast_loss, fast_grad) = fast.gradient_sum(&x, 3, &labels);
+
+        let tensors = auto.parameters();
+        zero_grads(&tensors);
+        let logits = auto.forward(&Tensor::from_vec(vec![3, 6], x));
+        let loss = logits.cross_entropy(&labels).scale(3.0); // sum convention
+        loss.backward();
+        let auto_grad = grad_vector(&tensors);
+
+        assert!((fast_loss - loss.item()).abs() < 1e-4, "loss mismatch");
+        assert_eq!(fast_grad.len(), auto_grad.len());
+        for (i, (a, b)) in fast_grad.iter().zip(&auto_grad).enumerate() {
+            assert!((a - b).abs() < 1e-4, "grad[{i}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn set_params_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = FastMlp::new(&[4, 3, 2], &mut rng);
+        let flat: Vec<f32> = (0..m.num_params()).map(|i| i as f32 * 0.1).collect();
+        m.set_params(&flat);
+        assert_eq!(m.params_flat(), flat);
+    }
+
+    #[test]
+    fn is_sync_and_send() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<FastMlp>();
+    }
+
+    #[test]
+    fn predicts_separable_data_after_manual_sgd() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = FastMlp::new(&[2, 8, 2], &mut rng);
+        let x = [1.0f32, 1.0, 1.2, 0.8, -1.0, -1.0, -0.8, -1.2];
+        let labels = [0usize, 0, 1, 1];
+        for _ in 0..200 {
+            let (_, grad) = m.gradient_sum(&x, 4, &labels);
+            let mut params = m.params_flat();
+            for (p, g) in params.iter_mut().zip(&grad) {
+                *p -= 0.05 * g;
+            }
+            m.set_params(&params);
+        }
+        assert_eq!(m.predict(&x, 4), vec![0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Individual neural-network layers.
+
+use crate::Module;
+use byz_tensor::{conv_output_size, Tensor};
+use rand::Rng;
+
+/// Fully connected layer: `y = x·W + b` with Kaiming-uniform init.
+pub struct Linear {
+    weight: Tensor, // [in, out]
+    bias: Tensor,   // [out]
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-uniform initialization.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / in_features as f32).sqrt();
+        let wdata: Vec<f32> = (0..in_features * out_features)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear {
+            weight: Tensor::from_vec(vec![in_features, out_features], wdata).requires_grad(),
+            bias: Tensor::zeros(vec![out_features]).requires_grad(),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.matmul(&self.weight).add_row(&self.bias)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// 2-D convolution (square stride, symmetric zero padding) via im2col.
+/// Input/output are NCHW.
+pub struct Conv2d {
+    weight: Tensor, // stored pre-reshaped as [c·kh·kw, out_channels]
+    bias: Tensor,   // [out_channels]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: (usize, usize),
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform initialization.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let wdata: Vec<f32> = (0..fan_in * out_channels)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Conv2d {
+            weight: Tensor::from_vec(vec![fan_in, out_channels], wdata).requires_grad(),
+            bias: Tensor::zeros(vec![out_channels]).requires_grad(),
+            in_channels,
+            out_channels,
+            kernel: (kernel, kernel),
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn output_size(&self, input_hw: (usize, usize)) -> (usize, usize) {
+        (
+            conv_output_size(input_hw.0, self.kernel.0, self.stride, self.pad),
+            conv_output_size(input_hw.1, self.kernel.1, self.stride, self.pad),
+        )
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let &[n, c, h, w] = input.shape() else {
+            panic!("Conv2d input must be 4-D NCHW, got {:?}", input.shape());
+        };
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let (oh, ow) = self.output_size((h, w));
+        let cols = input.im2col(self.kernel, self.stride, self.pad); // [n·oh·ow, c·kh·kw]
+        cols.matmul(&self.weight) // [n·oh·ow, out]
+            .add_row(&self.bias)
+            .rows_to_nchw(n, oh, ow)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Max pooling over square windows (NCHW input).
+pub struct MaxPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.maxpool2d(self.kernel, self.stride)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// ReLU activation.
+pub struct Relu;
+
+impl Module for Relu {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.relu()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Tanh activation.
+pub struct Tanh;
+
+impl Module for Tanh {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        input.tanh()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Flattens NCHW (or any N-first tensor) into `[n, rest]`.
+pub struct Flatten;
+
+impl Module for Flatten {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let n = input.shape()[0];
+        let rest = input.len() / n;
+        input.reshape(vec![n, rest])
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Residual wrapper: `y = relu(f(x) + x)` — the ResNet skip connection.
+/// The inner module must preserve the input shape.
+pub struct Residual<M: Module> {
+    inner: M,
+}
+
+impl<M: Module> Residual<M> {
+    /// Wraps `inner` with a skip connection.
+    pub fn new(inner: M) -> Self {
+        Residual { inner }
+    }
+}
+
+impl<M: Module> Module for Residual<M> {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.inner.forward(input).add(input).relu()
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.inner.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(5, 3, &mut rng);
+        assert_eq!(l.in_features(), 5);
+        assert_eq!(l.out_features(), 3);
+        let x = Tensor::from_vec(vec![4, 5], vec![0.1; 20]);
+        assert_eq!(l.forward(&x).shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn conv2d_shapes_and_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::from_vec(vec![2, 2, 6, 6], vec![0.05; 144]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 4, 6, 6]); // "same" padding
+        let loss = y.mul(&y).sum();
+        loss.backward();
+        for p in conv.parameters() {
+            assert!(p.grad_vec().is_some(), "missing grad");
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_manual_computation() {
+        // Single 2x2 input, single 2x2 kernel, no pad: output is the dot
+        // product of kernel and image plus bias.
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        conv.parameters()[0].set_data(&[1.0, 2.0, 3.0, 4.0]);
+        conv.parameters()[1].set_data(&[0.5]);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 1.0, 1.0, 1.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert!((y.item() - 10.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxpool_module() {
+        let pool = MaxPool2d { kernel: 2, stride: 2 };
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.to_vec(), vec![5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn residual_preserves_shape_and_adds() {
+        struct Zero;
+        impl Module for Zero {
+            fn forward(&self, input: &Tensor) -> Tensor {
+                input.scale(0.0)
+            }
+            fn parameters(&self) -> Vec<Tensor> {
+                Vec::new()
+            }
+        }
+        let res = Residual::new(Zero);
+        let x = Tensor::from_vec(vec![2], vec![-1.0, 2.0]);
+        // relu(0 + x) = relu(x).
+        assert_eq!(res.forward(&x).to_vec(), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten() {
+        let x = Tensor::from_vec(vec![2, 3, 2, 2], vec![0.0; 24]);
+        assert_eq!(Flatten.forward(&x).shape(), &[2, 12]);
+    }
+}

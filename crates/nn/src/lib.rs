@@ -1,0 +1,47 @@
+//! Neural-network layers, reference models and optimizers.
+//!
+//! This crate supplies the training substrate that stands in for the
+//! paper's PyTorch + ResNet-18 stack:
+//!
+//! * [`Module`] — the forward/parameters abstraction, plus [`Sequential`];
+//! * layers — [`Linear`], [`Conv2d`], [`MaxPool2d`], [`Relu`], [`Tanh`],
+//!   [`Flatten`], and a [`Residual`] wrapper for ResNet-style blocks;
+//! * models — [`Mlp`] and [`MiniResNet`] (a small residual CNN used by the
+//!   image-classification experiments);
+//! * optimization — [`Sgd`] with momentum and the paper's step-decay
+//!   learning-rate schedule [`StepDecaySchedule`] (Appendix A.6 notation
+//!   `(x, y, z)`: start at `x`, multiply by `y` every `z` iterations);
+//! * parameter plumbing — [`flatten_params`] / [`load_params`] to move a
+//!   model's weights through the parameter-server wire format (a flat
+//!   `Vec<f32>`, which is also what attacks and aggregators operate on).
+//!
+//! # Example
+//!
+//! ```
+//! use byz_nn::{Mlp, Module, Sgd, StepDecaySchedule};
+//! use byz_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Mlp::new(&[4, 8, 3], &mut rng);
+//! let mut opt = Sgd::new(model.parameters(), StepDecaySchedule::new(0.1, 0.95, 20), 0.9);
+//!
+//! let x = Tensor::from_vec(vec![2, 4], vec![0.1; 8]);
+//! let loss = model.forward(&x).cross_entropy(&[0, 2]);
+//! loss.backward();
+//! opt.step();
+//! ```
+
+mod fast;
+mod layers;
+mod models;
+mod module;
+mod optim;
+mod params;
+
+pub use fast::FastMlp;
+pub use layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu, Residual, Tanh};
+pub use models::{MiniResNet, Mlp};
+pub use module::{Module, Sequential};
+pub use optim::{Sgd, StepDecaySchedule};
+pub use params::{flatten_params, grad_vector, load_params, num_params, zero_grads};

@@ -1,0 +1,178 @@
+//! Reference models for the deep-learning experiments.
+
+use crate::{Conv2d, Flatten, Linear, MaxPool2d, Module, Relu, Residual, Sequential};
+use byz_tensor::Tensor;
+use rand::Rng;
+
+/// Multi-layer perceptron with ReLU activations between layers and raw
+/// logits at the output.
+pub struct Mlp {
+    net: Sequential,
+    dims: Vec<usize>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `&[768, 128, 10]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two widths.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        let mut net = Sequential::new();
+        for (i, pair) in dims.windows(2).enumerate() {
+            net = net.push(Linear::new(pair[0], pair[1], rng));
+            if i + 2 < dims.len() {
+                net = net.push(Relu);
+            }
+        }
+        Mlp {
+            net,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The layer widths this MLP was built with.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+impl Module for Mlp {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.net.forward(input)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.net.parameters()
+    }
+}
+
+/// A small residual CNN — the reproduction's stand-in for ResNet-18
+/// (see DESIGN.md §2 for the substitution rationale).
+///
+/// Architecture for `[n, c, s, s]` inputs:
+///
+/// ```text
+/// conv(c → w, 3×3, same) → ReLU
+/// residual[conv(w → w, 3×3, same)]
+/// maxpool(2)
+/// residual[conv(w → w, 3×3, same)]
+/// flatten → linear(w·(s/2)² → classes)
+/// ```
+pub struct MiniResNet {
+    net: Sequential,
+    input_hw: usize,
+    in_channels: usize,
+}
+
+impl MiniResNet {
+    /// Builds the network for square `input_hw × input_hw` images with
+    /// `in_channels` channels, `width` convolutional filters and
+    /// `num_classes` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `input_hw` is even (the pooling stage halves it).
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        input_hw: usize,
+        width: usize,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(input_hw % 2, 0, "input size must be even for 2x pooling");
+        let pooled = input_hw / 2;
+        let net = Sequential::new()
+            .push(Conv2d::new(in_channels, width, 3, 1, 1, rng))
+            .push(Relu)
+            .push(Residual::new(Conv2d::new(width, width, 3, 1, 1, rng)))
+            .push(MaxPool2d { kernel: 2, stride: 2 })
+            .push(Residual::new(Conv2d::new(width, width, 3, 1, 1, rng)))
+            .push(Flatten)
+            .push(Linear::new(width * pooled * pooled, num_classes, rng));
+        MiniResNet {
+            net,
+            input_hw,
+            in_channels,
+        }
+    }
+
+    /// Expected input spatial size.
+    pub fn input_hw(&self) -> usize {
+        self.input_hw
+    }
+
+    /// Expected input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+}
+
+impl Module for MiniResNet {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        self.net.forward(input)
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.net.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num_params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Mlp::new(&[6, 4, 3], &mut rng);
+        assert_eq!(m.dims(), &[6, 4, 3]);
+        let x = Tensor::from_vec(vec![2, 6], vec![0.1; 12]);
+        assert_eq!(m.forward(&x).shape(), &[2, 3]);
+        assert_eq!(num_params(&m.parameters()), 6 * 4 + 4 + 4 * 3 + 3);
+    }
+
+    #[test]
+    fn mini_resnet_shapes_and_backward() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = MiniResNet::new(1, 8, 4, 10, &mut rng);
+        assert_eq!(m.input_hw(), 8);
+        assert_eq!(m.in_channels(), 1);
+        let x = Tensor::from_vec(vec![2, 1, 8, 8], vec![0.1; 128]);
+        let logits = m.forward(&x);
+        assert_eq!(logits.shape(), &[2, 10]);
+        let loss = logits.cross_entropy(&[3, 7]);
+        loss.backward();
+        for p in m.parameters() {
+            assert!(p.grad_vec().is_some());
+        }
+    }
+
+    #[test]
+    fn mlp_learns_a_separable_task() {
+        // Two clusters in 2-D must be separable within a few SGD steps.
+        use crate::{Sgd, StepDecaySchedule};
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = Mlp::new(&[2, 8, 2], &mut rng);
+        let mut opt = Sgd::new(m.parameters(), StepDecaySchedule::new(0.5, 1.0, 1000), 0.9);
+        let x = Tensor::from_vec(
+            vec![4, 2],
+            vec![1.0, 1.0, 1.2, 0.8, -1.0, -1.0, -0.8, -1.2],
+        );
+        let y = [0usize, 0, 1, 1];
+        let mut last = f32::INFINITY;
+        for _ in 0..60 {
+            crate::zero_grads(&m.parameters());
+            let loss = m.forward(&x).cross_entropy(&y);
+            last = loss.item();
+            loss.backward();
+            opt.step();
+        }
+        assert!(last < 0.1, "loss did not drop: {last}");
+        assert_eq!(m.forward(&x).argmax_rows(), vec![0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,87 @@
+//! The [`Module`] abstraction and sequential composition.
+
+use byz_tensor::Tensor;
+
+/// A differentiable computation with (possibly empty) trainable state.
+pub trait Module {
+    /// Runs the forward pass, recording autograd history.
+    fn forward(&self, input: &Tensor) -> Tensor;
+
+    /// The trainable parameter tensors, in a stable order. The order
+    /// defines the layout of the flat parameter vector exchanged with the
+    /// parameter server.
+    fn parameters(&self) -> Vec<Tensor>;
+}
+
+/// Runs modules in order, feeding each output to the next.
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when no layers have been added.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_composition() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Sequential::new()
+            .push(Linear::new(3, 4, &mut rng))
+            .push(Relu)
+            .push(Linear::new(4, 2, &mut rng));
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, -1.0, 0.5]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[1, 2]);
+        // Two Linear layers × (weight + bias).
+        assert_eq!(net.parameters().len(), 4);
+    }
+}

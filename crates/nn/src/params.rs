@@ -1,0 +1,97 @@
+//! Flat-vector parameter plumbing: the wire format between workers, the
+//! parameter server, attacks and aggregators.
+
+use byz_tensor::Tensor;
+
+/// Total number of scalar parameters.
+pub fn num_params(params: &[Tensor]) -> usize {
+    params.iter().map(Tensor::len).sum()
+}
+
+/// Concatenates all parameters into one flat vector (the PS wire format).
+pub fn flatten_params(params: &[Tensor]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(num_params(params));
+    for p in params {
+        out.extend_from_slice(&p.data());
+    }
+    out
+}
+
+/// Loads a flat vector back into the parameter tensors (model broadcast).
+///
+/// # Panics
+///
+/// Panics when `flat.len()` differs from the total parameter count.
+pub fn load_params(params: &[Tensor], flat: &[f32]) {
+    assert_eq!(
+        flat.len(),
+        num_params(params),
+        "parameter vector length mismatch"
+    );
+    let mut offset = 0usize;
+    for p in params {
+        let n = p.len();
+        p.set_data(&flat[offset..offset + n]);
+        offset += n;
+    }
+    assert_eq!(offset, flat.len(), "parameter vector length mismatch");
+}
+
+/// Concatenates the accumulated gradients of all parameters into one flat
+/// vector; parameters with no gradient contribute zeros.
+pub fn grad_vector(params: &[Tensor]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(num_params(params));
+    for p in params {
+        match p.grad_vec() {
+            Some(g) => out.extend_from_slice(&g),
+            None => out.extend(std::iter::repeat_n(0.0, p.len())),
+        }
+    }
+    out
+}
+
+/// Clears the gradients of all parameters.
+pub fn zero_grads(params: &[Tensor]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Vec<Tensor> {
+        vec![
+            Tensor::from_vec(vec![2], vec![1.0, 2.0]).requires_grad(),
+            Tensor::from_vec(vec![3], vec![3.0, 4.0, 5.0]).requires_grad(),
+        ]
+    }
+
+    #[test]
+    fn flatten_and_load_roundtrip() {
+        let ps = params();
+        assert_eq!(num_params(&ps), 5);
+        let flat = flatten_params(&ps);
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        load_params(&ps, &[9.0, 8.0, 7.0, 6.0, 5.0]);
+        assert_eq!(flatten_params(&ps), vec![9.0, 8.0, 7.0, 6.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_length_checked() {
+        load_params(&params(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn grad_vector_fills_missing_with_zeros() {
+        let ps = params();
+        // Only differentiate through the first tensor.
+        ps[0].mul(&ps[0]).sum().backward();
+        let g = grad_vector(&ps);
+        assert_eq!(g, vec![2.0, 4.0, 0.0, 0.0, 0.0]);
+        zero_grads(&ps);
+        assert_eq!(grad_vector(&ps), vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,76 @@
+//! A minimal dense `f32` tensor library with reverse-mode automatic
+//! differentiation.
+//!
+//! The ByzShield paper trains ResNet-18 on CIFAR-10 with PyTorch; this
+//! reproduction cannot depend on deep-learning crates, so the training
+//! substrate is built from scratch. The design is a classic tape-free
+//! reference-counted autograd graph (à la micrograd): every [`Tensor`]
+//! holds its value, an optional gradient accumulator, its parents, and a
+//! backward closure; [`Tensor::backward`] topologically sorts the graph
+//! and propagates.
+//!
+//! Supported operations cover what the NN layer crate needs: elementwise
+//! arithmetic, matrix multiplication, broadcast bias addition, ReLU/Tanh,
+//! reductions, `log_softmax` + negative log-likelihood, 2-D convolution
+//! and max-pooling (via im2col in the `byz-nn` crate), reshape, and
+//! concatenation.
+//!
+//! # Example
+//!
+//! ```
+//! use byz_tensor::Tensor;
+//!
+//! let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).requires_grad();
+//! let y = x.mul(&x).sum();          // y = Σ x²
+//! y.backward();
+//! assert_eq!(x.grad_vec().unwrap(), vec![2.0, 4.0, 6.0, 8.0]); // dy/dx = 2x
+//! ```
+
+mod ops;
+mod spatial;
+mod tensor;
+
+pub use spatial::conv_output_size;
+pub use tensor::{Tensor, TensorError};
+
+/// Numerical gradient check helper used by the test suites: compares the
+/// autograd gradient of `f` at `x` against central finite differences.
+///
+/// Returns the maximum absolute deviation across all coordinates.
+pub fn gradient_check<F>(x: &[f32], shape: &[usize], f: F, eps: f32) -> f32
+where
+    F: Fn(&Tensor) -> Tensor,
+{
+    // Autograd gradient.
+    let t = Tensor::from_vec(shape.to_vec(), x.to_vec()).requires_grad();
+    let out = f(&t);
+    assert_eq!(out.len(), 1, "gradient_check needs a scalar output");
+    out.backward();
+    let auto = t.grad_vec().expect("input requires grad");
+
+    // Finite differences.
+    let mut worst = 0.0f32;
+    for i in 0..x.len() {
+        let mut plus = x.to_vec();
+        plus[i] += eps;
+        let mut minus = x.to_vec();
+        minus[i] -= eps;
+        let fp = f(&Tensor::from_vec(shape.to_vec(), plus)).item();
+        let fm = f(&Tensor::from_vec(shape.to_vec(), minus)).item();
+        let numeric = (fp - fm) / (2.0 * eps);
+        worst = worst.max((auto[i] - numeric).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_check_quadratic() {
+        let x = [0.5f32, -1.0, 2.0];
+        let err = gradient_check(&x, &[3], |t| t.mul(t).sum(), 1e-3);
+        assert!(err < 1e-2, "max deviation {err}");
+    }
+}

@@ -1,0 +1,514 @@
+//! Differentiable operations on [`Tensor`].
+
+use crate::Tensor;
+
+impl Tensor {
+    fn assert_same_shape(&self, other: &Tensor, op: &'static str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch for {op}: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "add");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor::from_op(
+            self.shape().to_vec(),
+            data,
+            vec![self.clone(), other.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(grad);
+            }),
+        )
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "sub");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor::from_op(
+            self.shape().to_vec(),
+            data,
+            vec![self.clone(), other.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                let neg: Vec<f32> = grad.iter().map(|g| -g).collect();
+                parents[1].accumulate_grad(&neg);
+            }),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "mul");
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor::from_op(
+            self.shape().to_vec(),
+            data,
+            vec![self.clone(), other.clone()],
+            Box::new(|grad, parents| {
+                let a = parents[0].to_vec();
+                let b = parents[1].to_vec();
+                let ga: Vec<f32> = grad.iter().zip(&b).map(|(g, x)| g * x).collect();
+                let gb: Vec<f32> = grad.iter().zip(&a).map(|(g, x)| g * x).collect();
+                parents[0].accumulate_grad(&ga);
+                parents[1].accumulate_grad(&gb);
+            }),
+        )
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a * s).collect();
+        Tensor::from_op(
+            self.shape().to_vec(),
+            data,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let g: Vec<f32> = grad.iter().map(|g| g * s).collect();
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.scale(-1.0)
+    }
+
+    /// Matrix product of two 2-D tensors `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2-D with matching inner dimension.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape().len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut out, m, k, n);
+        drop(a);
+        drop(b);
+
+        Tensor::from_op(
+            vec![m, n],
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                let a = parents[0].data();
+                let b = parents[1].data();
+                // dA = G · Bᵀ  (m×n · n×k).
+                let mut ga = vec![0.0f32; m * k];
+                for i in 0..m {
+                    for j in 0..n {
+                        let g = grad[i * n + j];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for t in 0..k {
+                            ga[i * k + t] += g * b[t * n + j];
+                        }
+                    }
+                }
+                // dB = Aᵀ · G  (k×m · m×n).
+                let mut gb = vec![0.0f32; k * n];
+                for i in 0..m {
+                    for t in 0..k {
+                        let av = a[i * k + t];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for j in 0..n {
+                            gb[t * n + j] += av * grad[i * n + j];
+                        }
+                    }
+                }
+                drop(a);
+                drop(b);
+                parents[0].accumulate_grad(&ga);
+                parents[1].accumulate_grad(&gb);
+            }),
+        )
+    }
+
+    /// Adds a length-`n` bias row to every row of an `[m, n]` tensor.
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "add_row input must be 2-D");
+        assert_eq!(bias.shape().len(), 1, "bias must be 1-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(bias.len(), n, "bias length must equal row width");
+        let b = bias.data();
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a + b[i % n])
+            .collect();
+        drop(b);
+        Tensor::from_op(
+            vec![m, n],
+            data,
+            vec![self.clone(), bias.clone()],
+            Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(grad);
+                let mut gb = vec![0.0f32; n];
+                for (i, g) in grad.iter().enumerate() {
+                    gb[i % n] += g;
+                }
+                parents[1].accumulate_grad(&gb);
+            }),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.max(0.0)).collect();
+        Tensor::from_op(
+            self.shape().to_vec(),
+            data,
+            vec![self.clone()],
+            Box::new(|grad, parents| {
+                let x = parents[0].to_vec();
+                let g: Vec<f32> = grad
+                    .iter()
+                    .zip(&x)
+                    .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                    .collect();
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.tanh()).collect();
+        let saved = data.clone();
+        Tensor::from_op(
+            self.shape().to_vec(),
+            data,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let g: Vec<f32> = grad
+                    .iter()
+                    .zip(&saved)
+                    .map(|(g, y)| g * (1.0 - y * y))
+                    .collect();
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Sum of all elements, as a scalar tensor.
+    pub fn sum(&self) -> Tensor {
+        let total: f32 = self.data().iter().sum();
+        let numel = self.len();
+        Tensor::from_op(
+            vec![1],
+            vec![total],
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let g = vec![grad[0]; numel];
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Mean of all elements, as a scalar tensor.
+    pub fn mean(&self) -> Tensor {
+        let numel = self.len();
+        self.sum().scale(1.0 / numel as f32)
+    }
+
+    /// Row-wise `log(softmax(x))` for a 2-D `[m, n]` tensor, computed with
+    /// the max-subtraction trick for numerical stability.
+    pub fn log_softmax(&self) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "log_softmax input must be 2-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let x = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &x[i * n..(i + 1) * n];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for j in 0..n {
+                out[i * n + j] = row[j] - log_sum;
+            }
+        }
+        drop(x);
+        let saved = out.clone();
+        Tensor::from_op(
+            vec![m, n],
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                // d/dx_j = g_j − softmax_j · Σ_k g_k  (per row).
+                let mut gx = vec![0.0f32; m * n];
+                for i in 0..m {
+                    let gsum: f32 = grad[i * n..(i + 1) * n].iter().sum();
+                    for j in 0..n {
+                        let p = saved[i * n + j].exp();
+                        gx[i * n + j] = grad[i * n + j] - p * gsum;
+                    }
+                }
+                parents[0].accumulate_grad(&gx);
+            }),
+        )
+    }
+
+    /// Negative log-likelihood loss: mean over rows of `−log_probs[i, target_i]`.
+    /// Input must be row-wise log-probabilities (see [`Tensor::log_softmax`]).
+    pub fn nll_loss(&self, targets: &[usize]) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "nll_loss input must be 2-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(targets.len(), m, "one target per row required");
+        let x = self.data();
+        let mut total = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < n, "target {t} out of range for {n} classes");
+            total -= x[i * n + t];
+        }
+        drop(x);
+        let targets = targets.to_vec();
+        Tensor::from_op(
+            vec![1],
+            vec![total / m as f32],
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut gx = vec![0.0f32; m * n];
+                let scale = grad[0] / m as f32;
+                for (i, &t) in targets.iter().enumerate() {
+                    gx[i * n + t] = -scale;
+                }
+                parents[0].accumulate_grad(&gx);
+            }),
+        )
+    }
+
+    /// Cross-entropy loss from raw logits: `nll_loss(log_softmax(x))`.
+    pub fn cross_entropy(&self, targets: &[usize]) -> Tensor {
+        self.log_softmax().nll_loss(targets)
+    }
+
+    /// Returns a view with a new shape (same element count, same storage
+    /// semantics — gradients flow straight through).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: Vec<usize>) -> Tensor {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.len(), "reshape cannot change element count");
+        Tensor::from_op(
+            shape,
+            self.to_vec(),
+            vec![self.clone()],
+            Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+            }),
+        )
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape().len(), 2, "transpose input must be 2-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let x = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = x[i * n + j];
+            }
+        }
+        drop(x);
+        Tensor::from_op(
+            vec![n, m],
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut g = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        g[i * n + j] = grad[j * m + i];
+                    }
+                }
+                parents[0].accumulate_grad(&g);
+            }),
+        )
+    }
+
+    /// Row-wise argmax of a 2-D tensor (no gradient).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape().len(), 2, "argmax_rows input must be 2-D");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let x = self.data();
+        (0..m)
+            .map(|i| {
+                let row = &x[i * n..(i + 1) * n];
+                // total_cmp keeps a stable answer even when a diverged
+                // model emits NaN logits (NaN sorts above +inf, so a
+                // NaN row yields an arbitrary-but-valid class index).
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .expect("nonempty row")
+            })
+            .collect()
+    }
+}
+
+/// `out += A · B` for row-major buffers, `A: m×k`, `B: k×n` (ikj order).
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for t in 0..k {
+            let av = a[i * k + t];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[t * n..(t + 1) * n];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient_check;
+
+    #[test]
+    fn add_sub_mul_forward() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(vec![3], vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.sub(&b).to_vec(), vec![-3.0, -3.0, -3.0]);
+        assert_eq!(a.mul(&b).to_vec(), vec![4.0, 10.0, 18.0]);
+        assert_eq!(a.neg().to_vec(), vec![-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn matmul_forward() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.matmul(&b).to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let x = [0.5f32, -1.0, 2.0, 0.25, 1.5, -0.75];
+        let err = gradient_check(
+            &x,
+            &[2, 3],
+            |t| {
+                let w = Tensor::from_vec(vec![3, 2], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
+                t.matmul(&w).mul(&t.matmul(&w)).sum()
+            },
+            1e-2,
+        );
+        assert!(err < 5e-2, "max deviation {err}");
+    }
+
+    #[test]
+    fn relu_and_tanh_gradients() {
+        let x = [0.5f32, -1.0, 2.0, -0.3];
+        let err = gradient_check(&x, &[4], |t| t.relu().sum(), 1e-3);
+        assert!(err < 1e-2);
+        let err = gradient_check(&x, &[4], |t| t.tanh().mul(&t.tanh()).sum(), 1e-3);
+        assert!(err < 1e-2);
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one_in_prob_space() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let ls = t.log_softmax();
+        let data = ls.to_vec();
+        for i in 0..2 {
+            let s: f32 = data[i * 3..(i + 1) * 3].iter().map(|v| v.exp()).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient() {
+        let x = [1.0f32, -0.5, 0.25, 2.0, 0.0, -1.0];
+        let err = gradient_check(&x, &[2, 3], |t| t.cross_entropy(&[2, 0]), 1e-2);
+        assert!(err < 1e-2, "max deviation {err}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_n() {
+        let t = Tensor::from_vec(vec![1, 4], vec![0.0; 4]);
+        let loss = t.cross_entropy(&[1]).item();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_row_broadcast() {
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).requires_grad();
+        let b = Tensor::from_vec(vec![2], vec![10.0, 20.0]).requires_grad();
+        let y = x.add_row(&b);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+        y.sum().backward();
+        assert_eq!(b.grad_vec().unwrap(), vec![2.0, 2.0]);
+        assert_eq!(x.grad_vec().unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn reshape_and_transpose() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.reshape(vec![3, 2]).shape(), &[3, 2]);
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_gradient_flows() {
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).requires_grad();
+        let y = x.transpose().mul(&x.transpose()).sum();
+        y.backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn mean_gradient_is_uniform() {
+        let x = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).requires_grad();
+        x.mean().backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![0.25; 4]);
+    }
+}

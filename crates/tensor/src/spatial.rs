@@ -1,0 +1,281 @@
+//! Spatial (image) operations: im2col, NCHW layout shuffles and max
+//! pooling — the building blocks for 2-D convolution in `byz-nn`.
+
+use crate::Tensor;
+
+/// Output spatial size of a conv/pool window sweep.
+pub fn conv_output_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+impl Tensor {
+    /// im2col: unfolds an NCHW tensor `[n, c, h, w]` into a patch matrix of
+    /// shape `[n·oh·ow, c·kh·kw]`, where each row is one receptive field.
+    /// Convolution is then a plain matrix product with the reshaped kernel.
+    ///
+    /// Gradients flow back by scattering patch-gradients into the image
+    /// (col2im).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 4-D and the window fits.
+    pub fn im2col(&self, kernel: (usize, usize), stride: usize, pad: usize) -> Tensor {
+        let &[n, c, h, w] = self.shape() else {
+            panic!("im2col input must be 4-D NCHW, got {:?}", self.shape());
+        };
+        let (kh, kw) = kernel;
+        let oh = conv_output_size(h, kh, stride, pad);
+        let ow = conv_output_size(w, kw, stride, pad);
+        assert!(oh > 0 && ow > 0, "window does not fit input");
+
+        let x = self.data();
+        let rows = n * oh * ow;
+        let cols = c * kh * kw;
+        let mut out = vec![0.0f32; rows * cols];
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let col = (ci * kh + ky) * kw + kx;
+                                out[row * cols + col] =
+                                    x[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(x);
+
+        Tensor::from_op(
+            vec![rows, cols],
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                // col2im: scatter-add each patch gradient back.
+                let mut gx = vec![0.0f32; n * c * h * w];
+                for ni in 0..n {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let row = (ni * oh + oy) * ow + ox;
+                            for ci in 0..c {
+                                for ky in 0..kh {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride + kx) as isize - pad as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let col = (ci * kh + ky) * kw + kx;
+                                        gx[((ni * c + ci) * h + iy as usize) * w + ix as usize] +=
+                                            grad[row * cols + col];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&gx);
+            }),
+        )
+    }
+
+    /// Rearranges a patch-matmul result `[n·oh·ow, o]` into NCHW
+    /// `[n, o, oh, ow]` (the inverse of the row layout [`Tensor::im2col`]
+    /// produces).
+    pub fn rows_to_nchw(&self, n: usize, oh: usize, ow: usize) -> Tensor {
+        let &[rows, o] = self.shape() else {
+            panic!("rows_to_nchw input must be 2-D, got {:?}", self.shape());
+        };
+        assert_eq!(rows, n * oh * ow, "row count must equal n·oh·ow");
+        let x = self.data();
+        let mut out = vec![0.0f32; rows * o];
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    for oc in 0..o {
+                        out[((ni * o + oc) * oh + oy) * ow + ox] = x[row * o + oc];
+                    }
+                }
+            }
+        }
+        drop(x);
+        Tensor::from_op(
+            vec![n, o, oh, ow],
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut gx = vec![0.0f32; n * oh * ow * o];
+                for ni in 0..n {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let row = (ni * oh + oy) * ow + ox;
+                            for oc in 0..o {
+                                gx[row * o + oc] = grad[((ni * o + oc) * oh + oy) * ow + ox];
+                            }
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&gx);
+            }),
+        )
+    }
+
+    /// 2-D max pooling over an NCHW tensor with square window `k` and the
+    /// given stride. Backward routes gradients to each window's argmax.
+    pub fn maxpool2d(&self, k: usize, stride: usize) -> Tensor {
+        let &[n, c, h, w] = self.shape() else {
+            panic!("maxpool2d input must be 4-D NCHW, got {:?}", self.shape());
+        };
+        let oh = conv_output_size(h, k, stride, 0);
+        let ow = conv_output_size(w, k, stride, 0);
+        assert!(oh > 0 && ow > 0, "window does not fit input");
+
+        let x = self.data();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * stride + ky;
+                                let ix = ox * stride + kx;
+                                let idx = ((ni * c + ci) * h + iy) * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        out[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        drop(x);
+
+        let input_len = n * c * h * w;
+        Tensor::from_op(
+            vec![n, c, oh, ow],
+            out,
+            vec![self.clone()],
+            Box::new(move |grad, parents| {
+                let mut gx = vec![0.0f32; input_len];
+                for (g, &idx) in grad.iter().zip(&argmax) {
+                    gx[idx] += g;
+                }
+                parents[0].accumulate_grad(&gx);
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient_check;
+
+    #[test]
+    fn conv_output_sizes() {
+        assert_eq!(conv_output_size(8, 3, 1, 1), 8); // "same" padding
+        assert_eq!(conv_output_size(8, 3, 1, 0), 6);
+        assert_eq!(conv_output_size(8, 2, 2, 0), 4);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape.
+        let t = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = t.im2col((1, 1), 1, 0);
+        assert_eq!(cols.shape(), &[4, 1]);
+        assert_eq!(cols.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_known_patches() {
+        // 2x2 input, 2x2 kernel, no pad: a single patch.
+        let t = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = t.im2col((2, 2), 1, 0);
+        assert_eq!(cols.shape(), &[1, 4]);
+        assert_eq!(cols.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let t = Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]);
+        // 3x3 kernel centred with pad 1: one patch, centre is the pixel.
+        let cols = t.im2col((3, 3), 1, 1);
+        assert_eq!(cols.shape(), &[1, 9]);
+        let v = cols.to_vec();
+        assert_eq!(v[4], 5.0);
+        assert_eq!(v.iter().filter(|&&x| x == 0.0).count(), 8);
+    }
+
+    #[test]
+    fn im2col_gradients() {
+        let x: Vec<f32> = (0..16).map(|i| (i as f32) * 0.3 - 2.0).collect();
+        let err = gradient_check(
+            &x,
+            &[1, 1, 4, 4],
+            |t| {
+                let c = t.im2col((3, 3), 1, 1);
+                c.mul(&c).sum()
+            },
+            1e-2,
+        );
+        assert!(err < 5e-2, "max deviation {err}");
+    }
+
+    #[test]
+    fn rows_to_nchw_roundtrip_values() {
+        // 2 output pixels (oh=1, ow=2), 3 output channels, n=1.
+        let rows = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let nchw = rows.rows_to_nchw(1, 1, 2);
+        assert_eq!(nchw.shape(), &[1, 3, 1, 2]);
+        // Channel 0: pixels [1, 4]; channel 1: [2, 5]; channel 2: [3, 6].
+        assert_eq!(nchw.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let t = Tensor::from_vec(
+            vec![1, 1, 2, 2],
+            vec![1.0, 5.0, 3.0, 2.0],
+        )
+        .requires_grad();
+        let p = t.maxpool2d(2, 2);
+        assert_eq!(p.shape(), &[1, 1, 1, 1]);
+        assert_eq!(p.item(), 5.0);
+        p.sum().backward();
+        assert_eq!(t.grad_vec().unwrap(), vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradients_numeric() {
+        // Use distinct values so argmax is stable under the ±eps probes.
+        let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let err = gradient_check(&x, &[1, 1, 4, 4], |t| t.maxpool2d(2, 2).sum(), 1e-3);
+        assert!(err < 1e-2, "max deviation {err}");
+    }
+}

@@ -1,0 +1,374 @@
+//! The core [`Tensor`] type and backward pass.
+
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Errors from tensor construction and shape checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Data length does not match the product of the shape dimensions.
+    ShapeDataMismatch { shape: Vec<usize>, data_len: usize },
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        left: Vec<usize>,
+        right: Vec<usize>,
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => {
+                write!(f, "shape {shape:?} needs {} elements, got {data_len}", shape.iter().product::<usize>())
+            }
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch for {op}: {left:?} vs {right:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+type BackwardFn = Box<dyn Fn(&[f32], &[Tensor])>;
+
+pub(crate) struct Inner {
+    pub(crate) id: usize,
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: RefCell<Vec<f32>>,
+    pub(crate) grad: RefCell<Option<Vec<f32>>>,
+    pub(crate) requires_grad: bool,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward_fn: Option<BackwardFn>,
+}
+
+/// A reference-counted dense `f32` tensor participating in an autograd
+/// graph. Cloning is cheap (pointer copy) and clones share storage.
+#[derive(Clone)]
+pub struct Tensor(pub(crate) Rc<Inner>);
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tensor")
+            .field("id", &self.0.id)
+            .field("shape", &self.0.shape)
+            .field("requires_grad", &self.0.requires_grad)
+            .finish()
+    }
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and flat row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count; use
+    /// [`Tensor::try_from_vec`] for a fallible version.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::try_from_vec(shape, data).expect("shape/data mismatch")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when sizes disagree.
+    pub fn try_from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Tensor, TensorError> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape,
+                data_len: data.len(),
+            });
+        }
+        Ok(Tensor::leaf(shape, data, false))
+    }
+
+    /// Scalar (0-d, stored as shape `[1]`) tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor::leaf(vec![1], vec![value], false)
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor::leaf(shape, vec![0.0; numel], false)
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: Vec<usize>) -> Tensor {
+        let numel = shape.iter().product();
+        Tensor::leaf(shape, vec![1.0; numel], false)
+    }
+
+    /// Standard-normal random tensor from the given RNG.
+    pub fn randn<R: rand::Rng + ?Sized>(shape: Vec<usize>, rng: &mut R) -> Tensor {
+        let numel: usize = shape.iter().product();
+        // Box–Muller transform; avoids needing rand_distr.
+        let mut data = Vec::with_capacity(numel);
+        while data.len() < numel {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let mag = (-2.0 * u1.ln()).sqrt();
+            data.push(mag * (2.0 * std::f32::consts::PI * u2).cos());
+            if data.len() < numel {
+                data.push(mag * (2.0 * std::f32::consts::PI * u2).sin());
+            }
+        }
+        Tensor::leaf(shape, data, false)
+    }
+
+    pub(crate) fn leaf(shape: Vec<usize>, data: Vec<f32>, requires_grad: bool) -> Tensor {
+        Tensor(Rc::new(Inner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            shape,
+            data: RefCell::new(data),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents: Vec::new(),
+            backward_fn: None,
+        }))
+    }
+
+    pub(crate) fn from_op(
+        shape: Vec<usize>,
+        data: Vec<f32>,
+        parents: Vec<Tensor>,
+        backward_fn: BackwardFn,
+    ) -> Tensor {
+        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+        Tensor(Rc::new(Inner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            shape,
+            data: RefCell::new(data),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents: if requires_grad { parents } else { Vec::new() },
+            backward_fn: if requires_grad { Some(backward_fn) } else { None },
+        }))
+    }
+
+    /// Marks this (leaf) tensor as a differentiable parameter and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-leaf tensor — interior nodes derive
+    /// their `requires_grad` from their parents.
+    pub fn requires_grad(self) -> Tensor {
+        assert!(
+            self.0.parents.is_empty() && self.0.backward_fn.is_none(),
+            "requires_grad() must be called on leaf tensors"
+        );
+        Tensor(Rc::new(Inner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            shape: self.0.shape.clone(),
+            data: RefCell::new(self.0.data.borrow().clone()),
+            grad: RefCell::new(None),
+            requires_grad: true,
+            parents: Vec::new(),
+            backward_fn: None,
+        }))
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.0.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.shape.iter().product()
+    }
+
+    /// `true` for an empty tensor (any zero dimension).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether gradients flow into this tensor.
+    #[inline]
+    pub fn is_differentiable(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// Borrow the underlying data.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.0.data.borrow()
+    }
+
+    /// Copy out the underlying data.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.0.data.borrow().clone()
+    }
+
+    /// Extracts the single element of a one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        let data = self.0.data.borrow();
+        assert_eq!(data.len(), 1, "item() requires a single-element tensor");
+        data[0]
+    }
+
+    /// Copy of the accumulated gradient, if any.
+    pub fn grad_vec(&self) -> Option<Vec<f32>> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// In-place SGD-style update: `data -= step` elementwise.
+    /// Used by optimizers; does not record autograd history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step.len()` differs from the tensor size.
+    pub fn apply_step(&self, step: &[f32]) {
+        let mut data = self.0.data.borrow_mut();
+        assert_eq!(data.len(), step.len(), "step length mismatch");
+        for (d, s) in data.iter_mut().zip(step) {
+            *d -= s;
+        }
+    }
+
+    /// Replaces the tensor's contents (e.g. loading broadcast parameters
+    /// from the parameter server). No autograd history is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_data(&self, new_data: &[f32]) {
+        let mut data = self.0.data.borrow_mut();
+        assert_eq!(data.len(), new_data.len(), "set_data length mismatch");
+        data.copy_from_slice(new_data);
+    }
+
+    pub(crate) fn accumulate_grad(&self, delta: &[f32]) {
+        if !self.0.requires_grad {
+            return;
+        }
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(g) => {
+                for (gi, di) in g.iter_mut().zip(delta) {
+                    *gi += di;
+                }
+            }
+            None => *slot = Some(delta.to_vec()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this (scalar) tensor,
+    /// accumulating gradients into every reachable tensor with
+    /// `requires_grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a tensor with more than one element.
+    pub fn backward(&self) {
+        assert_eq!(self.len(), 1, "backward() requires a scalar output");
+        // Topological order via iterative post-order DFS.
+        let mut topo: Vec<Tensor> = Vec::new();
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                topo.push(node);
+                continue;
+            }
+            if !visited.insert(node.0.id) {
+                continue;
+            }
+            stack.push((node.clone(), true));
+            for p in &node.0.parents {
+                if !visited.contains(&p.0.id) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+
+        // Seed d(self)/d(self) = 1.
+        self.accumulate_grad(&[1.0]);
+
+        for node in topo.iter().rev() {
+            let Some(backward_fn) = &node.0.backward_fn else {
+                continue;
+            };
+            let grad = node.0.grad.borrow();
+            let Some(grad) = grad.as_ref() else {
+                continue; // Node unreachable from the output's gradient flow.
+            };
+            backward_fn(grad, &node.0.parents);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0; 6]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_differentiable());
+        assert!(Tensor::try_from_vec(vec![2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn scalar_and_item() {
+        assert_eq!(Tensor::scalar(4.5).item(), 4.5);
+    }
+
+    #[test]
+    fn randn_is_deterministic_and_roughly_normal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::randn(vec![10_000], &mut rng);
+        let data = t.to_vec();
+        let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
+        let var: f32 = data.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / data.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let t2 = Tensor::randn(vec![10_000], &mut rng2);
+        assert_eq!(t.to_vec(), t2.to_vec());
+    }
+
+    #[test]
+    fn apply_step_and_set_data() {
+        let t = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        t.apply_step(&[0.5, 0.5, 0.5]);
+        assert_eq!(t.to_vec(), vec![0.5, 1.5, 2.5]);
+        t.set_data(&[9.0, 9.0, 9.0]);
+        assert_eq!(t.to_vec(), vec![9.0; 3]);
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        let x = Tensor::from_vec(vec![2], vec![3.0, 4.0]).requires_grad();
+        // y = sum(x) + sum(x): gradient should be 2 for each coordinate.
+        let y = x.sum().add(&x.sum());
+        y.backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![2.0, 2.0]);
+        x.zero_grad();
+        assert!(x.grad_vec().is_none());
+    }
+}

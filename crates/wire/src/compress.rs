@@ -1,0 +1,185 @@
+//! signSGD gradient compression: 1-bit-per-coordinate sign packing.
+//!
+//! signSGD workers transmit only the sign of each gradient coordinate
+//! (Bernstein et al. 2019) — the communication-efficiency half of that
+//! defense. This codec packs a gradient's signs into `⌈d/8⌉` bytes
+//! (32× smaller than `f32` on the wire) plus an explicit zero-mask so the
+//! three-valued sign {−1, 0, +1} survives the roundtrip exactly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A packed sign vector: `⌈d/8⌉` sign bits + `⌈d/8⌉` zero-mask bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSigns {
+    len: usize,
+    /// Bit `i` set ⇔ coordinate `i` is strictly negative.
+    negative: Vec<u8>,
+    /// Bit `i` set ⇔ coordinate `i` is exactly zero (or NaN, which
+    /// carries no sign vote).
+    zero: Vec<u8>,
+}
+
+impl PackedSigns {
+    /// Packs the signs of a gradient.
+    pub fn pack(gradient: &[f32]) -> Self {
+        let bytes = gradient.len().div_ceil(8);
+        let mut negative = vec![0u8; bytes];
+        let mut zero = vec![0u8; bytes];
+        for (i, &g) in gradient.iter().enumerate() {
+            if g < 0.0 {
+                negative[i / 8] |= 1 << (i % 8);
+            } else if g <= 0.0 || g.is_nan() {
+                // Zero or NaN: no vote.
+                zero[i / 8] |= 1 << (i % 8);
+            }
+        }
+        PackedSigns {
+            len: gradient.len(),
+            negative,
+            zero,
+        }
+    }
+
+    /// Number of packed coordinates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no coordinates are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Unpacks back into a ternary `{−1.0, 0.0, +1.0}` vector.
+    pub fn unpack(&self) -> Vec<f32> {
+        (0..self.len)
+            .map(|i| {
+                if self.zero[i / 8] & (1 << (i % 8)) != 0 {
+                    0.0
+                } else if self.negative[i / 8] & (1 << (i % 8)) != 0 {
+                    -1.0
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Serialized size in bytes (excluding any outer frame).
+    pub fn wire_len(&self) -> usize {
+        4 + self.negative.len() + self.zero.len()
+    }
+
+    /// Serializes: `u32 len ∥ negative bits ∥ zero bits`.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(self.wire_len());
+        out.put_u32_le(self.len as u32);
+        out.extend_from_slice(&self.negative);
+        out.extend_from_slice(&self.zero);
+        out.freeze()
+    }
+
+    /// Deserializes; returns `None` on truncation.
+    pub fn decode(mut bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let len = bytes.get_u32_le() as usize;
+        let nb = len.div_ceil(8);
+        if bytes.len() < 2 * nb {
+            return None;
+        }
+        let negative = bytes[..nb].to_vec();
+        let zero = bytes[nb..2 * nb].to_vec();
+        Some(PackedSigns {
+            len,
+            negative,
+            zero,
+        })
+    }
+}
+
+/// Coordinate-wise sign-majority over packed votes without unpacking to
+/// floats: the PS-side of signSGD at wire speed.
+pub fn packed_sign_majority(votes: &[PackedSigns]) -> Option<Vec<f32>> {
+    let first = votes.first()?;
+    let d = first.len();
+    if votes.iter().any(|v| v.len() != d) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(d);
+    for i in 0..d {
+        let mut tally = 0i64;
+        for v in votes {
+            if v.zero[i / 8] & (1 << (i % 8)) != 0 {
+                continue;
+            }
+            if v.negative[i / 8] & (1 << (i % 8)) != 0 {
+                tally -= 1;
+            } else {
+                tally += 1;
+            }
+        }
+        out.push(tally.signum() as f32);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = [1.5f32, -0.25, 0.0, -0.0, 7.0, -1e-20, f32::NAN];
+        let packed = PackedSigns::pack(&g);
+        assert_eq!(packed.len(), 7);
+        let signs = packed.unpack();
+        assert_eq!(signs, vec![1.0, -1.0, 0.0, 0.0, 1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let g: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.3).collect();
+        let packed = PackedSigns::pack(&g);
+        let bytes = packed.encode();
+        assert_eq!(bytes.len(), packed.wire_len());
+        // 100 f32s = 400 bytes raw; packed = 4 + 13 + 13 = 30 bytes.
+        assert!(bytes.len() < 400 / 8 + 8);
+        let decoded = PackedSigns::decode(&bytes).unwrap();
+        assert_eq!(decoded, packed);
+        assert!(PackedSigns::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(PackedSigns::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn majority_matches_float_aggregator() {
+        use byz_aggregate::{Aggregator, SignSgdMajority};
+        let grads: Vec<Vec<f32>> = vec![
+            vec![0.3, -2.0, 0.0, 5.0],
+            vec![5.0, -0.1, 1.0, -2.0],
+            vec![-0.2, -9.0, -1.0, 4.0],
+        ];
+        let packed: Vec<PackedSigns> = grads.iter().map(|g| PackedSigns::pack(g)).collect();
+        let fast = packed_sign_majority(&packed).unwrap();
+        let reference = SignSgdMajority.aggregate(&grads).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn ragged_votes_rejected() {
+        let a = PackedSigns::pack(&[1.0, -1.0]);
+        let b = PackedSigns::pack(&[1.0]);
+        assert!(packed_sign_majority(&[a, b]).is_none());
+        assert!(packed_sign_majority(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_gradient() {
+        let p = PackedSigns::pack(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.unpack(), Vec::<f32>::new());
+        let rt = PackedSigns::decode(&p.encode()).unwrap();
+        assert_eq!(rt, p);
+    }
+}

@@ -1,0 +1,41 @@
+//! Wire protocol and threaded message-passing parameter server.
+//!
+//! The paper's system runs over MPICH; this crate provides the
+//! reproduction's network analogue: a binary **framed message protocol**
+//! ([`Message`], encoded with `bytes`) and a **real multi-threaded
+//! parameter server** ([`MessagePassingCluster`]) in which every worker
+//! is an OS thread holding its own model replica, and *all* coordination
+//! happens through serialized frames flowing over channels — the PS never
+//! shares memory with the workers.
+//!
+//! The protocol per iteration (paper Algorithm 1):
+//!
+//! 1. PS serializes a [`Message::ModelBroadcast`] and sends one copy to
+//!    each worker;
+//! 2. each worker deserializes, computes the gradient of every file
+//!    assigned to it by the [`Assignment`] graph (honest), or forges a
+//!    payload (Byzantine), and replies with one
+//!    [`Message::GradientReturn`] per file;
+//! 3. the PS collects all `K·l` returns, majority-votes each file,
+//!    applies coordinate-wise median over the winners, and updates the
+//!    model.
+//!
+//! Every frame carries a checksum; corrupted or truncated frames are
+//! rejected at decode time ([`WireError`]), so transport-level integrity
+//! is distinguished from Byzantine *content* (which is well-formed but
+//! malicious — the attack model of the paper).
+
+mod compress;
+mod hashvote;
+mod message;
+mod server;
+
+pub use compress::{packed_sign_majority, PackedSigns};
+pub use hashvote::{
+    classic_uplink_bytes, hash_majority, hashvote_uplink_bytes, verify_payload, Fingerprint,
+    HashVoteOutcome,
+};
+pub use message::{Message, WireError, FRAME_HEADER_LEN};
+pub use server::{LocalAttack, MessagePassingCluster, RoundSummary, ServerConfig, Transport};
+
+pub use byz_assign::Assignment;

@@ -1,0 +1,418 @@
+//! Binary message framing with checksums.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! magic: u32 = 0xB1Z5 (0xB125_51ED)   | sanity marker
+//! kind:  u8                            | message discriminant
+//! body_len: u32                        | length of the body in bytes
+//! checksum: u64                        | FNV-1a over kind + body
+//! body: [u8; body_len]
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Frame magic marker.
+const MAGIC: u32 = 0xB125_51ED;
+
+/// Bytes of header before the body (`magic + kind + body_len + checksum`).
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8;
+
+const KIND_MODEL_BROADCAST: u8 = 1;
+const KIND_GRADIENT_RETURN: u8 = 2;
+const KIND_SHUTDOWN: u8 = 3;
+const KIND_HASH_ANNOUNCE: u8 = 4;
+const KIND_PAYLOAD_REQUEST: u8 = 5;
+
+/// Errors from frame decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than a frame header.
+    Truncated { needed: usize, got: usize },
+    /// Wrong magic marker — not one of our frames.
+    BadMagic(u32),
+    /// Unknown message discriminant.
+    UnknownKind(u8),
+    /// The checksum does not match the payload: transport corruption.
+    ChecksumMismatch { expected: u64, computed: u64 },
+    /// Body shorter than its declared length.
+    BodyTruncated { declared: usize, got: usize },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "frame truncated: need {needed} bytes, got {got}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::ChecksumMismatch { expected, computed } => {
+                write!(f, "checksum mismatch: header says {expected:#x}, body hashes to {computed:#x}")
+            }
+            WireError::BodyTruncated { declared, got } => {
+                write!(f, "body truncated: declared {declared} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// PS → worker: the global model for an iteration, plus the sample
+    /// indices of every file (so workers know their work without shared
+    /// memory).
+    ModelBroadcast {
+        /// Iteration number `t`.
+        iteration: u64,
+        /// Flat model parameters.
+        params: Vec<f32>,
+        /// `files[i]` = the dataset indices making up file `i`.
+        files: Vec<Vec<u32>>,
+    },
+    /// Worker → PS: the computed (or forged) gradient of one file.
+    GradientReturn {
+        /// Iteration the gradient belongs to.
+        iteration: u64,
+        /// Sender worker id.
+        worker: u32,
+        /// File index.
+        file: u32,
+        /// Flat gradient.
+        gradient: Vec<f32>,
+    },
+    /// Worker → PS: a 128-bit fingerprint of one file's gradient (the
+    /// announce phase of the vote-on-hash protocol).
+    HashAnnounce {
+        /// Iteration the fingerprint belongs to.
+        iteration: u64,
+        /// Sender worker id.
+        worker: u32,
+        /// File index.
+        file: u32,
+        /// The gradient fingerprint.
+        fingerprint: crate::Fingerprint,
+    },
+    /// PS → worker: deliver the full gradient whose fingerprint won the
+    /// vote for `file` (the pull phase of vote-on-hash).
+    PayloadRequest {
+        /// Iteration of the request.
+        iteration: u64,
+        /// File whose payload is wanted.
+        file: u32,
+    },
+    /// PS → worker: training is over; the thread should exit.
+    Shutdown,
+}
+
+/// FNV-1a over a byte slice.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::ModelBroadcast { .. } => KIND_MODEL_BROADCAST,
+            Message::GradientReturn { .. } => KIND_GRADIENT_RETURN,
+            Message::HashAnnounce { .. } => KIND_HASH_ANNOUNCE,
+            Message::PayloadRequest { .. } => KIND_PAYLOAD_REQUEST,
+            Message::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Serializes the message into a framed byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        match self {
+            Message::ModelBroadcast {
+                iteration,
+                params,
+                files,
+            } => {
+                body.put_u64_le(*iteration);
+                body.put_u32_le(params.len() as u32);
+                for &p in params {
+                    body.put_f32_le(p);
+                }
+                body.put_u32_le(files.len() as u32);
+                for file in files {
+                    body.put_u32_le(file.len() as u32);
+                    for &idx in file {
+                        body.put_u32_le(idx);
+                    }
+                }
+            }
+            Message::GradientReturn {
+                iteration,
+                worker,
+                file,
+                gradient,
+            } => {
+                body.put_u64_le(*iteration);
+                body.put_u32_le(*worker);
+                body.put_u32_le(*file);
+                body.put_u32_le(gradient.len() as u32);
+                for &g in gradient {
+                    body.put_f32_le(g);
+                }
+            }
+            Message::HashAnnounce {
+                iteration,
+                worker,
+                file,
+                fingerprint,
+            } => {
+                body.put_u64_le(*iteration);
+                body.put_u32_le(*worker);
+                body.put_u32_le(*file);
+                fingerprint.write_to(&mut body);
+            }
+            Message::PayloadRequest { iteration, file } => {
+                body.put_u64_le(*iteration);
+                body.put_u32_le(*file);
+            }
+            Message::Shutdown => {}
+        }
+
+        let kind = self.kind();
+        let mut hasher_input = Vec::with_capacity(1 + body.len());
+        hasher_input.push(kind);
+        hasher_input.extend_from_slice(&body);
+        let checksum = fnv1a(&hasher_input);
+
+        let mut frame = BytesMut::with_capacity(FRAME_HEADER_LEN + body.len());
+        frame.put_u32_le(MAGIC);
+        frame.put_u8(kind);
+        frame.put_u32_le(body.len() as u32);
+        frame.put_u64_le(checksum);
+        frame.extend_from_slice(&body);
+        frame.freeze()
+    }
+
+    /// Parses a framed byte buffer back into a message.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`]: truncation, bad magic, unknown kind, checksum
+    /// mismatch.
+    pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
+        if frame.len() < FRAME_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: FRAME_HEADER_LEN,
+                got: frame.len(),
+            });
+        }
+        let magic = frame.get_u32_le();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let kind = frame.get_u8();
+        let body_len = frame.get_u32_le() as usize;
+        let checksum = frame.get_u64_le();
+        if frame.len() < body_len {
+            return Err(WireError::BodyTruncated {
+                declared: body_len,
+                got: frame.len(),
+            });
+        }
+        let body = &frame[..body_len];
+
+        let mut hasher_input = Vec::with_capacity(1 + body.len());
+        hasher_input.push(kind);
+        hasher_input.extend_from_slice(body);
+        let computed = fnv1a(&hasher_input);
+        if computed != checksum {
+            return Err(WireError::ChecksumMismatch {
+                expected: checksum,
+                computed,
+            });
+        }
+
+        let mut body = body;
+        match kind {
+            KIND_MODEL_BROADCAST => {
+                let iteration = body.get_u64_le();
+                let n = body.get_u32_le() as usize;
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    params.push(body.get_f32_le());
+                }
+                let nf = body.get_u32_le() as usize;
+                let mut files = Vec::with_capacity(nf);
+                for _ in 0..nf {
+                    let fl = body.get_u32_le() as usize;
+                    let mut file = Vec::with_capacity(fl);
+                    for _ in 0..fl {
+                        file.push(body.get_u32_le());
+                    }
+                    files.push(file);
+                }
+                Ok(Message::ModelBroadcast {
+                    iteration,
+                    params,
+                    files,
+                })
+            }
+            KIND_GRADIENT_RETURN => {
+                let iteration = body.get_u64_le();
+                let worker = body.get_u32_le();
+                let file = body.get_u32_le();
+                let n = body.get_u32_le() as usize;
+                let mut gradient = Vec::with_capacity(n);
+                for _ in 0..n {
+                    gradient.push(body.get_f32_le());
+                }
+                Ok(Message::GradientReturn {
+                    iteration,
+                    worker,
+                    file,
+                    gradient,
+                })
+            }
+            KIND_HASH_ANNOUNCE => {
+                let iteration = body.get_u64_le();
+                let worker = body.get_u32_le();
+                let file = body.get_u32_le();
+                let fingerprint = crate::Fingerprint::read_from(&mut body);
+                Ok(Message::HashAnnounce {
+                    iteration,
+                    worker,
+                    file,
+                    fingerprint,
+                })
+            }
+            KIND_PAYLOAD_REQUEST => {
+                let iteration = body.get_u64_le();
+                let file = body.get_u32_le();
+                Ok(Message::PayloadRequest { iteration, file })
+            }
+            KIND_SHUTDOWN => Ok(Message::Shutdown),
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_broadcast() {
+        let msg = Message::ModelBroadcast {
+            iteration: 42,
+            params: vec![1.5, -2.25, 0.0],
+            files: vec![vec![0, 7, 9], vec![3]],
+        };
+        let frame = msg.encode();
+        assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn roundtrip_gradient_return() {
+        let msg = Message::GradientReturn {
+            iteration: 7,
+            worker: 3,
+            file: 21,
+            gradient: vec![f32::MIN, f32::MAX, 0.5],
+        };
+        let frame = msg.encode();
+        assert_eq!(Message::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn roundtrip_shutdown() {
+        let frame = Message::Shutdown.encode();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN);
+        assert_eq!(Message::decode(&frame).unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn roundtrip_hash_announce_and_payload_request() {
+        let msg = Message::HashAnnounce {
+            iteration: 3,
+            worker: 14,
+            file: 24,
+            fingerprint: crate::Fingerprint(0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0),
+        };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        let msg = Message::PayloadRequest { iteration: 9, file: 2 };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let msg = Message::GradientReturn {
+            iteration: 1,
+            worker: 0,
+            file: 0,
+            gradient: vec![1.0, 2.0],
+        };
+        let mut bytes = msg.encode().to_vec();
+        // Flip a body bit.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let frame = Message::Shutdown.encode();
+        assert!(matches!(
+            Message::decode(&frame[..5]),
+            Err(WireError::Truncated { .. })
+        ));
+        let msg = Message::GradientReturn {
+            iteration: 1,
+            worker: 0,
+            file: 0,
+            gradient: vec![1.0; 8],
+        };
+        let full = msg.encode();
+        assert!(matches!(
+            Message::decode(&full[..FRAME_HEADER_LEN + 3]),
+            Err(WireError::BodyTruncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = Message::Shutdown.encode().to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(Message::decode(&bytes), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unknown_kind_detected() {
+        // Build a frame by hand with kind 99 and a valid checksum.
+        let mut hasher_input = vec![99u8];
+        let checksum = {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for &b in &hasher_input {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            hash
+        };
+        hasher_input.clear();
+        let mut frame = bytes::BytesMut::new();
+        use bytes::BufMut;
+        frame.put_u32_le(super::MAGIC);
+        frame.put_u8(99);
+        frame.put_u32_le(0);
+        frame.put_u64_le(checksum);
+        assert_eq!(Message::decode(&frame).unwrap_err(), WireError::UnknownKind(99));
+    }
+}

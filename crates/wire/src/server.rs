@@ -1,0 +1,655 @@
+//! The threaded message-passing parameter server.
+
+use crate::{hash_majority, verify_payload, Assignment, Fingerprint, Message};
+use byz_aggregate::{majority_vote, Aggregator, CoordinateMedian};
+use byz_data::{split_batch_into_files, BatchSampler, Dataset};
+use byz_nn::FastMlp;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Attacks computable from a worker's *local* view (no collusion channel
+/// needed — the forgeries are still identical across colluders because
+/// they are deterministic functions of shared state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalAttack {
+    /// Send `−c·g` for the locally computed true gradient `g`.
+    ReversedGradient {
+        /// Positive magnification.
+        magnitude: f32,
+    },
+    /// Send a constant vector.
+    Constant {
+        /// The value in every coordinate.
+        value: f32,
+    },
+}
+
+impl LocalAttack {
+    fn forge(&self, true_gradient: &[f32]) -> Vec<f32> {
+        match self {
+            LocalAttack::ReversedGradient { magnitude } => {
+                true_gradient.iter().map(|g| -magnitude * g).collect()
+            }
+            LocalAttack::Constant { value } => vec![*value; true_gradient.len()],
+        }
+    }
+}
+
+/// Gradient transport mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Every replica uploads its full gradient (the paper's protocol).
+    Full,
+    /// Replicas upload 16-byte fingerprints; the PS votes on fingerprints
+    /// and pulls each winning payload once, verifying it against the
+    /// winning fingerprint (this repo's communication-efficiency
+    /// extension — see the `hashvote` module).
+    HashVote,
+}
+
+/// Training configuration for the message-passing server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Batch size (must be divisible by the assignment's file count).
+    pub batch_size: usize,
+    /// Synchronous iterations to run.
+    pub iterations: usize,
+    /// Constant learning rate.
+    pub learning_rate: f32,
+    /// Momentum.
+    pub momentum: f32,
+    /// The Byzantine worker set (static, as in the omniscient evaluation).
+    pub byzantine: Vec<usize>,
+    /// What Byzantine workers send.
+    pub attack: LocalAttack,
+    /// Fail-stop workers: they receive traffic but never reply (crash
+    /// simulation). The PS tolerates them via receive timeouts; a crashed
+    /// replica simply casts no vote.
+    pub crashed: Vec<usize>,
+    /// How gradients travel.
+    pub transport: Transport,
+    /// How long the PS waits for a straggling frame before declaring the
+    /// remaining replicas of the round missing.
+    pub receive_timeout: Duration,
+    /// Batch-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch_size: 100,
+            iterations: 50,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            byzantine: Vec::new(),
+            attack: LocalAttack::Constant { value: -100.0 },
+            crashed: Vec::new(),
+            transport: Transport::Full,
+            receive_timeout: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of one synchronous round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSummary {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Files whose majority vote was not strict (diagnostic).
+    pub non_strict_votes: usize,
+    /// Frames received by the PS this round.
+    pub frames_received: usize,
+    /// Bytes received by the PS this round.
+    pub bytes_received: usize,
+    /// Replica votes that never arrived (crashed workers).
+    pub missing_votes: usize,
+}
+
+/// A parameter server plus `K` worker threads, communicating exclusively
+/// through framed [`Message`]s over channels.
+pub struct MessagePassingCluster {
+    assignment: Assignment,
+    dataset: Arc<Dataset>,
+    model_dims: Vec<usize>,
+}
+
+impl MessagePassingCluster {
+    /// Creates the cluster. `model_dims` are MLP layer widths whose input
+    /// width must equal the dataset's flattened sample length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model input width disagrees with the dataset.
+    pub fn new(assignment: Assignment, dataset: Arc<Dataset>, model_dims: Vec<usize>) -> Self {
+        assert_eq!(
+            model_dims.first().copied(),
+            Some(dataset.sample_len()),
+            "model input width must match the dataset sample length"
+        );
+        MessagePassingCluster {
+            assignment,
+            dataset,
+            model_dims,
+        }
+    }
+
+    /// Runs the full synchronous training protocol over real threads and
+    /// serialized frames. Returns the trained flat parameters and the
+    /// per-round summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations (which indicate bugs, not Byzantine
+    /// behaviour — Byzantine *content* is handled by the defense, crashes
+    /// by the receive timeout).
+    pub fn train(
+        &self,
+        initial_params: Vec<f32>,
+        config: &ServerConfig,
+    ) -> (Vec<f32>, Vec<RoundSummary>) {
+        let k = self.assignment.num_workers();
+        let f = self.assignment.num_files();
+        assert_eq!(
+            config.batch_size % f,
+            0,
+            "batch size must be divisible by the file count"
+        );
+
+        let (to_ps, from_workers): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+        let mut to_workers: Vec<Sender<Vec<u8>>> = Vec::with_capacity(k);
+
+        crossbeam::thread::scope(|scope| {
+            for worker_id in 0..k {
+                let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+                to_workers.push(tx);
+                let my_files: Vec<usize> =
+                    self.assignment.graph().files_of(worker_id).to_vec();
+                let dataset = Arc::clone(&self.dataset);
+                let dims = self.model_dims.clone();
+                let to_ps = to_ps.clone();
+                let is_byz = config.byzantine.contains(&worker_id);
+                let is_crashed = config.crashed.contains(&worker_id);
+                let attack = config.attack;
+                let transport = config.transport;
+
+                scope.spawn(move |_| {
+                    worker_loop(WorkerContext {
+                        worker_id,
+                        my_files,
+                        dataset,
+                        dims,
+                        rx,
+                        to_ps,
+                        is_byz,
+                        is_crashed,
+                        attack,
+                        transport,
+                    })
+                });
+            }
+            drop(to_ps);
+
+            let result = self.ps_loop(initial_params, config, &to_workers, &from_workers);
+
+            let bye = Message::Shutdown.encode().to_vec();
+            for tx in &to_workers {
+                let _ = tx.send(bye.clone());
+            }
+            result
+        })
+        .expect("worker thread panicked")
+    }
+
+    /// The parameter-server side of the protocol.
+    fn ps_loop(
+        &self,
+        initial_params: Vec<f32>,
+        config: &ServerConfig,
+        to_workers: &[Sender<Vec<u8>>],
+        from_workers: &Receiver<Vec<u8>>,
+    ) -> (Vec<f32>, Vec<RoundSummary>) {
+        let k = self.assignment.num_workers();
+        let f = self.assignment.num_files();
+        let l = self.assignment.load();
+        let mut params = initial_params;
+        let mut velocity = vec![0.0f32; params.len()];
+        let mut sampler = BatchSampler::new(self.dataset.len(), config.batch_size, config.seed);
+        let aggregator = CoordinateMedian;
+        let mut summaries = Vec::with_capacity(config.iterations);
+
+        for t in 1..=config.iterations as u64 {
+            let batch = sampler.next_batch();
+            let files: Vec<Vec<u32>> = split_batch_into_files(&batch, f)
+                .into_iter()
+                .map(|file| file.into_iter().map(|i| i as u32).collect())
+                .collect();
+            let broadcast = Message::ModelBroadcast {
+                iteration: t,
+                params: params.clone(),
+                files,
+            }
+            .encode()
+            .to_vec();
+            for tx in to_workers {
+                tx.send(broadcast.clone()).expect("worker alive");
+            }
+
+            let expected = k * l;
+            let mut frames_received = 0usize;
+            let mut bytes_received = 0usize;
+            let mut non_strict = 0usize;
+
+            let winners: Vec<Option<Vec<f32>>> = match config.transport {
+                Transport::Full => {
+                    // Collect full gradients (with timeout for crashes).
+                    let mut per_file: HashMap<u32, Vec<(u32, Vec<f32>)>> = HashMap::new();
+                    while frames_received < expected {
+                        let frame = match from_workers.recv_timeout(config.receive_timeout) {
+                            Ok(fr) => fr,
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        match Message::decode(&frame).expect("workers send valid frames") {
+                            Message::GradientReturn {
+                                iteration,
+                                worker,
+                                file,
+                                gradient,
+                            } => {
+                                if iteration != t {
+                                    continue; // stale frame from a slow round
+                                }
+                                per_file.entry(file).or_default().push((worker, gradient));
+                            }
+                            other => panic!("unexpected message at PS: {other:?}"),
+                        }
+                    }
+                    (0..f as u32)
+                        .map(|file| {
+                            let mut replicas = per_file.remove(&file)?;
+                            replicas.sort_by_key(|(w, _)| *w);
+                            let values: Vec<Vec<f32>> =
+                                replicas.into_iter().map(|(_, g)| g).collect();
+                            let outcome = majority_vote(&values).ok()?;
+                            if !outcome.is_strict {
+                                non_strict += 1;
+                            }
+                            Some(outcome.value)
+                        })
+                        .collect()
+                }
+                Transport::HashVote => {
+                    // Phase 1: collect fingerprints.
+                    let mut per_file: HashMap<u32, Vec<(usize, Fingerprint)>> = HashMap::new();
+                    while frames_received < expected {
+                        let frame = match from_workers.recv_timeout(config.receive_timeout) {
+                            Ok(fr) => fr,
+                            Err(_) => break,
+                        };
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        match Message::decode(&frame).expect("workers send valid frames") {
+                            Message::HashAnnounce {
+                                iteration,
+                                worker,
+                                file,
+                                fingerprint,
+                            } => {
+                                if iteration != t {
+                                    continue;
+                                }
+                                per_file
+                                    .entry(file)
+                                    .or_default()
+                                    .push((worker as usize, fingerprint));
+                            }
+                            other => panic!("unexpected message at PS: {other:?}"),
+                        }
+                    }
+                    // Phase 2: vote on fingerprints, pull each winner once.
+                    let mut winners: Vec<Option<Vec<f32>>> = vec![None; f];
+                    let mut pulls: Vec<(u32, Fingerprint)> = Vec::new();
+                    for file in 0..f as u32 {
+                        let Some(announced) = per_file.remove(&file) else {
+                            continue;
+                        };
+                        let Some(outcome) = hash_majority(&announced) else {
+                            continue;
+                        };
+                        if !outcome.is_strict {
+                            non_strict += 1;
+                        }
+                        let holder = outcome.holders[0];
+                        let req = Message::PayloadRequest { iteration: t, file }
+                            .encode()
+                            .to_vec();
+                        to_workers[holder].send(req).expect("worker alive");
+                        pulls.push((file, outcome.winner));
+                    }
+                    for _ in 0..pulls.len() {
+                        let frame = match from_workers.recv_timeout(config.receive_timeout) {
+                            Ok(fr) => fr,
+                            Err(_) => break,
+                        };
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        match Message::decode(&frame).expect("workers send valid frames") {
+                            Message::GradientReturn {
+                                iteration,
+                                file,
+                                gradient,
+                                ..
+                            } => {
+                                if iteration != t {
+                                    continue;
+                                }
+                                let expected_fp = pulls
+                                    .iter()
+                                    .find(|(pf, _)| *pf == file)
+                                    .map(|(_, fp)| *fp)
+                                    .expect("pull was requested");
+                                // Bait-and-switch defense: the payload
+                                // must hash to the winning fingerprint.
+                                if verify_payload(&gradient, expected_fp) {
+                                    winners[file as usize] = Some(gradient);
+                                }
+                            }
+                            other => panic!("unexpected message at PS: {other:?}"),
+                        }
+                    }
+                    winners
+                }
+            };
+
+            let missing_votes = expected.saturating_sub(frames_received.min(expected));
+            let available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
+            if !available.is_empty() {
+                let aggregated = aggregator
+                    .aggregate(&available)
+                    .expect("median is always applicable");
+                let scale = f as f32 / config.batch_size as f32;
+                for ((p, v), g) in params.iter_mut().zip(&mut velocity).zip(&aggregated) {
+                    *v = config.momentum * *v + g * scale;
+                    *p -= config.learning_rate * *v;
+                }
+            }
+
+            summaries.push(RoundSummary {
+                iteration: t as usize,
+                non_strict_votes: non_strict,
+                frames_received,
+                bytes_received,
+                missing_votes,
+            });
+        }
+        (params, summaries)
+    }
+
+}
+
+struct WorkerContext {
+    worker_id: usize,
+    my_files: Vec<usize>,
+    dataset: Arc<Dataset>,
+    dims: Vec<usize>,
+    rx: Receiver<Vec<u8>>,
+    to_ps: Sender<Vec<u8>>,
+    is_byz: bool,
+    is_crashed: bool,
+    attack: LocalAttack,
+    transport: Transport,
+}
+
+fn worker_loop(ctx: WorkerContext) {
+    let mut rng = rand_stub();
+    let mut model = FastMlp::new(&ctx.dims, &mut rng);
+    // Cache of this iteration's computed (possibly forged) gradients, for
+    // the hash-vote pull phase.
+    let mut cache: HashMap<(u64, u32), Vec<f32>> = HashMap::new();
+
+    // Run until shutdown or the PS drops the channel.
+    while let Ok(frame) = ctx.rx.recv() {
+        match Message::decode(&frame).expect("PS sends valid frames") {
+            Message::Shutdown => break,
+            Message::ModelBroadcast {
+                iteration,
+                params,
+                files,
+            } => {
+                if ctx.is_crashed {
+                    continue; // fail-stop: receive but never respond
+                }
+                cache.retain(|(it, _), _| *it + 1 >= iteration);
+                model.set_params(&params);
+                for &file_idx in &ctx.my_files {
+                    let samples: Vec<usize> =
+                        files[file_idx].iter().map(|&i| i as usize).collect();
+                    let (x, labels) = gather_flat(&ctx.dataset, &samples);
+                    let (_, grad) = model.gradient_sum(&x, samples.len(), &labels);
+                    let gradient = if ctx.is_byz {
+                        ctx.attack.forge(&grad)
+                    } else {
+                        grad
+                    };
+                    let reply = match ctx.transport {
+                        Transport::Full => Message::GradientReturn {
+                            iteration,
+                            worker: ctx.worker_id as u32,
+                            file: file_idx as u32,
+                            gradient,
+                        },
+                        Transport::HashVote => {
+                            let fingerprint = Fingerprint::of(&gradient);
+                            cache.insert((iteration, file_idx as u32), gradient);
+                            Message::HashAnnounce {
+                                iteration,
+                                worker: ctx.worker_id as u32,
+                                file: file_idx as u32,
+                                fingerprint,
+                            }
+                        }
+                    };
+                    ctx.to_ps
+                        .send(reply.encode().to_vec())
+                        .expect("PS receiver alive");
+                }
+            }
+            Message::PayloadRequest { iteration, file } => {
+                if ctx.is_crashed {
+                    continue;
+                }
+                let gradient = cache
+                    .get(&(iteration, file))
+                    .expect("PS only pulls announced payloads")
+                    .clone();
+                ctx.to_ps
+                    .send(
+                        Message::GradientReturn {
+                            iteration,
+                            worker: ctx.worker_id as u32,
+                            file,
+                            gradient,
+                        }
+                        .encode()
+                        .to_vec(),
+                    )
+                    .expect("PS receiver alive");
+            }
+            other => panic!("worker received unexpected message: {other:?}"),
+        }
+    }
+}
+
+/// Deterministic tiny RNG for worker-side model construction (the
+/// parameters are overwritten by the first broadcast, so the values do
+/// not matter — only the shape does).
+fn rand_stub() -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+/// Flattened gather without depending on tensors (workers are plain
+/// threads over `Vec<f32>`).
+fn gather_flat(dataset: &Dataset, indices: &[usize]) -> (Vec<f32>, Vec<usize>) {
+    let n = dataset.sample_len();
+    let mut x = Vec::with_capacity(indices.len() * n);
+    let mut labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        x.extend_from_slice(dataset.sample(i));
+        labels.push(dataset.label(i));
+    }
+    (x, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byz_assign::MolsAssignment;
+    use byz_data::{SyntheticConfig, SyntheticImages};
+    use rand::SeedableRng;
+
+    fn dataset() -> Arc<Dataset> {
+        let (train, _) = SyntheticImages::new(SyntheticConfig {
+            num_classes: 4,
+            channels: 1,
+            hw: 6,
+            train_samples: 400,
+            test_samples: 50,
+            noise: 0.4,
+            max_shift: 1,
+            seed: 5,
+        })
+        .generate();
+        Arc::new(train)
+    }
+
+    fn config(iterations: usize, byzantine: Vec<usize>) -> ServerConfig {
+        ServerConfig {
+            iterations,
+            byzantine,
+            attack: LocalAttack::Constant { value: -50.0 },
+            seed: 31,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn initial_params(dims: &[usize]) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        FastMlp::new(dims, &mut rng).params_flat()
+    }
+
+    fn accuracy(params: &[f32], dims: &[usize], data: &Dataset, n: usize) -> f64 {
+        let mut model = FastMlp::new(dims, &mut rand::rngs::StdRng::seed_from_u64(0));
+        model.set_params(params);
+        let idx: Vec<usize> = (0..n).collect();
+        let (x, labels) = gather_flat(data, &idx);
+        let preds = model.predict(&x, n);
+        preds.iter().zip(&labels).filter(|(p, l)| p == l).count() as f64 / n as f64
+    }
+
+    #[test]
+    fn clean_message_passing_training_learns() {
+        let data = dataset();
+        let dims = vec![36usize, 16, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let (params, summaries) = cluster.train(initial_params(&dims), &config(40, vec![]));
+        assert_eq!(summaries.len(), 40);
+        assert!(summaries.iter().all(|s| s.frames_received == 75));
+        assert!(summaries.iter().all(|s| s.non_strict_votes == 0));
+        assert!(summaries.iter().all(|s| s.missing_votes == 0));
+        let acc = accuracy(&params, &dims, &data, 200);
+        assert!(acc > 0.5, "train accuracy only {acc}");
+    }
+
+    #[test]
+    fn byzantine_minority_is_neutralized() {
+        let data = dataset();
+        let dims = vec![36usize, 16, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let (params, summaries) =
+            cluster.train(initial_params(&dims), &config(40, vec![0, 5]));
+        assert!(summaries.iter().all(|s| s.non_strict_votes == 0));
+        let acc = accuracy(&params, &dims, &data, 200);
+        assert!(acc > 0.5, "attacked accuracy only {acc}");
+    }
+
+    #[test]
+    fn hash_vote_transport_matches_full_transport() {
+        // Same seeds, same attack: the vote-on-hash protocol must compute
+        // byte-identical parameters (the winning gradients are identical),
+        // while moving far fewer bytes.
+        let data = dataset();
+        let dims = vec![36usize, 16, 4];
+        let assignment = MolsAssignment::new(5, 3).unwrap().build();
+        let cluster =
+            MessagePassingCluster::new(assignment, Arc::clone(&data), dims.clone());
+
+        let full_cfg = config(25, vec![0, 5]);
+        let hash_cfg = ServerConfig {
+            transport: Transport::HashVote,
+            ..full_cfg.clone()
+        };
+        let (p_full, s_full) = cluster.train(initial_params(&dims), &full_cfg);
+        let (p_hash, s_hash) = cluster.train(initial_params(&dims), &hash_cfg);
+
+        assert_eq!(p_full, p_hash, "transports must be semantically identical");
+        let bytes_full: usize = s_full.iter().map(|s| s.bytes_received).sum();
+        let bytes_hash: usize = s_hash.iter().map(|s| s.bytes_received).sum();
+        assert!(
+            (bytes_hash as f64) < 0.5 * bytes_full as f64,
+            "hash-vote moved {bytes_hash} vs full {bytes_full} bytes"
+        );
+    }
+
+    #[test]
+    fn crashed_workers_are_tolerated() {
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            crashed: vec![3, 9],
+            receive_timeout: Duration::from_millis(200),
+            ..config(6, vec![])
+        };
+        let (params, summaries) = cluster.train(initial_params(&dims), &cfg);
+        // 2 crashed workers × 5 files each never arrive.
+        assert!(summaries.iter().all(|s| s.missing_votes == 10));
+        assert!(summaries.iter().all(|s| s.frames_received == 65));
+        // Training proceeds on the surviving replicas.
+        assert_eq!(summaries.len(), 6);
+        assert_eq!(params.len(), initial_params(&dims).len());
+    }
+
+    #[test]
+    fn summaries_account_for_bytes() {
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            data,
+            dims.clone(),
+        );
+        let (_, summaries) = cluster.train(initial_params(&dims), &config(2, vec![]));
+        for s in &summaries {
+            assert!(s.bytes_received > 75 * crate::FRAME_HEADER_LEN);
+        }
+    }
+}

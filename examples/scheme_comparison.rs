@@ -1,0 +1,88 @@
+//! Scheme comparison: ByzShield vs DETOX vs baseline median under the same
+//! omniscient ALIE attack — a miniature of the paper's Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use byzshield::prelude::*;
+
+fn main() {
+    let q = 5;
+    let iterations = 150;
+    println!("K = 25, omniscient ALIE attack, q = {q}, {iterations} iterations\n");
+
+    let specs = [
+        ExperimentSpec {
+            iterations,
+            eval_every: 30,
+            ..ExperimentSpec::new(
+                SchemeSpec::ByzShield,
+                AggregatorKind::Median,
+                ClusterSize::K25,
+                AttackKind::Alie,
+                q,
+            )
+        },
+        ExperimentSpec {
+            iterations,
+            eval_every: 30,
+            ..ExperimentSpec::new(
+                SchemeSpec::Detox,
+                AggregatorKind::MedianOfMeans,
+                ClusterSize::K25,
+                AttackKind::Alie,
+                q,
+            )
+        },
+        ExperimentSpec {
+            iterations,
+            eval_every: 30,
+            ..ExperimentSpec::new(
+                SchemeSpec::Baseline,
+                AggregatorKind::Median,
+                ClusterSize::K25,
+                AttackKind::Alie,
+                q,
+            )
+        },
+    ];
+
+    let mut curves = Vec::new();
+    for spec in &specs {
+        let curve = experiments::run_experiment(spec);
+        println!(
+            "{:<22} mean ε̂ = {:.2}  final accuracy = {:5.1}%",
+            curve.label,
+            curve.mean_epsilon_hat,
+            curve
+                .points
+                .last()
+                .map_or(f64::NAN, |p| 100.0 * p.accuracy)
+        );
+        curves.push(curve);
+    }
+
+    println!("\naccuracy vs iteration:");
+    print!("{:>6}", "iter");
+    for c in &curves {
+        print!(" | {:>20}", c.label);
+    }
+    println!();
+    let checkpoints: Vec<usize> = curves[0].points.iter().map(|p| p.iteration).collect();
+    for (row, iter) in checkpoints.iter().enumerate() {
+        print!("{iter:>6}");
+        for c in &curves {
+            match c.points.get(row) {
+                Some(p) => print!(" | {:>19.1}%", 100.0 * p.accuracy),
+                None => print!(" | {:>20}", "n/a"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nByzShield keeps ε̂ at {:.2} where DETOX's grouped votes lose {:.2} \
+         of the batch to the same adversary — the accuracy gap follows.",
+        curves[0].mean_epsilon_hat, curves[1].mean_epsilon_hat
+    );
+}

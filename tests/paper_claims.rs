@@ -1,0 +1,160 @@
+//! Regression tests pinning the paper's quantitative claims that this
+//! reproduction must preserve.
+
+use byzshield::prelude::*;
+use byz_graph::BipartiteGraph;
+
+/// Abstract claim (Section 5.3.2): "over a 36% reduction on average in the
+/// fraction of corrupted gradients compared to the state of the art" —
+/// i.e. ε̂_ByzShield ≤ 0.64·ε̂_FRC on average over the Table 3 sweep.
+#[test]
+fn headline_distortion_reduction() {
+    let assignment = MolsAssignment::new(5, 3).unwrap().build();
+    let mut ratio_sum = 0.0;
+    let mut count = 0;
+    for q in 2..=7 {
+        let byz = cmax_auto(&assignment, q);
+        assert!(byz.exact);
+        let e_byz = byz.value as f64 / assignment.num_files() as f64;
+        let e_frc = frc_epsilon(q, 3, 15);
+        ratio_sum += e_byz / e_frc;
+        count += 1;
+    }
+    let avg_ratio = ratio_sum / count as f64;
+    assert!(
+        avg_ratio < 0.67,
+        "average ε̂ ratio {avg_ratio:.3}; paper reports 0.64"
+    );
+}
+
+/// Lemma 2 for all three constructions, verified numerically through the
+/// Jacobi eigensolver.
+#[test]
+fn lemma2_spectra() {
+    // MOLS (l, r) = (7, 5): {(1,1), (1/5, 5·6), (0, 4)}.
+    let a = MolsAssignment::new(7, 5).unwrap().build();
+    let spec = a.graph().clustered_spectrum(1e-6).unwrap();
+    assert_eq!(spec.len(), 3);
+    assert!((spec[0].0 - 1.0).abs() < 1e-8 && spec[0].1 == 1);
+    assert!((spec[1].0 - 0.2).abs() < 1e-8 && spec[1].1 == 30);
+    assert!(spec[2].0.abs() < 1e-8 && spec[2].1 == 4);
+
+    // Ramanujan Case 1 (m, s) = (5, 7): identical spectrum.
+    let b = RamanujanAssignment::new(5, 7).unwrap().build();
+    let spec_b = b.graph().clustered_spectrum(1e-6).unwrap();
+    for (x, y) in spec.iter().zip(&spec_b) {
+        assert!((x.0 - y.0).abs() < 1e-7);
+        assert_eq!(x.1, y.1);
+    }
+
+    // Ramanujan Case 2 (m, s) = (5, 5): {(1,1), (1/5, 5·4), (0, 4)}.
+    let c = RamanujanAssignment::new(5, 5).unwrap().build();
+    let spec_c = c.graph().clustered_spectrum(1e-6).unwrap();
+    assert_eq!(spec_c.len(), 3);
+    assert!((spec_c[0].0 - 1.0).abs() < 1e-8 && spec_c[0].1 == 1);
+    assert!((spec_c[1].0 - 0.2).abs() < 1e-8 && spec_c[1].1 == 20);
+    assert!(spec_c[2].0.abs() < 1e-8 && spec_c[2].1 == 4);
+}
+
+/// Lemma 1 (Zhu & Chugg expansion bound) holds for every worker subset of
+/// a small instance: vol(N(S))/vol(S) ≥ 1/(µ₁ + (1−µ₁)·vol(S)/|E|).
+#[test]
+fn lemma1_expansion_bound() {
+    let assignment = MolsAssignment::new(5, 3).unwrap().build();
+    let g: &BipartiteGraph = assignment.graph();
+    let mu1 = g.second_eigenvalue().unwrap();
+    let edges = g.num_edges() as f64;
+    // All subsets of size ≤ 3 (exhaustive beyond that is wasteful here).
+    let k = g.num_workers();
+    for a in 0..k {
+        for b in (a + 1)..k {
+            for c in (b + 1)..k {
+                let s = [a, b, c];
+                let vol_s = g.worker_volume(&s) as f64;
+                let neighborhood = g.file_neighborhood(&s);
+                // Files have degree r, so vol(N(S)) = r·|N(S)|.
+                let vol_ns = (neighborhood.len() * assignment.replication()) as f64;
+                let bound = 1.0 / (mu1 + (1.0 - mu1) * vol_s / edges);
+                assert!(
+                    vol_ns / vol_s >= bound - 1e-9,
+                    "Lemma 1 violated for S = {s:?}: {} < {}",
+                    vol_ns / vol_s,
+                    bound
+                );
+            }
+        }
+    }
+}
+
+/// Eq. 5's β lower-bounds |N(S)| for the omniscient worst-case witness.
+#[test]
+fn beta_bounds_neighborhood() {
+    let assignment = MolsAssignment::new(5, 3).unwrap().build();
+    for q in 2..=7 {
+        let res = cmax_exhaustive(&assignment, q);
+        let n_s = assignment.graph().file_neighborhood(&res.witness).len();
+        let beta = assignment.expansion_bound(q).unwrap().beta();
+        assert!(
+            n_s as f64 >= beta - 1e-9,
+            "q = {q}: |N(S)| = {n_s} < β = {beta}"
+        );
+    }
+}
+
+/// DRACO's requirement r ≥ 2q + 1 for exact recovery vs ByzShield's much
+/// weaker needs (Section 1.2): at q = 5 DRACO needs r ≥ 11; ByzShield
+/// with r = 5 still bounds the distortion fraction below 10%.
+#[test]
+fn byzshield_tolerates_what_draco_cannot() {
+    let assignment = RamanujanAssignment::new(5, 5).unwrap().build();
+    let q = 5;
+    let draco_required_replication = 2 * q + 1;
+    assert!(assignment.replication() < draco_required_replication);
+    let res = cmax_auto(&assignment, q);
+    assert!(res.exact);
+    // Table 4: c_max(5) = 2 → ε̂ = 0.08.
+    assert_eq!(res.value, 2);
+    assert!(res.epsilon_hat(assignment.num_files()) < 0.1);
+}
+
+/// The ε̂ columns of Table 3 reproduce end to end through the public API.
+#[test]
+fn table3_epsilon_columns() {
+    let assignment = MolsAssignment::new(5, 3).unwrap().build();
+    let expected: [(usize, f64, f64, f64); 6] = [
+        (2, 0.04, 2.0 / 15.0, 0.2),
+        (3, 0.12, 0.2, 0.2),
+        (4, 0.20, 4.0 / 15.0, 0.4),
+        (5, 0.32, 1.0 / 3.0, 0.4),
+        (6, 0.48, 0.4, 0.6),
+        (7, 0.56, 7.0 / 15.0, 0.6),
+    ];
+    for (q, e_byz, e_base, e_frc) in expected {
+        let res = cmax_auto(&assignment, q);
+        assert!((res.epsilon_hat(25) - e_byz).abs() < 1e-9, "ByzShield ε̂ at q = {q}");
+        assert!((baseline_epsilon(q, 15) - e_base).abs() < 1e-9, "baseline ε̂ at q = {q}");
+        assert!((frc_epsilon(q, 3, 15) - e_frc).abs() < 1e-9, "FRC ε̂ at q = {q}");
+    }
+}
+
+/// Figure 12's qualitative time ordering from the calibrated cost model:
+/// baseline median < DETOX-MoM < ByzShield, with ByzShield's overhead
+/// dominated by communication (its l gradient uploads per worker).
+#[test]
+fn figure12_time_ordering() {
+    let model = CostModel::default();
+    let byzshield = RamanujanAssignment::new(5, 5).unwrap().build();
+    let detox = FrcAssignment::new(25, 5).unwrap().build();
+
+    let bs = model.estimate(&byzshield, 750, 25, 1.0);
+    let dx = model.estimate(&detox, 750, 5, 1.0);
+    let base = model.estimate_baseline(25, 750, 1.0);
+
+    assert!(base.total() < dx.total());
+    assert!(dx.total() < bs.total());
+    // The paper's measured ratio for full training was 3.14 h : 4 h :
+    // 10.81 h ⇒ ByzShield ≈ 3.4× baseline; the model should land in the
+    // same regime (between 2× and 6×).
+    let ratio = bs.total().as_secs_f64() / base.total().as_secs_f64();
+    assert!((2.0..6.0).contains(&ratio), "ByzShield/baseline ratio {ratio:.2}");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate protocol invariants, property-tested: the guarantees of
+//! the voting pipeline hold for every scheme, attack and Byzantine set.
+
+use byzshield::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a ByzShield-style assignment plus a Byzantine set of size q.
+fn assignment_and_byzantine() -> impl Strategy<Value = (Assignment, Vec<usize>)> {
+    let choices: Vec<(u64, usize)> = vec![(5, 3), (7, 3), (7, 5)];
+    (prop::sample::select(choices), 0usize..=6, any::<u64>()).prop_map(|((l, r), q, seed)| {
+        let assignment = MolsAssignment::new(l, r).unwrap().build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let selector = ByzantineSelector::Random { seed: rng.gen() };
+        let byz = selector.select(&assignment, q.min(assignment.num_workers()), 0);
+        (assignment, byz)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Simulated distortion never exceeds the spectral bound γ (Claim 1),
+    /// for ANY Byzantine set — not just the optimal one.
+    #[test]
+    fn gamma_bounds_any_attack((assignment, byz) in assignment_and_byzantine()) {
+        prop_assume!(!byz.is_empty());
+        let distorted = count_distorted(&assignment, &byz);
+        let gamma = assignment.expansion_bound(byz.len()).unwrap().gamma();
+        prop_assert!(
+            (distorted as f64) <= gamma + 1e-9,
+            "distorted {} > γ {}", distorted, gamma
+        );
+    }
+
+    /// Majority voting with honest majorities recovers the exact gradient
+    /// for every file not controlled by ≥ r′ Byzantines.
+    #[test]
+    fn vote_recovers_uncontrolled_files((assignment, byz) in assignment_and_byzantine()) {
+        let r = assignment.replication();
+        let r_prime = assignment.majority_threshold();
+        let is_byz = |w: usize| byz.contains(&w);
+
+        for file in 0..assignment.num_files() {
+            let workers = assignment.graph().workers_of(file);
+            prop_assert_eq!(workers.len(), r);
+            let honest_value = vec![file as f32, -(file as f32)];
+            let byz_value = vec![1e9f32, 1e9];
+            let replicas: Vec<Vec<f32>> = workers
+                .iter()
+                .map(|&w| if is_byz(w) { byz_value.clone() } else { honest_value.clone() })
+                .collect();
+            let byz_count = workers.iter().filter(|&&w| is_byz(w)).count();
+            let outcome = majority_vote(&replicas).unwrap();
+            if byz_count < r_prime {
+                prop_assert_eq!(outcome.value, honest_value, "file {} lost its majority", file);
+            } else {
+                prop_assert_eq!(outcome.value, byz_value, "colluders with ≥ r′ copies must win");
+            }
+        }
+    }
+
+    /// `count_distorted` agrees with a direct per-file majority simulation.
+    #[test]
+    fn count_distorted_matches_vote_simulation((assignment, byz) in assignment_and_byzantine()) {
+        let r_prime = assignment.majority_threshold();
+        let manual = (0..assignment.num_files())
+            .filter(|&file| {
+                assignment
+                    .graph()
+                    .workers_of(file)
+                    .iter()
+                    .filter(|w| byz.contains(w))
+                    .count()
+                    >= r_prime
+            })
+            .count();
+        prop_assert_eq!(count_distorted(&assignment, &byz), manual);
+    }
+
+    /// The omniscient selector is at least as damaging as any random set
+    /// of the same size.
+    #[test]
+    fn omniscient_dominates_random(
+        seed in any::<u64>(),
+        q in 2usize..=5,
+    ) {
+        let assignment = MolsAssignment::new(5, 3).unwrap().build();
+        let omn = ByzantineSelector::Omniscient.select(&assignment, q, 0);
+        let rnd = ByzantineSelector::Random { seed }.select(&assignment, q, 0);
+        prop_assert!(
+            count_distorted(&assignment, &omn) >= count_distorted(&assignment, &rnd)
+        );
+    }
+
+    /// Claim 2 exact values hold on the actual constructions for q ≤ r.
+    #[test]
+    fn claim2_matches_simulation(
+        lr in prop::sample::select(vec![(5u64, 3usize), (7, 3), (7, 5), (9, 5)]),
+    ) {
+        let (l, r) = lr;
+        let assignment = MolsAssignment::new(l, r).unwrap().build();
+        for q in 0..=r {
+            let expected = claim2_exact_epsilon(q, r, assignment.num_files()).unwrap();
+            let simulated = cmax_auto(&assignment, q);
+            prop_assert!(simulated.exact);
+            prop_assert_eq!(
+                simulated.epsilon_hat(assignment.num_files()),
+                expected,
+                "Claim 2 mismatch at (l, r, q) = ({}, {}, {})", l, r, q
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests of the spectral machinery across crates: graph
+//! expansion, eigensolver, and the Claim 1 chain of inequalities on many
+//! constructions at once.
+
+use byzshield::prelude::*;
+use byz_linalg::{cluster_spectrum, singular_values, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every supported construction has leading eigenvalue exactly 1 (a
+/// property of any biregular graph's normalized Gram matrix).
+#[test]
+fn leading_eigenvalue_is_one_everywhere() {
+    let mut assignments: Vec<Assignment> = vec![
+        MolsAssignment::new(5, 3).unwrap().build(),
+        MolsAssignment::new(7, 5).unwrap().build(),
+        MolsAssignment::new(8, 3).unwrap().build(), // prime power 2^3
+        MolsAssignment::new(9, 7).unwrap().build(), // prime power 3^2
+        RamanujanAssignment::new(3, 5).unwrap().build(),
+        RamanujanAssignment::new(5, 5).unwrap().build(),
+        FrcAssignment::new(15, 3).unwrap().build(),
+    ];
+    let mut rng = StdRng::seed_from_u64(6);
+    assignments.push(RandomAssignment::new(15, 25, 3).unwrap().build(&mut rng));
+
+    for a in &assignments {
+        let spec = a.graph().gram_spectrum().unwrap();
+        assert!(
+            (spec[0] - 1.0).abs() < 1e-8,
+            "{:?}: leading eigenvalue {}",
+            a.kind(),
+            spec[0]
+        );
+        assert!(spec.iter().all(|&e| e >= -1e-9), "negative eigenvalue");
+    }
+}
+
+/// The MOLS graph achieves the optimal µ₁ = 1/r among all tested
+/// placements with the same (K, f, l, r) — random placements are strictly
+/// worse (the engineering content of Section 4).
+#[test]
+fn mols_expansion_beats_random() {
+    let mols = MolsAssignment::new(5, 3).unwrap().build();
+    let mu_mols = mols.second_eigenvalue().unwrap();
+    assert!((mu_mols - 1.0 / 3.0).abs() < 1e-9);
+
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..10 {
+        let random = RandomAssignment::new(15, 25, 3).unwrap().build(&mut rng);
+        let mu_rand = random.second_eigenvalue().unwrap();
+        assert!(
+            mu_rand >= mu_mols - 1e-9,
+            "random placement beat the optimal spectrum: {mu_rand} < {mu_mols}"
+        );
+    }
+}
+
+/// Claim 1's chain on every construction: simulated c_max ≤ γ, and γ is
+/// finite/monotone over q.
+#[test]
+fn claim1_chain_across_constructions() {
+    for a in [
+        MolsAssignment::new(5, 3).unwrap().build(),
+        MolsAssignment::new(7, 3).unwrap().build(),
+        RamanujanAssignment::new(3, 5).unwrap().build(),
+        RamanujanAssignment::new(5, 5).unwrap().build(),
+    ] {
+        let mut prev_gamma = 0.0;
+        for q in 1..=6 {
+            let bound = a.expansion_bound(q).unwrap();
+            let gamma = bound.gamma();
+            assert!(gamma >= prev_gamma - 1e-9, "γ not monotone");
+            prev_gamma = gamma;
+            let sim = cmax_auto(&a, q);
+            assert!(sim.exact);
+            assert!(
+                sim.value as f64 <= gamma + 1e-9,
+                "{:?} q={q}: c_max {} > γ {gamma}",
+                a.kind(),
+                sim.value
+            );
+        }
+    }
+}
+
+/// Singular values of the unnormalized bi-adjacency H match the
+/// Burnwal et al. Theorem 6 statement quoted in the paper's appendix:
+/// {√(sm), √s × m(s−1), 0 × (m−1)} for Case 1.
+#[test]
+fn ramanujan_case1_singular_values() {
+    let (m, s) = (3usize, 5usize);
+    let a = RamanujanAssignment::new(m as u64, s as u64).unwrap().build();
+    let h = a.graph().biadjacency();
+    let sv = singular_values(&h).unwrap();
+    // Zero eigenvalues of HHᵀ come out as O(1e-12) numerical noise, so the
+    // corresponding singular values are O(1e-6): cluster and compare at
+    // that scale.
+    let clusters = cluster_spectrum(&sv, 1e-4);
+    assert_eq!(clusters.len(), 3);
+    assert!((clusters[0].0 - (s as f64 * m as f64).sqrt()).abs() < 1e-6);
+    assert_eq!(clusters[0].1, 1);
+    assert!((clusters[1].0 - (s as f64).sqrt()).abs() < 1e-6);
+    assert_eq!(clusters[1].1, m * (s - 1));
+    assert!(clusters[2].0.abs() < 1e-4);
+    assert_eq!(clusters[2].1, m - 1);
+}
+
+/// The Lemma 2 proof structure is checkable directly: the MOLS Gram
+/// matrix equals (1/lr)·C ⊗ J_l + (1/r)·I for the complete-graph-minus-
+/// identity C (Appendix A.3, Eq. 8).
+#[test]
+fn mols_gram_matrix_kronecker_structure() {
+    let (l, r) = (5usize, 3usize);
+    let a = MolsAssignment::new(l as u64, r).unwrap().build();
+    let norm = a.graph().normalized_biadjacency().unwrap();
+    let gram = norm.matmul(&norm.transpose()).unwrap();
+
+    // C = J_r − I_r; J_l = all-ones.
+    let mut c = Matrix::filled(r, r, 1.0);
+    for i in 0..r {
+        c[(i, i)] = 0.0;
+    }
+    let j_l = Matrix::filled(l, l, 1.0);
+    let reconstructed = c
+        .kronecker(&j_l)
+        .scale(1.0 / (l * r) as f64)
+        .add(&Matrix::identity(l * r).scale(1.0 / r as f64))
+        .unwrap();
+
+    // The Kronecker form assumes workers ordered by parallel class, which
+    // is exactly how Algorithm 2 numbers them.
+    assert!(
+        gram.approx_eq(&reconstructed, 1e-9),
+        "Eq. (8) structure violated"
+    );
+}
