@@ -80,7 +80,11 @@ impl Auror {
         let upper = &column[split..];
         if (c1 - c0).abs() > self.threshold && !lower.is_empty() && !upper.is_empty() {
             // Keep the larger cluster.
-            let keep = if lower.len() >= upper.len() { lower } else { upper };
+            let keep = if lower.len() >= upper.len() {
+                lower
+            } else {
+                upper
+            };
             keep.iter().sum::<f32>() / keep.len() as f32
         } else {
             column.iter().sum::<f32>() / n as f32
@@ -94,13 +98,7 @@ mod tests {
 
     #[test]
     fn discards_far_minority_cluster() {
-        let grads = vec![
-            vec![1.0],
-            vec![1.1],
-            vec![0.9],
-            vec![100.0],
-            vec![101.0],
-        ];
+        let grads = vec![vec![1.0], vec![1.1], vec![0.9], vec![100.0], vec![101.0]];
         let out = Auror::default().aggregate(&grads).unwrap();
         assert!((out[0] - 1.0).abs() < 0.2, "got {out:?}");
     }

@@ -88,9 +88,7 @@ mod tests {
     fn bulyan_resists_outliers() {
         // n = 11, c = 2 (needs ≥ 11): nine honest gradients around 1.0,
         // two huge Byzantine ones.
-        let mut grads: Vec<Vec<f32>> = (0..9)
-            .map(|i| vec![1.0 + 0.01 * i as f32, -1.0])
-            .collect();
+        let mut grads: Vec<Vec<f32>> = (0..9).map(|i| vec![1.0 + 0.01 * i as f32, -1.0]).collect();
         grads.push(vec![1e6, 1e6]);
         grads.push(vec![-1e6, 1e6]);
         let out = Bulyan { num_byzantine: 2 }.aggregate(&grads).unwrap();
@@ -103,7 +101,11 @@ mod tests {
         let grads = vec![vec![0.0]; 10];
         assert!(matches!(
             Bulyan { num_byzantine: 2 }.aggregate(&grads),
-            Err(AggregationError::NotEnoughOperands { needed: 11, got: 10, .. })
+            Err(AggregationError::NotEnoughOperands {
+                needed: 11,
+                got: 10,
+                ..
+            })
         ));
     }
 
@@ -116,7 +118,10 @@ mod tests {
         grads.push(vec![1.0, 1.0, 500.0]);
         grads.push(vec![1.0, 1.0, 500.0]);
         let out = Bulyan { num_byzantine: 2 }.aggregate(&grads).unwrap();
-        assert!((out[2] - 1.0).abs() < 1e-3, "coordinate attack leaked: {out:?}");
+        assert!(
+            (out[2] - 1.0).abs() < 1e-3,
+            "coordinate attack leaked: {out:?}"
+        );
     }
 
     #[test]

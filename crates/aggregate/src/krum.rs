@@ -146,7 +146,11 @@ mod tests {
         let grads = vec![vec![0.0]; 5];
         assert!(matches!(
             Krum { num_byzantine: 2 }.aggregate(&grads),
-            Err(AggregationError::NotEnoughOperands { needed: 7, got: 5, .. })
+            Err(AggregationError::NotEnoughOperands {
+                needed: 7,
+                got: 5,
+                ..
+            })
         ));
     }
 
@@ -154,6 +158,9 @@ mod tests {
     fn krum_returns_an_input_vector() {
         let grads = cluster_with_outliers();
         let out = Krum { num_byzantine: 2 }.aggregate(&grads).unwrap();
-        assert!(grads.iter().any(|g| g == &out), "Krum must select, not blend");
+        assert!(
+            grads.iter().any(|g| g == &out),
+            "Krum must select, not blend"
+        );
     }
 }

@@ -67,7 +67,10 @@ impl fmt::Display for AggregationError {
         match self {
             AggregationError::Empty => write!(f, "no gradients to aggregate"),
             AggregationError::DimensionMismatch { expected, got } => {
-                write!(f, "gradient dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "gradient dimension mismatch: expected {expected}, got {got}"
+                )
             }
             AggregationError::NotEnoughOperands { rule, needed, got } => {
                 write!(f, "{rule} needs at least {needed} operands, got {got}")
@@ -128,7 +131,10 @@ mod tests {
         let ragged = vec![vec![1.0, 2.0], vec![1.0]];
         assert!(matches!(
             check_input(&ragged),
-            Err(AggregationError::DimensionMismatch { expected: 2, got: 1 })
+            Err(AggregationError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert_eq!(check_input(&[vec![1.0; 3]]).unwrap(), 3);
     }

@@ -80,10 +80,7 @@ pub fn majority_vote(replicas: &[Vec<f32>]) -> Result<MajorityOutcome, Aggregati
 /// Bit-exact equality, treating NaNs with equal bit patterns as equal so a
 /// Byzantine NaN payload cannot sabotage the comparison logic.
 fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(x, y)| x.to_bits() == y.to_bits())
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 #[cfg(test)]

@@ -1,5 +1,8 @@
 //! signSGD with majority vote (Bernstein et al. 2019).
 
+use byz_kernel::parallel_chunks_mut;
+
+use crate::median::COORD_CHUNK;
 use crate::{check_input, AggregationError, Aggregator};
 
 /// signSGD aggregation: each worker effectively transmits only the sign of
@@ -17,19 +20,24 @@ impl Aggregator for SignSgdMajority {
     fn aggregate(&self, gradients: &[Vec<f32>]) -> Result<Vec<f32>, AggregationError> {
         let d = check_input(gradients)?;
         let mut out = vec![0.0f32; d];
-        for (j, o) in out.iter_mut().enumerate() {
-            let mut tally = 0i64;
-            for g in gradients {
-                // NaN contributes no vote — a Byzantine NaN payload cannot
-                // dominate a coordinate.
-                if g[j] > 0.0 {
-                    tally += 1;
-                } else if g[j] < 0.0 {
-                    tally -= 1;
+        // Tallies are exact integer counts per coordinate, so the chunked
+        // parallel evaluation is trivially identical to the serial one.
+        parallel_chunks_mut(&mut out, COORD_CHUNK, |start, piece| {
+            for (off, o) in piece.iter_mut().enumerate() {
+                let j = start + off;
+                let mut tally = 0i64;
+                for g in gradients {
+                    // NaN contributes no vote — a Byzantine NaN payload
+                    // cannot dominate a coordinate.
+                    if g[j] > 0.0 {
+                        tally += 1;
+                    } else if g[j] < 0.0 {
+                        tally -= 1;
+                    }
                 }
+                *o = (tally.signum()) as f32;
             }
-            *o = (tally.signum()) as f32;
-        }
+        });
         Ok(out)
     }
 }

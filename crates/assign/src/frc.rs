@@ -87,7 +87,12 @@ impl FrcAssignment {
                     .expect("indices in range by construction");
             }
         }
-        Assignment::from_parts(SchemeKind::Frc, graph, self.files_per_group, self.replication)
+        Assignment::from_parts(
+            SchemeKind::Frc,
+            graph,
+            self.files_per_group,
+            self.replication,
+        )
     }
 }
 
@@ -109,7 +114,9 @@ mod tests {
 
     #[test]
     fn multi_file_groups() {
-        let a = FrcAssignment::with_files_per_group(15, 3, 5).unwrap().build();
+        let a = FrcAssignment::with_files_per_group(15, 3, 5)
+            .unwrap()
+            .build();
         assert_eq!(a.num_files(), 25);
         assert_eq!(a.load(), 5);
         // Group 0's workers hold files 0..5.

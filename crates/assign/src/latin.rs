@@ -153,8 +153,7 @@ impl MolsFamily {
     /// * [`AssignmentError::ReplicationOutOfRange`] if
     ///   `count` is 0 or exceeds `l − 1`.
     pub fn construct(l: u64, count: usize) -> Result<Self, AssignmentError> {
-        let field =
-            FiniteField::new(l).map_err(|_| AssignmentError::DegreeNotPrimePower(l))?;
+        let field = FiniteField::new(l).map_err(|_| AssignmentError::DegreeNotPrimePower(l))?;
         if count == 0 || count as u64 > l - 1 {
             return Err(AssignmentError::ReplicationOutOfRange {
                 replication: count,
@@ -254,8 +253,16 @@ mod tests {
         ];
         for i in 0..5 {
             for j in 0..5 {
-                assert_eq!(fam.squares()[1].get(i, j), l2_expected[i][j], "L2 ({i},{j})");
-                assert_eq!(fam.squares()[2].get(i, j), l3_expected[i][j], "L3 ({i},{j})");
+                assert_eq!(
+                    fam.squares()[1].get(i, j),
+                    l2_expected[i][j],
+                    "L2 ({i},{j})"
+                );
+                assert_eq!(
+                    fam.squares()[2].get(i, j),
+                    l3_expected[i][j],
+                    "L3 ({i},{j})"
+                );
             }
         }
     }

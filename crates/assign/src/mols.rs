@@ -40,7 +40,10 @@ impl MolsAssignment {
             return Err(AssignmentError::ReplicationNotOdd(r));
         }
         let mols = MolsFamily::construct(l, r)?;
-        Ok(MolsAssignment { mols, replication: r })
+        Ok(MolsAssignment {
+            mols,
+            replication: r,
+        })
     }
 
     /// The MOLS family driving the placement.
@@ -127,7 +130,10 @@ mod tests {
                 if u / l == v / l {
                     assert_eq!(common, 0, "same-class workers {u},{v} share a file");
                 } else {
-                    assert_eq!(common, 1, "cross-class workers {u},{v} share {common} files");
+                    assert_eq!(
+                        common, 1,
+                        "cross-class workers {u},{v} share {common} files"
+                    );
                 }
             }
         }

@@ -32,7 +32,9 @@ impl RandomAssignment {
         num_files: usize,
         replication: usize,
     ) -> Result<Self, AssignmentError> {
-        if replication == 0 || replication > num_workers || !(num_files * replication).is_multiple_of(num_workers)
+        if replication == 0
+            || replication > num_workers
+            || !(num_files * replication).is_multiple_of(num_workers)
         {
             return Err(AssignmentError::InfeasibleRandom {
                 workers: num_workers,
@@ -74,8 +76,7 @@ impl RandomAssignment {
                     // this file; swap forward if not.
                     let taken = &pool[base..idx];
                     if taken.contains(&pool[idx]) {
-                        let Some(swap) = (idx + 1..pool.len())
-                            .find(|&j| !taken.contains(&pool[j]))
+                        let Some(swap) = (idx + 1..pool.len()).find(|&j| !taken.contains(&pool[j]))
                         else {
                             continue 'retry;
                         };

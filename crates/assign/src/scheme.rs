@@ -124,7 +124,11 @@ impl Assignment {
         replication: usize,
     ) -> Self {
         debug_assert_eq!(graph.left_degree(), Some(load), "load mismatch");
-        debug_assert_eq!(graph.right_degree(), Some(replication), "replication mismatch");
+        debug_assert_eq!(
+            graph.right_degree(),
+            Some(replication),
+            "replication mismatch"
+        );
         Assignment {
             kind,
             graph,

@@ -2,8 +2,8 @@
 
 use byz_assign::Assignment;
 use byz_distortion::{cmax_auto, cmax_greedy};
-use rand::seq::index::sample;
 use rand::rngs::StdRng;
+use rand::seq::index::sample;
 use rand::SeedableRng;
 
 /// How the adversary picks its `q` workers.

@@ -39,8 +39,7 @@ pub trait AttackVector {
 /// mean by `z_max` standard deviations. The shift is small enough to look
 /// like ordinary SGD noise yet, because a coordinated minority applies it
 /// in unison, it drags medians (and median-like defenses) off course.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Alie {
     /// Optional override for `z_max`; when `None` it is derived from
     /// `(num_workers, num_byzantine)` as in the original paper.
@@ -63,7 +62,6 @@ impl Alie {
         normal_quantile(p).clamp(0.0, 4.0)
     }
 }
-
 
 impl AttackVector for Alie {
     fn name(&self) -> &'static str {
@@ -168,7 +166,6 @@ impl AttackVector for RandomNoise {
     }
 }
 
-
 /// Inner-product manipulation, a.k.a. "Fall of Empires" (Xie, Koyejo &
 /// Gupta 2019): all colluders send `−ε·µ` for the honest mean `µ` and a
 /// small `ε > 0`. The payload sits close to the honest cluster (evading
@@ -201,11 +198,7 @@ impl AttackVector for InnerProductAttack {
 mod tests {
     use super::*;
 
-    fn ctx<'a>(
-        g: &'a [f32],
-        mean: &'a [f32],
-        std: &'a [f32],
-    ) -> AttackContext<'a> {
+    fn ctx<'a>(g: &'a [f32], mean: &'a [f32], std: &'a [f32]) -> AttackContext<'a> {
         AttackContext {
             true_gradient: g,
             honest_mean: mean,
@@ -264,7 +257,10 @@ mod tests {
     #[test]
     fn random_noise_is_deterministic_per_iteration() {
         let g = [0.0f32; 8];
-        let atk = RandomNoise { sigma: 1.0, seed: 9 };
+        let atk = RandomNoise {
+            sigma: 1.0,
+            seed: 9,
+        };
         let a = atk.forge(&ctx(&g, &g, &g));
         let b = atk.forge(&ctx(&g, &g, &g));
         assert_eq!(a, b, "colluding replicas must agree");

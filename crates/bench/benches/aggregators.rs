@@ -28,7 +28,10 @@ fn bench_rules(c: &mut Criterion) {
         ("krum", Box::new(Krum { num_byzantine: 5 })),
         (
             "multi-krum",
-            Box::new(MultiKrum { num_byzantine: 5, num_selected: 15 }),
+            Box::new(MultiKrum {
+                num_byzantine: 5,
+                num_selected: 15,
+            }),
         ),
         ("bulyan", Box::new(Bulyan { num_byzantine: 5 })),
         ("geometric-median", Box::new(GeometricMedian::default())),

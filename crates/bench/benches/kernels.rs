@@ -1,0 +1,134 @@
+//! Compute-kernel benches: the blocked/pooled matmul against the seed's
+//! naive triple loop, selection-based parallel coordinate-median against
+//! a sort-based scalar baseline, and a threaded cluster round against the
+//! sequential engine. `src/bin/bench_kernels.rs` records the same
+//! comparisons as `BENCH_kernels.json` without criterion.
+
+use byz_aggregate::{Aggregator, CoordinateMedian};
+use byz_assign::MolsAssignment;
+use byz_cluster::{Cluster, ExecutionMode};
+use byz_nn::FastMlp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    // 256³ is the acceptance shape; the others are FastMlp layer shapes
+    // (batch × input × hidden, batch × hidden × classes).
+    for &(m, k, n) in &[(256usize, 256usize, 256usize), (64, 784, 64), (64, 64, 10)] {
+        let a = filled(m * k, 1);
+        let b = filled(k * n, 2);
+        let label = format!("{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("naive", &label), &(), |bench, ()| {
+            let mut out = vec![0.0f32; m * n];
+            bench.iter(|| {
+                out.fill(0.0);
+                byz_kernel::matmul_naive(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", &label), &(), |bench, ()| {
+            let mut out = vec![0.0f32; m * n];
+            bench.iter(|| {
+                out.fill(0.0);
+                byz_kernel::matmul(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The seed's coordinate-median: column copy + full sort per coordinate.
+fn sort_based_median(gradients: &[Vec<f32>]) -> Vec<f32> {
+    let d = gradients[0].len();
+    let n = gradients.len();
+    let mut out = vec![0.0f32; d];
+    let mut column = vec![0.0f32; n];
+    for j in 0..d {
+        for (c, g) in column.iter_mut().zip(gradients) {
+            *c = g[j];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        out[j] = if n % 2 == 1 {
+            column[n / 2]
+        } else {
+            0.5 * (column[n / 2 - 1] + column[n / 2])
+        };
+    }
+    out
+}
+
+fn bench_coordinate_median(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordinate_median_d100k");
+    group.sample_size(20);
+    let grads: Vec<Vec<f32>> = (0..25).map(|i| filled(100_000, i as u64)).collect();
+    group.bench_function("sort_scalar", |b| {
+        b.iter(|| sort_based_median(std::hint::black_box(&grads)))
+    });
+    group.bench_function("select_parallel", |b| {
+        b.iter(|| {
+            CoordinateMedian
+                .aggregate(std::hint::black_box(&grads))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cluster_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_round");
+    group.sample_size(10);
+    let assignment = MolsAssignment::new(5, 3).expect("valid parameters").build();
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = FastMlp::new(&[128, 64, 10], &mut rng);
+    let params = net.params_flat();
+    let batch = 16usize;
+    let x = filled(batch * 128, 9);
+    let labels: Vec<usize> = (0..batch).map(|s| s % 10).collect();
+    let compute = move |p: &[f32], _file: usize| {
+        let mut model = net.clone();
+        model.set_params(p);
+        model.gradient_sum(&x, batch, &labels).1
+    };
+    let seq = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
+    let thr = Cluster::new(
+        assignment,
+        ExecutionMode::Threaded {
+            max_threads: byz_kernel::num_threads(),
+        },
+    );
+    group.bench_function("sequential", |b| {
+        b.iter(|| seq.compute_round(&compute, std::hint::black_box(&params)))
+    });
+    group.bench_function("threaded_pool", |b| {
+        b.iter(|| thr.compute_round(&compute, std::hint::black_box(&params)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_coordinate_median,
+    bench_cluster_round
+);
+criterion_main!(benches);

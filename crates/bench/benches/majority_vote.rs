@@ -9,22 +9,14 @@ fn bench_vote(c: &mut Criterion) {
         let honest = vec![0.5f32; d];
         let evil = vec![-9.0f32; d];
         // r = 5 replicas, 2 Byzantine.
-        let replicas = vec![
-            honest.clone(),
-            evil.clone(),
-            honest.clone(),
-            evil,
-            honest,
-        ];
+        let replicas = vec![honest.clone(), evil.clone(), honest.clone(), evil, honest];
         group.bench_with_input(BenchmarkId::new("r5_d", d), &replicas, |b, reps| {
             b.iter(|| majority_vote(std::hint::black_box(reps)).unwrap())
         });
     }
     // Full ByzShield PS pass: f = 25 votes of r = 5 replicas.
     let d = 16384;
-    let all: Vec<Vec<Vec<f32>>> = (0..25)
-        .map(|i| vec![vec![i as f32; d]; 5])
-        .collect();
+    let all: Vec<Vec<Vec<f32>>> = (0..25).map(|i| vec![vec![i as f32; d]; 5]).collect();
     group.bench_function("full_round_f25_r5", |b| {
         b.iter(|| {
             for reps in &all {

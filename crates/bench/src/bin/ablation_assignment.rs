@@ -14,8 +14,12 @@ fn main() {
     let mols = MolsAssignment::new(5, 3).expect("valid").build();
     let ram = RamanujanAssignment::new(3, 5).expect("valid").build();
     let mut rng = StdRng::seed_from_u64(17);
-    let random = RandomAssignment::new(15, 25, 3).expect("valid").build(&mut rng);
-    let frc = FrcAssignment::with_files_per_group(15, 3, 5).expect("valid").build();
+    let random = RandomAssignment::new(15, 25, 3)
+        .expect("valid")
+        .build(&mut rng);
+    let frc = FrcAssignment::with_files_per_group(15, 3, 5)
+        .expect("valid")
+        .build();
 
     println!(
         "{:>3} | {:>6} {:>12} {:>8} {:>6}",
@@ -35,7 +39,12 @@ fn main() {
     }
 
     println!("\nspectral gaps (µ₁ of AAᵀ; smaller = better expansion):");
-    for (name, a) in [("MOLS", &mols), ("Ramanujan-1", &ram), ("Random", &random), ("FRC", &frc)] {
+    for (name, a) in [
+        ("MOLS", &mols),
+        ("Ramanujan-1", &ram),
+        ("Random", &random),
+        ("FRC", &frc),
+    ] {
         println!(
             "  {:>12}: µ₁ = {:.4}",
             name,

@@ -3,11 +3,11 @@
 //! omniscient set defeats the same placement. Same FRC placement, same
 //! attack, only the selection strategy changes.
 
-use byz_bench::run_figure;
-use byzshield::prelude::*;
 use byz_assign::FrcAssignment;
 use byz_attack::ByzantineSelector;
+use byz_bench::run_figure;
 use byz_distortion::count_distorted;
+use byzshield::prelude::*;
 
 fn main() {
     // Part 1: expected distorted fraction, random vs omniscient, on FRC.

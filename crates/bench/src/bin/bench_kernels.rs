@@ -1,0 +1,151 @@
+//! Records the kernel-layer speedups as `BENCH_kernels.json`: the
+//! blocked/pooled matmul vs the seed's naive triple loop at 256³, the
+//! selection-based parallel coordinate-median vs the seed's sort-based
+//! scalar version at d = 100 000 × 25 gradients, and a threaded cluster
+//! round on the persistent pool vs the sequential engine.
+//!
+//! Every entry is the median over repeated runs, in nanoseconds per
+//! operation. The criterion bench `benches/kernels.rs` covers the same
+//! comparisons with confidence intervals.
+
+use byz_aggregate::{Aggregator, CoordinateMedian};
+use byz_assign::MolsAssignment;
+use byz_cluster::{Cluster, ExecutionMode};
+use byz_nn::FastMlp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    // One warm-up run so lazy pool/scratch initialization is not billed.
+    f();
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The seed's coordinate-median: column copy + full sort per coordinate.
+fn sort_based_median(gradients: &[Vec<f32>]) -> Vec<f32> {
+    let d = gradients[0].len();
+    let n = gradients.len();
+    let mut out = vec![0.0f32; d];
+    let mut column = vec![0.0f32; n];
+    for j in 0..d {
+        for (c, g) in column.iter_mut().zip(gradients) {
+            *c = g[j];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        out[j] = if n % 2 == 1 {
+            column[n / 2]
+        } else {
+            0.5 * (column[n / 2 - 1] + column[n / 2])
+        };
+    }
+    out
+}
+
+fn main() {
+    println!(
+        "kernel benches (pool: {} threads) — median ns/op\n",
+        byz_kernel::num_threads()
+    );
+
+    // ── Matmul 256×256×256 ────────────────────────────────────────────
+    let (m, k, n) = (256usize, 256usize, 256usize);
+    let a = filled(m * k, 1);
+    let b = filled(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+    let naive_ns = median_ns(15, || {
+        out.fill(0.0);
+        byz_kernel::matmul_naive(&a, &b, &mut out, m, k, n);
+        std::hint::black_box(&out);
+    });
+    let kernel_ns = median_ns(15, || {
+        out.fill(0.0);
+        byz_kernel::matmul(&a, &b, &mut out, m, k, n);
+        std::hint::black_box(&out);
+    });
+    let matmul_speedup = naive_ns as f64 / kernel_ns as f64;
+    println!(
+        "matmul 256³:        naive {naive_ns:>12} | kernel {kernel_ns:>12} | {matmul_speedup:.2}x"
+    );
+
+    // ── Coordinate-median, d = 100k × 25 gradients ────────────────────
+    let grads: Vec<Vec<f32>> = (0..25).map(|i| filled(100_000, 100 + i as u64)).collect();
+    let sort_ns = median_ns(9, || {
+        std::hint::black_box(sort_based_median(&grads));
+    });
+    let select_ns = median_ns(9, || {
+        std::hint::black_box(CoordinateMedian.aggregate(&grads).unwrap());
+    });
+    let median_speedup = sort_ns as f64 / select_ns as f64;
+    println!(
+        "coord-median 100k:  sort  {sort_ns:>12} | select {select_ns:>11} | {median_speedup:.2}x"
+    );
+
+    // ── Cluster round: sequential vs pooled threads ───────────────────
+    let assignment = MolsAssignment::new(5, 3).expect("valid parameters").build();
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = FastMlp::new(&[128, 64, 10], &mut rng);
+    let params = net.params_flat();
+    let batch = 16usize;
+    let x = filled(batch * 128, 9);
+    let labels: Vec<usize> = (0..batch).map(|s| s % 10).collect();
+    let compute = {
+        let net = net.clone();
+        move |p: &[f32], _file: usize| {
+            let mut model = net.clone();
+            model.set_params(p);
+            model.gradient_sum(&x, batch, &labels).1
+        }
+    };
+    let seq = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
+    let thr = Cluster::new(
+        assignment,
+        ExecutionMode::Threaded {
+            max_threads: byz_kernel::num_threads(),
+        },
+    );
+    let seq_ns = median_ns(9, || {
+        std::hint::black_box(seq.compute_round(&compute, &params));
+    });
+    let thr_ns = median_ns(9, || {
+        std::hint::black_box(thr.compute_round(&compute, &params));
+    });
+    let round_speedup = seq_ns as f64 / thr_ns as f64;
+    println!("cluster round:      seq   {seq_ns:>12} | pooled {thr_ns:>11} | {round_speedup:.2}x");
+
+    // ── BENCH_kernels.json ────────────────────────────────────────────
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"pool_threads\": {},", byz_kernel::num_threads());
+    let _ = writeln!(
+        json,
+        "  \"matmul_256\": {{ \"naive_ns\": {naive_ns}, \"kernel_ns\": {kernel_ns}, \"speedup\": {matmul_speedup:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"coordinate_median_d100k\": {{ \"sort_ns\": {sort_ns}, \"select_parallel_ns\": {select_ns}, \"speedup\": {median_speedup:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cluster_round\": {{ \"sequential_ns\": {seq_ns}, \"threaded_ns\": {thr_ns}, \"speedup\": {round_speedup:.3} }}"
+    );
+    json.push_str("}\n");
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_kernels.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_kernels.json: {e}"),
+    }
+}

@@ -5,9 +5,8 @@ use byz_bench::run_figure;
 use byzshield::prelude::*;
 
 fn main() {
-    let spec = |scheme, agg| {
-        ExperimentSpec::new(scheme, agg, ClusterSize::K15, AttackKind::Alie, 2)
-    };
+    let spec =
+        |scheme, agg| ExperimentSpec::new(scheme, agg, ClusterSize::K15, AttackKind::Alie, 2);
     run_figure(
         "fig11_alie_multikrum_k15",
         "ALIE attack and Multi-Krum-based defenses (K = 15)",

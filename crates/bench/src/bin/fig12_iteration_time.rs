@@ -20,7 +20,9 @@ fn main() {
 
     // ── Part 1: calibrated cost model at the paper's scale ────────────
     let model = CostModel::default();
-    let byzshield = RamanujanAssignment::new(5, 5).expect("valid parameters").build();
+    let byzshield = RamanujanAssignment::new(5, 5)
+        .expect("valid parameters")
+        .build();
     let detox = FrcAssignment::new(25, 5).expect("valid parameters").build();
 
     let base = model.estimate_baseline(25, 750, 1.0);
@@ -59,9 +61,18 @@ fn main() {
     let params = flatten_params(&net.parameters());
 
     for (name, assignment) in [
-        ("Median (r = 1)", FrcAssignment::new(25, 1).expect("valid").build()),
-        ("ByzShield", RamanujanAssignment::new(5, 5).expect("valid").build()),
-        ("DETOX-MoM", FrcAssignment::new(25, 5).expect("valid").build()),
+        (
+            "Median (r = 1)",
+            FrcAssignment::new(25, 1).expect("valid").build(),
+        ),
+        (
+            "ByzShield",
+            RamanujanAssignment::new(5, 5).expect("valid").build(),
+        ),
+        (
+            "DETOX-MoM",
+            FrcAssignment::new(25, 5).expect("valid").build(),
+        ),
     ] {
         let oracle = FileGradientOracle::new(&net, &train, InputLayout::Flat);
         let f = assignment.num_files();

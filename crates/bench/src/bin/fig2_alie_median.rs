@@ -6,9 +6,8 @@ use byz_bench::run_figure;
 use byzshield::prelude::*;
 
 fn main() {
-    let spec = |scheme, agg, q| {
-        ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::Alie, q)
-    };
+    let spec =
+        |scheme, agg, q| ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::Alie, q);
     run_figure(
         "fig2_alie_median",
         "ALIE attack and median-based defenses (K = 25)",

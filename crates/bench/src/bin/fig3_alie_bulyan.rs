@@ -7,9 +7,8 @@ use byz_bench::run_figure;
 use byzshield::prelude::*;
 
 fn main() {
-    let spec = |scheme, agg, q| {
-        ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::Alie, q)
-    };
+    let spec =
+        |scheme, agg, q| ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::Alie, q);
     run_figure(
         "fig3_alie_bulyan",
         "ALIE attack and Bulyan-based defenses (K = 25)",

@@ -8,9 +8,17 @@ use byzshield::prelude::*;
 
 fn main() {
     let spec = |scheme, agg, q| {
-        ExperimentSpec::new(spec_scheme(scheme), agg, ClusterSize::K25, AttackKind::Alie, q)
+        ExperimentSpec::new(
+            spec_scheme(scheme),
+            agg,
+            ClusterSize::K25,
+            AttackKind::Alie,
+            q,
+        )
     };
-    fn spec_scheme(s: SchemeSpec) -> SchemeSpec { s }
+    fn spec_scheme(s: SchemeSpec) -> SchemeSpec {
+        s
+    }
     run_figure(
         "fig4_alie_multikrum",
         "ALIE attack and Multi-Krum-based defenses (K = 25)",

@@ -9,7 +9,13 @@ use byzshield::prelude::*;
 
 fn main() {
     let spec = |scheme, agg, q| {
-        ExperimentSpec::new(scheme, agg, ClusterSize::K25, AttackKind::ReversedGradient, q)
+        ExperimentSpec::new(
+            scheme,
+            agg,
+            ClusterSize::K25,
+            AttackKind::ReversedGradient,
+            q,
+        )
     };
     run_figure(
         "fig7_revgrad_bulyan",

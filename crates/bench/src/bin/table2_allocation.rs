@@ -4,12 +4,15 @@
 use byz_assign::MolsAssignment;
 
 fn main() {
-    let assignment = MolsAssignment::new(5, 3)
-        .expect("valid parameters")
-        .build();
+    let assignment = MolsAssignment::new(5, 3).expect("valid parameters").build();
     println!("Table 2: file allocation for l = 5, r = 3 based on MOLS\n");
     for replica in 0..assignment.replication() {
-        println!("2({}): replica {} (from L{})", (b'a' + replica as u8) as char, replica + 1, replica + 1);
+        println!(
+            "2({}): replica {} (from L{})",
+            (b'a' + replica as u8) as char,
+            replica + 1,
+            replica + 1
+        );
         println!("{:>6} | stores", "node");
         for slot in 0..assignment.load() {
             let worker = replica * assignment.load() + slot;

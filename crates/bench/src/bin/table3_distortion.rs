@@ -16,7 +16,9 @@ fn main() {
         2..=7,
     );
 
-    let ram = RamanujanAssignment::new(3, 5).expect("valid parameters").build();
+    let ram = RamanujanAssignment::new(3, 5)
+        .expect("valid parameters")
+        .build();
     print!("Ramanujan Case 1 with identical parameters: c_max = ");
     let mut all_match = true;
     for row in &rows {
@@ -27,6 +29,10 @@ fn main() {
     println!();
     println!(
         "identical to the MOLS values: {}",
-        if all_match { "yes ✓ (as the paper observes)" } else { "NO" }
+        if all_match {
+            "yes ✓ (as the paper observes)"
+        } else {
+            "NO"
+        }
     );
 }

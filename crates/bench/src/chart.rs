@@ -33,8 +33,7 @@ pub fn render_ascii_chart(curves: &[Curve], width: usize, height: usize) -> Stri
     for (ci, curve) in plotted.iter().enumerate() {
         let mark = MARKS[ci % MARKS.len()];
         for p in &curve.points {
-            let x = ((p.iteration as f64 / max_iter as f64) * (width - 1) as f64).round()
-                as usize;
+            let x = ((p.iteration as f64 / max_iter as f64) * (width - 1) as f64).round() as usize;
             let y = (p.accuracy.clamp(0.0, 1.0) * (height - 1) as f64).round() as usize;
             let row = height - 1 - y;
             grid[row][x.min(width - 1)] = mark;

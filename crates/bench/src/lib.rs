@@ -97,7 +97,11 @@ pub fn distortion_table(
             row.epsilon_baseline,
             row.epsilon_frc,
             row.gamma,
-            if row.cmax.exact { "yes" } else { "no (lower bound)" },
+            if row.cmax.exact {
+                "yes"
+            } else {
+                "no (lower bound)"
+            },
         );
         rows.push(row);
     }

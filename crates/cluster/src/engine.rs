@@ -35,10 +35,13 @@ pub enum ExecutionMode {
     /// Single-threaded, workers processed in index order. Deterministic
     /// and convenient for tests/experiments.
     Sequential,
-    /// One OS thread per worker batch via crossbeam scoped threads —
-    /// exercises the actual concurrent fan-out/fan-in structure.
+    /// Worker batches fan out onto the persistent [`byz_kernel`] thread
+    /// pool — exercises the actual concurrent fan-out/fan-in structure
+    /// without paying per-round thread-spawn latency. The worker→batch
+    /// partition depends only on `(num_workers, max_threads)`, so results
+    /// are identical to [`ExecutionMode::Sequential`].
     Threaded {
-        /// Maximum simultaneously running worker threads.
+        /// Maximum simultaneously running worker batches.
         max_threads: usize,
     },
 }
@@ -60,7 +63,11 @@ impl ComputedRound {
     /// The straggler time: the slowest worker's compute duration, which
     /// bounds a synchronous iteration.
     pub fn slowest_worker(&self) -> Duration {
-        self.worker_compute.iter().copied().max().unwrap_or_default()
+        self.worker_compute
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
     }
 }
 
@@ -104,18 +111,11 @@ impl Cluster {
             ExecutionMode::Threaded { max_threads } => {
                 let chunk = k.div_ceil(max_threads.max(1));
                 let mut results: Vec<Option<(Vec<Vec<f32>>, Duration)>> = vec![None; k];
-                crossbeam::thread::scope(|scope| {
-                    for (chunk_idx, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-                        let first_worker = chunk_idx * chunk;
-                        scope.spawn(move |_| {
-                            for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                                *slot =
-                                    Some(self.run_worker(first_worker + off, compute, params));
-                            }
-                        });
+                byz_kernel::parallel_chunks_mut(&mut results, chunk, |first_worker, slot_chunk| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(self.run_worker(first_worker + off, compute, params));
                     }
-                })
-                .expect("worker thread panicked");
+                });
                 results
                     .into_iter()
                     .map(|r| r.expect("all workers ran"))
@@ -144,11 +144,7 @@ impl Cluster {
 
     /// Collects per-worker results into per-file replica lists (ascending
     /// worker order is implied by iterating workers in order).
-    fn gather(
-        &self,
-        per_worker: Vec<(Vec<Vec<f32>>, Duration)>,
-        start: Instant,
-    ) -> ComputedRound {
+    fn gather(&self, per_worker: Vec<(Vec<Vec<f32>>, Duration)>, start: Instant) -> ComputedRound {
         let mut replicas: Vec<Vec<(usize, Vec<f32>)>> =
             vec![Vec::new(); self.assignment.num_files()];
         let mut worker_compute = Vec::with_capacity(per_worker.len());
@@ -233,6 +229,32 @@ mod tests {
         for (ra, rb) in a.replicas.iter().zip(&b.replicas) {
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn threaded_training_is_bit_identical_to_sequential() {
+        // Multi-round SGD driven by each engine must agree to the bit:
+        // the pool's worker→batch partition is shape-derived, so the
+        // gathered replica order (and every float op) is identical.
+        let run = |mode: ExecutionMode| {
+            let cluster = Cluster::new(assignment(), mode);
+            let mut params = vec![0.3f32, -1.7, 0.9];
+            for _ in 0..5 {
+                let round = cluster.compute_round(&toy_compute, &params);
+                for reps in &round.replicas {
+                    for (_, g) in reps {
+                        for (p, gv) in params.iter_mut().zip(g) {
+                            *p -= 1e-3 * gv;
+                        }
+                    }
+                }
+            }
+            params.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        assert_eq!(
+            run(ExecutionMode::Sequential),
+            run(ExecutionMode::Threaded { max_threads: 4 }),
+        );
     }
 
     #[test]

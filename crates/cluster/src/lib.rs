@@ -8,8 +8,9 @@
 //!   out to every worker, have each worker compute the gradient of every
 //!   file assigned to it by the [`Assignment`](byz_assign::Assignment) graph, and gather the
 //!   per-file replica gradients back — either sequentially (bitwise
-//!   deterministic) or on real worker threads via crossbeam scoped threads
-//!   ([`ExecutionMode::Threaded`]).
+//!   deterministic) or fanned out onto the persistent `byz-kernel` thread
+//!   pool ([`ExecutionMode::Threaded`]), which produces bit-identical
+//!   results because the worker→batch partition is shape-derived.
 //! * [`CostModel`] converts the round's measured compute times plus the
 //!   cluster's communication geometry (model broadcast, `l` gradient
 //!   uploads per worker, PS aggregation passes) into the per-iteration

@@ -149,8 +149,14 @@ mod tests {
         let dx = model.estimate(&detox, 750, 5, 1.0);
         let base = model.estimate_baseline(25, 750, 1.0);
 
-        assert!(bs.total() > dx.total(), "ByzShield should cost more than DETOX");
-        assert!(dx.total() > base.total(), "DETOX should cost more than baseline");
+        assert!(
+            bs.total() > dx.total(),
+            "ByzShield should cost more than DETOX"
+        );
+        assert!(
+            dx.total() > base.total(),
+            "DETOX should cost more than baseline"
+        );
         // Redundant schemes compute r× the samples.
         assert!(bs.computation > base.computation);
         assert!((bs.computation.as_secs_f64() / base.computation.as_secs_f64() - 5.0).abs() < 0.01);

@@ -132,8 +132,8 @@ impl Checkpoint {
         }
         let iteration = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
         let tag_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
-        let tag = String::from_utf8(take(tag_len)?.to_vec())
-            .map_err(|_| CheckpointError::BadTag)?;
+        let tag =
+            String::from_utf8(take(tag_len)?.to_vec()).map_err(|_| CheckpointError::BadTag)?;
         let param_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
         let mut params = Vec::with_capacity(param_len);
         for _ in 0..param_len {

@@ -355,7 +355,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Curve {
 
     let selector = match spec.selector {
         SelectorKind::Omniscient => ByzantineSelector::Omniscient,
-        SelectorKind::Random => ByzantineSelector::Random { seed: spec.seed ^ 0x33 },
+        SelectorKind::Random => ByzantineSelector::Random {
+            seed: spec.seed ^ 0x33,
+        },
     };
     let mut trainer = Trainer::new(
         &model,
@@ -419,12 +421,18 @@ mod tests {
         // ByzShield K=25, q=3 → c_max = 1 (Table 4); DETOX → ⌊3/3⌋ = 1;
         // baseline → 3.
         let bs = build_assignment(SchemeSpec::ByzShield, ClusterSize::K25);
-        assert_eq!(worst_case_corrupted_operands(SchemeSpec::ByzShield, &bs, 3), 1);
+        assert_eq!(
+            worst_case_corrupted_operands(SchemeSpec::ByzShield, &bs, 3),
+            1
+        );
         let dx = build_assignment(SchemeSpec::Detox, ClusterSize::K25);
         assert_eq!(worst_case_corrupted_operands(SchemeSpec::Detox, &dx, 3), 1);
         assert_eq!(worst_case_corrupted_operands(SchemeSpec::Detox, &dx, 9), 3);
         let base = build_assignment(SchemeSpec::Baseline, ClusterSize::K25);
-        assert_eq!(worst_case_corrupted_operands(SchemeSpec::Baseline, &base, 3), 3);
+        assert_eq!(
+            worst_case_corrupted_operands(SchemeSpec::Baseline, &base, 3),
+            3
+        );
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub mod prelude {
         SchemeSpec, SelectorKind,
     };
     pub use crate::{
-        evaluate_accuracy, Checkpoint, CheckpointError, Defense, FileGradientOracle, InputLayout, IterationRecord, Trainer,
-        TrainingConfig, TrainingError, TrainingHistory,
+        evaluate_accuracy, Checkpoint, CheckpointError, Defense, FileGradientOracle, InputLayout,
+        IterationRecord, Trainer, TrainingConfig, TrainingError, TrainingHistory,
     };
     pub use byz_aggregate::{
         majority_vote, Aggregator, Auror, Bulyan, CoordinateMedian, GeometricMedian, Krum, Mean,
@@ -83,22 +83,22 @@ pub mod prelude {
         SchemeKind,
     };
     pub use byz_attack::{
-        Alie, AttackContext, AttackVector, ByzantineSelector, ConstantAttack,
-        InnerProductAttack, RandomNoise, ReversedGradient,
+        Alie, AttackContext, AttackVector, ByzantineSelector, ConstantAttack, InnerProductAttack,
+        RandomNoise, ReversedGradient,
     };
     pub use byz_cluster::{Cluster, CostModel, ExecutionMode, IterationTimeEstimate};
     pub use byz_data::{BatchSampler, Dataset, SyntheticConfig, SyntheticImages};
     pub use byz_distortion::{
-        baseline_epsilon, claim2_exact_epsilon, cmax_auto, cmax_branch_and_bound,
-        cmax_exhaustive, cmax_greedy, count_distorted, frc_epsilon, CmaxResult,
+        baseline_epsilon, claim2_exact_epsilon, cmax_auto, cmax_branch_and_bound, cmax_exhaustive,
+        cmax_greedy, count_distorted, frc_epsilon, CmaxResult,
     };
     pub use byz_draco::{CyclicCode, DracoError, FrcCode};
-    pub use byz_wire::{
-        packed_sign_majority, LocalAttack, Message, MessagePassingCluster, PackedSigns,
-        RoundSummary, ServerConfig, Transport, WireError,
-    };
     pub use byz_nn::{
         flatten_params, load_params, num_params, MiniResNet, Mlp, Module, Sgd, StepDecaySchedule,
     };
     pub use byz_tensor::Tensor;
+    pub use byz_wire::{
+        packed_sign_majority, LocalAttack, Message, MessagePassingCluster, PackedSigns,
+        RoundSummary, ServerConfig, Transport, WireError,
+    };
 }

@@ -29,11 +29,7 @@ pub fn evaluate_accuracy<M: Module>(
             InputLayout::Image => dataset.gather(&indices),
         };
         let preds = model.forward(&x).argmax_rows();
-        correct += preds
-            .iter()
-            .zip(&labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
         start = end;
     }
     correct as f64 / n as f64

@@ -242,11 +242,8 @@ impl<'a, M: Module> Trainer<'a, M> {
             self.config.lr_schedule,
             self.config.momentum,
         );
-        let mut sampler = BatchSampler::new(
-            self.train.len(),
-            self.config.batch_size,
-            self.config.seed,
-        );
+        let mut sampler =
+            BatchSampler::new(self.train.len(), self.config.batch_size, self.config.seed);
         let mut history = TrainingHistory::default();
         let mut params = flatten_params(&params_tensors);
 
@@ -315,8 +312,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                     // Without voting, every return is an operand (baseline
                     // schemes use replication 1, so this is one per
                     // worker).
-                    let all: Vec<Vec<f32>> =
-                        per_file_returns.iter().flatten().cloned().collect();
+                    let all: Vec<Vec<f32>> = per_file_returns.iter().flatten().cloned().collect();
                     aggregator.aggregate(&all)
                 }
             }

@@ -73,10 +73,7 @@ pub fn split_batch_into_files(batch: &[usize], num_files: usize) -> Vec<Vec<usiz
         batch.len()
     );
     let per_file = batch.len() / num_files;
-    batch
-        .chunks(per_file)
-        .map(|chunk| chunk.to_vec())
-        .collect()
+    batch.chunks(per_file).map(|chunk| chunk.to_vec()).collect()
 }
 
 #[cfg(test)]

@@ -106,12 +106,7 @@ impl SyntheticImages {
             data.extend(test.sample(i).iter().map(|x| (x - mean) / std));
         }
         let labels: Vec<usize> = (0..n).map(|i| test.label(i)).collect();
-        test = Dataset::new(
-            data,
-            labels,
-            test.item_shape().to_vec(),
-            test.num_classes(),
-        );
+        test = Dataset::new(data, labels, test.item_shape().to_vec(), test.num_classes());
         (train, test)
     }
 
@@ -148,12 +143,7 @@ impl SyntheticImages {
                 }
             }
         }
-        Dataset::new(
-            data,
-            labels,
-            vec![cfg.channels, hw, hw],
-            cfg.num_classes,
-        )
+        Dataset::new(data, labels, vec![cfg.channels, hw, hw], cfg.num_classes)
     }
 }
 
@@ -208,7 +198,9 @@ mod tests {
     fn train_set_is_normalized() {
         let gen = SyntheticImages::new(small_config());
         let (train, _) = gen.generate();
-        let all: Vec<f32> = (0..train.len()).flat_map(|i| train.sample(i).to_vec()).collect();
+        let all: Vec<f32> = (0..train.len())
+            .flat_map(|i| train.sample(i).to_vec())
+            .collect();
         let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
         let var: f32 = all.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / all.len() as f32;
         assert!(mean.abs() < 1e-3, "mean {mean}");

@@ -46,8 +46,8 @@ pub fn monte_carlo_epsilon(
         values.push(count_distorted(assignment, &byz) as f64 / f);
     }
     let mean = values.iter().sum::<f64>() / trials as f64;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-        / (trials as f64 - 1.0).max(1.0);
+    let var =
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (trials as f64 - 1.0).max(1.0);
     let max = values.iter().cloned().fold(0.0f64, f64::max);
     MonteCarloEpsilon {
         mean,

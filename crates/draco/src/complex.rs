@@ -185,13 +185,12 @@ pub fn csolve(a: &CMatrix, b: &CMatrix) -> Option<CMatrix> {
     let mut rhs = b.clone();
     let m = rhs.cols();
     for col in 0..n {
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                aug.get(i, col)
-                    .abs()
-                    .partial_cmp(&aug.get(j, col).abs())
-                    .expect("finite moduli")
-            })?;
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            aug.get(i, col)
+                .abs()
+                .partial_cmp(&aug.get(j, col).abs())
+                .expect("finite moduli")
+        })?;
         if aug.get(pivot_row, col).abs() < 1e-12 {
             return None;
         }

@@ -291,7 +291,11 @@ mod tests {
 
     fn file_gradients(k: usize, d: usize) -> Vec<Vec<f32>> {
         (0..k)
-            .map(|i| (0..d).map(|j| ((i * 7 + j * 3) % 13) as f32 - 6.0).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 7 + j * 3) % 13) as f32 - 6.0)
+                    .collect()
+            })
             .collect()
     }
 

@@ -95,8 +95,7 @@ impl FrcCode {
             let group_returns: Vec<Vec<f32>> = (0..self.replication)
                 .map(|j| returns[g * self.replication + j].clone())
                 .collect();
-            let outcome = majority_vote(&group_returns)
-                .map_err(|_| DracoError::DecodingFailed)?;
+            let outcome = majority_vote(&group_returns).map_err(|_| DracoError::DecodingFailed)?;
             if outcome.value.len() != d {
                 return Err(DracoError::ShapeMismatch {
                     expected: d,
@@ -136,7 +135,10 @@ mod tests {
         // r = 3 tolerates only q = 1; q = 2 is over the radius.
         assert_eq!(
             code.decode(&vec![vec![0.0]; 15], 2).unwrap_err(),
-            DracoError::TooManyAdversaries { replication: 3, q: 2 }
+            DracoError::TooManyAdversaries {
+                replication: 3,
+                q: 2
+            }
         );
     }
 
@@ -168,7 +170,10 @@ mod tests {
         let code = FrcCode::new(9, 3).unwrap();
         assert!(matches!(
             code.encode(&[vec![0.0]]),
-            Err(DracoError::ShapeMismatch { expected: 3, got: 1 })
+            Err(DracoError::ShapeMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 }

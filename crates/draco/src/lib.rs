@@ -32,7 +32,7 @@ mod complex;
 mod cyclic;
 mod frc;
 
-pub use complex::{clstsq, csolve, C64, CMatrix};
+pub use complex::{clstsq, csolve, CMatrix, C64};
 pub use cyclic::CyclicCode;
 pub use frc::FrcCode;
 
@@ -65,7 +65,10 @@ impl fmt::Display for DracoError {
                 write!(f, "shape mismatch: expected {expected}, got {got}")
             }
             DracoError::DecodingFailed => {
-                write!(f, "no consistent error support within the correction radius")
+                write!(
+                    f,
+                    "no consistent error support within the correction radius"
+                )
             }
             DracoError::BadParameters(msg) => write!(f, "bad parameters: {msg}"),
         }
@@ -80,7 +83,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DracoError::TooManyAdversaries { replication: 3, q: 2 };
+        let e = DracoError::TooManyAdversaries {
+            replication: 3,
+            q: 2,
+        };
         assert!(e.to_string().contains("2q + 1"));
     }
 }

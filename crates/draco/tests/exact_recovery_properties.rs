@@ -128,7 +128,10 @@ fn radius_is_tight() {
                 .iter()
                 .zip(&expected)
                 .any(|(a, b)| (a - b).abs() > 1.0);
-            assert!(wrong, "3 errors against a 2-error code cannot be silently exact");
+            assert!(
+                wrong,
+                "3 errors against a 2-error code cannot be silently exact"
+            );
         }
         Err(e) => panic!("unexpected error {e}"),
     }

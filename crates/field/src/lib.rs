@@ -55,7 +55,10 @@ impl fmt::Display for FieldError {
             }
             FieldError::ZeroInverse => write!(f, "zero has no multiplicative inverse"),
             FieldError::ElementOutOfRange { element, order } => {
-                write!(f, "element {element} out of range for field of order {order}")
+                write!(
+                    f,
+                    "element {element} out of range for field of order {order}"
+                )
             }
         }
     }
@@ -321,10 +324,22 @@ mod tests {
 
     #[test]
     fn non_prime_power_rejected() {
-        assert_eq!(FiniteField::new(6).unwrap_err(), FieldError::NotPrimePower(6));
-        assert_eq!(FiniteField::new(12).unwrap_err(), FieldError::NotPrimePower(12));
-        assert_eq!(FiniteField::new(0).unwrap_err(), FieldError::NotPrimePower(0));
-        assert_eq!(FiniteField::new(1).unwrap_err(), FieldError::NotPrimePower(1));
+        assert_eq!(
+            FiniteField::new(6).unwrap_err(),
+            FieldError::NotPrimePower(6)
+        );
+        assert_eq!(
+            FiniteField::new(12).unwrap_err(),
+            FieldError::NotPrimePower(12)
+        );
+        assert_eq!(
+            FiniteField::new(0).unwrap_err(),
+            FieldError::NotPrimePower(0)
+        );
+        assert_eq!(
+            FiniteField::new(1).unwrap_err(),
+            FieldError::NotPrimePower(1)
+        );
     }
 
     #[test]
@@ -390,10 +405,7 @@ mod tests {
                         if (a + b + c) % 5 == 0 {
                             assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
                             assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
-                            assert_eq!(
-                                f.mul(a, f.add(b, c)),
-                                f.add(f.mul(a, b), f.mul(a, c))
-                            );
+                            assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
                         }
                     }
                 }

@@ -183,7 +183,7 @@ mod tests {
         let a = DensePoly::new(vec![1, 2]); // 1 + 2x
         let b = DensePoly::new(vec![2, 2]); // 2 + 2x
         assert_eq!(a.add(&b, p), DensePoly::new(vec![0, 1])); // x
-        // (1+2x)(2+2x) = 2 + 2x + 4x + 4x^2 = 2 + 6x + 4x^2 = 2 + 0x + x^2.
+                                                              // (1+2x)(2+2x) = 2 + 2x + 4x + 4x^2 = 2 + 6x + 4x^2 = 2 + 0x + x^2.
         assert_eq!(a.mul(&b, p), DensePoly::new(vec![2, 0, 1]));
     }
 

@@ -5,10 +5,10 @@ use proptest::prelude::*;
 
 /// Strategy yielding small prime-power orders together with two elements.
 fn field_and_elems() -> impl Strategy<Value = (u64, u64, u64, u64)> {
-    let orders: Vec<u64> = (2u64..=32).filter(|&n| is_prime_power(n).is_some()).collect();
-    prop::sample::select(orders).prop_flat_map(|ord| {
-        (Just(ord), 0..ord, 0..ord, 0..ord)
-    })
+    let orders: Vec<u64> = (2u64..=32)
+        .filter(|&n| is_prime_power(n).is_some())
+        .collect();
+    prop::sample::select(orders).prop_flat_map(|ord| (Just(ord), 0..ord, 0..ord, 0..ord))
 }
 
 proptest! {

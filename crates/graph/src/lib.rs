@@ -196,13 +196,19 @@ impl BipartiteGraph {
     /// Left degree if all workers have equal degree.
     pub fn left_degree(&self) -> Option<usize> {
         let d = self.worker_files.first()?.len();
-        self.worker_files.iter().all(|fs| fs.len() == d).then_some(d)
+        self.worker_files
+            .iter()
+            .all(|fs| fs.len() == d)
+            .then_some(d)
     }
 
     /// Right degree (replication factor `r`) if all files have equal degree.
     pub fn right_degree(&self) -> Option<usize> {
         let d = self.file_workers.first()?.len();
-        self.file_workers.iter().all(|ws| ws.len() == d).then_some(d)
+        self.file_workers
+            .iter()
+            .all(|ws| ws.len() == d)
+            .then_some(d)
     }
 
     /// `true` when the graph is (d_L, d_R)-biregular.
@@ -268,7 +274,14 @@ impl BipartiteGraph {
         let l = self.left_degree().ok_or(GraphError::NotBiregular)?;
         let r = self.right_degree().ok_or(GraphError::NotBiregular)?;
         let mu1 = self.second_eigenvalue()?;
-        Ok(ExpansionBound::new(self.num_workers, self.num_files, l, r, mu1, q))
+        Ok(ExpansionBound::new(
+            self.num_workers,
+            self.num_files,
+            l,
+            r,
+            mu1,
+            q,
+        ))
     }
 }
 
@@ -426,7 +439,10 @@ mod tests {
     fn non_biregular_detected() {
         let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
         assert!(!g.is_biregular());
-        assert_eq!(g.normalized_biadjacency().unwrap_err(), GraphError::NotBiregular);
+        assert_eq!(
+            g.normalized_biadjacency().unwrap_err(),
+            GraphError::NotBiregular
+        );
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Shared parallel compute kernels for the ByzShield hot paths.
+//!
+//! The paper's headline claim is *efficiency*: redundancy `r` multiplies
+//! per-worker compute, so the speed of the gradient/aggregation kernels
+//! directly governs the reproduced per-iteration timing curves (Fig. 12).
+//! This crate concentrates those kernels in one place so every consumer
+//! (`byz-tensor`, `byz-nn`, `byz-aggregate`, `byz-cluster`) shares the
+//! same machinery:
+//!
+//! * [`pool`] — a persistent, lazily-initialized worker pool over
+//!   crossbeam channels with a [`parallel_chunks`] primitive for
+//!   data-parallel loops. Threads are spawned once per process (sized
+//!   from `std::thread::available_parallelism`, overridable with the
+//!   `BYZ_KERNEL_THREADS` env var) instead of per round.
+//! * [`matmul`] — a cache-blocked, register-tiled f32 GEMM
+//!   (`out += A·B`) with fused [`matmul_transa`] / [`matmul_transb`]
+//!   variants so backward passes never materialize transposed operands.
+//! * [`buffer`] — a thread-local [`with_scratch`] buffer pool so hot
+//!   loops (autograd backward closures, per-coordinate aggregation
+//!   columns) stop allocating a fresh `Vec` per call.
+//! * [`select`] — order-statistic kernels: O(n) selection
+//!   ([`median_select`], [`trimmed_sum_select`]) replacing full
+//!   per-coordinate sorts, and a vectorized many-columns-at-once
+//!   sorting network ([`sort_columns`]) for the coordinate-median
+//!   hot path.
+//!
+//! # Determinism contract
+//!
+//! Every parallel kernel partitions its output into fixed-size chunks
+//! and computes each output element with a fixed sequential reduction
+//! order. The partition depends only on the problem shape — never on the
+//! pool size or on scheduling — so results are bitwise identical from
+//! run to run and across thread counts, preserving the simulator's
+//! reproducibility guarantees.
+
+pub mod buffer;
+pub mod matmul;
+pub mod pool;
+pub mod select;
+
+pub use buffer::with_scratch;
+pub use matmul::{matmul, matmul_naive, matmul_transa, matmul_transb};
+pub use pool::{num_threads, parallel_chunks, parallel_chunks_mut};
+pub use select::{median_select, sort_columns, trimmed_sum_select};

@@ -19,13 +19,22 @@ impl fmt::Display for EigenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EigenError::NotSquare { rows, cols } => {
-                write!(f, "eigendecomposition needs a square matrix, got {rows}x{cols}")
+                write!(
+                    f,
+                    "eigendecomposition needs a square matrix, got {rows}x{cols}"
+                )
             }
             EigenError::NotSymmetric { max_asymmetry } => {
-                write!(f, "matrix is not symmetric (max |A - Aᵀ| = {max_asymmetry:e})")
+                write!(
+                    f,
+                    "matrix is not symmetric (max |A - Aᵀ| = {max_asymmetry:e})"
+                )
             }
             EigenError::NoConvergence { off_diagonal } => {
-                write!(f, "Jacobi sweeps did not converge (off-diagonal {off_diagonal:e})")
+                write!(
+                    f,
+                    "Jacobi sweeps did not converge (off-diagonal {off_diagonal:e})"
+                )
             }
         }
     }
@@ -170,10 +179,7 @@ mod tests {
         assert!((eig[1] - 1.0).abs() < 1e-12);
         // Verify A v = λ v for the top eigenvector.
         let v0 = [vecs[(0, 0)], vecs[(1, 0)]];
-        let av = [
-            2.0 * v0[0] + v0[1],
-            v0[0] + 2.0 * v0[1],
-        ];
+        let av = [2.0 * v0[0] + v0[1], v0[0] + 2.0 * v0[1]];
         assert!((av[0] - 3.0 * v0[0]).abs() < 1e-10);
         assert!((av[1] - 3.0 * v0[1]).abs() < 1e-10);
     }
@@ -193,11 +199,7 @@ mod tests {
 
     #[test]
     fn trace_is_preserved() {
-        let m = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, -2.0, 2.0],
-            &[0.5, 2.0, 7.0],
-        ]);
+        let m = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, -2.0, 2.0], &[0.5, 2.0, 7.0]]);
         let eig = symmetric_eigenvalues(&m).unwrap();
         let trace = 4.0 - 2.0 + 7.0;
         assert!((eig.iter().sum::<f64>() - trace).abs() < 1e-9);

@@ -44,9 +44,12 @@ pub use solve::{lstsq, residual_norm, solve, SolveError};
 /// happen for well-formed input).
 pub fn singular_values(a: &Matrix) -> Result<Vec<f64>, EigenError> {
     let gram = if a.rows() <= a.cols() {
-        a.matmul(&a.transpose()).expect("A·Aᵀ dimensions always agree")
+        a.matmul(&a.transpose())
+            .expect("A·Aᵀ dimensions always agree")
     } else {
-        a.transpose().matmul(a).expect("Aᵀ·A dimensions always agree")
+        a.transpose()
+            .matmul(a)
+            .expect("Aᵀ·A dimensions always agree")
     };
     let eig = symmetric_eigenvalues(&gram)?;
     Ok(eig.into_iter().map(|x| x.max(0.0).sqrt()).collect())

@@ -173,8 +173,7 @@ impl Matrix {
                     continue;
                 }
                 let rhs_row = rhs.row(k);
-                let out_row =
-                    &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
@@ -314,7 +313,10 @@ mod tests {
         assert_eq!(m.row(1), &[3.0, 4.0]);
         assert_eq!(
             Matrix::from_vec(2, 2, vec![1.0]).unwrap_err(),
-            MatrixError::BadData { expected: 4, got: 1 }
+            MatrixError::BadData {
+                expected: 4,
+                got: 1
+            }
         );
     }
 

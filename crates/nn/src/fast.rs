@@ -9,7 +9,17 @@
 //! this module's tests (and property-tested in
 //! `tests/fast_vs_autograd.rs`).
 
+use byz_kernel::{matmul, matmul_transa, matmul_transb};
 use rand::Rng;
+
+/// Broadcasts the bias row into every row of `out` (`batch × n_out`),
+/// making `out` ready for an accumulating matmul.
+fn broadcast_bias(out: &mut [f32], bias: &[f32], batch: usize) {
+    let n_out = bias.len();
+    for s in 0..batch {
+        out[s * n_out..(s + 1) * n_out].copy_from_slice(bias);
+    }
+}
 
 /// A ReLU MLP with explicit forward/backward passes.
 ///
@@ -32,7 +42,10 @@ impl FastMlp {
     ///
     /// Panics with fewer than two widths.
     pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = dims
             .windows(2)
             .map(|pair| {
@@ -100,20 +113,8 @@ impl FastMlp {
         for (li, (w, b)) in self.layers.iter().enumerate() {
             let (n_in, n_out) = (self.dims[li], self.dims[li + 1]);
             let mut next = vec![0.0f32; batch * n_out];
-            for s in 0..batch {
-                let row = &act[s * n_in..(s + 1) * n_in];
-                let out_row = &mut next[s * n_out..(s + 1) * n_out];
-                out_row.copy_from_slice(b);
-                for (i, &a) in row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let w_row = &w[i * n_out..(i + 1) * n_out];
-                    for (o, &wv) in out_row.iter_mut().zip(w_row) {
-                        *o += a * wv;
-                    }
-                }
-            }
+            broadcast_bias(&mut next, b, batch);
+            matmul(&act, w, &mut next, batch, n_in, n_out);
             // ReLU between layers, raw logits at the output.
             if li + 2 < self.dims.len() {
                 for v in &mut next {
@@ -162,20 +163,8 @@ impl FastMlp {
             let (n_in, n_out) = (self.dims[li], self.dims[li + 1]);
             let prev = &acts[li];
             let mut next = vec![0.0f32; batch * n_out];
-            for s in 0..batch {
-                let row = &prev[s * n_in..(s + 1) * n_in];
-                let out_row = &mut next[s * n_out..(s + 1) * n_out];
-                out_row.copy_from_slice(b);
-                for (i, &a) in row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let w_row = &w[i * n_out..(i + 1) * n_out];
-                    for (o, &wv) in out_row.iter_mut().zip(w_row) {
-                        *o += a * wv;
-                    }
-                }
-            }
+            broadcast_bias(&mut next, b, batch);
+            matmul(prev, w, &mut next, batch, n_in, n_out);
             if li + 1 < num_layers {
                 for v in &mut next {
                     *v = v.max(0.0);
@@ -215,37 +204,25 @@ impl FastMlp {
             let (n_in, n_out) = (self.dims[li], self.dims[li + 1]);
             let prev = &acts[li];
             let (gw, gb) = &mut grads[li];
-            // dW = prevᵀ · d_out; db = Σ_s d_out.
+            // dW = prevᵀ · d_out (fused transpose — prevᵀ is never
+            // materialized); db = Σ_s d_out.
+            matmul_transa(prev, &d_out, gw, batch, n_in, n_out);
             for s in 0..batch {
-                let p_row = &prev[s * n_in..(s + 1) * n_in];
                 let d_row = &d_out[s * n_out..(s + 1) * n_out];
                 for (gbv, &dv) in gb.iter_mut().zip(d_row) {
                     *gbv += dv;
                 }
-                for (i, &pv) in p_row.iter().enumerate() {
-                    if pv == 0.0 {
-                        continue;
-                    }
-                    let gw_row = &mut gw[i * n_out..(i + 1) * n_out];
-                    for (g, &dv) in gw_row.iter_mut().zip(d_row) {
-                        *g += pv * dv;
-                    }
-                }
             }
             if li > 0 {
-                // d_prev = d_out · Wᵀ, masked by the ReLU derivative.
+                // d_prev = d_out · Wᵀ (fused transpose), then the ReLU
+                // mask: gradient flows only where the activation was
+                // positive.
                 let w = &self.layers[li].0;
                 let mut d_prev = vec![0.0f32; batch * n_in];
-                for s in 0..batch {
-                    let d_row = &d_out[s * n_out..(s + 1) * n_out];
-                    let dp_row = &mut d_prev[s * n_in..(s + 1) * n_in];
-                    for (i, dp) in dp_row.iter_mut().enumerate() {
-                        // ReLU mask: gradient flows only where the
-                        // activation was positive.
-                        if prev[s * n_in + i] > 0.0 {
-                            let w_row = &w[i * n_out..(i + 1) * n_out];
-                            *dp = w_row.iter().zip(d_row).map(|(wv, dv)| wv * dv).sum();
-                        }
+                matmul_transb(&d_out, w, &mut d_prev, batch, n_out, n_in);
+                for (dp, &pv) in d_prev.iter_mut().zip(prev) {
+                    if pv <= 0.0 {
+                        *dp = 0.0;
                     }
                 }
                 d_out = d_prev;

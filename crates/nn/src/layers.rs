@@ -246,7 +246,10 @@ mod tests {
 
     #[test]
     fn maxpool_module() {
-        let pool = MaxPool2d { kernel: 2, stride: 2 };
+        let pool = MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        };
         let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
         let y = pool.forward(&x);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);

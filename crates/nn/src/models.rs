@@ -18,7 +18,10 @@ impl Mlp {
     ///
     /// Panics with fewer than two widths.
     pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut net = Sequential::new();
         for (i, pair) in dims.windows(2).enumerate() {
             net = net.push(Linear::new(pair[0], pair[1], rng));
@@ -87,7 +90,10 @@ impl MiniResNet {
             .push(Conv2d::new(in_channels, width, 3, 1, 1, rng))
             .push(Relu)
             .push(Residual::new(Conv2d::new(width, width, 3, 1, 1, rng)))
-            .push(MaxPool2d { kernel: 2, stride: 2 })
+            .push(MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            })
             .push(Residual::new(Conv2d::new(width, width, 3, 1, 1, rng)))
             .push(Flatten)
             .push(Linear::new(width * pooled * pooled, num_classes, rng));
@@ -159,10 +165,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let m = Mlp::new(&[2, 8, 2], &mut rng);
         let mut opt = Sgd::new(m.parameters(), StepDecaySchedule::new(0.5, 1.0, 1000), 0.9);
-        let x = Tensor::from_vec(
-            vec![4, 2],
-            vec![1.0, 1.0, 1.2, 0.8, -1.0, -1.0, -0.8, -1.2],
-        );
+        let x = Tensor::from_vec(vec![4, 2], vec![1.0, 1.0, 1.2, 0.8, -1.0, -1.0, -0.8, -1.2]);
         let y = [0usize, 0, 1, 1];
         let mut last = f32::INFINITY;
         for _ in 0..60 {

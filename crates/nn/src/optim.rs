@@ -157,8 +157,7 @@ mod tests {
         // the gap on an ill-conditioned quadratic.
         let run = |momentum: f32| {
             let w = Tensor::from_vec(vec![1], vec![0.0]).requires_grad();
-            let mut opt =
-                Sgd::new(vec![w.clone()], StepDecaySchedule::constant(0.01), momentum);
+            let mut opt = Sgd::new(vec![w.clone()], StepDecaySchedule::constant(0.01), momentum);
             for _ in 0..40 {
                 let diff = w.sub(&Tensor::scalar(1.0));
                 let loss = diff.mul(&diff).sum();

@@ -1,4 +1,12 @@
 //! Differentiable operations on [`Tensor`].
+//!
+//! Matrix products route through the shared [`byz_kernel`] compute layer
+//! (cache-blocked, pooled-thread matmul); backward passes for the matmul
+//! use the fused transpose variants so no transposed operand is ever
+//! materialized, and elementwise backward closures write into pooled
+//! scratch buffers instead of allocating per call.
+
+use byz_kernel::{matmul_transa, matmul_transb, with_scratch};
 
 use crate::Tensor;
 
@@ -48,8 +56,12 @@ impl Tensor {
             vec![self.clone(), other.clone()],
             Box::new(|grad, parents| {
                 parents[0].accumulate_grad(grad);
-                let neg: Vec<f32> = grad.iter().map(|g| -g).collect();
-                parents[1].accumulate_grad(&neg);
+                with_scratch(grad.len(), |neg| {
+                    for (o, g) in neg.iter_mut().zip(grad) {
+                        *o = -g;
+                    }
+                    parents[1].accumulate_grad(neg);
+                });
             }),
         )
     }
@@ -68,12 +80,22 @@ impl Tensor {
             data,
             vec![self.clone(), other.clone()],
             Box::new(|grad, parents| {
-                let a = parents[0].to_vec();
-                let b = parents[1].to_vec();
-                let ga: Vec<f32> = grad.iter().zip(&b).map(|(g, x)| g * x).collect();
-                let gb: Vec<f32> = grad.iter().zip(&a).map(|(g, x)| g * x).collect();
-                parents[0].accumulate_grad(&ga);
-                parents[1].accumulate_grad(&gb);
+                // Borrow the parent buffers instead of cloning them; the
+                // data and grad cells are distinct, so the borrows may
+                // stay live while gradients accumulate.
+                with_scratch(2 * grad.len(), |scratch| {
+                    let (ga, gb) = scratch.split_at_mut(grad.len());
+                    {
+                        let a = parents[0].data();
+                        let b = parents[1].data();
+                        for i in 0..grad.len() {
+                            ga[i] = grad[i] * b[i];
+                            gb[i] = grad[i] * a[i];
+                        }
+                    }
+                    parents[0].accumulate_grad(ga);
+                    parents[1].accumulate_grad(gb);
+                });
             }),
         )
     }
@@ -86,8 +108,12 @@ impl Tensor {
             data,
             vec![self.clone()],
             Box::new(move |grad, parents| {
-                let g: Vec<f32> = grad.iter().map(|g| g * s).collect();
-                parents[0].accumulate_grad(&g);
+                with_scratch(grad.len(), |g| {
+                    for (o, gv) in g.iter_mut().zip(grad) {
+                        *o = gv * s;
+                    }
+                    parents[0].accumulate_grad(g);
+                });
             }),
         )
     }
@@ -112,7 +138,7 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        matmul_into(&a, &b, &mut out, m, k, n);
+        byz_kernel::matmul(&a, &b, &mut out, m, k, n);
         drop(a);
         drop(b);
 
@@ -121,38 +147,19 @@ impl Tensor {
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |grad, parents| {
-                let a = parents[0].data();
-                let b = parents[1].data();
-                // dA = G · Bᵀ  (m×n · n×k).
-                let mut ga = vec![0.0f32; m * k];
-                for i in 0..m {
-                    for j in 0..n {
-                        let g = grad[i * n + j];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for t in 0..k {
-                            ga[i * k + t] += g * b[t * n + j];
-                        }
+                // Fused-transpose kernels: dA = G · Bᵀ and dB = Aᵀ · G
+                // without materializing Bᵀ or Aᵀ.
+                with_scratch(m * k + k * n, |scratch| {
+                    let (ga, gb) = scratch.split_at_mut(m * k);
+                    {
+                        let a = parents[0].data();
+                        let b = parents[1].data();
+                        matmul_transb(grad, &b, ga, m, n, k);
+                        matmul_transa(&a, grad, gb, m, k, n);
                     }
-                }
-                // dB = Aᵀ · G  (k×m · m×n).
-                let mut gb = vec![0.0f32; k * n];
-                for i in 0..m {
-                    for t in 0..k {
-                        let av = a[i * k + t];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        for j in 0..n {
-                            gb[t * n + j] += av * grad[i * n + j];
-                        }
-                    }
-                }
-                drop(a);
-                drop(b);
-                parents[0].accumulate_grad(&ga);
-                parents[1].accumulate_grad(&gb);
+                    parents[0].accumulate_grad(ga);
+                    parents[1].accumulate_grad(gb);
+                });
             }),
         )
     }
@@ -194,13 +201,15 @@ impl Tensor {
             data,
             vec![self.clone()],
             Box::new(|grad, parents| {
-                let x = parents[0].to_vec();
-                let g: Vec<f32> = grad
-                    .iter()
-                    .zip(&x)
-                    .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
-                    .collect();
-                parents[0].accumulate_grad(&g);
+                with_scratch(grad.len(), |g| {
+                    {
+                        let x = parents[0].data();
+                        for i in 0..grad.len() {
+                            g[i] = if x[i] > 0.0 { grad[i] } else { 0.0 };
+                        }
+                    }
+                    parents[0].accumulate_grad(g);
+                });
             }),
         )
     }
@@ -214,12 +223,12 @@ impl Tensor {
             data,
             vec![self.clone()],
             Box::new(move |grad, parents| {
-                let g: Vec<f32> = grad
-                    .iter()
-                    .zip(&saved)
-                    .map(|(g, y)| g * (1.0 - y * y))
-                    .collect();
-                parents[0].accumulate_grad(&g);
+                with_scratch(grad.len(), |g| {
+                    for ((o, gv), y) in g.iter_mut().zip(grad).zip(&saved) {
+                        *o = gv * (1.0 - y * y);
+                    }
+                    parents[0].accumulate_grad(g);
+                });
             }),
         )
     }
@@ -380,23 +389,6 @@ impl Tensor {
                     .expect("nonempty row")
             })
             .collect()
-    }
-}
-
-/// `out += A · B` for row-major buffers, `A: m×k`, `B: k×n` (ikj order).
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for t in 0..k {
-            let av = a[i * k + t];
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[t * n..(t + 1) * n];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
     }
 }
 

@@ -259,11 +259,7 @@ mod tests {
 
     #[test]
     fn maxpool_forward_and_backward() {
-        let t = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 3.0, 2.0],
-        )
-        .requires_grad();
+        let t = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).requires_grad();
         let p = t.maxpool2d(2, 2);
         assert_eq!(p.shape(), &[1, 1, 1, 1]);
         assert_eq!(p.item(), 5.0);

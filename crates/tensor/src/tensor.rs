@@ -25,7 +25,11 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeDataMismatch { shape, data_len } => {
-                write!(f, "shape {shape:?} needs {} elements, got {data_len}", shape.iter().product::<usize>())
+                write!(
+                    f,
+                    "shape {shape:?} needs {} elements, got {data_len}",
+                    shape.iter().product::<usize>()
+                )
             }
             TensorError::ShapeMismatch { left, right, op } => {
                 write!(f, "shape mismatch for {op}: {left:?} vs {right:?}")
@@ -150,7 +154,11 @@ impl Tensor {
             grad: RefCell::new(None),
             requires_grad,
             parents: if requires_grad { parents } else { Vec::new() },
-            backward_fn: if requires_grad { Some(backward_fn) } else { None },
+            backward_fn: if requires_grad {
+                Some(backward_fn)
+            } else {
+                None
+            },
         }))
     }
 

@@ -49,7 +49,10 @@ impl fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
             WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
             WireError::ChecksumMismatch { expected, computed } => {
-                write!(f, "checksum mismatch: header says {expected:#x}, body hashes to {computed:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: header says {expected:#x}, body hashes to {computed:#x}"
+                )
             }
             WireError::BodyTruncated { declared, got } => {
                 write!(f, "body truncated: declared {declared} bytes, got {got}")
@@ -345,7 +348,10 @@ mod tests {
             fingerprint: crate::Fingerprint(0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0),
         };
         assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
-        let msg = Message::PayloadRequest { iteration: 9, file: 2 };
+        let msg = Message::PayloadRequest {
+            iteration: 9,
+            file: 2,
+        };
         assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
 
@@ -391,7 +397,10 @@ mod tests {
     fn bad_magic_detected() {
         let mut bytes = Message::Shutdown.encode().to_vec();
         bytes[0] ^= 0xFF;
-        assert!(matches!(Message::decode(&bytes), Err(WireError::BadMagic(_))));
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -413,6 +422,9 @@ mod tests {
         frame.put_u8(99);
         frame.put_u32_le(0);
         frame.put_u64_le(checksum);
-        assert_eq!(Message::decode(&frame).unwrap_err(), WireError::UnknownKind(99));
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            WireError::UnknownKind(99)
+        );
     }
 }

@@ -166,8 +166,7 @@ impl MessagePassingCluster {
             for worker_id in 0..k {
                 let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
                 to_workers.push(tx);
-                let my_files: Vec<usize> =
-                    self.assignment.graph().files_of(worker_id).to_vec();
+                let my_files: Vec<usize> = self.assignment.graph().files_of(worker_id).to_vec();
                 let dataset = Arc::clone(&self.dataset);
                 let dims = self.model_dims.clone();
                 let to_ps = to_ps.clone();
@@ -390,7 +389,6 @@ impl MessagePassingCluster {
         }
         (params, summaries)
     }
-
 }
 
 struct WorkerContext {
@@ -428,8 +426,7 @@ fn worker_loop(ctx: WorkerContext) {
                 cache.retain(|(it, _), _| *it + 1 >= iteration);
                 model.set_params(&params);
                 for &file_idx in &ctx.my_files {
-                    let samples: Vec<usize> =
-                        files[file_idx].iter().map(|&i| i as usize).collect();
+                    let samples: Vec<usize> = files[file_idx].iter().map(|&i| i as usize).collect();
                     let (x, labels) = gather_flat(&ctx.dataset, &samples);
                     let (_, grad) = model.gradient_sum(&x, samples.len(), &labels);
                     let gradient = if ctx.is_byz {
@@ -580,8 +577,7 @@ mod tests {
             Arc::clone(&data),
             dims.clone(),
         );
-        let (params, summaries) =
-            cluster.train(initial_params(&dims), &config(40, vec![0, 5]));
+        let (params, summaries) = cluster.train(initial_params(&dims), &config(40, vec![0, 5]));
         assert!(summaries.iter().all(|s| s.non_strict_votes == 0));
         let acc = accuracy(&params, &dims, &data, 200);
         assert!(acc > 0.5, "attacked accuracy only {acc}");
@@ -595,8 +591,7 @@ mod tests {
         let data = dataset();
         let dims = vec![36usize, 16, 4];
         let assignment = MolsAssignment::new(5, 3).unwrap().build();
-        let cluster =
-            MessagePassingCluster::new(assignment, Arc::clone(&data), dims.clone());
+        let cluster = MessagePassingCluster::new(assignment, Arc::clone(&data), dims.clone());
 
         let full_cfg = config(25, vec![0, 5]);
         let hash_cfg = ServerConfig {

@@ -23,12 +23,14 @@ fn arbitrary_message() -> impl Strategy<Value = Message> {
             any::<u32>(),
             prop::collection::vec(-1e6f32..1e6, 0..64),
         )
-            .prop_map(|(iteration, worker, file, gradient)| Message::GradientReturn {
-                iteration,
-                worker,
-                file,
-                gradient,
-            }),
+            .prop_map(
+                |(iteration, worker, file, gradient)| Message::GradientReturn {
+                    iteration,
+                    worker,
+                    file,
+                    gradient,
+                }
+            ),
         Just(Message::Shutdown),
     ]
 }

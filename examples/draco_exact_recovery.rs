@@ -18,9 +18,7 @@ fn main() {
     let files: Vec<Vec<f32>> = (0..k)
         .map(|i| (0..d).map(|j| (i * d + j) as f32 * 0.1).collect())
         .collect();
-    let true_sum: Vec<f32> = (0..d)
-        .map(|j| files.iter().map(|g| g[j]).sum())
-        .collect();
+    let true_sum: Vec<f32> = (0..d).map(|j| files.iter().map(|g| g[j]).sum()).collect();
 
     // ── DRACO cyclic code, q = 2 (needs r = 5) ────────────────────────
     let code = CyclicCode::new(k, 2).expect("2q+1 = 5 ≤ 15");

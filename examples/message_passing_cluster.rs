@@ -7,8 +7,8 @@
 //! cargo run --release --example message_passing_cluster
 //! ```
 
-use byzshield::prelude::*;
 use byz_nn::FastMlp;
+use byzshield::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -83,9 +83,12 @@ fn main() {
         ..config
     };
     let init = FastMlp::new(&dims, &mut StdRng::seed_from_u64(3)).params_flat();
-    let (hash_params, hash_summaries) =
-        MessagePassingCluster::new(MolsAssignment::new(5, 3).expect("valid").build(), Arc::clone(&train), dims.clone())
-            .train(init, &hash_config);
+    let (hash_params, hash_summaries) = MessagePassingCluster::new(
+        MolsAssignment::new(5, 3).expect("valid").build(),
+        Arc::clone(&train),
+        dims.clone(),
+    )
+    .train(init, &hash_config);
     let hash_bytes: usize = hash_summaries.iter().map(|s| s.bytes_received).sum();
     println!(
         "vote-on-hash transport: identical parameters = {}, PS ingress {:.1} MiB (vs {:.1})",

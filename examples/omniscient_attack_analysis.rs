@@ -16,7 +16,9 @@ use rand::SeedableRng;
 
 fn main() {
     let mols = MolsAssignment::new(5, 3).expect("valid parameters").build();
-    let ram = RamanujanAssignment::new(3, 5).expect("valid parameters").build();
+    let ram = RamanujanAssignment::new(3, 5)
+        .expect("valid parameters")
+        .build();
     let mut rng = StdRng::seed_from_u64(42);
     let random = RandomAssignment::new(15, 25, 3)
         .expect("valid parameters")

@@ -22,13 +22,19 @@ fn main() {
         assignment.load(),
         assignment.replication()
     );
-    println!("worker U0 stores files {:?}  (paper Table 2a)", assignment.graph().files_of(0));
+    println!(
+        "worker U0 stores files {:?}  (paper Table 2a)",
+        assignment.graph().files_of(0)
+    );
 
     // ── 2. Spectral robustness bound ──────────────────────────────────
     // Lemma 2: µ₁(AAᵀ) = 1/r. Claim 1 turns that into the upper bound γ
     // on how many file majorities ANY q Byzantine workers can corrupt.
     let mu1 = assignment.second_eigenvalue().expect("biregular graph");
-    println!("\nsecond eigenvalue µ₁ = {mu1:.4} (Lemma 2 predicts 1/r = {:.4})", 1.0 / 3.0);
+    println!(
+        "\nsecond eigenvalue µ₁ = {mu1:.4} (Lemma 2 predicts 1/r = {:.4})",
+        1.0 / 3.0
+    );
     for q in [2usize, 3, 4, 5] {
         let bound = assignment.expansion_bound(q).expect("biregular graph");
         let exact = cmax_exhaustive(&assignment, q);
@@ -59,7 +65,11 @@ fn main() {
     };
     let curve = experiments::run_experiment(&spec);
     for p in &curve.points {
-        println!("  iter {:4}: top-1 accuracy {:5.1}%", p.iteration, 100.0 * p.accuracy);
+        println!(
+            "  iter {:4}: top-1 accuracy {:5.1}%",
+            p.iteration,
+            100.0 * p.accuracy
+        );
     }
     println!(
         "mean observed distortion fraction ε̂ = {:.3} (theory: 3/25 = 0.12)",

@@ -67,11 +67,18 @@ fn main() {
         config,
     );
 
-    let history = trainer.run().expect("defense applicable for these parameters");
+    let history = trainer
+        .run()
+        .expect("defense applicable for these parameters");
     println!("\niter  ε̂     top-1 accuracy");
     for r in &history.records {
         if let Some(acc) = r.test_accuracy {
-            println!("{:4}  {:.2}   {:5.1}%", r.iteration, r.epsilon_hat, 100.0 * acc);
+            println!(
+                "{:4}  {:.2}   {:5.1}%",
+                r.iteration,
+                r.epsilon_hat,
+                100.0 * acc
+            );
         }
     }
     println!(

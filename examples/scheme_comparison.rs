@@ -55,10 +55,7 @@ fn main() {
             "{:<22} mean ε̂ = {:.2}  final accuracy = {:5.1}%",
             curve.label,
             curve.mean_epsilon_hat,
-            curve
-                .points
-                .last()
-                .map_or(f64::NAN, |p| 100.0 * p.accuracy)
+            curve.points.last().map_or(f64::NAN, |p| 100.0 * p.accuracy)
         );
         curves.push(curve);
     }

@@ -193,7 +193,10 @@ fn config_errors() {
     );
     assert!(matches!(
         trainer.run().unwrap_err(),
-        TrainingError::BatchNotDivisible { batch: 90, files: 25 }
+        TrainingError::BatchNotDivisible {
+            batch: 90,
+            files: 25
+        }
     ));
 
     let model = mlp(6);

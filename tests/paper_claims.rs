@@ -1,8 +1,8 @@
 //! Regression tests pinning the paper's quantitative claims that this
 //! reproduction must preserve.
 
-use byzshield::prelude::*;
 use byz_graph::BipartiteGraph;
+use byzshield::prelude::*;
 
 /// Abstract claim (Section 5.3.2): "over a 36% reduction on average in the
 /// fraction of corrupted gradients compared to the state of the art" —
@@ -131,9 +131,18 @@ fn table3_epsilon_columns() {
     ];
     for (q, e_byz, e_base, e_frc) in expected {
         let res = cmax_auto(&assignment, q);
-        assert!((res.epsilon_hat(25) - e_byz).abs() < 1e-9, "ByzShield ε̂ at q = {q}");
-        assert!((baseline_epsilon(q, 15) - e_base).abs() < 1e-9, "baseline ε̂ at q = {q}");
-        assert!((frc_epsilon(q, 3, 15) - e_frc).abs() < 1e-9, "FRC ε̂ at q = {q}");
+        assert!(
+            (res.epsilon_hat(25) - e_byz).abs() < 1e-9,
+            "ByzShield ε̂ at q = {q}"
+        );
+        assert!(
+            (baseline_epsilon(q, 15) - e_base).abs() < 1e-9,
+            "baseline ε̂ at q = {q}"
+        );
+        assert!(
+            (frc_epsilon(q, 3, 15) - e_frc).abs() < 1e-9,
+            "FRC ε̂ at q = {q}"
+        );
     }
 }
 
@@ -156,5 +165,8 @@ fn figure12_time_ordering() {
     // 10.81 h ⇒ ByzShield ≈ 3.4× baseline; the model should land in the
     // same regime (between 2× and 6×).
     let ratio = bs.total().as_secs_f64() / base.total().as_secs_f64();
-    assert!((2.0..6.0).contains(&ratio), "ByzShield/baseline ratio {ratio:.2}");
+    assert!(
+        (2.0..6.0).contains(&ratio),
+        "ByzShield/baseline ratio {ratio:.2}"
+    );
 }

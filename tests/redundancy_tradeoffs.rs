@@ -74,7 +74,10 @@ fn replication_requirements_differ() {
     let assignment = MolsAssignment::new(5, 3).unwrap().build();
     let res = cmax_exhaustive(&assignment, q);
     assert_eq!(res.value, 8); // Table 3
-    assert!(res.epsilon_hat(25) < 0.5, "honest majority of files survives");
+    assert!(
+        res.epsilon_hat(25) < 0.5,
+        "honest majority of files survives"
+    );
 }
 
 /// Majority vote + median end-to-end against the DRACO FRC decoder on the
@@ -91,7 +94,8 @@ fn vote_pipeline_survives_beyond_draco_radius() {
     let evil = vec![-1e9f32; grads[0].len()];
     let mut distorted = 0usize;
     let mut winners = Vec::new();
-    for file in 0..assignment.num_files() {
+    assert_eq!(grads.len(), assignment.num_files());
+    for (file, grad) in grads.iter().enumerate() {
         let replicas: Vec<Vec<f32>> = assignment
             .graph()
             .workers_of(file)
@@ -100,7 +104,7 @@ fn vote_pipeline_survives_beyond_draco_radius() {
                 if byzantine.contains(w) {
                     evil.clone()
                 } else {
-                    grads[file].clone()
+                    grad.clone()
                 }
             })
             .collect();

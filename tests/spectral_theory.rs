@@ -2,8 +2,8 @@
 //! expansion, eigensolver, and the Claim 1 chain of inequalities on many
 //! constructions at once.
 
-use byzshield::prelude::*;
 use byz_linalg::{cluster_spectrum, singular_values, Matrix};
+use byzshield::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -89,7 +89,9 @@ fn claim1_chain_across_constructions() {
 #[test]
 fn ramanujan_case1_singular_values() {
     let (m, s) = (3usize, 5usize);
-    let a = RamanujanAssignment::new(m as u64, s as u64).unwrap().build();
+    let a = RamanujanAssignment::new(m as u64, s as u64)
+        .unwrap()
+        .build();
     let h = a.graph().biadjacency();
     let sv = singular_values(&h).unwrap();
     // Zero eigenvalues of HHᵀ come out as O(1e-12) numerical noise, so the
