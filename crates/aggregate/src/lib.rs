@@ -33,6 +33,7 @@ mod geomed;
 mod krum;
 mod majority;
 mod median;
+mod quorum;
 mod signsgd;
 
 pub use auror::Auror;
@@ -41,6 +42,9 @@ pub use geomed::GeometricMedian;
 pub use krum::{Krum, MultiKrum};
 pub use majority::{majority_vote, MajorityOutcome};
 pub use median::{CoordinateMedian, Mean, MedianOfMeans, TrimmedMean};
+pub use quorum::{
+    aggregate_winners, quorum_vote, Provenance, QuorumConfig, QuorumError, QuorumOutcome,
+};
 pub use signsgd::SignSgdMajority;
 
 use std::fmt;

@@ -1,0 +1,435 @@
+//! Degraded-quorum majority voting.
+//!
+//! The happy-path vote ([`majority_vote`](crate::majority_vote)) assumes
+//! all `r` replicas of a file arrived. Under crashes, stragglers past
+//! their deadline, or dropped messages the parameter server holds only a
+//! *subset* of the replicas, and the protocol must decide per file
+//! whether that subset is still worth voting on. This module is the
+//! single degradation policy shared by the in-process trainer
+//! (`byzshield::Trainer`) and the message-passing server
+//! (`byz_wire::MessagePassingCluster`):
+//!
+//! * [`QuorumConfig`] — the minimum replica count `q_min` a file needs
+//!   before its vote is accepted, and the retry bound for files below it;
+//! * [`quorum_vote`] — exact-equality majority over the replicas that
+//!   arrived, with deterministic tie-breaking by smallest supporting
+//!   worker id;
+//! * [`QuorumOutcome`] / [`Provenance`] — the winning gradient plus how
+//!   it was obtained (full replica set, degraded subset, or after
+//!   retries), so downstream aggregation can account for provenance;
+//! * [`aggregate_winners`] — feeds a winner set of mixed provenance into
+//!   any [`Aggregator`].
+
+use crate::{AggregationError, Aggregator};
+use std::fmt;
+
+/// Minimum-quorum and retry policy for degraded rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Minimum number of received replicas required to vote on a file.
+    /// `1` accepts any survivor (availability-first); `r` demands the
+    /// full replica set (consistency-first). Guarantee: with at most
+    /// `⌈q_min/2⌉ − 1` Byzantine replicas among those received, the vote
+    /// is the honest gradient.
+    pub q_min: usize,
+    /// How many times a below-quorum file is re-requested from its
+    /// surviving workers before being abandoned for the round.
+    pub max_retries: usize,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        // Accept any surviving replica, retry twice: the most available
+        // policy that still bounds per-round work.
+        QuorumConfig {
+            q_min: 1,
+            max_retries: 2,
+        }
+    }
+}
+
+impl QuorumConfig {
+    /// A consistency-first policy: require `q_min` replicas, no retries.
+    pub fn strict(q_min: usize) -> Self {
+        QuorumConfig {
+            q_min,
+            max_retries: 0,
+        }
+    }
+}
+
+/// Typed failure of a per-file degraded vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumError {
+    /// No replica of the file arrived at all.
+    NoReplicas,
+    /// Fewer replicas arrived than the configured minimum quorum.
+    QuorumNotMet {
+        /// Replicas received.
+        got: usize,
+        /// The configured `q_min`.
+        needed: usize,
+    },
+    /// The received replicas have inconsistent dimensions (protocol
+    /// corruption, not Byzantine content — honest and Byzantine replicas
+    /// alike must be full-dimension gradients).
+    DimensionMismatch {
+        /// Dimension of the first replica.
+        expected: usize,
+        /// The offending dimension.
+        got: usize,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::NoReplicas => write!(f, "no replicas arrived"),
+            QuorumError::QuorumNotMet { got, needed } => {
+                write!(f, "quorum not met: {got} replicas < q_min = {needed}")
+            }
+            QuorumError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "replica dimension mismatch: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+/// How a file's winning gradient was obtained — the provenance travels
+/// with the winner so aggregation and reporting can distinguish
+/// full-redundancy votes from degraded ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// All `r` expected replicas arrived.
+    Full,
+    /// A strict subset arrived, but at least `q_min` of them.
+    Degraded {
+        /// Replicas received.
+        received: usize,
+        /// Replicas expected (`r`).
+        expected: usize,
+    },
+}
+
+/// Outcome of a degraded-quorum vote on one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuorumOutcome {
+    /// The winning gradient.
+    pub value: Vec<f32>,
+    /// Replicas that matched the winner bit-exactly.
+    pub votes: usize,
+    /// Replicas that arrived and were voted over.
+    pub received: usize,
+    /// Smallest worker id among the winner's supporters (the
+    /// deterministic tie-break witness).
+    pub winner_worker: usize,
+    /// Whether the winner had a strict majority of the *received*
+    /// replicas.
+    pub is_strict: bool,
+    /// Full or degraded provenance.
+    pub provenance: Provenance,
+}
+
+/// Exact-equality majority vote over the replicas that arrived.
+///
+/// `replicas` are `(worker, gradient)` pairs; `expected` is the full
+/// replication degree `r` the file was assigned. The vote:
+///
+/// 1. rejects the file if fewer than `q_min` replicas arrived
+///    ([`QuorumError::QuorumNotMet`]) or none at all
+///    ([`QuorumError::NoReplicas`]);
+/// 2. groups the received replicas by bit-exact equality;
+/// 3. the group with the most votes wins; **ties break deterministically
+///    to the group containing the smallest worker id**, independent of
+///    arrival order (the pairs are sorted internally, so the caller may
+///    pass them in any order).
+///
+/// With an honest majority among the received replicas the winner is the
+/// honest gradient, because honest replicas are bit-identical.
+pub fn quorum_vote(
+    replicas: &[(usize, Vec<f32>)],
+    q_min: usize,
+    expected: usize,
+) -> Result<QuorumOutcome, QuorumError> {
+    if replicas.is_empty() {
+        return Err(QuorumError::NoReplicas);
+    }
+    let received = replicas.len();
+    if received < q_min {
+        return Err(QuorumError::QuorumNotMet {
+            got: received,
+            needed: q_min,
+        });
+    }
+    let d = replicas[0].1.len();
+    if let Some((_, bad)) = replicas.iter().find(|(_, g)| g.len() != d) {
+        return Err(QuorumError::DimensionMismatch {
+            expected: d,
+            got: bad.len(),
+        });
+    }
+
+    // Deterministic order regardless of arrival order.
+    let mut order: Vec<usize> = (0..received).collect();
+    order.sort_by_key(|&i| replicas[i].0);
+
+    // Group by bit-exact value; representatives keep ascending worker
+    // order, so a group's representative worker is its smallest id.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // (rep index, votes)
+    for &i in &order {
+        match groups
+            .iter_mut()
+            .find(|(rep, _)| bitwise_eq(&replicas[*rep].1, &replicas[i].1))
+        {
+            Some((_, votes)) => *votes += 1,
+            None => groups.push((i, 1)),
+        }
+    }
+
+    // Max votes; ties resolve to the earliest group. Groups appear in
+    // ascending order of their smallest supporting worker id (they were
+    // built from the sorted scan), so "first maximal group" IS the
+    // deterministic break-ties-by-worker-id rule, and each group's
+    // representative is its smallest supporter.
+    let (mut winner_rep, mut votes) = groups[0];
+    for &(rep, v) in &groups[1..] {
+        if v > votes {
+            winner_rep = rep;
+            votes = v;
+        }
+    }
+    let winner_worker = replicas[winner_rep].0;
+
+    Ok(QuorumOutcome {
+        value: replicas[winner_rep].1.clone(),
+        votes,
+        received,
+        winner_worker,
+        is_strict: votes * 2 > received,
+        provenance: if received >= expected {
+            Provenance::Full
+        } else {
+            Provenance::Degraded { received, expected }
+        },
+    })
+}
+
+/// Runs a robust aggregation rule over a winner set of mixed provenance.
+///
+/// Degraded rounds produce winners backed by fewer replicas; the
+/// aggregation rule itself is provenance-agnostic (it sees one vector per
+/// surviving file), so this helper simply projects the values out — but
+/// it is the single call site through which both transports feed
+/// partial-round winners into an [`Aggregator`], keeping the degradation
+/// policy in one place.
+///
+/// # Errors
+///
+/// Returns [`AggregationError`] from the underlying rule (e.g. `Empty`
+/// when every file of the round was abandoned).
+pub fn aggregate_winners(
+    aggregator: &dyn Aggregator,
+    winners: &[QuorumOutcome],
+) -> Result<Vec<f32>, AggregationError> {
+    let values: Vec<Vec<f32>> = winners.iter().map(|w| w.value.clone()).collect();
+    aggregator.aggregate(&values)
+}
+
+fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoordinateMedian;
+    use proptest::prelude::*;
+
+    fn pairs(ids: &[usize], grads: &[Vec<f32>]) -> Vec<(usize, Vec<f32>)> {
+        ids.iter().copied().zip(grads.iter().cloned()).collect()
+    }
+
+    #[test]
+    fn full_quorum_majority() {
+        let h = vec![1.0f32, 2.0];
+        let e = vec![9.0f32, 9.0];
+        let out = quorum_vote(&pairs(&[0, 1, 2], &[h.clone(), e, h.clone()]), 1, 3).unwrap();
+        assert_eq!(out.value, h);
+        assert_eq!(out.votes, 2);
+        assert_eq!(out.received, 3);
+        assert!(out.is_strict);
+        assert_eq!(out.provenance, Provenance::Full);
+        assert_eq!(out.winner_worker, 0);
+    }
+
+    #[test]
+    fn degraded_subset_votes() {
+        let h = vec![0.5f32];
+        let out = quorum_vote(&pairs(&[2, 7], &[h.clone(), h.clone()]), 2, 3).unwrap();
+        assert_eq!(out.value, h);
+        assert_eq!(
+            out.provenance,
+            Provenance::Degraded {
+                received: 2,
+                expected: 3
+            }
+        );
+        assert_eq!(out.winner_worker, 2);
+    }
+
+    #[test]
+    fn quorum_not_met() {
+        let h = vec![0.5f32];
+        assert_eq!(
+            quorum_vote(&pairs(&[4], &[h]), 2, 3).unwrap_err(),
+            QuorumError::QuorumNotMet { got: 1, needed: 2 }
+        );
+        assert_eq!(quorum_vote(&[], 1, 3).unwrap_err(), QuorumError::NoReplicas);
+    }
+
+    #[test]
+    fn tie_breaks_by_smallest_worker_id() {
+        let a = vec![1.0f32];
+        let b = vec![2.0f32];
+        // 1-1 tie: worker 3 holds `b`, worker 5 holds `a` → `b` wins.
+        let out = quorum_vote(&pairs(&[5, 3], &[a.clone(), b.clone()]), 1, 3).unwrap();
+        assert_eq!(out.value, b);
+        assert_eq!(out.winner_worker, 3);
+        // Arrival order must not matter.
+        let out2 = quorum_vote(&pairs(&[3, 5], &[b.clone(), a]), 1, 3).unwrap();
+        assert_eq!(out2.value, b);
+        assert!(!out2.is_strict);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let out = quorum_vote(&pairs(&[0, 1], &[vec![1.0, 2.0], vec![1.0]]), 1, 3);
+        assert_eq!(
+            out.unwrap_err(),
+            QuorumError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn winners_feed_any_aggregator() {
+        let winners = vec![
+            QuorumOutcome {
+                value: vec![1.0, 10.0],
+                votes: 3,
+                received: 3,
+                winner_worker: 0,
+                is_strict: true,
+                provenance: Provenance::Full,
+            },
+            QuorumOutcome {
+                value: vec![3.0, 30.0],
+                votes: 1,
+                received: 2,
+                winner_worker: 4,
+                is_strict: false,
+                provenance: Provenance::Degraded {
+                    received: 2,
+                    expected: 3,
+                },
+            },
+            QuorumOutcome {
+                value: vec![2.0, 20.0],
+                votes: 2,
+                received: 2,
+                winner_worker: 1,
+                is_strict: true,
+                provenance: Provenance::Degraded {
+                    received: 2,
+                    expected: 3,
+                },
+            },
+        ];
+        let agg = aggregate_winners(&CoordinateMedian, &winners).unwrap();
+        assert_eq!(agg, vec![2.0, 20.0]);
+        assert_eq!(
+            aggregate_winners(&CoordinateMedian, &[]).unwrap_err(),
+            AggregationError::Empty
+        );
+    }
+
+    proptest! {
+        /// For any replica subset of size ≥ q_min with an honest
+        /// majority, the degraded vote returns the honest gradient.
+        #[test]
+        fn honest_majority_always_wins(
+            received in 1usize..=7,
+            q_min in 1usize..=7,
+            seed in 0u64..1_000,
+        ) {
+            prop_assume!(received >= q_min);
+            // Honest majority: > received/2 honest replicas.
+            let honest_count = received / 2 + 1;
+            let honest = vec![1.25f32, -0.5, 3.0];
+            let mut replicas = Vec::new();
+            let mut s = seed;
+            for i in 0..received {
+                // Deterministic pseudo-random worker ids (distinct) and
+                // Byzantine payloads.
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let grad = if i < honest_count {
+                    honest.clone()
+                } else {
+                    vec![(s % 97) as f32, -7.0, (s % 13) as f32]
+                };
+                replicas.push((i * 3 + (s % 3) as usize, grad));
+            }
+            let out = quorum_vote(&replicas, q_min, 7).unwrap();
+            prop_assert_eq!(&out.value, &honest);
+            prop_assert!(out.votes >= honest_count);
+        }
+
+        /// Ties break to the value held by the smallest worker id, for
+        /// any permutation of arrival order.
+        #[test]
+        fn tie_break_is_order_independent(
+            ids in proptest::collection::btree_set(0usize..64, 2..=6),
+            rotate in 0usize..6,
+        ) {
+            // All-distinct values → every group has one vote; the winner
+            // must be the smallest id's value.
+            let ids: Vec<usize> = ids.into_iter().collect();
+            let min_id = *ids.iter().min().unwrap();
+            let mut replicas: Vec<(usize, Vec<f32>)> = ids
+                .iter()
+                .map(|&w| (w, vec![w as f32, w as f32 * 2.0]))
+                .collect();
+            let len = replicas.len();
+            replicas.rotate_left(rotate % len);
+            let out = quorum_vote(&replicas, 1, 7).unwrap();
+            prop_assert_eq!(out.winner_worker, min_id);
+            prop_assert_eq!(out.value, vec![min_id as f32, min_id as f32 * 2.0]);
+        }
+
+        /// The degraded vote agrees with the happy-path `majority_vote`
+        /// when every replica arrives in ascending worker order.
+        #[test]
+        fn agrees_with_full_majority_vote(
+            n in 1usize..=7,
+            pattern in 0u32..128,
+        ) {
+            let values: Vec<Vec<f32>> = (0..n)
+                .map(|i| if pattern >> i & 1 == 1 { vec![9.0f32] } else { vec![1.0f32] })
+                .collect();
+            let full = crate::majority_vote(&values).unwrap();
+            let with_ids: Vec<(usize, Vec<f32>)> =
+                values.into_iter().enumerate().collect();
+            let degraded = quorum_vote(&with_ids, 1, n).unwrap();
+            prop_assert_eq!(degraded.value, full.value);
+            prop_assert_eq!(degraded.votes, full.votes);
+            prop_assert_eq!(degraded.is_strict, full.is_strict);
+        }
+    }
+}

@@ -89,7 +89,7 @@ fn main() {
             "{:>16}: round {:>8.1?} (slowest worker {:>8.1?}, {} replica gradients)",
             name,
             total,
-            round.slowest_worker(),
+            round.slowest_worker().expect("cluster has live workers"),
             round.replicas.iter().map(Vec::len).sum::<usize>(),
         );
     }

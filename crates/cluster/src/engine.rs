@@ -1,5 +1,6 @@
 //! The synchronous computation round engine.
 
+use crate::{ClusterError, FaultPlan};
 use byz_assign::Assignment;
 use std::time::{Duration, Instant};
 
@@ -47,27 +48,52 @@ pub enum ExecutionMode {
 }
 
 /// The gathered results of one synchronous round.
+///
+/// Under a [`FaultPlan`] the round may be *partial*: crashed workers
+/// contribute no replicas at all, and individual replicas may be dropped
+/// in transit, so `replicas[file]` can hold anywhere between `0` and `r`
+/// entries.
 #[derive(Debug, Clone)]
 pub struct ComputedRound {
-    /// `replicas[file]` = the `(worker, gradient)` pairs for each worker
-    /// assigned to that file, in ascending worker order.
+    /// `replicas[file]` = the `(worker, gradient)` pairs that *arrived*
+    /// for that file, in ascending worker order. Without faults every
+    /// file holds exactly `r` entries.
     pub replicas: Vec<Vec<(usize, Vec<f32>)>>,
-    /// Per-worker wall-clock compute time.
+    /// Per-worker wall-clock compute time (zero for crashed workers).
     pub worker_compute: Vec<Duration>,
+    /// `participated[w]` — whether worker `w` computed this round (false
+    /// exactly for workers the fault plan crashed).
+    pub participated: Vec<bool>,
+    /// Replicas computed by live workers but lost in transit.
+    pub dropped_replicas: usize,
     /// Wall-clock time of the whole round (with synchronization barriers,
     /// this is what the PS observes).
     pub elapsed: Duration,
 }
 
 impl ComputedRound {
-    /// The straggler time: the slowest worker's compute duration, which
-    /// bounds a synchronous iteration.
-    pub fn slowest_worker(&self) -> Duration {
+    /// The straggler time: the slowest *surviving* worker's compute
+    /// duration, which bounds a synchronous iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSurvivingWorkers`] when the cluster is empty or
+    /// every worker crashed — an all-crashed round has no straggler time,
+    /// and silently reporting `0s` would let a dead cluster masquerade as
+    /// an infinitely fast one in iteration-time estimates.
+    pub fn slowest_worker(&self) -> Result<Duration, ClusterError> {
         self.worker_compute
             .iter()
-            .copied()
+            .zip(&self.participated)
+            .filter(|(_, &p)| p)
+            .map(|(d, _)| *d)
             .max()
-            .unwrap_or_default()
+            .ok_or(ClusterError::NoSurvivingWorkers)
+    }
+
+    /// Number of workers that computed this round.
+    pub fn surviving_workers(&self) -> usize {
+        self.participated.iter().filter(|&&p| p).count()
     }
 }
 
@@ -102,18 +128,38 @@ impl Cluster {
         compute: &(dyn WorkerCompute + Sync),
         params: &[f32],
     ) -> ComputedRound {
+        self.compute_round_faulty(compute, params, &FaultPlan::none(), 0)
+    }
+
+    /// Executes one computation round under a [`FaultPlan`]: crashed
+    /// workers compute nothing, and each surviving replica is dropped in
+    /// transit according to the plan's seeded decision for
+    /// `(round, attempt 0, worker, file)`. The resulting
+    /// [`ComputedRound`] may therefore hold *partial* replica sets.
+    ///
+    /// Fault injection is deterministic: a fixed `(plan, round)` yields
+    /// the same surviving replica structure in both execution modes, so
+    /// the Threaded/Sequential bit-identity guarantee extends to faulty
+    /// rounds.
+    pub fn compute_round_faulty(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+    ) -> ComputedRound {
         let start = Instant::now();
         let k = self.assignment.num_workers();
         let per_worker: Vec<(Vec<Vec<f32>>, Duration)> = match self.mode {
             ExecutionMode::Sequential => (0..k)
-                .map(|w| self.run_worker(w, compute, params))
+                .map(|w| self.run_worker(w, compute, params, plan))
                 .collect(),
             ExecutionMode::Threaded { max_threads } => {
                 let chunk = k.div_ceil(max_threads.max(1));
                 let mut results: Vec<Option<(Vec<Vec<f32>>, Duration)>> = vec![None; k];
                 byz_kernel::parallel_chunks_mut(&mut results, chunk, |first_worker, slot_chunk| {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        *slot = Some(self.run_worker(first_worker + off, compute, params));
+                        *slot = Some(self.run_worker(first_worker + off, compute, params, plan));
                     }
                 });
                 results
@@ -123,7 +169,7 @@ impl Cluster {
             }
         };
 
-        self.gather(per_worker, start)
+        self.gather(per_worker, plan, round, start)
     }
 
     /// Executes one computation round sequentially regardless of the
@@ -134,37 +180,72 @@ impl Cluster {
         compute: &dyn WorkerCompute,
         params: &[f32],
     ) -> ComputedRound {
+        self.compute_round_local_faulty(compute, params, &FaultPlan::none(), 0)
+    }
+
+    /// Sequential fault-injected round for non-`Sync` computers; the
+    /// counterpart of [`Cluster::compute_round_faulty`].
+    pub fn compute_round_local_faulty(
+        &self,
+        compute: &dyn WorkerCompute,
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+    ) -> ComputedRound {
         let start = Instant::now();
         let k = self.assignment.num_workers();
         let per_worker: Vec<(Vec<Vec<f32>>, Duration)> = (0..k)
-            .map(|w| self.run_worker(w, compute, params))
+            .map(|w| self.run_worker(w, compute, params, plan))
             .collect();
-        self.gather(per_worker, start)
+        self.gather(per_worker, plan, round, start)
     }
 
     /// Collects per-worker results into per-file replica lists (ascending
-    /// worker order is implied by iterating workers in order).
-    fn gather(&self, per_worker: Vec<(Vec<Vec<f32>>, Duration)>, start: Instant) -> ComputedRound {
+    /// worker order is implied by iterating workers in order), discarding
+    /// replicas the fault plan drops in transit.
+    fn gather(
+        &self,
+        per_worker: Vec<(Vec<Vec<f32>>, Duration)>,
+        plan: &FaultPlan,
+        round: u64,
+        start: Instant,
+    ) -> ComputedRound {
         let mut replicas: Vec<Vec<(usize, Vec<f32>)>> =
             vec![Vec::new(); self.assignment.num_files()];
         let mut worker_compute = Vec::with_capacity(per_worker.len());
+        let mut participated = Vec::with_capacity(per_worker.len());
+        let mut dropped_replicas = 0usize;
         for (w, (grads, took)) in per_worker.into_iter().enumerate() {
+            let alive = !plan.is_crashed(w);
             worker_compute.push(took);
+            participated.push(alive);
+            if !alive {
+                continue;
+            }
             for (file, grad) in self.assignment.graph().files_of(w).iter().zip(grads) {
-                replicas[*file].push((w, grad));
+                if plan.drops_replica(round, 0, w, *file) {
+                    dropped_replicas += 1;
+                } else {
+                    replicas[*file].push((w, grad));
+                }
             }
         }
         for (file, reps) in replicas.iter_mut().enumerate() {
             reps.sort_by_key(|(w, _)| *w);
-            debug_assert_eq!(
-                reps.len(),
-                self.assignment.replication(),
-                "file {file} has wrong replica count"
+            debug_assert!(
+                reps.len() <= self.assignment.replication(),
+                "file {file} has too many replicas"
+            );
+            debug_assert!(
+                !plan.is_trivial() || reps.len() == self.assignment.replication(),
+                "file {file} lost replicas without a fault plan"
             );
         }
         ComputedRound {
             replicas,
             worker_compute,
+            participated,
+            dropped_replicas,
             elapsed: start.elapsed(),
         }
     }
@@ -174,7 +255,12 @@ impl Cluster {
         worker: usize,
         compute: &dyn WorkerCompute,
         params: &[f32],
+        plan: &FaultPlan,
     ) -> (Vec<Vec<f32>>, Duration) {
+        if plan.is_crashed(worker) {
+            // Fail-stop: the worker never computes.
+            return (Vec::new(), Duration::ZERO);
+        }
         let start = Instant::now();
         let grads = self
             .assignment
@@ -216,7 +302,9 @@ mod tests {
             assert!(reps.windows(2).all(|w| w[0].0 < w[1].0));
         }
         assert_eq!(round.worker_compute.len(), 15);
-        assert!(round.slowest_worker() <= round.elapsed);
+        assert!(round.participated.iter().all(|&p| p));
+        assert_eq!(round.dropped_replicas, 0);
+        assert!(round.slowest_worker().unwrap() <= round.elapsed);
     }
 
     #[test]
@@ -262,6 +350,82 @@ mod tests {
         let thr = Cluster::new(assignment(), ExecutionMode::Threaded { max_threads: 64 });
         let round = thr.compute_round(&toy_compute, &[1.0]);
         assert_eq!(round.replicas.len(), 25);
+    }
+
+    #[test]
+    fn faulty_round_has_partial_replicas() {
+        let plan = FaultPlan::new(99).crash(0).drop_rate(0.25);
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let round = cluster.compute_round_faulty(&toy_compute, &[1.0], &plan, 3);
+        assert!(!round.participated[0]);
+        assert_eq!(round.worker_compute[0], Duration::ZERO);
+        assert_eq!(round.surviving_workers(), 14);
+        // Worker 0's files each lost one replica; drops remove more.
+        let total: usize = round.replicas.iter().map(Vec::len).sum();
+        assert!(total < 75, "some replicas must be missing, got {total}");
+        assert!(round.dropped_replicas > 0);
+        // Surviving replicas are still honest and ordered.
+        for reps in &round.replicas {
+            assert!(reps.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(reps.iter().all(|(w, _)| *w != 0));
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_under_faults() {
+        // The Threaded/Sequential bit-identity pin extends to faulty
+        // rounds: the fault decisions are functions of (plan, round,
+        // worker, file), never of scheduling.
+        let plan = FaultPlan::new(7).crash(4).straggle(2, 8.0).drop_rate(0.2);
+        let seq = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let thr = Cluster::new(assignment(), ExecutionMode::Threaded { max_threads: 4 });
+        let params = vec![0.25f32, -1.5];
+        for round in 0..6 {
+            let a = seq.compute_round_faulty(&toy_compute, &params, &plan, round);
+            let b = thr.compute_round_faulty(&toy_compute, &params, &plan, round);
+            assert_eq!(a.replicas, b.replicas, "round {round}");
+            assert_eq!(a.participated, b.participated);
+            assert_eq!(a.dropped_replicas, b.dropped_replicas);
+        }
+    }
+
+    #[test]
+    fn faulty_training_is_bit_identical_across_modes() {
+        // Multi-round SGD over partial replica sets must agree to the bit
+        // between engines (extends the no-fault pin below).
+        let plan = FaultPlan::new(13).crash(1).drop_rate(0.15);
+        let run = |mode: ExecutionMode| {
+            let cluster = Cluster::new(assignment(), mode);
+            let mut params = vec![0.3f32, -1.7, 0.9];
+            for round in 0..5 {
+                let r = cluster.compute_round_faulty(&toy_compute, &params, &plan, round);
+                for reps in &r.replicas {
+                    for (_, g) in reps {
+                        for (p, gv) in params.iter_mut().zip(g) {
+                            *p -= 1e-3 * gv;
+                        }
+                    }
+                }
+            }
+            params.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        assert_eq!(
+            run(ExecutionMode::Sequential),
+            run(ExecutionMode::Threaded { max_threads: 4 }),
+        );
+    }
+
+    #[test]
+    fn all_crashed_round_reports_no_survivors() {
+        let plan = FaultPlan::new(0).crash_many(0..15);
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let round = cluster.compute_round_faulty(&toy_compute, &[1.0], &plan, 0);
+        assert_eq!(round.surviving_workers(), 0);
+        assert!(round.replicas.iter().all(Vec::is_empty));
+        assert_eq!(
+            round.slowest_worker(),
+            Err(crate::ClusterError::NoSurvivingWorkers)
+        );
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Deterministic fault injection for cluster rounds.
+//!
+//! A [`FaultPlan`] marks workers crashed (they never return anything),
+//! stragglers (their compute time is modelled as a latency multiplier fed
+//! into [`CostModel`](crate::CostModel)), or message-droppers (individual
+//! file replicas are lost with a configured probability). Every decision
+//! is a pure function of `(seed, round, attempt, worker, file)`, so a
+//! plan replays bit-identically: the same seed produces the same crashed
+//! set, the same dropped replicas, and therefore the same degraded-round
+//! outcome — the reproducibility the chaos test suite pins.
+//!
+//! The plan is transport-agnostic: the in-process engine
+//! ([`Cluster::compute_round_faulty`](crate::Cluster::compute_round_faulty))
+//! and the `byz-wire` message-passing server both consult the same plan
+//! type, so both transports degrade under one policy.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors from fault-aware cluster queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Every worker is crashed (or the cluster is empty): there is no
+    /// straggler time, no surviving compute, nothing to estimate.
+    NoSurvivingWorkers,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoSurvivingWorkers => {
+                write!(
+                    f,
+                    "no surviving workers: the cluster is empty or fully crashed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A seeded, reproducible fault-injection plan.
+///
+/// The default plan ([`FaultPlan::none`]) injects nothing, so fault-aware
+/// code paths degenerate to the happy path bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    crashed: BTreeSet<usize>,
+    stragglers: BTreeMap<usize, f64>,
+    drop_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no crashes, no stragglers, no drops.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            crashed: BTreeSet::new(),
+            stragglers: BTreeMap::new(),
+            drop_rate: 0.0,
+        }
+    }
+
+    /// A plan whose replica drops are derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Marks a worker fail-stop crashed: it computes nothing and returns
+    /// nothing, in every round.
+    pub fn crash(mut self, worker: usize) -> Self {
+        self.crashed.insert(worker);
+        self
+    }
+
+    /// Marks several workers crashed.
+    pub fn crash_many(mut self, workers: impl IntoIterator<Item = usize>) -> Self {
+        self.crashed.extend(workers);
+        self
+    }
+
+    /// Marks a worker a straggler with the given latency multiplier
+    /// (≥ 1.0; values below 1 are clamped). The multiplier scales the
+    /// worker's modelled compute time in [`CostModel`](crate::CostModel)
+    /// estimates — it does not change what the worker computes.
+    pub fn straggle(mut self, worker: usize, multiplier: f64) -> Self {
+        self.stragglers.insert(worker, multiplier.max(1.0));
+        self
+    }
+
+    /// Sets the per-replica message drop probability in `[0, 1)`: each
+    /// `(round, attempt, worker, file)` replica is independently lost
+    /// with this probability, decided by a hash of the plan seed.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_trivial(&self) -> bool {
+        self.crashed.is_empty() && self.stragglers.is_empty() && self.drop_rate == 0.0
+    }
+
+    /// Whether `worker` is fail-stop crashed.
+    pub fn is_crashed(&self, worker: usize) -> bool {
+        self.crashed.contains(&worker)
+    }
+
+    /// The crashed worker set, ascending.
+    pub fn crashed_workers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.crashed.iter().copied()
+    }
+
+    /// Number of crashed workers.
+    pub fn num_crashed(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// The worker's modelled latency multiplier (1.0 for non-stragglers).
+    pub fn straggle_factor(&self, worker: usize) -> f64 {
+        self.stragglers.get(&worker).copied().unwrap_or(1.0)
+    }
+
+    /// The configured per-replica drop probability.
+    pub fn replica_drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+
+    /// Whether the replica of `file` computed by `worker` is lost in
+    /// transit during `(round, attempt)`. Deterministic in all five
+    /// inputs; retries (`attempt > 0`) re-roll the loss, modelling an
+    /// independent retransmission.
+    pub fn drops_replica(&self, round: u64, attempt: u32, worker: usize, file: usize) -> bool {
+        if self.drop_rate <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            self.seed
+                ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ (worker as u64).wrapping_mul(0x1656_67B1_9E37_79F9)
+                ^ (file as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        // Map to [0, 1) with 53-bit precision.
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.drop_rate
+    }
+
+    /// Whether `worker`'s replica of `file` reaches the parameter server
+    /// in `(round, attempt)` — i.e. the worker is alive and the message
+    /// is not dropped.
+    pub fn replica_arrives(&self, round: u64, attempt: u32, worker: usize, file: usize) -> bool {
+        !self.is_crashed(worker) && !self.drops_replica(round, attempt, worker, file)
+    }
+
+    /// The surviving (non-crashed) workers of a `k`-worker cluster,
+    /// ascending.
+    pub fn surviving_workers(&self, k: usize) -> Vec<usize> {
+        (0..k).filter(|w| !self.is_crashed(*w)).collect()
+    }
+
+    /// The largest modelled latency multiplier among surviving workers —
+    /// the factor by which the synchronous barrier stretches.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSurvivingWorkers`] if all `k` workers crashed
+    /// (or `k == 0`): an all-crashed round has no straggler time, and
+    /// modelling it as `0s` would silently hide a dead cluster.
+    pub fn max_surviving_straggle(&self, k: usize) -> Result<f64, ClusterError> {
+        (0..k)
+            .filter(|w| !self.is_crashed(*w))
+            .map(|w| self.straggle_factor(w))
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+            .ok_or(ClusterError::NoSurvivingWorkers)
+    }
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mix, the same hash
+/// family the kernel layer uses for deterministic chunk seeds.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_trivial());
+        assert!(!plan.is_crashed(0));
+        assert_eq!(plan.straggle_factor(3), 1.0);
+        assert!(!plan.drops_replica(7, 0, 2, 11));
+        assert!(plan.replica_arrives(7, 0, 2, 11));
+        assert_eq!(plan.surviving_workers(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(42).drop_rate(0.3);
+        let b = FaultPlan::new(42).drop_rate(0.3);
+        let c = FaultPlan::new(43).drop_rate(0.3);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..200)
+                .map(|i| p.drops_replica(i / 50, 0, (i % 10) as usize, (i % 25) as usize))
+                .collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b), "same seed ⇒ same drops");
+        assert_ne!(pattern(&a), pattern(&c), "different seed ⇒ different drops");
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honored() {
+        let plan = FaultPlan::new(7).drop_rate(0.2);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|&i| plan.drops_replica(i as u64, 0, i % 13, i % 29))
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn retries_reroll_drops() {
+        let plan = FaultPlan::new(11).drop_rate(0.5);
+        // Some replica must differ between attempt 0 and attempt 1.
+        let differs = (0..100).any(|i| {
+            plan.drops_replica(3, 0, i % 10, i % 25) != plan.drops_replica(3, 1, i % 10, i % 25)
+        });
+        assert!(differs, "attempt number must re-roll the drop decision");
+    }
+
+    #[test]
+    fn crashes_and_stragglers() {
+        let plan = FaultPlan::new(1)
+            .crash(2)
+            .crash_many([5, 7])
+            .straggle(1, 3.5);
+        assert!(plan.is_crashed(2) && plan.is_crashed(5) && plan.is_crashed(7));
+        assert_eq!(plan.num_crashed(), 3);
+        assert_eq!(plan.straggle_factor(1), 3.5);
+        assert_eq!(plan.straggle_factor(0), 1.0);
+        assert_eq!(plan.surviving_workers(8), vec![0, 1, 3, 4, 6]);
+        assert_eq!(plan.max_surviving_straggle(8), Ok(3.5));
+        // Crashed workers never deliver, even with drop_rate 0.
+        assert!(!plan.replica_arrives(0, 0, 2, 0));
+        assert!(plan.replica_arrives(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn all_crashed_is_an_explicit_error() {
+        let plan = FaultPlan::new(0).crash_many(0..4);
+        assert_eq!(
+            plan.max_surviving_straggle(4),
+            Err(ClusterError::NoSurvivingWorkers)
+        );
+        assert_eq!(
+            FaultPlan::none().max_surviving_straggle(0),
+            Err(ClusterError::NoSurvivingWorkers)
+        );
+    }
+
+    #[test]
+    fn straggle_clamped_and_drop_rate_clamped() {
+        let plan = FaultPlan::new(0).straggle(0, 0.25).drop_rate(1.5);
+        assert_eq!(plan.straggle_factor(0), 1.0);
+        assert_eq!(plan.replica_drop_rate(), 1.0);
+    }
+}

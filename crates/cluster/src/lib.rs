@@ -22,9 +22,20 @@
 //! replaces returns from Byzantine workers afterwards. This mirrors the
 //! omniscient attack model — attackers know everything the honest cluster
 //! computed — and keeps the substrate reusable.
+//!
+//! *Benign* faults, by contrast, **are** injected here: a [`FaultPlan`]
+//! deterministically marks workers crashed, stragglers (latency
+//! multipliers consumed by [`CostModel::estimate_faulty`]), or
+//! message-droppers, and
+//! [`Cluster::compute_round_faulty`] produces the resulting *partial*
+//! replica sets. The degraded-quorum voting over those partial sets lives
+//! in `byz-aggregate::quorum_vote` and is shared with the `byz-wire`
+//! transport.
 
 mod engine;
+mod fault;
 mod timing;
 
 pub use engine::{Cluster, ComputedRound, ExecutionMode, WorkerCompute};
-pub use timing::{CostModel, IterationTimeEstimate};
+pub use fault::{ClusterError, FaultPlan};
+pub use timing::{CostModel, IterationTimeEstimate, RetryPolicy};

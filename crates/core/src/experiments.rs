@@ -351,6 +351,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Curve {
         eval_every: spec.eval_every,
         eval_samples: 500,
         seed: spec.seed ^ 0x22,
+        ..TrainingConfig::default()
     };
 
     let selector = match spec.selector {

@@ -58,10 +58,11 @@ mod oracle;
 mod protocol;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use metrics::{evaluate_accuracy, GradientMoments};
+pub use metrics::{evaluate_accuracy, gradients_differ, GradientMoments};
 pub use oracle::{FileGradientOracle, InputLayout};
 pub use protocol::{
-    Defense, IterationRecord, Trainer, TrainingConfig, TrainingError, TrainingHistory,
+    AbandonedFile, Defense, IterationRecord, RoundOutcome, Trainer, TrainingConfig, TrainingError,
+    TrainingHistory,
 };
 
 /// One-stop imports for applications and experiments.
@@ -71,12 +72,14 @@ pub mod prelude {
         SchemeSpec, SelectorKind,
     };
     pub use crate::{
-        evaluate_accuracy, Checkpoint, CheckpointError, Defense, FileGradientOracle, InputLayout,
-        IterationRecord, Trainer, TrainingConfig, TrainingError, TrainingHistory,
+        evaluate_accuracy, gradients_differ, AbandonedFile, Checkpoint, CheckpointError, Defense,
+        FileGradientOracle, InputLayout, IterationRecord, RoundOutcome, Trainer, TrainingConfig,
+        TrainingError, TrainingHistory,
     };
     pub use byz_aggregate::{
-        majority_vote, Aggregator, Auror, Bulyan, CoordinateMedian, GeometricMedian, Krum, Mean,
-        MedianOfMeans, MultiKrum, SignSgdMajority, TrimmedMean,
+        aggregate_winners, majority_vote, quorum_vote, Aggregator, Auror, Bulyan, CoordinateMedian,
+        GeometricMedian, Krum, Mean, MedianOfMeans, MultiKrum, Provenance, QuorumConfig,
+        QuorumError, QuorumOutcome, SignSgdMajority, TrimmedMean,
     };
     pub use byz_assign::{
         Assignment, FrcAssignment, MolsAssignment, RamanujanAssignment, RandomAssignment,
@@ -86,11 +89,15 @@ pub mod prelude {
         Alie, AttackContext, AttackVector, ByzantineSelector, ConstantAttack, InnerProductAttack,
         RandomNoise, ReversedGradient,
     };
-    pub use byz_cluster::{Cluster, CostModel, ExecutionMode, IterationTimeEstimate};
+    pub use byz_cluster::{
+        Cluster, ClusterError, CostModel, ExecutionMode, FaultPlan, IterationTimeEstimate,
+        RetryPolicy,
+    };
     pub use byz_data::{BatchSampler, Dataset, SyntheticConfig, SyntheticImages};
     pub use byz_distortion::{
         baseline_epsilon, claim2_exact_epsilon, cmax_auto, cmax_branch_and_bound, cmax_exhaustive,
-        cmax_greedy, count_distorted, frc_epsilon, CmaxResult,
+        cmax_greedy, count_distorted, count_distorted_surviving, frc_epsilon, CmaxResult,
+        SurvivingDistortion,
     };
     pub use byz_draco::{CyclicCode, DracoError, FrcCode};
     pub use byz_nn::{

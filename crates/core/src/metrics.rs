@@ -35,6 +35,17 @@ pub fn evaluate_accuracy<M: Module>(
     correct as f64 / n as f64
 }
 
+/// `true` when two gradient vectors differ in length or in any bit.
+///
+/// The fault path's *measured* distortion accounting relies on exact
+/// equality: honest replicas are bit-identical by construction, so a vote
+/// winner is corrupted iff it differs bitwise from the true file
+/// gradient. Comparing bit patterns (rather than `==`) keeps NaN payloads
+/// from silently comparing unequal to themselves.
+pub fn gradients_differ(a: &[f32], b: &[f32]) -> bool {
+    a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+}
+
 /// Per-dimension mean and standard deviation across a set of gradients —
 /// the moment estimates the colluding ALIE attackers compute
 /// (Baruch et al. 2019).
@@ -96,5 +107,19 @@ mod tests {
     #[should_panic(expected = "at least one gradient")]
     fn moments_reject_empty() {
         GradientMoments::compute(&[]);
+    }
+
+    #[test]
+    fn gradient_difference_is_bitwise() {
+        assert!(!gradients_differ(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(gradients_differ(
+            &[1.0, 2.0],
+            &[1.0, 2.0 + f32::EPSILON * 2.0]
+        ));
+        assert!(gradients_differ(&[1.0], &[1.0, 2.0]));
+        // NaN payloads with identical bits count as equal.
+        assert!(!gradients_differ(&[f32::NAN], &[f32::NAN]));
+        // +0.0 and -0.0 compare equal as floats but differ bitwise.
+        assert!(gradients_differ(&[0.0], &[-0.0]));
     }
 }

@@ -75,6 +75,18 @@ impl<'a, M: Module> FileGradientOracle<'a, M> {
         };
         self.model.forward(&x).cross_entropy(&labels).item()
     }
+
+    /// Mean cross-entropy loss over the first `max_samples` samples of
+    /// the dataset — the trainer's train-loss probe. Returns `None` when
+    /// the probe set would be empty.
+    pub fn probe_loss(&self, params: &[f32], max_samples: usize) -> Option<f32> {
+        let n = self.dataset.len().min(max_samples);
+        if n == 0 {
+            return None;
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        Some(self.loss(params, &indices))
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,14 @@
 //! The end-to-end training protocol (paper Algorithm 1).
 
-use crate::{evaluate_accuracy, FileGradientOracle, GradientMoments, InputLayout};
-use byz_aggregate::{majority_vote, AggregationError, Aggregator};
+use crate::{
+    evaluate_accuracy, gradients_differ, FileGradientOracle, GradientMoments, InputLayout,
+};
+use byz_aggregate::{
+    quorum_vote, AggregationError, Aggregator, Provenance, QuorumConfig, QuorumError, QuorumOutcome,
+};
 use byz_assign::Assignment;
 use byz_attack::{AttackContext, AttackVector, ByzantineSelector};
+use byz_cluster::{FaultPlan, RetryPolicy};
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
 use byz_distortion::count_distorted;
 use byz_nn::{flatten_params, Module, Sgd, StepDecaySchedule};
@@ -62,6 +67,15 @@ pub struct TrainingConfig {
     pub eval_samples: usize,
     /// Seed for batch sampling.
     pub seed: u64,
+    /// Benign-fault injection plan (crashes, stragglers, replica drops).
+    /// [`FaultPlan::none`] disables injection and preserves the exact
+    /// no-fault protocol behaviour bit for bit.
+    pub faults: FaultPlan,
+    /// Degradation policy: minimum per-file quorum and retry budget.
+    pub quorum: QuorumConfig,
+    /// Modelled backoff schedule for re-vote waves (accounted in
+    /// [`IterationRecord::retry_time`]; the simulator never sleeps).
+    pub retry: RetryPolicy,
 }
 
 impl Default for TrainingConfig {
@@ -75,7 +89,60 @@ impl Default for TrainingConfig {
             eval_every: 20,
             eval_samples: 1_000,
             seed: 0xB12,
+            faults: FaultPlan::none(),
+            quorum: QuorumConfig::default(),
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// A file whose vote never reached quorum, with the error seen on its
+/// final attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbandonedFile {
+    /// File index in `0..f`.
+    pub file: usize,
+    /// Vote attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// Why the final attempt failed.
+    pub error: QuorumError,
+}
+
+/// Degradation report for one protocol round.
+///
+/// Every field is a pure function of the fault-plan seed and the round
+/// index — no clocks, no thread ordering — so two runs with identical
+/// configuration produce bit-identical outcomes (the chaos suite pins
+/// this).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RoundOutcome {
+    /// Files whose winner was voted by all `r` expected replicas.
+    pub full_quorum: usize,
+    /// Files voted from a partial replica set (`q_min ≤ arrived < r`).
+    pub degraded: usize,
+    /// Files that reached quorum only after at least one retry wave.
+    pub retried: usize,
+    /// Deepest retry wave used this round (0 = no retries anywhere).
+    pub retry_waves: u32,
+    /// Replica deliveries lost to message drops across all attempts
+    /// (crashed workers are not counted — they never send).
+    pub dropped_replicas: usize,
+    /// Workers crashed for the whole round.
+    pub crashed_workers: usize,
+    /// Files given up after exhausting the retry budget.
+    pub abandoned: Vec<AbandonedFile>,
+}
+
+impl RoundOutcome {
+    /// Files that produced a vote winner (full + degraded).
+    pub fn surviving_files(&self) -> usize {
+        self.full_quorum + self.degraded
+    }
+
+    /// `true` when no file reached quorum — the round cannot produce a
+    /// gradient and surfaces as [`TrainingError::RoundCollapsed`].
+    pub fn is_collapsed(&self) -> bool {
+        self.surviving_files() == 0
     }
 }
 
@@ -93,6 +160,13 @@ pub enum TrainingError {
     BatchNotDivisible { batch: usize, files: usize },
     /// `q` exceeds the number of workers.
     TooManyByzantine { q: usize, workers: usize },
+    /// No file in the round reached its minimum quorum — e.g. every
+    /// worker crashed, or drops pushed all files below `q_min` for the
+    /// whole retry budget. The outcome records exactly what was lost.
+    RoundCollapsed {
+        iteration: usize,
+        outcome: Box<RoundOutcome>,
+    },
 }
 
 impl fmt::Display for TrainingError {
@@ -107,6 +181,16 @@ impl fmt::Display for TrainingError {
             TrainingError::TooManyByzantine { q, workers } => {
                 write!(f, "q = {q} Byzantine workers exceeds K = {workers}")
             }
+            TrainingError::RoundCollapsed { iteration, outcome } => {
+                write!(
+                    f,
+                    "round {iteration} collapsed: no file reached quorum \
+                     ({} workers crashed, {} replicas dropped, {} files abandoned)",
+                    outcome.crashed_workers,
+                    outcome.dropped_replicas,
+                    outcome.abandoned.len()
+                )
+            }
         }
     }
 }
@@ -120,14 +204,25 @@ pub struct IterationRecord {
     pub iteration: usize,
     /// Number of file majorities actually distorted this iteration.
     pub distorted_files: usize,
-    /// Distorted fraction ε̂ this iteration.
+    /// Distorted fraction ε̂ this iteration. Under an active fault plan
+    /// this is *measured* over surviving files (winner differs bitwise
+    /// from the true gradient / files that reached quorum); without
+    /// faults it is the predictive `count_distorted / f` as before.
     pub epsilon_hat: f64,
+    /// Degradation report for this round's gather + vote.
+    pub outcome: RoundOutcome,
     /// Top-1 test accuracy, when evaluated this iteration.
     pub test_accuracy: Option<f64>,
+    /// Mean training loss over the probe set, when evaluated this
+    /// iteration.
+    pub train_loss: Option<f64>,
     /// Wall-clock time spent computing gradients this iteration.
     pub compute_time: Duration,
     /// Wall-clock time spent on voting + aggregation this iteration.
     pub aggregate_time: Duration,
+    /// Modelled backoff added by this round's re-vote waves (zero when
+    /// nothing was retried; the simulator itself never sleeps).
+    pub retry_time: Duration,
 }
 
 /// The full history of a training run.
@@ -137,6 +232,9 @@ pub struct TrainingHistory {
     pub records: Vec<IterationRecord>,
     /// Final test accuracy over the capped evaluation set.
     pub final_accuracy: f64,
+    /// Final mean training loss over the probe set (0.0 when the probe
+    /// set is empty).
+    pub final_loss: f64,
     /// Total wall-clock training time.
     pub total_time: Duration,
 }
@@ -148,6 +246,24 @@ impl TrainingHistory {
             .iter()
             .filter_map(|r| r.test_accuracy.map(|a| (r.iteration, a)))
             .collect()
+    }
+
+    /// The training-loss curve as `(iteration, loss)` points.
+    pub fn loss_curve(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.train_loss.map(|l| (r.iteration, l)))
+            .collect()
+    }
+
+    /// Total files abandoned (never reached quorum) across the run.
+    pub fn total_abandoned(&self) -> usize {
+        self.records.iter().map(|r| r.outcome.abandoned.len()).sum()
+    }
+
+    /// Total files voted from degraded (partial) replica sets.
+    pub fn total_degraded(&self) -> usize {
+        self.records.iter().map(|r| r.outcome.degraded).sum()
     }
 
     /// Mean observed distortion fraction across iterations.
@@ -269,51 +385,160 @@ impl<'a, M: Module> Trainer<'a, M> {
             }
             let moments =
                 GradientMoments::compute(&true_grads.iter().map(Vec::as_slice).collect::<Vec<_>>());
-            let distorted_count = count_distorted(&self.assignment, &byzantine);
+            let predicted_distorted = count_distorted(&self.assignment, &byzantine);
+
+            // The replica value worker `w` returns for `file_idx`, as the
+            // PS sees it (Eq. 2). Honest replicas are bit-identical; every
+            // attack forges deterministically from the context, so retried
+            // deliveries re-send the same payload.
+            let forge = |w: usize, file_idx: usize| -> Vec<f32> {
+                if is_byz[w] {
+                    self.attack.forge(&AttackContext {
+                        true_gradient: &true_grads[file_idx],
+                        honest_mean: &moments.mean,
+                        honest_std: &moments.std,
+                        num_workers: k,
+                        num_byzantine: q,
+                        iteration: t,
+                    })
+                } else {
+                    true_grads[file_idx].clone()
+                }
+            };
+
+            let plan = &self.config.faults;
+            let q_min = self.config.quorum.q_min;
+            let max_retries = self.config.quorum.max_retries;
+            let mut outcome = RoundOutcome {
+                crashed_workers: plan.num_crashed(),
+                ..RoundOutcome::default()
+            };
+            // Set on the vote path under an active fault plan:
+            // (measured distorted winners, surviving files).
+            let mut measured: Option<(usize, usize)> = None;
 
             let agg_start = Instant::now();
-            // Per-file replica values ĝ as the PS sees them (Eq. 2).
-            let mut per_file_returns: Vec<Vec<Vec<f32>>> = Vec::with_capacity(f);
-            for (file_idx, true_grad) in true_grads.iter().enumerate() {
-                let workers = self.assignment.graph().workers_of(file_idx);
-                let mut returns = Vec::with_capacity(workers.len());
-                for &w in workers {
-                    if is_byz[w] {
-                        let ctx = AttackContext {
-                            true_gradient: true_grad,
-                            honest_mean: &moments.mean,
-                            honest_std: &moments.std,
-                            num_workers: k,
-                            num_byzantine: q,
-                            iteration: t,
-                        };
-                        returns.push(self.attack.forge(&ctx));
-                    } else {
-                        returns.push(true_grad.clone());
-                    }
-                }
-                per_file_returns.push(returns);
-            }
-
-            // 4. Defense.
+            // 4. Defense, over whatever replicas arrive. Each attempt
+            //    re-polls the file's surviving workers with re-rolled
+            //    drops (`FaultPlan::replica_arrives` keys on the attempt
+            //    index); crashed workers never return.
             let aggregated = match &self.defense {
                 Defense::VoteThenAggregate(aggregator) => {
-                    let winners: Vec<Vec<f32>> = per_file_returns
-                        .iter()
-                        .map(|reps| {
-                            majority_vote(reps)
-                                .expect("replica sets are nonempty and rectangular")
-                                .value
-                        })
-                        .collect();
-                    aggregator.aggregate(&winners)
+                    let mut winners: Vec<(usize, QuorumOutcome)> = Vec::with_capacity(f);
+                    for file_idx in 0..f {
+                        let workers = self.assignment.graph().workers_of(file_idx);
+                        let expected = workers.len();
+                        let mut attempt: u32 = 0;
+                        loop {
+                            let mut present: Vec<(usize, Vec<f32>)> = Vec::with_capacity(expected);
+                            for &w in workers {
+                                if plan.is_crashed(w) {
+                                    continue;
+                                }
+                                if plan.drops_replica(t as u64, attempt, w, file_idx) {
+                                    outcome.dropped_replicas += 1;
+                                } else {
+                                    present.push((w, forge(w, file_idx)));
+                                }
+                            }
+                            match quorum_vote(&present, q_min, expected) {
+                                Ok(vote) => {
+                                    if attempt > 0 {
+                                        outcome.retried += 1;
+                                        outcome.retry_waves = outcome.retry_waves.max(attempt);
+                                    }
+                                    match vote.provenance {
+                                        Provenance::Full => outcome.full_quorum += 1,
+                                        Provenance::Degraded { .. } => outcome.degraded += 1,
+                                    }
+                                    winners.push((file_idx, vote));
+                                    break;
+                                }
+                                Err(error) => {
+                                    if attempt as usize >= max_retries {
+                                        outcome.abandoned.push(AbandonedFile {
+                                            file: file_idx,
+                                            attempts: attempt + 1,
+                                            error,
+                                        });
+                                        break;
+                                    }
+                                    attempt += 1;
+                                }
+                            }
+                        }
+                    }
+                    if winners.is_empty() {
+                        return Err(TrainingError::RoundCollapsed {
+                            iteration: t,
+                            outcome: Box::new(outcome),
+                        });
+                    }
+                    if !plan.is_trivial() {
+                        let distorted = winners
+                            .iter()
+                            .filter(|(fi, vote)| gradients_differ(&vote.value, &true_grads[*fi]))
+                            .count();
+                        measured = Some((distorted, winners.len()));
+                    }
+                    let values: Vec<Vec<f32>> =
+                        winners.into_iter().map(|(_, vote)| vote.value).collect();
+                    aggregator.aggregate(&values)
                 }
                 Defense::Direct(aggregator) => {
-                    // Without voting, every return is an operand (baseline
-                    // schemes use replication 1, so this is one per
-                    // worker).
-                    let all: Vec<Vec<f32>> = per_file_returns.iter().flatten().cloned().collect();
-                    aggregator.aggregate(&all)
+                    // Without voting, every arriving return is an operand
+                    // (baseline schemes use replication 1, so normally one
+                    // per worker). A file with zero arrivals is retried and
+                    // eventually abandoned like a collapsed quorum.
+                    let mut operands: Vec<Vec<f32>> = Vec::new();
+                    for file_idx in 0..f {
+                        let workers = self.assignment.graph().workers_of(file_idx);
+                        let expected = workers.len();
+                        let mut attempt: u32 = 0;
+                        loop {
+                            let mut present: Vec<Vec<f32>> = Vec::with_capacity(expected);
+                            for &w in workers {
+                                if plan.is_crashed(w) {
+                                    continue;
+                                }
+                                if plan.drops_replica(t as u64, attempt, w, file_idx) {
+                                    outcome.dropped_replicas += 1;
+                                } else {
+                                    present.push(forge(w, file_idx));
+                                }
+                            }
+                            if present.is_empty() {
+                                if attempt as usize >= max_retries {
+                                    outcome.abandoned.push(AbandonedFile {
+                                        file: file_idx,
+                                        attempts: attempt + 1,
+                                        error: QuorumError::NoReplicas,
+                                    });
+                                    break;
+                                }
+                                attempt += 1;
+                                continue;
+                            }
+                            if attempt > 0 {
+                                outcome.retried += 1;
+                                outcome.retry_waves = outcome.retry_waves.max(attempt);
+                            }
+                            if present.len() == expected {
+                                outcome.full_quorum += 1;
+                            } else {
+                                outcome.degraded += 1;
+                            }
+                            operands.extend(present);
+                            break;
+                        }
+                    }
+                    if operands.is_empty() {
+                        return Err(TrainingError::RoundCollapsed {
+                            iteration: t,
+                            outcome: Box::new(outcome),
+                        });
+                    }
+                    aggregator.aggregate(&operands)
                 }
             }
             .map_err(|source| TrainingError::DefenseInapplicable {
@@ -321,6 +546,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                 source,
             })?;
             let aggregate_time = agg_start.elapsed();
+            let retry_time = self.config.retry.total_backoff(outcome.retry_waves);
 
             // 5. Model update. File gradients are SUMS over b/f samples;
             //    the aggregate approximates a per-file sum, so scaling by
@@ -331,7 +557,13 @@ impl<'a, M: Module> Trainer<'a, M> {
             opt.step_with_gradient(&scaled);
             params = flatten_params(&params_tensors);
 
-            // Bookkeeping.
+            // Bookkeeping. Without faults ε̂ keeps its predictive meaning
+            // (`count_distorted / f`, exactly as before); with faults it
+            // is measured over the files that actually reached quorum.
+            let (distorted_files, epsilon_hat) = match measured {
+                Some((distorted, surviving)) => (distorted, distorted as f64 / surviving as f64),
+                None => (predicted_distorted, predicted_distorted as f64 / f as f64),
+            };
             let evaluate = self.config.eval_every != 0 && t % self.config.eval_every == 0;
             let test_accuracy = evaluate.then(|| {
                 evaluate_accuracy(
@@ -342,13 +574,23 @@ impl<'a, M: Module> Trainer<'a, M> {
                     self.config.eval_samples,
                 )
             });
+            let train_loss = if evaluate {
+                oracle
+                    .probe_loss(&params, self.config.eval_samples)
+                    .map(f64::from)
+            } else {
+                None
+            };
             history.records.push(IterationRecord {
                 iteration: t,
-                distorted_files: distorted_count,
-                epsilon_hat: distorted_count as f64 / f as f64,
+                distorted_files,
+                epsilon_hat,
+                outcome,
                 test_accuracy,
+                train_loss,
                 compute_time,
                 aggregate_time,
+                retry_time,
             });
         }
 
@@ -359,6 +601,10 @@ impl<'a, M: Module> Trainer<'a, M> {
             self.layout,
             self.config.eval_samples,
         );
+        history.final_loss = oracle
+            .probe_loss(&params, self.config.eval_samples)
+            .map(f64::from)
+            .unwrap_or(0.0);
         history.total_time = start.elapsed();
         Ok(history)
     }

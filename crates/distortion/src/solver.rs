@@ -48,6 +48,80 @@ pub fn count_distorted(assignment: &Assignment, byzantine: &[usize]) -> usize {
         .count()
 }
 
+/// Distortion accounting over *partial* replica sets: what a degraded
+/// round (crashes, drops) actually exposes to the colluding adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurvivingDistortion {
+    /// Files whose surviving-replica vote elects the Byzantine payload.
+    pub distorted: usize,
+    /// Files with at least one surviving replica (the denominator of the
+    /// degraded `ε̂`).
+    pub surviving_files: usize,
+    /// Files every replica of which was lost — no vote at all.
+    pub lost_files: usize,
+}
+
+impl SurvivingDistortion {
+    /// The degraded distortion fraction `ε̂`, computed over surviving
+    /// files only (0 when nothing survived).
+    pub fn epsilon_hat(&self) -> f64 {
+        if self.surviving_files == 0 {
+            0.0
+        } else {
+            self.distorted as f64 / self.surviving_files as f64
+        }
+    }
+}
+
+/// Counts distorted file majorities when only a subset of each file's
+/// replicas survives — the degraded-quorum generalization of
+/// [`count_distorted`].
+///
+/// `survives(file, worker)` says whether that worker's replica of that
+/// file reached the parameter server. The vote over the survivors is the
+/// deterministic degraded vote (`byz_aggregate::quorum_vote`): colluding
+/// Byzantine replicas are bit-identical forgeries and honest replicas are
+/// bit-identical truths, so the winner is the Byzantine payload iff the
+/// Byzantine survivors are a strict majority, or exactly half and the
+/// smallest surviving worker id is Byzantine (the tie-break).
+pub fn count_distorted_surviving(
+    assignment: &Assignment,
+    byzantine: &[usize],
+    survives: &dyn Fn(usize, usize) -> bool,
+) -> SurvivingDistortion {
+    let mut is_byz = vec![false; assignment.num_workers()];
+    for &w in byzantine {
+        is_byz[w] = true;
+    }
+    let mut out = SurvivingDistortion {
+        distorted: 0,
+        surviving_files: 0,
+        lost_files: 0,
+    };
+    for fidx in 0..assignment.num_files() {
+        let survivors: Vec<usize> = assignment
+            .graph()
+            .workers_of(fidx)
+            .iter()
+            .copied()
+            .filter(|&w| survives(fidx, w))
+            .collect();
+        if survivors.is_empty() {
+            out.lost_files += 1;
+            continue;
+        }
+        out.surviving_files += 1;
+        let byz = survivors.iter().filter(|&&w| is_byz[w]).count();
+        let honest = survivors.len() - byz;
+        // survivors is ascending, so survivors[0] is the tie-break holder.
+        let distorted = byz > honest || (byz == honest && byz > 0 && is_byz[survivors[0]]);
+        if distorted {
+            out.distorted += 1;
+        }
+    }
+    out
+}
+
 /// Exhaustive `c_max(q)`: checks every `C(K, q)` Byzantine set.
 /// Exact but only viable for small instances.
 pub fn cmax_exhaustive(assignment: &Assignment, q: usize) -> CmaxResult {
@@ -377,6 +451,66 @@ mod tests {
         assert_eq!(count_distorted(&a, &[0]), 0);
         // Workers 0 and 5 share exactly file 0 (Table 2).
         assert_eq!(count_distorted(&a, &[0, 5]), 1);
+    }
+
+    #[test]
+    fn surviving_distortion_reduces_to_full_count() {
+        // With every replica surviving, the degraded count can only
+        // exceed the full-replica count on exact-half ties (the full
+        // count requires >= r' = strict majority of r; with odd r they
+        // coincide).
+        let a = example1();
+        for byz in [vec![], vec![0], vec![0, 5], vec![0, 5, 10]] {
+            let full = count_distorted(&a, &byz);
+            let surv = count_distorted_surviving(&a, &byz, &|_, _| true);
+            assert_eq!(surv.distorted, full, "byzantine set {byz:?}");
+            assert_eq!(surv.surviving_files, a.num_files());
+            assert_eq!(surv.lost_files, 0);
+        }
+    }
+
+    #[test]
+    fn losing_honest_replicas_flips_a_majority() {
+        let a = example1();
+        // Workers 0 and 5 share file 0; crash every *other* replica of
+        // file 0 so the two Byzantine survivors rule it — and lose all
+        // replicas of file 1 entirely.
+        let byz = vec![0usize, 5];
+        let survives = |file: usize, worker: usize| -> bool {
+            if file == 0 {
+                byz.contains(&worker)
+            } else {
+                file != 1
+            }
+        };
+        let surv = count_distorted_surviving(&a, &byz, &survives);
+        assert_eq!(surv.lost_files, 1);
+        assert_eq!(surv.surviving_files, a.num_files() - 1);
+        assert!(surv.distorted >= 1, "file 0 must be counted distorted");
+        // ε̂ is over surviving files.
+        assert!((surv.epsilon_hat() - surv.distorted as f64 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_surviving_worker() {
+        let a = example1();
+        // File 0's replicas live on workers {0, 5, 10}. Drop worker 10:
+        // survivors {0, 5}, a 1-1 tie if exactly one is Byzantine. The
+        // tie breaks to worker 0.
+        let survives = |file: usize, worker: usize| !(file == 0 && worker == 10);
+        let w0_byz = count_distorted_surviving(&a, &[0], &survives);
+        let w5_byz = count_distorted_surviving(&a, &[5], &survives);
+        assert_eq!(w0_byz.distorted, 1, "Byzantine worker 0 wins the tie");
+        assert_eq!(w5_byz.distorted, 0, "honest worker 0 wins the tie");
+    }
+
+    #[test]
+    fn all_lost_round_counts_nothing() {
+        let a = example1();
+        let surv = count_distorted_surviving(&a, &[0, 5], &|_, _| false);
+        assert_eq!(surv.surviving_files, 0);
+        assert_eq!(surv.lost_files, a.num_files());
+        assert_eq!(surv.epsilon_hat(), 0.0);
     }
 
     /// Paper Table 3: simulated c_max for the (15, 25, 5, 3) MOLS scheme.

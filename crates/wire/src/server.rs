@@ -1,13 +1,14 @@
 //! The threaded message-passing parameter server.
 
 use crate::{hash_majority, verify_payload, Assignment, Fingerprint, Message};
-use byz_aggregate::{majority_vote, Aggregator, CoordinateMedian};
+use byz_aggregate::{quorum_vote, Aggregator, CoordinateMedian, Provenance, QuorumConfig};
+use byz_cluster::FaultPlan;
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
 use byz_nn::FastMlp;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Attacks computable from a worker's *local* view (no collusion channel
 /// needed — the forgeries are still identical across colluders because
@@ -64,15 +65,31 @@ pub struct ServerConfig {
     pub byzantine: Vec<usize>,
     /// What Byzantine workers send.
     pub attack: LocalAttack,
-    /// Fail-stop workers: they receive traffic but never reply (crash
-    /// simulation). The PS tolerates them via receive timeouts; a crashed
-    /// replica simply casts no vote.
-    pub crashed: Vec<usize>,
+    /// Benign-fault plan shared with the in-process engine
+    /// ([`byz_cluster::FaultPlan`]): crashed workers receive traffic but
+    /// never reply (the PS tolerates them via receive timeouts — a
+    /// crashed replica simply casts no vote); stragglers sleep
+    /// `straggler_unit × (multiplier − 1)` before uploading; message
+    /// drops suppress individual frames using the same deterministic
+    /// per-(round, worker, file) hash the simulator uses.
+    pub faults: FaultPlan,
+    /// Degradation policy shared with the in-process protocol: the
+    /// minimum number of arrived replicas for a file's vote to count.
+    pub quorum: QuorumConfig,
     /// How gradients travel.
     pub transport: Transport,
     /// How long the PS waits for a straggling frame before declaring the
     /// remaining replicas of the round missing.
     pub receive_timeout: Duration,
+    /// Hard per-round deadline at the PS: frames not collected by then
+    /// are treated as dropped even if individual receives kept succeeding
+    /// (guards against a trickle of slow frames stretching the round).
+    pub round_deadline: Duration,
+    /// Wall-clock sleep per unit of straggler latency multiplier above 1.
+    /// A straggler whose total delay exceeds the receive window is
+    /// indistinguishable from a message-dropper — which is the point: the
+    /// two fault classes share one degradation policy.
+    pub straggler_unit: Duration,
     /// Batch-sampling seed.
     pub seed: u64,
 }
@@ -86,9 +103,12 @@ impl Default for ServerConfig {
             momentum: 0.9,
             byzantine: Vec::new(),
             attack: LocalAttack::Constant { value: -100.0 },
-            crashed: Vec::new(),
+            faults: FaultPlan::none(),
+            quorum: QuorumConfig::default(),
             transport: Transport::Full,
             receive_timeout: Duration::from_millis(500),
+            round_deadline: Duration::from_secs(5),
+            straggler_unit: Duration::from_millis(1),
             seed: 0,
         }
     }
@@ -105,8 +125,14 @@ pub struct RoundSummary {
     pub frames_received: usize,
     /// Bytes received by the PS this round.
     pub bytes_received: usize,
-    /// Replica votes that never arrived (crashed workers).
+    /// Replica votes that never arrived (crashed workers, dropped or
+    /// deadline-expired frames).
     pub missing_votes: usize,
+    /// Files voted from a partial replica set (`q_min ≤ arrived < r`).
+    pub degraded_votes: usize,
+    /// Files that produced no winner this round (below `q_min`, or a
+    /// hash-vote payload pull that failed verification or timed out).
+    pub abandoned_files: usize,
 }
 
 /// A parameter server plus `K` worker threads, communicating exclusively
@@ -171,9 +197,13 @@ impl MessagePassingCluster {
                 let dims = self.model_dims.clone();
                 let to_ps = to_ps.clone();
                 let is_byz = config.byzantine.contains(&worker_id);
-                let is_crashed = config.crashed.contains(&worker_id);
+                let is_crashed = config.faults.is_crashed(worker_id);
                 let attack = config.attack;
                 let transport = config.transport;
+                let plan = config.faults.clone();
+                let delay = config
+                    .straggler_unit
+                    .mul_f64(config.faults.straggle_factor(worker_id) - 1.0);
 
                 scope.spawn(move |_| {
                     worker_loop(WorkerContext {
@@ -187,6 +217,8 @@ impl MessagePassingCluster {
                         is_crashed,
                         attack,
                         transport,
+                        plan,
+                        delay,
                     })
                 });
             }
@@ -241,13 +273,27 @@ impl MessagePassingCluster {
             let mut frames_received = 0usize;
             let mut bytes_received = 0usize;
             let mut non_strict = 0usize;
+            let mut degraded_votes = 0usize;
+            let round_start = Instant::now();
+            // Each receive waits at most `receive_timeout`, and the whole
+            // collection phase at most `round_deadline`: a frame that
+            // misses the deadline is treated exactly like a dropped one.
+            let recv_window = |start: Instant| -> Option<Duration> {
+                config
+                    .round_deadline
+                    .checked_sub(start.elapsed())
+                    .map(|rem| rem.min(config.receive_timeout))
+            };
 
             let winners: Vec<Option<Vec<f32>>> = match config.transport {
                 Transport::Full => {
                     // Collect full gradients (with timeout for crashes).
                     let mut per_file: HashMap<u32, Vec<(u32, Vec<f32>)>> = HashMap::new();
                     while frames_received < expected {
-                        let frame = match from_workers.recv_timeout(config.receive_timeout) {
+                        let Some(window) = recv_window(round_start) else {
+                            break; // per-round deadline expired
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
                             Ok(fr) => fr,
                             Err(RecvTimeoutError::Timeout) => break,
                             Err(RecvTimeoutError::Disconnected) => break,
@@ -269,15 +315,23 @@ impl MessagePassingCluster {
                             other => panic!("unexpected message at PS: {other:?}"),
                         }
                     }
+                    // Vote with whatever replicas arrived — the same
+                    // degraded-quorum policy the in-process protocol uses.
+                    let r = self.assignment.replication();
                     (0..f as u32)
                         .map(|file| {
-                            let mut replicas = per_file.remove(&file)?;
-                            replicas.sort_by_key(|(w, _)| *w);
-                            let values: Vec<Vec<f32>> =
-                                replicas.into_iter().map(|(_, g)| g).collect();
-                            let outcome = majority_vote(&values).ok()?;
+                            let replicas: Vec<(usize, Vec<f32>)> = per_file
+                                .remove(&file)
+                                .unwrap_or_default()
+                                .into_iter()
+                                .map(|(w, g)| (w as usize, g))
+                                .collect();
+                            let outcome = quorum_vote(&replicas, config.quorum.q_min, r).ok()?;
                             if !outcome.is_strict {
                                 non_strict += 1;
+                            }
+                            if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                degraded_votes += 1;
                             }
                             Some(outcome.value)
                         })
@@ -287,7 +341,10 @@ impl MessagePassingCluster {
                     // Phase 1: collect fingerprints.
                     let mut per_file: HashMap<u32, Vec<(usize, Fingerprint)>> = HashMap::new();
                     while frames_received < expected {
-                        let frame = match from_workers.recv_timeout(config.receive_timeout) {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
                             Ok(fr) => fr,
                             Err(_) => break,
                         };
@@ -312,17 +369,27 @@ impl MessagePassingCluster {
                         }
                     }
                     // Phase 2: vote on fingerprints, pull each winner once.
+                    // The same quorum floor applies: files that announced
+                    // fewer than `q_min` fingerprints are abandoned, and
+                    // partial announce sets count as degraded votes.
+                    let r = self.assignment.replication();
                     let mut winners: Vec<Option<Vec<f32>>> = vec![None; f];
                     let mut pulls: Vec<(u32, Fingerprint)> = Vec::new();
                     for file in 0..f as u32 {
                         let Some(announced) = per_file.remove(&file) else {
                             continue;
                         };
+                        if announced.len() < config.quorum.q_min {
+                            continue;
+                        }
                         let Some(outcome) = hash_majority(&announced) else {
                             continue;
                         };
                         if !outcome.is_strict {
                             non_strict += 1;
+                        }
+                        if announced.len() < r {
+                            degraded_votes += 1;
                         }
                         let holder = outcome.holders[0];
                         let req = Message::PayloadRequest { iteration: t, file }
@@ -332,7 +399,10 @@ impl MessagePassingCluster {
                         pulls.push((file, outcome.winner));
                     }
                     for _ in 0..pulls.len() {
-                        let frame = match from_workers.recv_timeout(config.receive_timeout) {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
                             Ok(fr) => fr,
                             Err(_) => break,
                         };
@@ -367,6 +437,7 @@ impl MessagePassingCluster {
             };
 
             let missing_votes = expected.saturating_sub(frames_received.min(expected));
+            let abandoned_files = winners.iter().filter(|w| w.is_none()).count();
             let available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
             if !available.is_empty() {
                 let aggregated = aggregator
@@ -385,6 +456,8 @@ impl MessagePassingCluster {
                 frames_received,
                 bytes_received,
                 missing_votes,
+                degraded_votes,
+                abandoned_files,
             });
         }
         (params, summaries)
@@ -402,6 +475,8 @@ struct WorkerContext {
     is_crashed: bool,
     attack: LocalAttack,
     transport: Transport,
+    plan: FaultPlan,
+    delay: Duration,
 }
 
 fn worker_loop(ctx: WorkerContext) {
@@ -423,6 +498,13 @@ fn worker_loop(ctx: WorkerContext) {
                 if ctx.is_crashed {
                     continue; // fail-stop: receive but never respond
                 }
+                if !ctx.delay.is_zero() {
+                    // Straggler: hold the whole round's uploads back. If
+                    // the delay outlives the PS's receive window the
+                    // frames count as dropped — same policy as a
+                    // message-dropper.
+                    std::thread::sleep(ctx.delay);
+                }
                 cache.retain(|(it, _), _| *it + 1 >= iteration);
                 model.set_params(&params);
                 for &file_idx in &ctx.my_files {
@@ -434,6 +516,14 @@ fn worker_loop(ctx: WorkerContext) {
                     } else {
                         grad
                     };
+                    // Deterministic message loss: same hash, same seed →
+                    // the same frames vanish in the simulator and here.
+                    if ctx
+                        .plan
+                        .drops_replica(iteration, 0, ctx.worker_id, file_idx)
+                    {
+                        continue;
+                    }
                     let reply = match ctx.transport {
                         Transport::Full => Message::GradientReturn {
                             iteration,
@@ -459,6 +549,15 @@ fn worker_loop(ctx: WorkerContext) {
             }
             Message::PayloadRequest { iteration, file } => {
                 if ctx.is_crashed {
+                    continue;
+                }
+                // The payload pull is a second delivery attempt and rolls
+                // its own loss (attempt index 1); a lost pull leaves the
+                // file abandoned at the PS after its receive timeout.
+                if ctx
+                    .plan
+                    .drops_replica(iteration, 1, ctx.worker_id, file as usize)
+                {
                     continue;
                 }
                 let gradient = cache
@@ -620,7 +719,7 @@ mod tests {
             dims.clone(),
         );
         let cfg = ServerConfig {
-            crashed: vec![3, 9],
+            faults: FaultPlan::new(0).crash_many([3, 9]),
             receive_timeout: Duration::from_millis(200),
             ..config(6, vec![])
         };
@@ -628,9 +727,90 @@ mod tests {
         // 2 crashed workers × 5 files each never arrive.
         assert!(summaries.iter().all(|s| s.missing_votes == 10));
         assert!(summaries.iter().all(|s| s.frames_received == 65));
+        // Every file still reaches a (possibly degraded) quorum. Workers
+        // 3 and 9 share exactly one file in this MOLS layout, so 9
+        // distinct files are thinned (8 to 2/3 replicas, 1 to 1/3).
+        assert!(summaries.iter().all(|s| s.abandoned_files == 0));
+        assert!(summaries.iter().all(|s| s.degraded_votes == 9));
         // Training proceeds on the surviving replicas.
         assert_eq!(summaries.len(), 6);
         assert_eq!(params.len(), initial_params(&dims).len());
+    }
+
+    #[test]
+    fn quorum_floor_abandons_thin_files() {
+        // With q_min = 3 (all replicas required), every file touched by a
+        // crashed worker is abandoned instead of degraded — and the round
+        // must not panic even though winners are missing.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            faults: FaultPlan::new(0).crash(3),
+            quorum: QuorumConfig::strict(3),
+            receive_timeout: Duration::from_millis(200),
+            ..config(3, vec![])
+        };
+        let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
+        assert!(summaries.iter().all(|s| s.abandoned_files == 5));
+        assert!(summaries.iter().all(|s| s.degraded_votes == 0));
+    }
+
+    #[test]
+    fn dropped_frames_degrade_but_training_survives() {
+        // 15% deterministic message loss: some files vote from partial
+        // replica sets, the summaries account for every lost frame, and
+        // the run completes without panicking.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            faults: FaultPlan::new(0xD0D0).drop_rate(0.15),
+            receive_timeout: Duration::from_millis(200),
+            ..config(5, vec![])
+        };
+        let (params, summaries) = cluster.train(initial_params(&dims), &cfg);
+        assert_eq!(summaries.len(), 5);
+        assert_eq!(params.len(), initial_params(&dims).len());
+        let lost: usize = summaries.iter().map(|s| s.missing_votes).sum();
+        assert!(lost > 0, "15% drop rate should lose at least one frame");
+        let degraded: usize = summaries.iter().map(|s| s.degraded_votes).sum();
+        assert!(degraded > 0, "lost frames should thin some quorums");
+        for s in &summaries {
+            assert_eq!(s.frames_received, 75 - s.missing_votes);
+        }
+    }
+
+    #[test]
+    fn straggler_within_deadline_still_counted() {
+        // A straggler that delays its uploads but stays inside the
+        // receive window contributes all of its votes: slowness below the
+        // deadline is not a fault.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            faults: FaultPlan::new(0).straggle(2, 5.0),
+            straggler_unit: Duration::from_millis(1),
+            receive_timeout: Duration::from_millis(500),
+            ..config(3, vec![])
+        };
+        let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
+        assert!(summaries.iter().all(|s| s.frames_received == 75));
+        assert!(summaries.iter().all(|s| s.missing_votes == 0));
+        assert!(summaries.iter().all(|s| s.abandoned_files == 0));
     }
 
     #[test]

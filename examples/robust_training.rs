@@ -53,6 +53,7 @@ fn main() {
         eval_every: 25,
         eval_samples: 600,
         seed: 1234,
+        ..TrainingConfig::default()
     };
 
     let mut trainer = Trainer::new(
@@ -110,6 +111,7 @@ fn main() {
             eval_every: 0,
             eval_samples: 600,
             seed: 1234,
+            ..TrainingConfig::default()
         },
     )
     .run()

@@ -35,6 +35,7 @@ fn config(iterations: usize, q: usize) -> TrainingConfig {
         eval_every: 0,
         eval_samples: 200,
         seed: 77,
+        ..TrainingConfig::default()
     }
 }
 
