@@ -43,7 +43,8 @@ pub use krum::{Krum, MultiKrum};
 pub use majority::{majority_vote, MajorityOutcome};
 pub use median::{CoordinateMedian, Mean, MedianOfMeans, TrimmedMean};
 pub use quorum::{
-    aggregate_winners, quorum_vote, Provenance, QuorumConfig, QuorumError, QuorumOutcome,
+    aggregate_winners, gradient_fingerprint, quorum_vote, quorum_vote_audited, Provenance,
+    QuorumConfig, QuorumError, QuorumOutcome, ReplicaVerdict, VoteAudit,
 };
 pub use signsgd::SignSgdMajority;
 

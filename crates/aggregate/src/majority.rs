@@ -1,6 +1,6 @@
 //! Exact-equality majority vote over gradient replicas (paper Eq. 3).
 
-use crate::{check_input, AggregationError};
+use crate::{check_input, gradient_fingerprint, AggregationError, ReplicaVerdict, VoteAudit};
 
 /// Outcome of a majority vote across the `r` replicas of one file.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,6 +12,11 @@ pub struct MajorityOutcome {
     /// Whether the winner had a strict majority (`votes > r/2`). With an
     /// honest majority this implies the value is the true gradient.
     pub is_strict: bool,
+    /// Per-replica verdicts keyed by *replica index* (this vote has no
+    /// worker identities), with the winning-group hash. Losing replicas
+    /// are no longer discarded silently — callers that know the
+    /// index→worker mapping can convert this into reputation evidence.
+    pub audit: VoteAudit,
 }
 
 /// Majority vote with *exact* equality semantics (the paper ensures all
@@ -54,6 +59,7 @@ pub fn majority_vote(replicas: &[Vec<f32>]) -> Result<MajorityOutcome, Aggregati
             value: replicas[candidate].clone(),
             votes,
             is_strict: true,
+            audit: audit_against(replicas, candidate),
         });
     }
 
@@ -74,7 +80,27 @@ pub fn majority_vote(replicas: &[Vec<f32>]) -> Result<MajorityOutcome, Aggregati
         value: replicas[best_idx].clone(),
         votes: best_votes,
         is_strict: best_votes * 2 > n,
+        audit: audit_against(replicas, best_idx),
     })
+}
+
+/// Per-replica-index verdicts against the winning replica.
+fn audit_against(replicas: &[Vec<f32>], winner: usize) -> VoteAudit {
+    VoteAudit {
+        replicas: replicas
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let verdict = if bitwise_eq(r, &replicas[winner]) {
+                    ReplicaVerdict::Agreed
+                } else {
+                    ReplicaVerdict::Disagreed
+                };
+                (i, verdict)
+            })
+            .collect(),
+        winner_hash: gradient_fingerprint(&replicas[winner]),
+    }
 }
 
 /// Bit-exact equality, treating NaNs with equal bit patterns as equal so a

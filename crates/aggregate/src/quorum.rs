@@ -23,6 +23,83 @@
 use crate::{AggregationError, Aggregator};
 use std::fmt;
 
+/// What one expected replica did in a vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaVerdict {
+    /// The replica arrived and matched the winning group bit-exactly.
+    Agreed,
+    /// The replica arrived with a different value and lost the vote —
+    /// *active* disagreement, the evidence a reputation layer feeds on.
+    Disagreed,
+    /// The replica never arrived (crash, drop, deadline, quarantine) —
+    /// a benign absence that must never count as disagreement.
+    Absent,
+}
+
+/// The per-replica evidence a vote produces. Before this existed, the
+/// losers of a majority vote were silently discarded; the audit keeps
+/// them, so every vote a worker loses becomes recordable evidence
+/// (`byz-reputation` folds audits into suspicion scores).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VoteAudit {
+    /// `(worker, verdict)` pairs in ascending worker order. Covers the
+    /// replicas that arrived; [`VoteAudit::mark_absent`] (or
+    /// [`quorum_vote_audited`]) extends it with the expected holders
+    /// that never delivered.
+    pub replicas: Vec<(usize, ReplicaVerdict)>,
+    /// FNV-1a hash of the winning gradient's bit pattern — lets two
+    /// audits of the same file be compared without carrying the payload.
+    pub winner_hash: u64,
+}
+
+impl VoteAudit {
+    /// The verdict recorded for `worker`, if it was an expected holder.
+    pub fn verdict_of(&self, worker: usize) -> Option<ReplicaVerdict> {
+        self.replicas
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .map(|(_, v)| *v)
+    }
+
+    /// Workers whose replica arrived but lost the vote.
+    pub fn disagreeing(&self) -> impl Iterator<Item = usize> + '_ {
+        self.replicas
+            .iter()
+            .filter(|(_, v)| *v == ReplicaVerdict::Disagreed)
+            .map(|(w, _)| *w)
+    }
+
+    /// Number of replicas with the given verdict.
+    pub fn count(&self, verdict: ReplicaVerdict) -> usize {
+        self.replicas.iter().filter(|(_, v)| *v == verdict).count()
+    }
+
+    /// Records an [`ReplicaVerdict::Absent`] entry for every worker in
+    /// `expected_workers` that cast no vote, keeping ascending order.
+    /// Idempotent: workers already present are left untouched.
+    pub fn mark_absent(&mut self, expected_workers: &[usize]) {
+        for &w in expected_workers {
+            if self.verdict_of(w).is_none() {
+                self.replicas.push((w, ReplicaVerdict::Absent));
+            }
+        }
+        self.replicas.sort_by_key(|(w, _)| *w);
+    }
+}
+
+/// FNV-1a over a gradient's f32 bit patterns (little-endian) — the
+/// winning-group identity carried by [`VoteAudit::winner_hash`].
+pub fn gradient_fingerprint(gradient: &[f32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &g in gradient {
+        for b in g.to_bits().to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    hash
+}
+
 /// Minimum-quorum and retry policy for degraded rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuorumConfig {
@@ -133,6 +210,10 @@ pub struct QuorumOutcome {
     pub is_strict: bool,
     /// Full or degraded provenance.
     pub provenance: Provenance,
+    /// Per-replica verdicts (who agreed with the winner, who lost) plus
+    /// the winning-group hash. From [`quorum_vote`] it covers arrived
+    /// replicas only; [`quorum_vote_audited`] extends it with absences.
+    pub audit: VoteAudit,
 }
 
 /// Exact-equality majority vote over the replicas that arrived.
@@ -205,6 +286,24 @@ pub fn quorum_vote(
     }
     let winner_worker = replicas[winner_rep].0;
 
+    // The audit preserves what the vote used to throw away: the losers.
+    // Entries follow the sorted scan, so they are in ascending worker
+    // order, independent of arrival order.
+    let audit = VoteAudit {
+        replicas: order
+            .iter()
+            .map(|&i| {
+                let verdict = if bitwise_eq(&replicas[i].1, &replicas[winner_rep].1) {
+                    ReplicaVerdict::Agreed
+                } else {
+                    ReplicaVerdict::Disagreed
+                };
+                (replicas[i].0, verdict)
+            })
+            .collect(),
+        winner_hash: gradient_fingerprint(&replicas[winner_rep].1),
+    };
+
     Ok(QuorumOutcome {
         value: replicas[winner_rep].1.clone(),
         votes,
@@ -216,7 +315,27 @@ pub fn quorum_vote(
         } else {
             Provenance::Degraded { received, expected }
         },
+        audit,
     })
+}
+
+/// [`quorum_vote`] against the file's full expected holder set: the
+/// returned outcome's [`VoteAudit`] additionally carries an
+/// [`ReplicaVerdict::Absent`] entry for every expected worker whose
+/// replica never arrived, so a reputation layer can account absence
+/// (benign) separately from active disagreement.
+///
+/// # Errors
+///
+/// Same as [`quorum_vote`] (quorum is judged over *arrived* replicas).
+pub fn quorum_vote_audited(
+    replicas: &[(usize, Vec<f32>)],
+    q_min: usize,
+    expected_workers: &[usize],
+) -> Result<QuorumOutcome, QuorumError> {
+    let mut outcome = quorum_vote(replicas, q_min, expected_workers.len())?;
+    outcome.audit.mark_absent(expected_workers);
+    Ok(outcome)
 }
 
 /// Runs a robust aggregation rule over a winner set of mixed provenance.
@@ -307,6 +426,49 @@ mod tests {
     }
 
     #[test]
+    fn audit_records_losers_and_winner_hash() {
+        let h = vec![1.0f32, 2.0];
+        let e = vec![9.0f32, 9.0];
+        let out =
+            quorum_vote(&pairs(&[0, 1, 2], &[h.clone(), e.clone(), h.clone()]), 1, 3).unwrap();
+        assert_eq!(
+            out.audit.replicas,
+            vec![
+                (0, ReplicaVerdict::Agreed),
+                (1, ReplicaVerdict::Disagreed),
+                (2, ReplicaVerdict::Agreed),
+            ]
+        );
+        assert_eq!(out.audit.winner_hash, gradient_fingerprint(&h));
+        assert_ne!(out.audit.winner_hash, gradient_fingerprint(&e));
+        assert_eq!(out.audit.count(ReplicaVerdict::Disagreed), 1);
+        assert_eq!(out.audit.disagreeing().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn audited_vote_marks_absent_holders() {
+        let h = vec![0.5f32];
+        let out = quorum_vote_audited(&pairs(&[2, 7], &[h.clone(), h]), 1, &[2, 5, 7]).unwrap();
+        assert_eq!(
+            out.audit.replicas,
+            vec![
+                (2, ReplicaVerdict::Agreed),
+                (5, ReplicaVerdict::Absent),
+                (7, ReplicaVerdict::Agreed),
+            ]
+        );
+        assert_eq!(out.audit.verdict_of(5), Some(ReplicaVerdict::Absent));
+        assert_eq!(out.audit.verdict_of(3), None);
+        assert_eq!(
+            out.provenance,
+            Provenance::Degraded {
+                received: 2,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
     fn dimension_mismatch_rejected() {
         let out = quorum_vote(&pairs(&[0, 1], &[vec![1.0, 2.0], vec![1.0]]), 1, 3);
         assert_eq!(
@@ -328,6 +490,7 @@ mod tests {
                 winner_worker: 0,
                 is_strict: true,
                 provenance: Provenance::Full,
+                audit: VoteAudit::default(),
             },
             QuorumOutcome {
                 value: vec![3.0, 30.0],
@@ -339,6 +502,7 @@ mod tests {
                     received: 2,
                     expected: 3,
                 },
+                audit: VoteAudit::default(),
             },
             QuorumOutcome {
                 value: vec![2.0, 20.0],
@@ -350,6 +514,7 @@ mod tests {
                     received: 2,
                     expected: 3,
                 },
+                audit: VoteAudit::default(),
             },
         ];
         let agg = aggregate_winners(&CoordinateMedian, &winners).unwrap();
@@ -411,6 +576,42 @@ mod tests {
             let out = quorum_vote(&replicas, 1, 7).unwrap();
             prop_assert_eq!(out.winner_worker, min_id);
             prop_assert_eq!(out.value, vec![min_id as f32, min_id as f32 * 2.0]);
+        }
+
+        /// Winner, provenance AND the full `VoteAudit` are invariant
+        /// under any permutation of replica arrival order — the pin the
+        /// reputation layer needs: evidence must not depend on which
+        /// replica happened to land first.
+        #[test]
+        fn winner_and_audit_are_permutation_invariant(
+            ids in proptest::collection::btree_set(0usize..64, 1..=7),
+            pattern in 0u32..128,
+            rotate in 0usize..7,
+            swap in 0usize..7,
+        ) {
+            // Two value groups spread over distinct worker ids.
+            let ids: Vec<usize> = ids.into_iter().collect();
+            let canonical: Vec<(usize, Vec<f32>)> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let v = if pattern >> i & 1 == 1 { vec![9.0f32, -1.0] } else { vec![1.0f32, 2.0] };
+                    (w, v)
+                })
+                .collect();
+            let baseline = quorum_vote_audited(&canonical, 1, &ids).unwrap();
+
+            // An arbitrary permutation: rotate then swap two slots.
+            let mut shuffled = canonical.clone();
+            let len = shuffled.len();
+            shuffled.rotate_left(rotate % len);
+            shuffled.swap(swap % len, (swap / 2) % len);
+            let permuted = quorum_vote_audited(&shuffled, 1, &ids).unwrap();
+
+            prop_assert_eq!(&permuted.value, &baseline.value);
+            prop_assert_eq!(permuted.winner_worker, baseline.winner_worker);
+            prop_assert_eq!(permuted.provenance, baseline.provenance);
+            prop_assert_eq!(&permuted.audit, &baseline.audit);
         }
 
         /// The degraded vote agrees with the happy-path `majority_vote`

@@ -41,6 +41,7 @@ mod latin;
 mod mols;
 mod ramanujan;
 mod random;
+mod repair;
 mod scheme;
 
 pub use frc::FrcAssignment;
@@ -48,4 +49,5 @@ pub use latin::{LatinSquare, MolsFamily};
 pub use mols::MolsAssignment;
 pub use ramanujan::{RamanujanAssignment, RamanujanCase};
 pub use random::RandomAssignment;
+pub use repair::{reassign_quarantined, RepairedAssignment};
 pub use scheme::{Assignment, AssignmentError, SchemeKind};

@@ -1,0 +1,204 @@
+//! Greedy placement repair after quarantining workers.
+//!
+//! When the reputation layer (`byz-reputation`) pulls workers out of
+//! service mid-training, their file replicas vanish and the affected
+//! files drop below the replication factor `r` — exactly the redundancy
+//! the voting stage depends on. [`reassign_quarantined`] patches the
+//! placement: it removes every quarantined worker's edges and greedily
+//! re-replicates each deficient file onto the least-loaded surviving
+//! workers.
+//!
+//! The repaired placement is generally *not* biregular (the survivors
+//! absorb extra load and a MOLS/Ramanujan structure cannot be preserved
+//! by a local patch), so the result is a raw
+//! [`BipartiteGraph`] plus bookkeeping — not an [`Assignment`].
+//! The spectral guarantees of the original scheme no longer apply; what
+//! the patch preserves is the *voting* guarantee: every file keeps `r`
+//! replicas whenever the surviving capacity allows.
+//!
+//! The procedure is deterministic: files are processed in ascending
+//! order and ties between equally-loaded candidates break toward the
+//! smallest worker id, so every rerun (and every engine mode) produces
+//! the identical graph.
+
+use crate::Assignment;
+use byz_graph::BipartiteGraph;
+use std::collections::BTreeSet;
+
+/// The placement produced by [`reassign_quarantined`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairedAssignment {
+    graph: BipartiteGraph,
+    added: Vec<(usize, usize)>,
+    under_replicated: Vec<usize>,
+    replication: usize,
+}
+
+impl RepairedAssignment {
+    /// The patched worker–file graph. Quarantined workers have no edges.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Edges `(worker, file)` added by the repair, in the deterministic
+    /// order they were chosen.
+    pub fn added_edges(&self) -> &[(usize, usize)] {
+        &self.added
+    }
+
+    /// Files left with fewer than `r` replicas because the surviving
+    /// worker pool is too small (every survivor already holds them).
+    /// Empty whenever `K − |quarantined| ≥ r`.
+    pub fn under_replicated(&self) -> &[usize] {
+        &self.under_replicated
+    }
+
+    /// Whether every file kept its full replication factor.
+    pub fn is_fully_replicated(&self) -> bool {
+        self.under_replicated.is_empty()
+    }
+
+    /// The replication factor the repair targeted.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The heaviest per-worker load after the repair (files per worker).
+    pub fn max_load(&self) -> usize {
+        (0..self.graph.num_workers())
+            .map(|w| self.graph.files_of(w).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Removes the quarantined workers from `base`'s placement and greedily
+/// restores each affected file to `replication` copies on the least-
+/// loaded surviving workers (ties toward the smallest worker id).
+///
+/// Quarantined ids that are duplicated or out of range are ignored. If
+/// *all* workers are quarantined the result is an edgeless graph with
+/// every file under-replicated.
+pub fn reassign_quarantined(base: &Assignment, quarantined: &[usize]) -> RepairedAssignment {
+    let k = base.num_workers();
+    let f = base.num_files();
+    let r = base.replication();
+    let out: BTreeSet<usize> = quarantined.iter().copied().filter(|&w| w < k).collect();
+
+    // Surviving edges only.
+    let mut graph = BipartiteGraph::new(k, f);
+    for w in 0..k {
+        if out.contains(&w) {
+            continue;
+        }
+        for &file in base.graph().files_of(w) {
+            graph
+                .add_edge(w, file)
+                .expect("indices copied from a valid graph");
+        }
+    }
+
+    let mut loads: Vec<usize> = (0..k).map(|w| graph.files_of(w).len()).collect();
+    let mut added = Vec::new();
+    let mut under_replicated = Vec::new();
+    for file in 0..f {
+        while graph.workers_of(file).len() < r {
+            // Least-loaded survivor not already holding the file,
+            // smallest id on ties — strict `<` keeps the scan
+            // deterministic.
+            let holders = graph.workers_of(file);
+            let candidate = (0..k)
+                .filter(|w| !out.contains(w) && holders.binary_search(w).is_err())
+                .min_by_key(|&w| (loads[w], w));
+            match candidate {
+                Some(w) => {
+                    graph.add_edge(w, file).expect("survivor index in range");
+                    loads[w] += 1;
+                    added.push((w, file));
+                }
+                None => {
+                    under_replicated.push(file);
+                    break;
+                }
+            }
+        }
+    }
+
+    RepairedAssignment {
+        graph,
+        added,
+        under_replicated,
+        replication: r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MolsAssignment;
+
+    fn mols() -> Assignment {
+        // K = 15, f = 25, l = 5, r = 3.
+        MolsAssignment::new(5, 3).unwrap().build()
+    }
+
+    #[test]
+    fn no_quarantine_is_identity() {
+        let base = mols();
+        let repaired = reassign_quarantined(&base, &[]);
+        assert_eq!(repaired.graph(), base.graph());
+        assert!(repaired.added_edges().is_empty());
+        assert!(repaired.is_fully_replicated());
+    }
+
+    #[test]
+    fn single_quarantine_restores_full_replication() {
+        let base = mols();
+        let victim_files: Vec<usize> = base.graph().files_of(3).to_vec();
+        let repaired = reassign_quarantined(&base, &[3]);
+        assert!(repaired.is_fully_replicated());
+        assert!(repaired.graph().files_of(3).is_empty());
+        // Exactly one replacement edge per file the victim held.
+        assert_eq!(repaired.added_edges().len(), victim_files.len());
+        for file in 0..base.num_files() {
+            let holders = repaired.graph().workers_of(file);
+            assert_eq!(holders.len(), 3, "file {file}");
+            assert!(!holders.contains(&3));
+            // No duplicate edges.
+            let set: BTreeSet<_> = holders.iter().collect();
+            assert_eq!(set.len(), holders.len());
+        }
+        // Load spreads: nobody absorbs more than a couple of extras.
+        assert!(repaired.max_load() <= base.load() + 2);
+    }
+
+    #[test]
+    fn multi_quarantine_is_deterministic() {
+        let base = mols();
+        let a = reassign_quarantined(&base, &[1, 7, 12]);
+        let b = reassign_quarantined(&base, &[12, 1, 7, 7]);
+        assert_eq!(a, b, "order and duplicates must not matter");
+        assert!(a.is_fully_replicated());
+    }
+
+    #[test]
+    fn too_few_survivors_reports_under_replication() {
+        let base = mols();
+        // Quarantine 13 of 15 workers: 2 survivors < r = 3.
+        let quarantined: Vec<usize> = (0..13).collect();
+        let repaired = reassign_quarantined(&base, &quarantined);
+        assert!(!repaired.is_fully_replicated());
+        // Every file still gets both survivors.
+        for file in 0..base.num_files() {
+            assert_eq!(repaired.graph().workers_of(file), &[13, 14]);
+        }
+        assert_eq!(repaired.under_replicated().len(), base.num_files());
+    }
+
+    #[test]
+    fn out_of_range_ids_ignored() {
+        let base = mols();
+        let repaired = reassign_quarantined(&base, &[99]);
+        assert_eq!(repaired.graph(), base.graph());
+    }
+}

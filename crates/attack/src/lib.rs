@@ -19,7 +19,10 @@
 //!    * [`InnerProductAttack`] — "Fall of Empires" (Xie et al. 2019):
 //!      `−ε·µ`, close enough to evade distance filters yet anti-parallel
 //!      to the true update;
-//!    * [`RandomNoise`] — Gaussian garbage (a weak sanity-check attack).
+//!    * [`RandomNoise`] — Gaussian garbage (a weak sanity-check attack);
+//!    * [`Sleeper`] — an adaptive wrapper that forges only a fraction of
+//!      its files per round, trading distortion strength for stealth
+//!      against reputation-based detection.
 //!
 //! Colluding Byzantines coordinate through [`AttackContext`], which gives
 //! every attacker the same view (true gradient, honest moment estimates,
@@ -33,5 +36,5 @@ pub use selector::ByzantineSelector;
 pub use stats::{normal_cdf, normal_quantile};
 pub use vectors::{
     Alie, AttackContext, AttackVector, ConstantAttack, InnerProductAttack, RandomNoise,
-    ReversedGradient,
+    ReversedGradient, Sleeper,
 };

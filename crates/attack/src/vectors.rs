@@ -21,6 +21,10 @@ pub struct AttackContext<'a> {
     pub num_byzantine: usize,
     /// Training iteration (attacks may adapt over time).
     pub iteration: usize,
+    /// Index of the file being forged. Lets adaptive attacks (e.g.
+    /// [`Sleeper`]) decide *per file* whether to lie while keeping all
+    /// colluders on the same file in agreement.
+    pub file: usize,
 }
 
 /// A rule for forging a Byzantine gradient.
@@ -194,6 +198,61 @@ impl AttackVector for InnerProductAttack {
     }
 }
 
+/// Adaptive "sleeper" attacker: wraps any payload but forges it on only
+/// a pseudo-random `fraction` of its files each round, computing the
+/// true gradient the rest of the time. The low duty cycle keeps the
+/// decayed disagreement rate a reputation ledger observes near
+/// `fraction` — a sleeper below the quarantine threshold evades
+/// detection indefinitely, at the cost of proportionally weaker
+/// distortion. The distort/sleep decision hashes `(seed, iteration,
+/// file)`, so all colluders holding the same file make the same call
+/// and their forgeries still win votes.
+#[derive(Debug, Clone, Copy)]
+pub struct Sleeper<A> {
+    /// The payload used on distorted files.
+    pub inner: A,
+    /// Fraction of the attacker's files distorted per round, in `[0, 1]`.
+    pub fraction: f64,
+    /// Seed shared by the colluders.
+    pub seed: u64,
+}
+
+impl<A: AttackVector> Sleeper<A> {
+    /// Whether this context's file is distorted this round.
+    pub fn is_awake(&self, ctx: &AttackContext<'_>) -> bool {
+        let h = splitmix64(
+            self.seed
+                ^ (ctx.iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (ctx.file as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        );
+        (h as f64) < self.fraction * (u64::MAX as f64)
+    }
+}
+
+impl<A: AttackVector> AttackVector for Sleeper<A> {
+    fn name(&self) -> &'static str {
+        "sleeper"
+    }
+
+    fn forge(&self, ctx: &AttackContext<'_>) -> Vec<f32> {
+        if self.is_awake(ctx) {
+            self.inner.forge(ctx)
+        } else {
+            ctx.true_gradient.to_vec()
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the fault layer uses, so the
+/// sleeper's schedule is uncorrelated with but as well-mixed as the
+/// chaos plans.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +265,7 @@ mod tests {
             num_workers: 25,
             num_byzantine: 5,
             iteration: 3,
+            file: 0,
         }
     }
 
@@ -252,6 +312,75 @@ mod tests {
         // Negative inner product with the honest mean.
         let dot: f32 = out.iter().zip(&mean).map(|(a, b)| a * b).sum();
         assert!(dot < 0.0);
+    }
+
+    #[test]
+    fn sleeper_distorts_only_a_fraction_of_files() {
+        let g = [1.0f32, 2.0];
+        let atk = Sleeper {
+            inner: ConstantAttack { value: -9.0 },
+            fraction: 0.3,
+            seed: 42,
+        };
+        let mut distorted = 0usize;
+        let total = 2000usize;
+        for file in 0..total {
+            let mut c = ctx(&g, &g, &g);
+            c.file = file;
+            let out = atk.forge(&c);
+            if out != g {
+                assert_eq!(out, vec![-9.0, -9.0]);
+                distorted += 1;
+            }
+        }
+        let rate = distorted as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.05, "distortion rate {rate}");
+    }
+
+    #[test]
+    fn sleeper_colluders_agree_per_file_and_vary_per_round() {
+        let g = [1.0f32];
+        let atk = Sleeper {
+            inner: ConstantAttack { value: -9.0 },
+            fraction: 0.5,
+            seed: 7,
+        };
+        // Same (iteration, file) → same decision, regardless of caller.
+        let mut c = ctx(&g, &g, &g);
+        c.file = 11;
+        assert_eq!(atk.forge(&c), atk.forge(&c));
+        // The schedule changes across rounds for at least one file.
+        let mut varies = false;
+        for file in 0..32 {
+            let mut a = ctx(&g, &g, &g);
+            a.file = file;
+            a.iteration = 1;
+            let mut b = a.clone();
+            b.iteration = 2;
+            varies |= atk.is_awake(&a) != atk.is_awake(&b);
+        }
+        assert!(varies, "sleeper schedule must vary across rounds");
+    }
+
+    #[test]
+    fn sleeper_extremes() {
+        let g = [3.0f32];
+        let always = Sleeper {
+            inner: ConstantAttack { value: -1.0 },
+            fraction: 1.0,
+            seed: 0,
+        };
+        let never = Sleeper {
+            inner: ConstantAttack { value: -1.0 },
+            fraction: 0.0,
+            seed: 0,
+        };
+        for file in 0..64 {
+            let mut c = ctx(&g, &g, &g);
+            c.file = file;
+            assert_eq!(always.forge(&c), vec![-1.0]);
+            assert_eq!(never.forge(&c), vec![3.0]);
+        }
     }
 
     #[test]

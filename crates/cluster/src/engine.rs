@@ -148,28 +148,72 @@ impl Cluster {
         plan: &FaultPlan,
         round: u64,
     ) -> ComputedRound {
+        self.compute_round_masked(compute, params, plan, round, None)
+    }
+
+    /// Executes one fault-injected round with a reputation mask:
+    /// workers with `active[w] == false` (quarantined by a
+    /// `byz_reputation::ReputationLedger`) are skipped exactly like
+    /// crashed workers — they compute nothing and contribute no
+    /// replicas — but are reported distinctly via
+    /// [`ComputedRound::participated`] being `false` while the fault
+    /// plan does not crash them.
+    ///
+    /// The mask is applied identically in both execution modes, so the
+    /// Sequential/Threaded bit-identity guarantee extends to
+    /// reputation-masked rounds.
+    pub fn compute_round_reputed(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+        active: &[bool],
+    ) -> ComputedRound {
+        self.compute_round_masked(compute, params, plan, round, Some(active))
+    }
+
+    fn compute_round_masked(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+        active: Option<&[bool]>,
+    ) -> ComputedRound {
         let start = Instant::now();
         let k = self.assignment.num_workers();
         let per_worker: Vec<(Vec<Vec<f32>>, Duration)> = match self.mode {
             ExecutionMode::Sequential => (0..k)
-                .map(|w| self.run_worker(w, compute, params, plan))
+                .map(|w| self.run_worker(w, compute, params, plan, active))
                 .collect(),
             ExecutionMode::Threaded { max_threads } => {
                 let chunk = k.div_ceil(max_threads.max(1));
                 let mut results: Vec<Option<(Vec<Vec<f32>>, Duration)>> = vec![None; k];
                 byz_kernel::parallel_chunks_mut(&mut results, chunk, |first_worker, slot_chunk| {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        *slot = Some(self.run_worker(first_worker + off, compute, params, plan));
+                        *slot = Some(self.run_worker(
+                            first_worker + off,
+                            compute,
+                            params,
+                            plan,
+                            active,
+                        ));
                     }
                 });
                 results
                     .into_iter()
-                    .map(|r| r.expect("all workers ran"))
+                    // Invariant, not a fault path: parallel_chunks_mut
+                    // partitions 0..k into disjoint chunks and joins all
+                    // of them before returning, so every slot was
+                    // written exactly once. A None here is a kernel bug,
+                    // not an injected fault, and must stay a panic.
+                    .map(|r| r.expect("parallel_chunks_mut visits every worker slot"))
                     .collect()
             }
         };
 
-        self.gather(per_worker, plan, round, start)
+        self.gather(per_worker, plan, round, start, active)
     }
 
     /// Executes one computation round sequentially regardless of the
@@ -195,9 +239,9 @@ impl Cluster {
         let start = Instant::now();
         let k = self.assignment.num_workers();
         let per_worker: Vec<(Vec<Vec<f32>>, Duration)> = (0..k)
-            .map(|w| self.run_worker(w, compute, params, plan))
+            .map(|w| self.run_worker(w, compute, params, plan, None))
             .collect();
-        self.gather(per_worker, plan, round, start)
+        self.gather(per_worker, plan, round, start, None)
     }
 
     /// Collects per-worker results into per-file replica lists (ascending
@@ -209,6 +253,7 @@ impl Cluster {
         plan: &FaultPlan,
         round: u64,
         start: Instant,
+        active: Option<&[bool]>,
     ) -> ComputedRound {
         let mut replicas: Vec<Vec<(usize, Vec<f32>)>> =
             vec![Vec::new(); self.assignment.num_files()];
@@ -216,7 +261,8 @@ impl Cluster {
         let mut participated = Vec::with_capacity(per_worker.len());
         let mut dropped_replicas = 0usize;
         for (w, (grads, took)) in per_worker.into_iter().enumerate() {
-            let alive = !plan.is_crashed(w);
+            let alive = !plan.is_crashed(w)
+                && !matches!(active, Some(mask) if mask.get(w).copied() == Some(false));
             worker_compute.push(took);
             participated.push(alive);
             if !alive {
@@ -237,7 +283,9 @@ impl Cluster {
                 "file {file} has too many replicas"
             );
             debug_assert!(
-                !plan.is_trivial() || reps.len() == self.assignment.replication(),
+                !plan.is_trivial()
+                    || active.is_some()
+                    || reps.len() == self.assignment.replication(),
                 "file {file} lost replicas without a fault plan"
             );
         }
@@ -256,9 +304,13 @@ impl Cluster {
         compute: &dyn WorkerCompute,
         params: &[f32],
         plan: &FaultPlan,
+        active: Option<&[bool]>,
     ) -> (Vec<Vec<f32>>, Duration) {
-        if plan.is_crashed(worker) {
-            // Fail-stop: the worker never computes.
+        if plan.is_crashed(worker)
+            || active.is_some_and(|mask| mask.get(worker).copied() == Some(false))
+        {
+            // Fail-stop crash, or quarantined by the reputation mask:
+            // the worker never computes.
             return (Vec::new(), Duration::ZERO);
         }
         let start = Instant::now();
@@ -413,6 +465,38 @@ mod tests {
             run(ExecutionMode::Sequential),
             run(ExecutionMode::Threaded { max_threads: 4 }),
         );
+    }
+
+    #[test]
+    fn reputation_mask_skips_quarantined_workers() {
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let mut active = vec![true; 15];
+        active[2] = false;
+        active[9] = false;
+        let round =
+            cluster.compute_round_reputed(&toy_compute, &[1.0], &FaultPlan::none(), 0, &active);
+        assert!(!round.participated[2]);
+        assert!(!round.participated[9]);
+        assert_eq!(round.surviving_workers(), 13);
+        for reps in &round.replicas {
+            assert!(reps.iter().all(|(w, _)| *w != 2 && *w != 9));
+        }
+    }
+
+    #[test]
+    fn masked_round_is_bit_identical_across_modes() {
+        let plan = FaultPlan::new(5).drop_rate(0.2);
+        let mut active = vec![true; 15];
+        active[4] = false;
+        let seq = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let thr = Cluster::new(assignment(), ExecutionMode::Threaded { max_threads: 4 });
+        let params = vec![0.5f32, 1.5];
+        for round in 0..4 {
+            let a = seq.compute_round_reputed(&toy_compute, &params, &plan, round, &active);
+            let b = thr.compute_round_reputed(&toy_compute, &params, &plan, round, &active);
+            assert_eq!(a.replicas, b.replicas, "round {round}");
+            assert_eq!(a.participated, b.participated);
+        }
     }
 
     #[test]

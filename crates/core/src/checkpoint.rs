@@ -9,20 +9,31 @@
 //!
 //! ```text
 //! magic   u32  = 0xB55A_FE01
-//! version u32  = 1
+//! version u32  = 1 | 2
 //! iteration u64
 //! tag_len  u32, tag bytes (UTF-8)
 //! param_len u32, params as f32 LE
+//! ledger_len u32, ledger bytes       -- version 2 only
 //! checksum u64 (FNV-1a over everything above)
 //! ```
+//!
+//! Version 2 (introduced with the reputation subsystem) appends the
+//! serialized [`ReputationLedger`] so a restarted run resumes with the
+//! suspicion scores and quarantine standings it had already accumulated
+//! — otherwise a restart would hand every quarantined Byzantine worker
+//! a clean slate. A checkpoint without a ledger is always written as
+//! version 1, byte-identical to pre-reputation builds, and version-1
+//! files load unchanged.
 
+use byz_reputation::ReputationLedger;
 use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: u32 = 0xB55A_FE01;
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 /// Errors from checkpoint IO.
 #[derive(Debug)]
@@ -70,6 +81,9 @@ pub struct Checkpoint {
     pub tag: String,
     /// Flat model parameters.
     pub params: Vec<f32>,
+    /// Reputation state at the snapshot (`None` for runs without the
+    /// reputation subsystem). Presence switches the file to format v2.
+    pub ledger: Option<ReputationLedger>,
 }
 
 fn fnv1a(data: &[u8]) -> u64 {
@@ -82,17 +96,29 @@ fn fnv1a(data: &[u8]) -> u64 {
 }
 
 impl Checkpoint {
-    /// Serializes to a byte buffer.
+    /// Serializes to a byte buffer. A ledger-free checkpoint is emitted
+    /// as format v1, byte-identical to pre-reputation builds; a ledger
+    /// switches the header to v2 and appends the ledger section.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let version = if self.ledger.is_some() {
+            VERSION_V2
+        } else {
+            VERSION_V1
+        };
         let mut out = Vec::with_capacity(24 + self.tag.len() + self.params.len() * 4);
         out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&self.iteration.to_le_bytes());
         out.extend_from_slice(&(self.tag.len() as u32).to_le_bytes());
         out.extend_from_slice(self.tag.as_bytes());
         out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
         for &p in &self.params {
             out.extend_from_slice(&p.to_le_bytes());
+        }
+        if let Some(ledger) = &self.ledger {
+            let bytes = ledger.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
         }
         let checksum = fnv1a(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
@@ -127,7 +153,7 @@ impl Checkpoint {
             return Err(CheckpointError::NotACheckpoint);
         }
         let version = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
-        if version != VERSION {
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         let iteration = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
@@ -139,10 +165,23 @@ impl Checkpoint {
         for _ in 0..param_len {
             params.push(f32::from_le_bytes(take(4)?.try_into().expect("4 bytes")));
         }
+        let ledger = if version == VERSION_V2 {
+            let ledger_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+            // The outer checksum already passed, so an unparsable ledger
+            // section means the writer and reader disagree about the
+            // embedded format — surfaced as corruption, not a panic.
+            Some(
+                ReputationLedger::from_bytes(take(ledger_len)?)
+                    .map_err(|_| CheckpointError::Corrupted)?,
+            )
+        } else {
+            None
+        };
         Ok(Checkpoint {
             iteration,
             tag,
             params,
+            ledger,
         })
     }
 
@@ -178,11 +217,24 @@ impl Checkpoint {
 mod tests {
     use super::*;
 
+    use byz_reputation::ReputationConfig;
+
     fn sample() -> Checkpoint {
         Checkpoint {
             iteration: 420,
             tag: "byzshield-k25-alie-q5".into(),
             params: (0..1000).map(|i| (i as f32).sin()).collect(),
+            ledger: None,
+        }
+    }
+
+    fn sample_v2() -> Checkpoint {
+        let mut ledger = ReputationLedger::new(15, ReputationConfig::default());
+        // Fold a round so the ledger carries non-trivial state.
+        ledger.observe_round(3, &[]);
+        Checkpoint {
+            ledger: Some(ledger),
+            ..sample()
         }
     }
 
@@ -230,7 +282,7 @@ mod tests {
         // Build a buffer with a bad magic but valid checksum.
         let mut body = Vec::new();
         body.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
-        body.extend_from_slice(&VERSION.to_le_bytes());
+        body.extend_from_slice(&VERSION_V1.to_le_bytes());
         body.extend_from_slice(&0u64.to_le_bytes());
         body.extend_from_slice(&0u32.to_le_bytes());
         body.extend_from_slice(&0u32.to_le_bytes());
@@ -248,7 +300,83 @@ mod tests {
             iteration: 0,
             tag: String::new(),
             params: vec![],
+            ledger: None,
         };
         assert_eq!(Checkpoint::from_bytes(&ck.to_bytes()).unwrap(), ck);
+    }
+
+    #[test]
+    fn ledger_free_checkpoint_is_version_1_bytes() {
+        // The v1 byte-compatibility pin: no ledger → the exact
+        // pre-reputation layout, version field included.
+        let bytes = sample().to_bytes();
+        assert_eq!(&bytes[4..8], &VERSION_V1.to_le_bytes());
+        let expected_len = 4 + 4 + 8 + 4 + sample().tag.len() + 4 + sample().params.len() * 4 + 8;
+        assert_eq!(bytes.len(), expected_len);
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_the_ledger() {
+        let ck = sample_v2();
+        let bytes = ck.to_bytes();
+        assert_eq!(&bytes[4..8], &VERSION_V2.to_le_bytes());
+        let restored = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, ck);
+        let ledger = restored.ledger.unwrap();
+        assert_eq!(ledger.num_workers(), 15);
+        assert_eq!(ledger.last_round(), 3);
+    }
+
+    #[test]
+    fn v2_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("byz-ckpt-v2-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let ck = sample_v2();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_corruption_detected_in_both_sections() {
+        let ck = sample_v2();
+        let clean = ck.to_bytes();
+        // Flip a byte in the params section...
+        let mut bytes = clean.clone();
+        bytes[40] ^= 0x08;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupted)
+        ));
+        // ...and one inside the trailing ledger section.
+        let mut bytes = clean.clone();
+        let ledger_byte = clean.len() - 16;
+        bytes[ledger_byte] ^= 0x08;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Corrupted)
+        ));
+        // Truncating the ledger section is caught too.
+        assert!(matches!(
+            Checkpoint::from_bytes(&clean[..clean.len() - 20]),
+            Err(CheckpointError::Corrupted)
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&MAGIC.to_le_bytes());
+        body.extend_from_slice(&3u32.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let checksum = fnv1a(&body);
+        body.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&body),
+            Err(CheckpointError::UnsupportedVersion(3))
+        ));
     }
 }

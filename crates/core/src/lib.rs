@@ -61,8 +61,8 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use metrics::{evaluate_accuracy, gradients_differ, GradientMoments};
 pub use oracle::{FileGradientOracle, InputLayout};
 pub use protocol::{
-    AbandonedFile, Defense, IterationRecord, RoundOutcome, Trainer, TrainingConfig, TrainingError,
-    TrainingHistory,
+    AbandonedFile, Defense, IterationRecord, ReputationOutcome, RoundOutcome, Trainer,
+    TrainingConfig, TrainingError, TrainingHistory,
 };
 
 /// One-stop imports for applications and experiments.
@@ -73,21 +73,22 @@ pub mod prelude {
     };
     pub use crate::{
         evaluate_accuracy, gradients_differ, AbandonedFile, Checkpoint, CheckpointError, Defense,
-        FileGradientOracle, InputLayout, IterationRecord, RoundOutcome, Trainer, TrainingConfig,
-        TrainingError, TrainingHistory,
+        FileGradientOracle, InputLayout, IterationRecord, ReputationOutcome, RoundOutcome, Trainer,
+        TrainingConfig, TrainingError, TrainingHistory,
     };
     pub use byz_aggregate::{
-        aggregate_winners, majority_vote, quorum_vote, Aggregator, Auror, Bulyan, CoordinateMedian,
-        GeometricMedian, Krum, Mean, MedianOfMeans, MultiKrum, Provenance, QuorumConfig,
-        QuorumError, QuorumOutcome, SignSgdMajority, TrimmedMean,
+        aggregate_winners, gradient_fingerprint, majority_vote, quorum_vote, quorum_vote_audited,
+        Aggregator, Auror, Bulyan, CoordinateMedian, GeometricMedian, Krum, Mean, MedianOfMeans,
+        MultiKrum, Provenance, QuorumConfig, QuorumError, QuorumOutcome, ReplicaVerdict,
+        SignSgdMajority, TrimmedMean, VoteAudit,
     };
     pub use byz_assign::{
-        Assignment, FrcAssignment, MolsAssignment, RamanujanAssignment, RandomAssignment,
-        SchemeKind,
+        reassign_quarantined, Assignment, FrcAssignment, MolsAssignment, RamanujanAssignment,
+        RandomAssignment, RepairedAssignment, SchemeKind,
     };
     pub use byz_attack::{
         Alie, AttackContext, AttackVector, ByzantineSelector, ConstantAttack, InnerProductAttack,
-        RandomNoise, ReversedGradient,
+        RandomNoise, ReversedGradient, Sleeper,
     };
     pub use byz_cluster::{
         Cluster, ClusterError, CostModel, ExecutionMode, FaultPlan, IterationTimeEstimate,
@@ -96,12 +97,15 @@ pub mod prelude {
     pub use byz_data::{BatchSampler, Dataset, SyntheticConfig, SyntheticImages};
     pub use byz_distortion::{
         baseline_epsilon, claim2_exact_epsilon, cmax_auto, cmax_branch_and_bound, cmax_exhaustive,
-        cmax_greedy, count_distorted, count_distorted_surviving, frc_epsilon, CmaxResult,
-        SurvivingDistortion,
+        cmax_greedy, count_distorted, count_distorted_post_quarantine, count_distorted_surviving,
+        frc_epsilon, CmaxResult, SurvivingDistortion,
     };
     pub use byz_draco::{CyclicCode, DracoError, FrcCode};
     pub use byz_nn::{
         flatten_params, load_params, num_params, MiniResNet, Mlp, Module, Sgd, StepDecaySchedule,
+    };
+    pub use byz_reputation::{
+        LedgerError, QuarantineEvent, ReputationConfig, ReputationLedger, WorkerStanding,
     };
     pub use byz_tensor::Tensor;
     pub use byz_wire::{

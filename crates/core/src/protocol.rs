@@ -4,14 +4,17 @@ use crate::{
     evaluate_accuracy, gradients_differ, FileGradientOracle, GradientMoments, InputLayout,
 };
 use byz_aggregate::{
-    quorum_vote, AggregationError, Aggregator, Provenance, QuorumConfig, QuorumError, QuorumOutcome,
+    quorum_vote_audited, AggregationError, Aggregator, Provenance, QuorumConfig, QuorumError,
+    QuorumOutcome, VoteAudit,
 };
-use byz_assign::Assignment;
+use byz_assign::{reassign_quarantined, Assignment};
 use byz_attack::{AttackContext, AttackVector, ByzantineSelector};
 use byz_cluster::{FaultPlan, RetryPolicy};
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
 use byz_distortion::count_distorted;
+use byz_graph::BipartiteGraph;
 use byz_nn::{flatten_params, Module, Sgd, StepDecaySchedule};
+use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -76,6 +79,14 @@ pub struct TrainingConfig {
     /// Modelled backoff schedule for re-vote waves (accounted in
     /// [`IterationRecord::retry_time`]; the simulator never sleeps).
     pub retry: RetryPolicy,
+    /// Vote-audit reputation: when set, a [`ReputationLedger`] folds
+    /// every round's vote audits, quarantined workers stop being polled
+    /// and their files are greedily re-replicated onto survivors
+    /// (`byz_assign::reassign_quarantined`). `None` (the default)
+    /// preserves the pre-reputation protocol bit for bit. Only the
+    /// voting defense produces audit evidence; [`Defense::Direct`]
+    /// ignores reputation.
+    pub reputation: Option<ReputationConfig>,
 }
 
 impl Default for TrainingConfig {
@@ -92,6 +103,7 @@ impl Default for TrainingConfig {
             faults: FaultPlan::none(),
             quorum: QuorumConfig::default(),
             retry: RetryPolicy::default(),
+            reputation: None,
         }
     }
 }
@@ -144,6 +156,18 @@ impl RoundOutcome {
     pub fn is_collapsed(&self) -> bool {
         self.surviving_files() == 0
     }
+}
+
+/// Per-round reputation report (present only when
+/// [`TrainingConfig::reputation`] is set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReputationOutcome {
+    /// Suspicion scores after this round's fold, indexed by worker.
+    pub suspicions: Vec<f64>,
+    /// Standing changes this round triggered (quarantines, readmissions).
+    pub events: Vec<QuarantineEvent>,
+    /// The cumulative quarantined set after this round, ascending.
+    pub quarantined: Vec<usize>,
 }
 
 /// Why a training run stopped early.
@@ -211,6 +235,9 @@ pub struct IterationRecord {
     pub epsilon_hat: f64,
     /// Degradation report for this round's gather + vote.
     pub outcome: RoundOutcome,
+    /// Reputation report for this round (`None` when reputation is
+    /// disabled or the defense is [`Defense::Direct`]).
+    pub reputation: Option<ReputationOutcome>,
     /// Top-1 test accuracy, when evaluated this iteration.
     pub test_accuracy: Option<f64>,
     /// Mean training loss over the probe set, when evaluated this
@@ -237,6 +264,9 @@ pub struct TrainingHistory {
     pub final_loss: f64,
     /// Total wall-clock training time.
     pub total_time: Duration,
+    /// The final reputation ledger (`None` when reputation is disabled).
+    /// Its serialized bytes travel with format-v2 checkpoints.
+    pub ledger: Option<ReputationLedger>,
 }
 
 impl TrainingHistory {
@@ -264,6 +294,21 @@ impl TrainingHistory {
     /// Total files voted from degraded (partial) replica sets.
     pub fn total_degraded(&self) -> usize {
         self.records.iter().map(|r| r.outcome.degraded).sum()
+    }
+
+    /// Every quarantine fired during the run, as `(worker, round)` in
+    /// firing order. Empty when reputation was disabled.
+    pub fn quarantine_timeline(&self) -> Vec<(usize, u64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.reputation.as_ref())
+            .flat_map(|rep| {
+                rep.events.iter().filter_map(|e| match e {
+                    QuarantineEvent::Quarantined { worker, round, .. } => Some((*worker, *round)),
+                    QuarantineEvent::Readmitted { .. } => None,
+                })
+            })
+            .collect()
     }
 
     /// Mean observed distortion fraction across iterations.
@@ -363,6 +408,16 @@ impl<'a, M: Module> Trainer<'a, M> {
         let mut history = TrainingHistory::default();
         let mut params = flatten_params(&params_tensors);
 
+        // Reputation state: the ledger plus the *effective* placement.
+        // The placement starts as the scheme's graph and is greedily
+        // patched after every quarantine; with reputation disabled it is
+        // never touched, so the protocol is bit-identical to before.
+        let mut ledger = self
+            .config
+            .reputation
+            .map(|cfg| ReputationLedger::new(k, cfg));
+        let mut active_graph: BipartiteGraph = self.assignment.graph().clone();
+
         for t in 1..=self.config.iterations {
             // 1. Batch → files.
             let batch = sampler.next_batch();
@@ -400,6 +455,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                         num_workers: k,
                         num_byzantine: q,
                         iteration: t,
+                        file: file_idx,
                     })
                 } else {
                     true_grads[file_idx].clone()
@@ -413,9 +469,13 @@ impl<'a, M: Module> Trainer<'a, M> {
                 crashed_workers: plan.num_crashed(),
                 ..RoundOutcome::default()
             };
-            // Set on the vote path under an active fault plan:
-            // (measured distorted winners, surviving files).
+            // Set on the vote path under an active fault plan or an
+            // active ledger: (measured distorted winners, surviving
+            // files).
             let mut measured: Option<(usize, usize)> = None;
+            // This round's vote audits (collected only when a ledger is
+            // folding them).
+            let mut audits: Vec<VoteAudit> = Vec::new();
 
             let agg_start = Instant::now();
             // 4. Defense, over whatever replicas arrive. Each attempt
@@ -426,7 +486,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                 Defense::VoteThenAggregate(aggregator) => {
                     let mut winners: Vec<(usize, QuorumOutcome)> = Vec::with_capacity(f);
                     for file_idx in 0..f {
-                        let workers = self.assignment.graph().workers_of(file_idx);
+                        let workers = active_graph.workers_of(file_idx);
                         let expected = workers.len();
                         let mut attempt: u32 = 0;
                         loop {
@@ -441,7 +501,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                                     present.push((w, forge(w, file_idx)));
                                 }
                             }
-                            match quorum_vote(&present, q_min, expected) {
+                            match quorum_vote_audited(&present, q_min, workers) {
                                 Ok(vote) => {
                                     if attempt > 0 {
                                         outcome.retried += 1;
@@ -450,6 +510,9 @@ impl<'a, M: Module> Trainer<'a, M> {
                                     match vote.provenance {
                                         Provenance::Full => outcome.full_quorum += 1,
                                         Provenance::Degraded { .. } => outcome.degraded += 1,
+                                    }
+                                    if ledger.is_some() {
+                                        audits.push(vote.audit.clone());
                                     }
                                     winners.push((file_idx, vote));
                                     break;
@@ -474,7 +537,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                             outcome: Box::new(outcome),
                         });
                     }
-                    if !plan.is_trivial() {
+                    if !plan.is_trivial() || ledger.is_some() {
                         let distorted = winners
                             .iter()
                             .filter(|(fi, vote)| gradients_differ(&vote.value, &true_grads[*fi]))
@@ -548,6 +611,25 @@ impl<'a, M: Module> Trainer<'a, M> {
             let aggregate_time = agg_start.elapsed();
             let retry_time = self.config.retry.total_backoff(outcome.retry_waves);
 
+            // Reputation fold: turn this round's audits into suspicion
+            // updates; on a quarantine, patch the placement so the
+            // flagged workers stop being polled and their files regain
+            // full replication on the survivors.
+            let voting = matches!(self.defense, Defense::VoteThenAggregate(_));
+            let reputation = ledger.as_mut().filter(|_| voting).map(|ledger| {
+                let events = ledger.observe_round(t as u64, &audits);
+                if events.iter().any(QuarantineEvent::is_quarantine) {
+                    let repaired =
+                        reassign_quarantined(&self.assignment, &ledger.quarantined_workers());
+                    active_graph = repaired.graph().clone();
+                }
+                ReputationOutcome {
+                    suspicions: ledger.suspicions(),
+                    events,
+                    quarantined: ledger.quarantined_workers(),
+                }
+            });
+
             // 5. Model update. File gradients are SUMS over b/f samples;
             //    the aggregate approximates a per-file sum, so scaling by
             //    f/b yields a per-sample mean-gradient step (Algorithm 1,
@@ -586,6 +668,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                 distorted_files,
                 epsilon_hat,
                 outcome,
+                reputation,
                 test_accuracy,
                 train_loss,
                 compute_time,
@@ -606,6 +689,7 @@ impl<'a, M: Module> Trainer<'a, M> {
             .map(f64::from)
             .unwrap_or(0.0);
         history.total_time = start.elapsed();
+        history.ledger = ledger;
         Ok(history)
     }
 }

@@ -36,7 +36,7 @@ pub use formulas::{baseline_epsilon, claim2_exact_cmax, claim2_exact_epsilon, fr
 pub use montecarlo::{monte_carlo_epsilon, MonteCarloEpsilon};
 pub use solver::{
     cmax_branch_and_bound, cmax_exhaustive, cmax_greedy, count_distorted,
-    count_distorted_surviving, CmaxResult, SurvivingDistortion,
+    count_distorted_post_quarantine, count_distorted_surviving, CmaxResult, SurvivingDistortion,
 };
 
 use byz_assign::Assignment;

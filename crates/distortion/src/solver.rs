@@ -122,6 +122,30 @@ pub fn count_distorted_surviving(
     out
 }
 
+/// Distortion remaining after the reputation layer quarantines a worker
+/// set: a quarantined worker's replicas are dropped on arrival (or never
+/// computed), so each file is voted over its non-quarantined holders
+/// only.
+///
+/// Quarantining exactly the Byzantine set drives `ε̂` to zero while every
+/// file keeps its honest replicas; quarantining *more* than a file's
+/// honest holders loses the file instead (it shows up in
+/// [`SurvivingDistortion::lost_files`]). Honest false positives are
+/// therefore visible in the same accounting as missed detections.
+pub fn count_distorted_post_quarantine(
+    assignment: &Assignment,
+    byzantine: &[usize],
+    quarantined: &[usize],
+) -> SurvivingDistortion {
+    let mut gone = vec![false; assignment.num_workers()];
+    for &w in quarantined {
+        if let Some(slot) = gone.get_mut(w) {
+            *slot = true;
+        }
+    }
+    count_distorted_surviving(assignment, byzantine, &|_, w| !gone[w])
+}
+
 /// Exhaustive `c_max(q)`: checks every `C(K, q)` Byzantine set.
 /// Exact but only viable for small instances.
 pub fn cmax_exhaustive(assignment: &Assignment, q: usize) -> CmaxResult {
@@ -489,6 +513,40 @@ mod tests {
         assert!(surv.distorted >= 1, "file 0 must be counted distorted");
         // ε̂ is over surviving files.
         assert!((surv.epsilon_hat() - surv.distorted as f64 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantining_the_byzantine_set_zeroes_epsilon() {
+        let a = example1();
+        let byz = vec![0usize, 5];
+        // Before quarantine the pair distorts its shared file.
+        let before = count_distorted_post_quarantine(&a, &byz, &[]);
+        assert_eq!(before.distorted, count_distorted(&a, &byz));
+        // Perfect detection: every file keeps its honest replicas, no
+        // majority is Byzantine, nothing is lost.
+        let after = count_distorted_post_quarantine(&a, &byz, &byz);
+        assert_eq!(after.distorted, 0);
+        assert_eq!(after.lost_files, 0);
+        assert_eq!(after.surviving_files, a.num_files());
+        assert_eq!(after.epsilon_hat(), 0.0);
+        // Partial detection helps monotonically.
+        let partial = count_distorted_post_quarantine(&a, &byz, &[0]);
+        assert!(partial.distorted <= before.distorted);
+        // Duplicate and out-of-range quarantine ids are tolerated.
+        let dup = count_distorted_post_quarantine(&a, &byz, &[0, 0, 5, 999]);
+        assert_eq!(dup, after);
+    }
+
+    #[test]
+    fn quarantining_every_holder_loses_the_file() {
+        let a = example1();
+        // File 0 lives on workers {0, 5, 10}; quarantining all three (two
+        // liars plus an honest false positive) abandons the file rather
+        // than distorting it.
+        let out = count_distorted_post_quarantine(&a, &[0, 5], &[0, 5, 10]);
+        assert_eq!(out.lost_files, 1);
+        assert_eq!(out.surviving_files, a.num_files() - 1);
+        assert_eq!(out.distorted, 0);
     }
 
     #[test]

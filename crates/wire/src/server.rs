@@ -1,10 +1,14 @@
 //! The threaded message-passing parameter server.
 
 use crate::{hash_majority, verify_payload, Assignment, Fingerprint, Message};
-use byz_aggregate::{quorum_vote, Aggregator, CoordinateMedian, Provenance, QuorumConfig};
+use byz_aggregate::{
+    quorum_vote_audited, Aggregator, CoordinateMedian, Provenance, QuorumConfig, ReplicaVerdict,
+    VoteAudit,
+};
 use byz_cluster::FaultPlan;
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
 use byz_nn::FastMlp;
+use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,6 +96,13 @@ pub struct ServerConfig {
     pub straggler_unit: Duration,
     /// Batch-sampling seed.
     pub seed: u64,
+    /// Vote-audit reputation at the PS. When set, every round's vote
+    /// audits feed a [`ReputationLedger`]; frames from quarantined
+    /// workers are ignored on arrival (worker file sets are fixed at
+    /// spawn, so their files simply vote from the surviving replicas),
+    /// and [`RoundSummary`] surfaces the scores and events. `None`
+    /// preserves the pre-reputation protocol exactly.
+    pub reputation: Option<ReputationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +121,7 @@ impl Default for ServerConfig {
             round_deadline: Duration::from_secs(5),
             straggler_unit: Duration::from_millis(1),
             seed: 0,
+            reputation: None,
         }
     }
 }
@@ -133,6 +145,14 @@ pub struct RoundSummary {
     /// Files that produced no winner this round (below `q_min`, or a
     /// hash-vote payload pull that failed verification or timed out).
     pub abandoned_files: usize,
+    /// Suspicion scores after this round's reputation fold, indexed by
+    /// worker. Empty when reputation is disabled.
+    pub suspicions: Vec<f64>,
+    /// Quarantines/readmissions fired this round. Empty when disabled.
+    pub reputation_events: Vec<QuarantineEvent>,
+    /// The cumulative quarantined worker set after this round,
+    /// ascending. Empty when reputation is disabled.
+    pub quarantined_workers: Vec<usize>,
 }
 
 /// A parameter server plus `K` worker threads, communicating exclusively
@@ -251,6 +271,7 @@ impl MessagePassingCluster {
         let mut sampler = BatchSampler::new(self.dataset.len(), config.batch_size, config.seed);
         let aggregator = CoordinateMedian;
         let mut summaries = Vec::with_capacity(config.iterations);
+        let mut ledger = config.reputation.map(|cfg| ReputationLedger::new(k, cfg));
 
         for t in 1..=config.iterations as u64 {
             let batch = sampler.next_batch();
@@ -266,7 +287,10 @@ impl MessagePassingCluster {
             .encode()
             .to_vec();
             for tx in to_workers {
-                tx.send(broadcast.clone()).expect("worker alive");
+                // A closed channel means the worker thread is gone — the
+                // same observable failure as a crash, and the receive
+                // timeout already covers missing replies.
+                let _ = tx.send(broadcast.clone());
             }
 
             let expected = k * l;
@@ -274,6 +298,14 @@ impl MessagePassingCluster {
             let mut bytes_received = 0usize;
             let mut non_strict = 0usize;
             let mut degraded_votes = 0usize;
+            let mut audits: Vec<VoteAudit> = Vec::new();
+            // Frames from quarantined workers are dropped on arrival:
+            // worker file sets are fixed at spawn, so the PS ignores the
+            // replicas rather than reassigning them over the wire.
+            let quarantined_mask: Vec<bool> = match ledger.as_ref() {
+                Some(ledger) => (0..k).map(|w| ledger.is_quarantined(w)).collect(),
+                None => vec![false; k],
+            };
             let round_start = Instant::now();
             // Each receive waits at most `receive_timeout`, and the whole
             // collection phase at most `round_deadline`: a frame that
@@ -300,24 +332,32 @@ impl MessagePassingCluster {
                         };
                         frames_received += 1;
                         bytes_received += frame.len();
-                        match Message::decode(&frame).expect("workers send valid frames") {
-                            Message::GradientReturn {
+                        // A frame that fails to decode, or carries a message
+                        // type the PS never requests, is treated exactly like
+                        // a dropped frame: an injected fault must degrade the
+                        // round, never panic the PS thread.
+                        match Message::decode(&frame) {
+                            Ok(Message::GradientReturn {
                                 iteration,
                                 worker,
                                 file,
                                 gradient,
-                            } => {
+                            }) => {
                                 if iteration != t {
                                     continue; // stale frame from a slow round
                                 }
+                                if quarantined_mask.get(worker as usize) == Some(&true) {
+                                    continue;
+                                }
                                 per_file.entry(file).or_default().push((worker, gradient));
                             }
-                            other => panic!("unexpected message at PS: {other:?}"),
+                            Ok(_) | Err(_) => continue,
                         }
                     }
                     // Vote with whatever replicas arrived — the same
                     // degraded-quorum policy the in-process protocol uses.
-                    let r = self.assignment.replication();
+                    // Each vote's audit (who agreed, disagreed, never showed)
+                    // feeds the reputation ledger when one is configured.
                     (0..f as u32)
                         .map(|file| {
                             let replicas: Vec<(usize, Vec<f32>)> = per_file
@@ -326,12 +366,25 @@ impl MessagePassingCluster {
                                 .into_iter()
                                 .map(|(w, g)| (w as usize, g))
                                 .collect();
-                            let outcome = quorum_vote(&replicas, config.quorum.q_min, r).ok()?;
+                            let holders: Vec<usize> = self
+                                .assignment
+                                .graph()
+                                .workers_of(file as usize)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect();
+                            let outcome =
+                                quorum_vote_audited(&replicas, config.quorum.q_min, &holders)
+                                    .ok()?;
                             if !outcome.is_strict {
                                 non_strict += 1;
                             }
                             if matches!(outcome.provenance, Provenance::Degraded { .. }) {
                                 degraded_votes += 1;
+                            }
+                            if ledger.is_some() {
+                                audits.push(outcome.audit.clone());
                             }
                             Some(outcome.value)
                         })
@@ -350,14 +403,19 @@ impl MessagePassingCluster {
                         };
                         frames_received += 1;
                         bytes_received += frame.len();
-                        match Message::decode(&frame).expect("workers send valid frames") {
-                            Message::HashAnnounce {
+                        // Malformed or unexpected frames degrade, never panic
+                        // (same policy as the full-gradient transport).
+                        match Message::decode(&frame) {
+                            Ok(Message::HashAnnounce {
                                 iteration,
                                 worker,
                                 file,
                                 fingerprint,
-                            } => {
+                            }) => {
                                 if iteration != t {
+                                    continue;
+                                }
+                                if quarantined_mask.get(worker as usize) == Some(&true) {
                                     continue;
                                 }
                                 per_file
@@ -365,7 +423,7 @@ impl MessagePassingCluster {
                                     .or_default()
                                     .push((worker as usize, fingerprint));
                             }
-                            other => panic!("unexpected message at PS: {other:?}"),
+                            Ok(_) | Err(_) => continue,
                         }
                     }
                     // Phase 2: vote on fingerprints, pull each winner once.
@@ -391,11 +449,42 @@ impl MessagePassingCluster {
                         if announced.len() < r {
                             degraded_votes += 1;
                         }
+                        if ledger.is_some() {
+                            // Fingerprint votes audit exactly like full
+                            // votes: announcing a losing hash is a
+                            // disagreement, never announcing is an absence.
+                            let mut audit = VoteAudit {
+                                replicas: announced
+                                    .iter()
+                                    .map(|&(w, fp)| {
+                                        let verdict = if fp == outcome.winner {
+                                            ReplicaVerdict::Agreed
+                                        } else {
+                                            ReplicaVerdict::Disagreed
+                                        };
+                                        (w, verdict)
+                                    })
+                                    .collect(),
+                                winner_hash: outcome.winner.0 ^ outcome.winner.1,
+                            };
+                            let holders: Vec<usize> = self
+                                .assignment
+                                .graph()
+                                .workers_of(file as usize)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect();
+                            audit.mark_absent(&holders);
+                            audits.push(audit);
+                        }
                         let holder = outcome.holders[0];
                         let req = Message::PayloadRequest { iteration: t, file }
                             .encode()
                             .to_vec();
-                        to_workers[holder].send(req).expect("worker alive");
+                        // A dead holder is indistinguishable from a crashed
+                        // one: the pull below simply times out.
+                        let _ = to_workers[holder].send(req);
                         pulls.push((file, outcome.winner));
                     }
                     for _ in 0..pulls.len() {
@@ -408,28 +497,30 @@ impl MessagePassingCluster {
                         };
                         frames_received += 1;
                         bytes_received += frame.len();
-                        match Message::decode(&frame).expect("workers send valid frames") {
-                            Message::GradientReturn {
+                        match Message::decode(&frame) {
+                            Ok(Message::GradientReturn {
                                 iteration,
                                 file,
                                 gradient,
                                 ..
-                            } => {
+                            }) => {
                                 if iteration != t {
                                     continue;
                                 }
-                                let expected_fp = pulls
-                                    .iter()
-                                    .find(|(pf, _)| *pf == file)
-                                    .map(|(_, fp)| *fp)
-                                    .expect("pull was requested");
+                                // A payload for a file the PS never pulled is
+                                // a forged frame — drop it like any other.
+                                let Some(expected_fp) =
+                                    pulls.iter().find(|(pf, _)| *pf == file).map(|(_, fp)| *fp)
+                                else {
+                                    continue;
+                                };
                                 // Bait-and-switch defense: the payload
                                 // must hash to the winning fingerprint.
                                 if verify_payload(&gradient, expected_fp) {
                                     winners[file as usize] = Some(gradient);
                                 }
                             }
-                            other => panic!("unexpected message at PS: {other:?}"),
+                            Ok(_) | Err(_) => continue,
                         }
                     }
                     winners
@@ -440,6 +531,10 @@ impl MessagePassingCluster {
             let abandoned_files = winners.iter().filter(|w| w.is_none()).count();
             let available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
             if !available.is_empty() {
+                // Invariant expect: `available` is non-empty and every
+                // winner has the model's dimension, the only preconditions
+                // the coordinate median has. A failure here is a kernel
+                // bug, not an injected fault, and must stay a panic.
                 let aggregated = aggregator
                     .aggregate(&available)
                     .expect("median is always applicable");
@@ -450,6 +545,14 @@ impl MessagePassingCluster {
                 }
             }
 
+            let (suspicions, reputation_events, quarantined_workers) = match ledger.as_mut() {
+                Some(ledger) => {
+                    let events = ledger.observe_round(t, &audits);
+                    (ledger.suspicions(), events, ledger.quarantined_workers())
+                }
+                None => (Vec::new(), Vec::new(), Vec::new()),
+            };
+
             summaries.push(RoundSummary {
                 iteration: t as usize,
                 non_strict_votes: non_strict,
@@ -458,6 +561,9 @@ impl MessagePassingCluster {
                 missing_votes,
                 degraded_votes,
                 abandoned_files,
+                suspicions,
+                reputation_events,
+                quarantined_workers,
             });
         }
         (params, summaries)
@@ -486,9 +592,14 @@ fn worker_loop(ctx: WorkerContext) {
     // the hash-vote pull phase.
     let mut cache: HashMap<(u64, u32), Vec<f32>> = HashMap::new();
 
-    // Run until shutdown or the PS drops the channel.
+    // Run until shutdown or the PS drops the channel. A frame that fails
+    // to decode or carries a message the PS never sends is ignored — a
+    // corrupted broadcast degrades the worker's round, never kills it.
     while let Ok(frame) = ctx.rx.recv() {
-        match Message::decode(&frame).expect("PS sends valid frames") {
+        let Ok(message) = Message::decode(&frame) else {
+            continue;
+        };
+        match message {
             Message::Shutdown => break,
             Message::ModelBroadcast {
                 iteration,
@@ -542,9 +653,9 @@ fn worker_loop(ctx: WorkerContext) {
                             }
                         }
                     };
-                    ctx.to_ps
-                        .send(reply.encode().to_vec())
-                        .expect("PS receiver alive");
+                    // A hung-up PS means the run is over; uploads to
+                    // nowhere are silently dropped, the next recv exits.
+                    let _ = ctx.to_ps.send(reply.encode().to_vec());
                 }
             }
             Message::PayloadRequest { iteration, file } => {
@@ -560,24 +671,28 @@ fn worker_loop(ctx: WorkerContext) {
                 {
                     continue;
                 }
-                let gradient = cache
-                    .get(&(iteration, file))
-                    .expect("PS only pulls announced payloads")
-                    .clone();
-                ctx.to_ps
-                    .send(
-                        Message::GradientReturn {
-                            iteration,
-                            worker: ctx.worker_id as u32,
-                            file,
-                            gradient,
-                        }
-                        .encode()
-                        .to_vec(),
-                    )
-                    .expect("PS receiver alive");
+                // The PS only pulls announced payloads, but a forged or
+                // replayed request may name a file this worker never
+                // cached; answering nothing lets the PS's pull timeout
+                // handle it.
+                let Some(gradient) = cache.get(&(iteration, file)).cloned() else {
+                    continue;
+                };
+                let _ = ctx.to_ps.send(
+                    Message::GradientReturn {
+                        iteration,
+                        worker: ctx.worker_id as u32,
+                        file,
+                        gradient,
+                    }
+                    .encode()
+                    .to_vec(),
+                );
             }
-            other => panic!("worker received unexpected message: {other:?}"),
+            // Unexpected message types are ignored for the same reason
+            // malformed frames are: only Shutdown and the two request
+            // kinds above have worker-side semantics.
+            _ => continue,
         }
     }
 }
@@ -680,6 +795,76 @@ mod tests {
         assert!(summaries.iter().all(|s| s.non_strict_votes == 0));
         let acc = accuracy(&params, &dims, &data, 200);
         assert!(acc > 0.5, "attacked accuracy only {acc}");
+    }
+
+    #[test]
+    fn reputation_quarantines_byzantine_workers_over_the_wire() {
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            reputation: Some(ReputationConfig::default()),
+            ..config(12, vec![0, 5])
+        };
+        let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
+
+        // Both always-lying workers end up quarantined, nobody else does.
+        let last = summaries.last().unwrap();
+        assert_eq!(last.quarantined_workers, vec![0, 5]);
+        let flagged: Vec<usize> = summaries
+            .iter()
+            .flat_map(|s| &s.reputation_events)
+            .filter(|e| e.is_quarantine())
+            .map(|e| e.worker())
+            .collect();
+        assert_eq!(flagged.len(), 2, "each liar quarantined exactly once");
+        // Honest workers stay well clear of the threshold.
+        for (w, s) in last.suspicions.iter().enumerate() {
+            if w != 0 && w != 5 {
+                assert!(*s < 0.45, "honest worker {w} suspicion {s}");
+            }
+        }
+        // Once quarantined, a worker's frames are dropped on arrival, so
+        // its replicas can no longer reach any vote.
+        let quarantine_round = summaries
+            .iter()
+            .position(|s| s.quarantined_workers == vec![0, 5])
+            .unwrap();
+        for s in &summaries[quarantine_round + 1..] {
+            assert_eq!(s.non_strict_votes, 0, "round {}", s.iteration);
+        }
+    }
+
+    #[test]
+    fn reputation_is_deterministic_across_transports() {
+        // The ledger folds vote audits, and both transports audit the
+        // same votes — so the suspicion trajectories must be identical.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let full_cfg = ServerConfig {
+            reputation: Some(ReputationConfig::default()),
+            ..config(8, vec![2])
+        };
+        let hash_cfg = ServerConfig {
+            transport: Transport::HashVote,
+            ..full_cfg.clone()
+        };
+        let (_, s_full) = cluster.train(initial_params(&dims), &full_cfg);
+        let (_, s_hash) = cluster.train(initial_params(&dims), &hash_cfg);
+        for (a, b) in s_full.iter().zip(&s_hash) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.suspicions), bits(&b.suspicions));
+            assert_eq!(a.quarantined_workers, b.quarantined_workers);
+        }
     }
 
     #[test]
