@@ -43,8 +43,9 @@ pub use krum::{Krum, MultiKrum};
 pub use majority::{majority_vote, MajorityOutcome};
 pub use median::{CoordinateMedian, Mean, MedianOfMeans, TrimmedMean};
 pub use quorum::{
-    aggregate_winners, gradient_fingerprint, quorum_vote, quorum_vote_audited, Provenance,
-    QuorumConfig, QuorumError, QuorumOutcome, ReplicaVerdict, VoteAudit,
+    aggregate_winners, gradient_fingerprint, quorum_vote, quorum_vote_all_audited,
+    quorum_vote_audited, Provenance, QuorumConfig, QuorumError, QuorumOutcome, ReplicaVerdict,
+    VoteAudit, VoteInput,
 };
 pub use signsgd::SignSgdMajority;
 

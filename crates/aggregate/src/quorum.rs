@@ -232,8 +232,12 @@ pub struct QuorumOutcome {
 ///
 /// With an honest majority among the received replicas the winner is the
 /// honest gradient, because honest replicas are bit-identical.
-pub fn quorum_vote(
-    replicas: &[(usize, Vec<f32>)],
+///
+/// Generic over the replica payload (`Vec<f32>`, `&[f32]`, arena slices,
+/// …) so zero-copy callers can vote over borrowed views without
+/// materializing owned vectors; only the winner is copied out.
+pub fn quorum_vote<G: AsRef<[f32]>>(
+    replicas: &[(usize, G)],
     q_min: usize,
     expected: usize,
 ) -> Result<QuorumOutcome, QuorumError> {
@@ -247,11 +251,11 @@ pub fn quorum_vote(
             needed: q_min,
         });
     }
-    let d = replicas[0].1.len();
-    if let Some((_, bad)) = replicas.iter().find(|(_, g)| g.len() != d) {
+    let d = replicas[0].1.as_ref().len();
+    if let Some((_, bad)) = replicas.iter().find(|(_, g)| g.as_ref().len() != d) {
         return Err(QuorumError::DimensionMismatch {
             expected: d,
-            got: bad.len(),
+            got: bad.as_ref().len(),
         });
     }
 
@@ -265,7 +269,7 @@ pub fn quorum_vote(
     for &i in &order {
         match groups
             .iter_mut()
-            .find(|(rep, _)| bitwise_eq(&replicas[*rep].1, &replicas[i].1))
+            .find(|(rep, _)| bitwise_eq(replicas[*rep].1.as_ref(), replicas[i].1.as_ref()))
         {
             Some((_, votes)) => *votes += 1,
             None => groups.push((i, 1)),
@@ -293,7 +297,8 @@ pub fn quorum_vote(
         replicas: order
             .iter()
             .map(|&i| {
-                let verdict = if bitwise_eq(&replicas[i].1, &replicas[winner_rep].1) {
+                let verdict = if bitwise_eq(replicas[i].1.as_ref(), replicas[winner_rep].1.as_ref())
+                {
                     ReplicaVerdict::Agreed
                 } else {
                     ReplicaVerdict::Disagreed
@@ -301,11 +306,11 @@ pub fn quorum_vote(
                 (replicas[i].0, verdict)
             })
             .collect(),
-        winner_hash: gradient_fingerprint(&replicas[winner_rep].1),
+        winner_hash: gradient_fingerprint(replicas[winner_rep].1.as_ref()),
     };
 
     Ok(QuorumOutcome {
-        value: replicas[winner_rep].1.clone(),
+        value: replicas[winner_rep].1.as_ref().to_vec(),
         votes,
         received,
         winner_worker,
@@ -328,14 +333,51 @@ pub fn quorum_vote(
 /// # Errors
 ///
 /// Same as [`quorum_vote`] (quorum is judged over *arrived* replicas).
-pub fn quorum_vote_audited(
-    replicas: &[(usize, Vec<f32>)],
+pub fn quorum_vote_audited<G: AsRef<[f32]>>(
+    replicas: &[(usize, G)],
     q_min: usize,
     expected_workers: &[usize],
 ) -> Result<QuorumOutcome, QuorumError> {
     let mut outcome = quorum_vote(replicas, q_min, expected_workers.len())?;
     outcome.audit.mark_absent(expected_workers);
     Ok(outcome)
+}
+
+/// One file's vote input: its arrived `(worker, gradient)` replicas plus
+/// the worker set expected to hold the file (for absence auditing).
+pub type VoteInput<'a, G> = (&'a [(usize, G)], &'a [usize]);
+
+/// Audited votes for every file of a round, run in parallel over the
+/// kernel pool.
+///
+/// `files` holds one `(arrived replicas, expected holder set)` pair per
+/// file; the result is index-aligned with `files`. Each file's vote is a
+/// pure function of its own entry and writes only its own output slot
+/// (deterministic chunking via `parallel_chunks_mut`), so the result is
+/// **bit-identical to a sequential [`quorum_vote_audited`] loop** at any
+/// `BYZ_KERNEL_THREADS` setting — including every `VoteAudit`, which is
+/// what lets the reputation layer run unchanged above a parallel vote.
+pub fn quorum_vote_all_audited<G>(
+    files: &[VoteInput<'_, G>],
+    q_min: usize,
+) -> Vec<Result<QuorumOutcome, QuorumError>>
+where
+    G: AsRef<[f32]> + Sync,
+{
+    let mut out: Vec<Option<Result<QuorumOutcome, QuorumError>>> = vec![None; files.len()];
+    let chunk = files
+        .len()
+        .div_ceil(byz_kernel::num_threads().max(1))
+        .max(1);
+    byz_kernel::parallel_chunks_mut(&mut out, chunk, |start, slots| {
+        for (offset, slot) in slots.iter_mut().enumerate() {
+            let (replicas, expected_workers) = files[start + offset];
+            *slot = Some(quorum_vote_audited(replicas, q_min, expected_workers));
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every file slot is written by exactly one chunk"))
+        .collect()
 }
 
 /// Runs a robust aggregation rule over a winner set of mixed provenance.
@@ -408,7 +450,10 @@ mod tests {
             quorum_vote(&pairs(&[4], &[h]), 2, 3).unwrap_err(),
             QuorumError::QuorumNotMet { got: 1, needed: 2 }
         );
-        assert_eq!(quorum_vote(&[], 1, 3).unwrap_err(), QuorumError::NoReplicas);
+        assert_eq!(
+            quorum_vote::<Vec<f32>>(&[], 1, 3).unwrap_err(),
+            QuorumError::NoReplicas
+        );
     }
 
     #[test]
@@ -523,6 +568,50 @@ mod tests {
             aggregate_winners(&CoordinateMedian, &[]).unwrap_err(),
             AggregationError::Empty
         );
+    }
+
+    #[test]
+    fn borrowed_views_vote_identically_to_owned() {
+        // Replicas as slices into one flat buffer — the arena shape.
+        let slab: Vec<f32> = vec![1.0, 2.0, 9.0, 9.0, 1.0, 2.0];
+        let views: Vec<(usize, &[f32])> =
+            vec![(0, &slab[0..2]), (1, &slab[2..4]), (2, &slab[4..6])];
+        let owned: Vec<(usize, Vec<f32>)> = views.iter().map(|(w, g)| (*w, g.to_vec())).collect();
+        let a = quorum_vote(&views, 1, 3).unwrap();
+        let b = quorum_vote(&owned, 1, 3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.value, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_vote_matches_sequential_loop() {
+        // Many files with varied replica patterns: full agreement,
+        // split votes, absences, empty (error) files.
+        let h = vec![1.0f32, -2.0];
+        let e = vec![7.0f32, 7.0];
+        type OwnedFile = (Vec<(usize, Vec<f32>)>, Vec<usize>);
+        let mut per_file: Vec<OwnedFile> = Vec::new();
+        for f in 0..97usize {
+            let holders = vec![f % 5, f % 5 + 5, f % 5 + 10];
+            let replicas: Vec<(usize, Vec<f32>)> = match f % 4 {
+                0 => holders.iter().map(|&w| (w, h.clone())).collect(),
+                1 => vec![(holders[0], h.clone()), (holders[1], e.clone())],
+                2 => vec![(holders[2], e.clone())],
+                _ => Vec::new(),
+            };
+            per_file.push((replicas, holders));
+        }
+        let files: Vec<VoteInput<'_, Vec<f32>>> = per_file
+            .iter()
+            .map(|(r, w)| (r.as_slice(), w.as_slice()))
+            .collect();
+
+        let sequential: Vec<_> = files
+            .iter()
+            .map(|(r, w)| quorum_vote_audited(r, 1, w))
+            .collect();
+        let parallel = quorum_vote_all_audited(&files, 1);
+        assert_eq!(parallel, sequential);
     }
 
     proptest! {

@@ -1,0 +1,206 @@
+//! Round hot path: legacy owned-gradient gather + per-file frames vs the
+//! zero-copy pipeline (gradient arena, batched frames, pool-parallel
+//! votes). The `bench_round` binary runs the full K/d sweep and writes
+//! `BENCH_round.json`; this criterion bench keeps a small reference
+//! point (K = 15, d = 32k) under confidence intervals.
+
+use byz_aggregate::{quorum_vote_all_audited, quorum_vote_audited, VoteInput};
+use byz_assign::{Assignment, RandomAssignment};
+use byz_cluster::{Cluster, ExecutionMode, GradientArena, WorkerCompute};
+use byz_wire::{decode_gradient_batch, encode_gradient_batch, Message};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 32_768;
+const Q_MIN: usize = 2;
+
+struct SyntheticGrad;
+
+impl WorkerCompute for SyntheticGrad {
+    fn gradient(&self, params: &[f32], file: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; params.len()];
+        self.gradient_into(params, file, &mut out);
+        out
+    }
+
+    fn gradient_into(&self, params: &[f32], file: usize, out: &mut [f32]) {
+        let bias = file as f32 * 0.5;
+        for (o, p) in out.iter_mut().zip(params) {
+            *o = p + bias;
+        }
+    }
+}
+
+fn assignment() -> Assignment {
+    RandomAssignment::new(15, 15, 3)
+        .expect("valid parameters")
+        .build(&mut StdRng::seed_from_u64(42))
+}
+
+/// The seed's pipeline: owned replicas, one frame per file, sequential
+/// votes.
+fn legacy_round(assignment: &Assignment, params: &[f32]) -> usize {
+    let graph = assignment.graph();
+    let compute = SyntheticGrad;
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    for worker in 0..assignment.num_workers() {
+        for &file in graph.files_of(worker) {
+            frames.push(
+                Message::GradientReturn {
+                    iteration: 1,
+                    worker: worker as u32,
+                    file: file as u32,
+                    gradient: compute.gradient(params, file),
+                }
+                .encode()
+                .to_vec(),
+            );
+        }
+    }
+    let mut replicas: Vec<Vec<(usize, Vec<f32>)>> =
+        (0..assignment.num_files()).map(|_| Vec::new()).collect();
+    for frame in &frames {
+        if let Ok(Message::GradientReturn {
+            worker,
+            file,
+            gradient,
+            ..
+        }) = Message::decode(frame)
+        {
+            replicas[file as usize].push((worker as usize, gradient));
+        }
+    }
+    (0..assignment.num_files())
+        .map(|f| {
+            quorum_vote_audited(&replicas[f], Q_MIN, graph.workers_of(f))
+                .unwrap()
+                .votes
+        })
+        .sum()
+}
+
+/// The zero-copy pipeline: arena fill, one batched frame per worker,
+/// reused PS buffers, votes over borrowed views.
+#[allow(clippy::too_many_arguments)]
+fn arena_round(
+    cluster: &Cluster,
+    params: &[f32],
+    arena: &mut GradientArena,
+    buffers: &mut [Vec<f32>],
+    entries: &mut [Vec<(u32, usize, usize)>],
+    parallel_votes: bool,
+) -> usize {
+    let assignment = cluster.assignment();
+    let graph = assignment.graph();
+    let num_files = assignment.num_files();
+    let round = cluster.compute_round_arena(&SyntheticGrad, params, arena);
+
+    let file_views: Vec<Vec<(usize, &[f32])>> =
+        (0..num_files).map(|f| round.file_replicas(f)).collect();
+    let frames: Vec<bytes::Bytes> = (0..assignment.num_workers())
+        .map(|worker| {
+            let worker_entries: Vec<(u32, &[f32])> = graph
+                .files_of(worker)
+                .iter()
+                .map(|&file| {
+                    let view = file_views[file]
+                        .iter()
+                        .find(|(w, _)| *w == worker)
+                        .expect("full honest round")
+                        .1;
+                    (file as u32, view)
+                })
+                .collect();
+            encode_gradient_batch(1, worker as u32, &worker_entries)
+        })
+        .collect();
+
+    for frame in &frames {
+        let batch = decode_gradient_batch(frame).expect("self-encoded frame decodes");
+        let worker = batch.worker as usize;
+        buffers[worker].clear();
+        entries[worker].clear();
+        for entry in &batch.entries {
+            let start = buffers[worker].len();
+            entry.extend_into(&mut buffers[worker]);
+            entries[worker].push((entry.file, start, entry.len()));
+        }
+    }
+    let mut vote_views: Vec<Vec<(usize, &[f32])>> = (0..num_files)
+        .map(|_| Vec::with_capacity(assignment.replication()))
+        .collect();
+    for (worker, index) in entries.iter().enumerate() {
+        for &(file, start, len) in index {
+            vote_views[file as usize].push((worker, &buffers[worker][start..start + len]));
+        }
+    }
+    if parallel_votes {
+        let inputs: Vec<VoteInput<'_, &[f32]>> = (0..num_files)
+            .map(|f| (vote_views[f].as_slice(), graph.workers_of(f)))
+            .collect();
+        quorum_vote_all_audited(&inputs, Q_MIN)
+            .into_iter()
+            .map(|r| r.unwrap().votes)
+            .sum()
+    } else {
+        (0..num_files)
+            .map(|f| {
+                quorum_vote_audited(&vote_views[f], Q_MIN, graph.workers_of(f))
+                    .unwrap()
+                    .votes
+            })
+            .sum()
+    }
+}
+
+fn bench_round(c: &mut Criterion) {
+    let assignment = assignment();
+    let params = vec![0.125f32; DIM];
+    let mut group = c.benchmark_group("round_hot_path");
+
+    group.bench_function("legacy_seq_k15_d32k", |b| {
+        b.iter(|| legacy_round(std::hint::black_box(&assignment), &params))
+    });
+
+    let seq = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
+    let mut arena = GradientArena::new();
+    let k = assignment.num_workers();
+    let mut buffers: Vec<Vec<f32>> = vec![Vec::new(); k];
+    let mut entries: Vec<Vec<(u32, usize, usize)>> = vec![Vec::new(); k];
+    group.bench_function("arena_seq_k15_d32k", |b| {
+        b.iter(|| {
+            arena_round(
+                std::hint::black_box(&seq),
+                &params,
+                &mut arena,
+                &mut buffers,
+                &mut entries,
+                false,
+            )
+        })
+    });
+
+    let thr = Cluster::new(
+        assignment,
+        ExecutionMode::Threaded {
+            max_threads: byz_kernel::num_threads(),
+        },
+    );
+    group.bench_function("arena_threaded_k15_d32k", |b| {
+        b.iter(|| {
+            arena_round(
+                std::hint::black_box(&thr),
+                &params,
+                &mut arena,
+                &mut buffers,
+                &mut entries,
+                true,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,467 @@
+//! Round-scoped gradient arena: the zero-copy round hot path.
+//!
+//! The legacy gather ([`Cluster::compute_round_faulty`]) allocates one
+//! `Vec<f32>` per replica per round — `K·l` heap allocations plus a
+//! per-file `Vec<(usize, Vec<f32>)>` shuffle, every iteration. Profiles
+//! (`BENCH_kernels.json`, `cluster_round` at 1.01× threaded) show the
+//! round is dominated by exactly this, not by gradient math.
+//!
+//! A [`GradientArena`] replaces all of it with one flat `f32` slab per
+//! worker, sized `load·d` and **reused across rounds without re-zeroing**
+//! (every live slot is overwritten before it is read; crashed workers'
+//! stale slots are never referenced). A replica is then just a
+//! `(worker, slot)` pair and voting reads borrowed `&[f32]` views
+//! straight out of the slabs — the per-round steady-state allocation
+//! count drops to zero.
+//!
+//! Ownership rules (DESIGN.md §12):
+//!
+//! 1. the arena is borrowed mutably for the *fill* phase of a round and
+//!    immutably by the returned [`ArenaRound`] for the read phase, so the
+//!    borrow checker proves no vote can observe a half-written slab;
+//! 2. [`ArenaRound`] must be dropped before the next round starts (the
+//!    next `compute_round_arena` call needs the `&mut` back);
+//! 3. slab contents persist across rounds — only shape changes
+//!    (assignment or dimension) reallocate.
+
+use crate::engine::{ComputedRound, ExecutionMode, WorkerCompute};
+use crate::{Cluster, ClusterError, FaultPlan};
+use std::time::{Duration, Instant};
+
+/// Reusable per-worker gradient storage for the round hot path.
+///
+/// Create once ([`GradientArena::new`]), then pass `&mut` to
+/// [`Cluster::compute_round_arena`] every round. The first round (or a
+/// shape change) sizes the slabs; later rounds reuse them untouched.
+#[derive(Debug, Default)]
+pub struct GradientArena {
+    /// Gradient dimension the slabs are currently shaped for.
+    dim: usize,
+    /// `slabs[w]` = flat `load_w · dim` buffer; slot `i` holds the
+    /// gradient of `files_of(w)[i]` at `[i·dim, (i+1)·dim)`.
+    slabs: Vec<Vec<f32>>,
+    /// `slots[file]` = `(worker, slot)` pairs that arrived this round, in
+    /// ascending worker order. Inner vectors are cleared (capacity kept),
+    /// never reallocated in steady state.
+    slots: Vec<Vec<(usize, usize)>>,
+    /// Per-worker compute durations, overwritten (not re-zeroed) each
+    /// round.
+    worker_compute: Vec<Duration>,
+    /// Per-worker participation flags, overwritten each round.
+    participated: Vec<bool>,
+}
+
+impl GradientArena {
+    /// An empty arena; the first round shapes it.
+    pub fn new() -> Self {
+        GradientArena::default()
+    }
+
+    /// Total `f32` capacity across all slabs (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.slabs.iter().map(Vec::len).sum()
+    }
+
+    /// Ensures the slabs match `(assignment shape, dim)`. Reshaping
+    /// reallocates; a matching shape leaves slab contents untouched —
+    /// deliberately *not* zeroed, stale data is unreachable through the
+    /// round's slot lists.
+    fn ensure_shape(&mut self, cluster: &Cluster, dim: usize) {
+        let assignment = cluster.assignment();
+        let k = assignment.num_workers();
+        let files = assignment.num_files();
+        let shape_ok = self.dim == dim
+            && self.slabs.len() == k
+            && self
+                .slabs
+                .iter()
+                .enumerate()
+                .all(|(w, s)| s.len() == assignment.graph().files_of(w).len() * dim);
+        if !shape_ok {
+            self.dim = dim;
+            self.slabs = (0..k)
+                .map(|w| vec![0.0; assignment.graph().files_of(w).len() * dim])
+                .collect();
+        }
+        let r = assignment.replication();
+        if self.slots.len() != files {
+            self.slots = (0..files).map(|_| Vec::with_capacity(r)).collect();
+        }
+        self.worker_compute.resize(k, Duration::ZERO);
+        self.participated.resize(k, false);
+    }
+
+    /// The gradient stored at `(worker, slot)`.
+    fn replica(&self, worker: usize, slot: usize) -> &[f32] {
+        &self.slabs[worker][slot * self.dim..(slot + 1) * self.dim]
+    }
+}
+
+/// One mutable per-worker unit of the fill phase: the worker's whole
+/// slab plus its measured compute time.
+struct WorkerFill<'s> {
+    slab: &'s mut [f32],
+    took: Duration,
+    alive: bool,
+}
+
+/// The gathered results of one arena round: `(worker, slot)` replica
+/// references into the borrowed [`GradientArena`], no owned gradients.
+///
+/// The borrow keeps the arena immutable (and therefore stable) for as
+/// long as any view handed out by [`ArenaRound::file_replicas`] lives.
+#[derive(Debug)]
+pub struct ArenaRound<'a> {
+    arena: &'a GradientArena,
+    /// Replicas computed by live workers but lost in transit.
+    pub dropped_replicas: usize,
+    /// Wall-clock time of the whole round.
+    pub elapsed: Duration,
+}
+
+impl<'a> ArenaRound<'a> {
+    /// Number of files in the round.
+    pub fn num_files(&self) -> usize {
+        self.arena.slots.len()
+    }
+
+    /// Per-worker compute durations (zero for crashed workers).
+    pub fn worker_compute(&self) -> &[Duration] {
+        &self.arena.worker_compute
+    }
+
+    /// Whether each worker computed this round.
+    pub fn participated(&self) -> &[bool] {
+        &self.arena.participated
+    }
+
+    /// Number of workers that computed this round.
+    pub fn surviving_workers(&self) -> usize {
+        self.arena.participated.iter().filter(|&&p| p).count()
+    }
+
+    /// The slowest surviving worker's compute time.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSurvivingWorkers`] when every worker crashed.
+    pub fn slowest_worker(&self) -> Result<Duration, ClusterError> {
+        self.arena
+            .worker_compute
+            .iter()
+            .zip(&self.arena.participated)
+            .filter(|(_, &p)| p)
+            .map(|(d, _)| *d)
+            .max()
+            .ok_or(ClusterError::NoSurvivingWorkers)
+    }
+
+    /// The arrived replicas of `file` as zero-copy views into the arena,
+    /// in ascending worker order — the exact shape
+    /// `byz_aggregate::quorum_vote` takes.
+    pub fn file_replicas(&self, file: usize) -> Vec<(usize, &'a [f32])> {
+        let mut out = Vec::with_capacity(self.arena.slots[file].len());
+        self.collect_file_replicas(file, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ArenaRound::file_replicas`]: clears
+    /// and refills a caller-owned scratch vector.
+    pub fn collect_file_replicas(&self, file: usize, out: &mut Vec<(usize, &'a [f32])>) {
+        out.clear();
+        out.extend(
+            self.arena.slots[file]
+                .iter()
+                .map(|&(w, slot)| (w, self.arena.replica(w, slot))),
+        );
+    }
+
+    /// Number of replicas that arrived for `file`.
+    pub fn replica_count(&self, file: usize) -> usize {
+        self.arena.slots[file].len()
+    }
+
+    /// Copies the round out into the legacy owned representation —
+    /// identical (replicas, participation, drop counts) to what
+    /// [`Cluster::compute_round_faulty`] would have produced. This is the
+    /// bridge the bit-identity tests pin the arena path against; it is
+    /// *not* on the hot path.
+    pub fn materialize(&self) -> ComputedRound {
+        ComputedRound {
+            replicas: (0..self.num_files())
+                .map(|f| {
+                    self.arena.slots[f]
+                        .iter()
+                        .map(|&(w, slot)| (w, self.arena.replica(w, slot).to_vec()))
+                        .collect()
+                })
+                .collect(),
+            worker_compute: self.arena.worker_compute.clone(),
+            participated: self.arena.participated.clone(),
+            dropped_replicas: self.dropped_replicas,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+impl Cluster {
+    /// Executes one computation round through the gradient arena: the
+    /// zero-copy counterpart of [`Cluster::compute_round`].
+    pub fn compute_round_arena<'a>(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        arena: &'a mut GradientArena,
+    ) -> ArenaRound<'a> {
+        self.compute_round_arena_masked(compute, params, &FaultPlan::none(), 0, None, arena)
+    }
+
+    /// Fault-injected arena round; the zero-copy counterpart of
+    /// [`Cluster::compute_round_faulty`]. Fault decisions are functions
+    /// of `(plan, round, worker, file)` only, so
+    /// [`ArenaRound::materialize`] is identical to the legacy round under
+    /// the same plan.
+    pub fn compute_round_arena_faulty<'a>(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+        arena: &'a mut GradientArena,
+    ) -> ArenaRound<'a> {
+        self.compute_round_arena_masked(compute, params, plan, round, None, arena)
+    }
+
+    /// Reputation-masked arena round; the zero-copy counterpart of
+    /// [`Cluster::compute_round_reputed`].
+    pub fn compute_round_arena_reputed<'a>(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+        active: &[bool],
+        arena: &'a mut GradientArena,
+    ) -> ArenaRound<'a> {
+        self.compute_round_arena_masked(compute, params, plan, round, Some(active), arena)
+    }
+
+    fn compute_round_arena_masked<'a>(
+        &self,
+        compute: &(dyn WorkerCompute + Sync),
+        params: &[f32],
+        plan: &FaultPlan,
+        round: u64,
+        active: Option<&[bool]>,
+        arena: &'a mut GradientArena,
+    ) -> ArenaRound<'a> {
+        let start = Instant::now();
+        let dim = params.len();
+        arena.ensure_shape(self, dim);
+        let k = self.assignment().num_workers();
+
+        // Fill phase: each live worker overwrites every slot of its own
+        // slab. Slabs are disjoint, so the threaded fan-out writes the
+        // same bits as the sequential loop.
+        let mut fills: Vec<WorkerFill<'_>> = arena
+            .slabs
+            .iter_mut()
+            .map(|s| WorkerFill {
+                slab: s.as_mut_slice(),
+                took: Duration::ZERO,
+                alive: false,
+            })
+            .collect();
+        let fill_one = |worker: usize, fill: &mut WorkerFill<'_>| {
+            let crashed = plan.is_crashed(worker)
+                || active.is_some_and(|mask| mask.get(worker).copied() == Some(false));
+            if crashed {
+                fill.took = Duration::ZERO;
+                fill.alive = false;
+                return;
+            }
+            let t0 = Instant::now();
+            for (i, &file) in self
+                .assignment()
+                .graph()
+                .files_of(worker)
+                .iter()
+                .enumerate()
+            {
+                compute.gradient_into(params, file, &mut fill.slab[i * dim..(i + 1) * dim]);
+            }
+            fill.took = t0.elapsed();
+            fill.alive = true;
+        };
+        match self.mode() {
+            ExecutionMode::Sequential => {
+                for (w, fill) in fills.iter_mut().enumerate() {
+                    fill_one(w, fill);
+                }
+            }
+            ExecutionMode::Threaded { max_threads } => {
+                let chunk = k.div_ceil(max_threads.max(1));
+                byz_kernel::parallel_chunks_mut(&mut fills, chunk, |first, chunk_fills| {
+                    for (off, fill) in chunk_fills.iter_mut().enumerate() {
+                        fill_one(first + off, fill);
+                    }
+                });
+            }
+        }
+
+        // Gather phase: record durations/participation (overwrite, no
+        // re-zero) and rebuild the per-file slot lists. Iterating workers
+        // in ascending order makes each file's list ascending by
+        // construction — no sort.
+        let mut dropped_replicas = 0usize;
+        for (w, fill) in fills.iter().enumerate() {
+            arena.worker_compute[w] = fill.took;
+            arena.participated[w] = fill.alive;
+        }
+        for slot_list in &mut arena.slots {
+            slot_list.clear();
+        }
+        for w in 0..k {
+            if !arena.participated[w] {
+                continue;
+            }
+            for (i, &file) in self.assignment().graph().files_of(w).iter().enumerate() {
+                if plan.drops_replica(round, 0, w, file) {
+                    dropped_replicas += 1;
+                } else {
+                    arena.slots[file].push((w, i));
+                }
+            }
+        }
+
+        ArenaRound {
+            arena,
+            dropped_replicas,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byz_assign::MolsAssignment;
+
+    fn toy_compute(params: &[f32], file: usize) -> Vec<f32> {
+        params.iter().map(|p| p + file as f32).collect()
+    }
+
+    fn assignment() -> byz_assign::Assignment {
+        MolsAssignment::new(5, 3).unwrap().build()
+    }
+
+    fn strip_timing(mut round: ComputedRound) -> ComputedRound {
+        round.worker_compute = Vec::new();
+        round.elapsed = Duration::ZERO;
+        round
+    }
+
+    fn assert_rounds_equal(a: &ComputedRound, b: &ComputedRound) {
+        assert_eq!(a.replicas, b.replicas);
+        assert_eq!(a.participated, b.participated);
+        assert_eq!(a.dropped_replicas, b.dropped_replicas);
+    }
+
+    #[test]
+    fn arena_matches_legacy_round() {
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let params = vec![1.0f32, 2.0];
+        let legacy = cluster.compute_round(&toy_compute, &params);
+        let mut arena = GradientArena::new();
+        let round = cluster.compute_round_arena(&toy_compute, &params, &mut arena);
+        assert_rounds_equal(&round.materialize(), &legacy);
+    }
+
+    #[test]
+    fn arena_reuse_across_rounds_stays_identical_to_legacy() {
+        // ≥20 consecutive rounds with evolving params and faults: the
+        // reused (never re-zeroed) slabs must keep producing exactly the
+        // legacy rounds, proving no stale data leaks through slot lists.
+        let plan = FaultPlan::new(21).crash(3).drop_rate(0.2);
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let mut arena = GradientArena::new();
+        let mut params = vec![0.4f32, -1.1, 2.5];
+        for round in 0..25u64 {
+            let legacy = cluster.compute_round_faulty(&toy_compute, &params, &plan, round);
+            let a =
+                cluster.compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena);
+            assert_rounds_equal(&a.materialize(), &legacy);
+            params.iter_mut().for_each(|p| *p += 0.01);
+        }
+    }
+
+    #[test]
+    fn threaded_arena_is_bit_identical_to_sequential() {
+        let plan = FaultPlan::new(7).crash(4).drop_rate(0.15);
+        let seq = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let thr = Cluster::new(assignment(), ExecutionMode::Threaded { max_threads: 4 });
+        let params = vec![0.25f32, -1.5];
+        let mut arena_a = GradientArena::new();
+        let mut arena_b = GradientArena::new();
+        for round in 0..6 {
+            let a = seq
+                .compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena_a)
+                .materialize();
+            let b = thr
+                .compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena_b)
+                .materialize();
+            assert_rounds_equal(&strip_timing(a), &strip_timing(b));
+        }
+    }
+
+    #[test]
+    fn file_replicas_are_views_into_the_arena() {
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let mut arena = GradientArena::new();
+        let round = cluster.compute_round_arena(&toy_compute, &[1.0, 2.0], &mut arena);
+        let reps = round.file_replicas(0);
+        assert_eq!(reps.len(), 3);
+        for (w, g) in &reps {
+            assert_eq!(g, &[1.0, 2.0], "worker {w}");
+        }
+        // Ascending worker order, and votable as-is.
+        assert!(reps.windows(2).all(|p| p[0].0 < p[1].0));
+        let outcome = byz_aggregate::quorum_vote(&reps, 1, 3).unwrap();
+        assert_eq!(outcome.value, vec![1.0, 2.0]);
+        assert_eq!(outcome.votes, 3);
+    }
+
+    #[test]
+    fn steady_state_does_not_grow_capacity() {
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let mut arena = GradientArena::new();
+        let params = vec![0.0f32; 64];
+        let _warm = cluster.compute_round_arena(&toy_compute, &params, &mut arena);
+        let cap = arena.capacity();
+        for _ in 0..5 {
+            let _round = cluster.compute_round_arena(&toy_compute, &params, &mut arena);
+        }
+        assert_eq!(arena.capacity(), cap);
+    }
+
+    #[test]
+    fn masked_arena_round_skips_quarantined_workers() {
+        let cluster = Cluster::new(assignment(), ExecutionMode::Sequential);
+        let mut active = vec![true; 15];
+        active[2] = false;
+        let mut arena = GradientArena::new();
+        let round = cluster.compute_round_arena_reputed(
+            &toy_compute,
+            &[1.0],
+            &FaultPlan::none(),
+            0,
+            &active,
+            &mut arena,
+        );
+        assert!(!round.participated()[2]);
+        assert_eq!(round.surviving_workers(), 14);
+        for f in 0..round.num_files() {
+            assert!(round.file_replicas(f).iter().all(|(w, _)| *w != 2));
+        }
+    }
+}

@@ -19,6 +19,22 @@ use std::time::{Duration, Instant};
 pub trait WorkerCompute {
     /// Computes the gradient of `file` at `params`.
     fn gradient(&self, params: &[f32], file: usize) -> Vec<f32>;
+
+    /// Computes the gradient of `file` at `params` directly into `out`
+    /// (an arena slot of length `params.len()`).
+    ///
+    /// The default delegates to [`WorkerCompute::gradient`] and copies,
+    /// so every existing implementor works with the arena path
+    /// unchanged; allocation-sensitive oracles should override this to
+    /// write in place and make the round hot path allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// The default panics if the computed gradient's length differs from
+    /// `out.len()` — arena slots are fixed at the model dimension.
+    fn gradient_into(&self, params: &[f32], file: usize, out: &mut [f32]) {
+        out.copy_from_slice(&self.gradient(params, file));
+    }
 }
 
 impl<F> WorkerCompute for F
@@ -255,8 +271,12 @@ impl Cluster {
         start: Instant,
         active: Option<&[bool]>,
     ) -> ComputedRound {
-        let mut replicas: Vec<Vec<(usize, Vec<f32>)>> =
-            vec![Vec::new(); self.assignment.num_files()];
+        // Preallocated at the replication degree: a file can never gather
+        // more than `r` replicas, so the per-file lists never reallocate.
+        let r = self.assignment.replication();
+        let mut replicas: Vec<Vec<(usize, Vec<f32>)>> = (0..self.assignment.num_files())
+            .map(|_| Vec::with_capacity(r))
+            .collect();
         let mut worker_compute = Vec::with_capacity(per_worker.len());
         let mut participated = Vec::with_capacity(per_worker.len());
         let mut dropped_replicas = 0usize;

@@ -32,10 +32,12 @@
 //! in `byz-aggregate::quorum_vote` and is shared with the `byz-wire`
 //! transport.
 
+mod arena;
 mod engine;
 mod fault;
 mod timing;
 
+pub use arena::{ArenaRound, GradientArena};
 pub use engine::{Cluster, ComputedRound, ExecutionMode, WorkerCompute};
 pub use fault::{ClusterError, FaultPlan};
 pub use timing::{CostModel, IterationTimeEstimate, RetryPolicy};

@@ -307,7 +307,7 @@ mod tests {
                 750,
                 25,
                 1.0,
-                &plan.clone().crash(3),
+                &plan.crash(3),
                 0,
                 0,
                 &RetryPolicy::default(),

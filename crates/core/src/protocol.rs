@@ -4,8 +4,8 @@ use crate::{
     evaluate_accuracy, gradients_differ, FileGradientOracle, GradientMoments, InputLayout,
 };
 use byz_aggregate::{
-    quorum_vote_audited, AggregationError, Aggregator, Provenance, QuorumConfig, QuorumError,
-    QuorumOutcome, VoteAudit,
+    quorum_vote_all_audited, quorum_vote_audited, AggregationError, Aggregator, Provenance,
+    QuorumConfig, QuorumError, QuorumOutcome, VoteAudit,
 };
 use byz_assign::{reassign_quarantined, Assignment};
 use byz_attack::{AttackContext, AttackVector, ByzantineSelector};
@@ -46,6 +46,24 @@ impl fmt::Debug for Defense {
         match self {
             Defense::VoteThenAggregate(a) => write!(f, "VoteThenAggregate({})", a.name()),
             Defense::Direct(a) => write!(f, "Direct({})", a.name()),
+        }
+    }
+}
+
+/// A replica payload as the parameter server receives it. Honest
+/// replicas *borrow* the round's true gradient — they are bit-identical
+/// by construction, so the vote can read one shared buffer instead of
+/// `r` clones per file — while Byzantine forgeries own their payload.
+enum Replica<'g> {
+    Honest(&'g [f32]),
+    Forged(Vec<f32>),
+}
+
+impl AsRef<[f32]> for Replica<'_> {
+    fn as_ref(&self) -> &[f32] {
+        match self {
+            Replica::Honest(g) => g,
+            Replica::Forged(g) => g,
         }
     }
 }
@@ -484,24 +502,64 @@ impl<'a, M: Module> Trainer<'a, M> {
             //    index); crashed workers never return.
             let aggregated = match &self.defense {
                 Defense::VoteThenAggregate(aggregator) => {
-                    let mut winners: Vec<(usize, QuorumOutcome)> = Vec::with_capacity(f);
+                    // Zero-copy forge: honest replicas borrow the shared
+                    // true gradient, only forgeries allocate.
+                    let forge_replica = |w: usize, file_idx: usize| {
+                        if is_byz[w] {
+                            Replica::Forged(self.attack.forge(&AttackContext {
+                                true_gradient: &true_grads[file_idx],
+                                honest_mean: &moments.mean,
+                                honest_std: &moments.std,
+                                num_workers: k,
+                                num_byzantine: q,
+                                iteration: t,
+                                file: file_idx,
+                            }))
+                        } else {
+                            Replica::Honest(&true_grads[file_idx])
+                        }
+                    };
+
+                    // Wave 0: collect every file's attempt-0 deliveries
+                    // (drop decisions evaluated in the same (file, worker)
+                    // order as the sequential loop), then vote all files
+                    // in parallel over the kernel pool. Each vote is a
+                    // pure per-file function writing its own slot, so the
+                    // winners/audits are bit-identical to voting one file
+                    // at a time.
+                    let mut wave0: Vec<Vec<(usize, Replica<'_>)>> = Vec::with_capacity(f);
                     for file_idx in 0..f {
                         let workers = active_graph.workers_of(file_idx);
-                        let expected = workers.len();
-                        let mut attempt: u32 = 0;
-                        loop {
-                            let mut present: Vec<(usize, Vec<f32>)> = Vec::with_capacity(expected);
-                            for &w in workers {
-                                if plan.is_crashed(w) {
-                                    continue;
-                                }
-                                if plan.drops_replica(t as u64, attempt, w, file_idx) {
-                                    outcome.dropped_replicas += 1;
-                                } else {
-                                    present.push((w, forge(w, file_idx)));
-                                }
+                        let mut present = Vec::with_capacity(workers.len());
+                        for &w in workers {
+                            if plan.is_crashed(w) {
+                                continue;
                             }
-                            match quorum_vote_audited(&present, q_min, workers) {
+                            if plan.drops_replica(t as u64, 0, w, file_idx) {
+                                outcome.dropped_replicas += 1;
+                            } else {
+                                present.push((w, forge_replica(w, file_idx)));
+                            }
+                        }
+                        wave0.push(present);
+                    }
+                    let vote_inputs: Vec<byz_aggregate::VoteInput<'_, Replica<'_>>> = wave0
+                        .iter()
+                        .enumerate()
+                        .map(|(fi, present)| (present.as_slice(), active_graph.workers_of(fi)))
+                        .collect();
+                    let wave0_votes = quorum_vote_all_audited(&vote_inputs, q_min);
+
+                    // Retry waves stay sequential (they are rare and
+                    // per-file); bookkeeping runs in ascending file order
+                    // exactly as before.
+                    let mut winners: Vec<(usize, QuorumOutcome)> = Vec::with_capacity(f);
+                    for (file_idx, wave0_vote) in wave0_votes.into_iter().enumerate() {
+                        let workers = active_graph.workers_of(file_idx);
+                        let mut attempt: u32 = 0;
+                        let mut result = wave0_vote;
+                        loop {
+                            match result {
                                 Ok(vote) => {
                                     if attempt > 0 {
                                         outcome.retried += 1;
@@ -527,6 +585,19 @@ impl<'a, M: Module> Trainer<'a, M> {
                                         break;
                                     }
                                     attempt += 1;
+                                    let mut present: Vec<(usize, Replica<'_>)> =
+                                        Vec::with_capacity(workers.len());
+                                    for &w in workers {
+                                        if plan.is_crashed(w) {
+                                            continue;
+                                        }
+                                        if plan.drops_replica(t as u64, attempt, w, file_idx) {
+                                            outcome.dropped_replicas += 1;
+                                        } else {
+                                            present.push((w, forge_replica(w, file_idx)));
+                                        }
+                                    }
+                                    result = quorum_vote_audited(&present, q_min, workers);
                                 }
                             }
                         }

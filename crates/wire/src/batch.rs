@@ -1,0 +1,406 @@
+//! Batched gradient frames: one frame per worker per round.
+//!
+//! The original protocol sent one [`Message::GradientReturn`] per
+//! `(worker, file)` replica — `K·l` frames per round, each paying a
+//! header, a checksum pass, and a per-element `f32` copy on both sides.
+//! This codec batches every file a worker computed into a single
+//! length-prefixed frame:
+//!
+//! ```text
+//! header:  magic | kind = 6 | body_len | checksum      (see message.rs)
+//! body:    iteration: u64
+//!          worker:    u32
+//!          count:     u32
+//!          entries:   count × (file: u32, len: u32, f32 × len)
+//! ```
+//!
+//! Decoding is zero-copy: [`GradientBatchView`] keeps each entry's
+//! payload as a [`Bytes`] slice of the (refcounted) frame, so the bytes
+//! are copied exactly once — out of the frame and straight into the
+//! parameter server's round arena, via the bulk little-endian conversion
+//! in [`extend_f32s_le`](crate::extend_f32s_le). Truncated or corrupted
+//! frames fail with a [`WireError`] and degrade like dropped frames;
+//! nothing in this module panics on wire input.
+
+use crate::message::{check_frame, frame_checksum, BodyReader, KIND_GRADIENT_BATCH, MAGIC};
+use crate::{extend_f32s_le, put_f32s_le, WireError, FRAME_HEADER_LEN};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Fixed body bytes before the entries (`iteration + worker + count`).
+const BATCH_PREFIX_LEN: usize = 8 + 4 + 4;
+
+/// Per-entry header bytes (`file + len`).
+const ENTRY_HEADER_LEN: usize = 4 + 4;
+
+/// Encodes one worker's whole round of gradient returns as a single
+/// checksummed frame. Entries keep the caller's order (ascending file
+/// order by convention — the decoder does not reorder).
+pub fn encode_gradient_batch(iteration: u64, worker: u32, entries: &[(u32, &[f32])]) -> Bytes {
+    encode_gradient_batch_into(iteration, worker, entries, BytesMut::new())
+}
+
+/// [`encode_gradient_batch`], but writing header + body into `scratch`
+/// (cleared first) so its capacity is reused. Feed back last round's
+/// frame via `BytesMut::try_from(frame)` once the parameter server has
+/// dropped its views and steady-state encoding allocates nothing.
+///
+/// Unlike the staged `seal_frame` path, this writes the frame in a
+/// single pass: header fields with a placeholder checksum, then the
+/// body, then the checksum patched in place — one buffer, zero staging
+/// copies.
+pub fn encode_gradient_batch_into(
+    iteration: u64,
+    worker: u32,
+    entries: &[(u32, &[f32])],
+    mut scratch: BytesMut,
+) -> Bytes {
+    let payload: usize = entries.iter().map(|(_, g)| g.len() * 4).sum();
+    let body_len = BATCH_PREFIX_LEN + entries.len() * ENTRY_HEADER_LEN + payload;
+    scratch.clear();
+    scratch.reserve(FRAME_HEADER_LEN + body_len);
+
+    scratch.put_u32_le(MAGIC);
+    scratch.put_u8(KIND_GRADIENT_BATCH);
+    scratch.put_u32_le(body_len as u32);
+    scratch.put_u64_le(0); // checksum backfilled below
+    scratch.put_u64_le(iteration);
+    scratch.put_u32_le(worker);
+    scratch.put_u32_le(entries.len() as u32);
+    for (file, gradient) in entries {
+        scratch.put_u32_le(*file);
+        scratch.put_u32_le(gradient.len() as u32);
+        put_f32s_le(&mut scratch, gradient);
+    }
+
+    let checksum = frame_checksum(KIND_GRADIENT_BATCH, &scratch[FRAME_HEADER_LEN..]);
+    scratch[FRAME_HEADER_LEN - 8..FRAME_HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
+    scratch.freeze()
+}
+
+/// One decoded batch entry: the file index plus its gradient payload as
+/// a zero-copy slice of the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// File index the gradient belongs to.
+    pub file: u32,
+    payload: Bytes,
+}
+
+impl BatchEntry {
+    /// Number of `f32` coordinates in the payload.
+    pub fn len(&self) -> usize {
+        self.payload.len() / 4
+    }
+
+    /// Whether the gradient is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Appends the gradient to `out` via the bulk little-endian path —
+    /// the single copy the payload ever takes on the receive side.
+    pub fn extend_into(&self, out: &mut Vec<f32>) {
+        extend_f32s_le(out, &self.payload);
+    }
+
+    /// The gradient as an owned vector (allocates; prefer
+    /// [`BatchEntry::extend_into`] on the hot path).
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.extend_into(&mut out);
+        out
+    }
+
+    /// The raw little-endian payload bytes.
+    pub fn raw(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+/// A decoded gradient batch: borrowed views into one worker's frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradientBatchView {
+    /// Iteration the batch belongs to.
+    pub iteration: u64,
+    /// Sender worker id.
+    pub worker: u32,
+    /// The per-file entries, in the order the worker encoded them.
+    pub entries: Vec<BatchEntry>,
+}
+
+impl GradientBatchView {
+    /// Total `f32` coordinates across all entries.
+    pub fn total_len(&self) -> usize {
+        self.entries.iter().map(BatchEntry::len).sum()
+    }
+}
+
+/// Returns whether a frame is a gradient batch, without decoding the
+/// body (header + checksum are still verified by the full decode).
+pub fn is_gradient_batch(frame: &[u8]) -> bool {
+    frame.len() > 4 && frame[4] == KIND_GRADIENT_BATCH
+}
+
+/// Decodes a batched gradient frame into zero-copy entry views.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, bad magic, checksum mismatch, a
+/// non-batch kind, or a body whose entry lengths disagree with the
+/// declared body length ([`WireError::MalformedBody`]). Malformed input
+/// never panics — a corrupt batch degrades exactly like a dropped frame.
+pub fn decode_gradient_batch(frame: &Bytes) -> Result<GradientBatchView, WireError> {
+    let (kind, body) = check_frame(frame)?;
+    if kind != KIND_GRADIENT_BATCH {
+        return Err(WireError::UnknownKind(kind));
+    }
+    // Body offset within the frame, for zero-copy payload slicing.
+    let body_start = frame.len() - body.len();
+
+    let mut reader = BodyReader::new(body);
+    let iteration = reader.u64_le()?;
+    let worker = reader.u32_le()?;
+    let count = reader.u32_le()? as usize;
+    // Each entry needs at least its header; an impossible count is
+    // rejected before any allocation is sized from it.
+    if count > reader.remaining() / ENTRY_HEADER_LEN {
+        return Err(WireError::MalformedBody);
+    }
+
+    let mut entries = Vec::with_capacity(count);
+    let mut offset = BATCH_PREFIX_LEN;
+    for _ in 0..count {
+        let file = reader.u32_le()?;
+        let len = reader.u32_le()? as usize;
+        let byte_len = len.checked_mul(4).ok_or(WireError::MalformedBody)?;
+        reader.take(byte_len)?;
+        offset += ENTRY_HEADER_LEN;
+        entries.push(BatchEntry {
+            file,
+            payload: frame.slice(body_start + offset..body_start + offset + byte_len),
+        });
+        offset += byte_len;
+    }
+    if reader.remaining() != 0 {
+        return Err(WireError::MalformedBody);
+    }
+
+    Ok(GradientBatchView {
+        iteration,
+        worker,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FRAME_HEADER_LEN;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn encode_pairs(iteration: u64, worker: u32, grads: &[(u32, Vec<f32>)]) -> Bytes {
+        let entries: Vec<(u32, &[f32])> = grads.iter().map(|(f, g)| (*f, g.as_slice())).collect();
+        encode_gradient_batch(iteration, worker, &entries)
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        let grads = vec![
+            (3u32, vec![1.0f32, -2.5, 0.0]),
+            (7, vec![f32::NAN, f32::INFINITY]),
+            (11, vec![]),
+        ];
+        let frame = encode_pairs(9, 4, &grads);
+        assert!(is_gradient_batch(&frame));
+        let view = decode_gradient_batch(&frame).unwrap();
+        assert_eq!(view.iteration, 9);
+        assert_eq!(view.worker, 4);
+        assert_eq!(view.entries.len(), 3);
+        for ((file, grad), entry) in grads.iter().zip(&view.entries) {
+            assert_eq!(entry.file, *file);
+            assert_eq!(entry.len(), grad.len());
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&entry.to_vec()), bits(grad));
+        }
+        assert_eq!(view.total_len(), 5);
+    }
+
+    #[test]
+    fn payloads_are_views_not_copies() {
+        let grads = vec![(0u32, vec![1.0f32; 64]), (1, vec![2.0f32; 64])];
+        let frame = encode_pairs(1, 0, &grads);
+        let view = decode_gradient_batch(&frame).unwrap();
+        // Entry payloads point inside the frame's allocation.
+        let frame_base = frame.as_ref().as_ptr() as usize;
+        let frame_end = frame_base + frame.len();
+        for entry in &view.entries {
+            let p = entry.raw().as_ptr() as usize;
+            assert!(p >= frame_base && p + entry.raw().len() <= frame_end);
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_reuses_the_allocation() {
+        let grads = [(0u32, vec![1.5f32; 256]), (3, vec![-2.0f32; 256])];
+        let entries: Vec<(u32, &[f32])> = grads.iter().map(|(f, g)| (*f, g.as_slice())).collect();
+        let frame = encode_gradient_batch(7, 2, &entries);
+        let base = frame.as_ref().as_ptr() as usize;
+        let first = decode_gradient_batch(&frame).unwrap();
+
+        // While the PS still holds views, the frame cannot be recycled.
+        let frame = BytesMut::try_from(frame).expect_err("views keep the frame frozen");
+
+        // Views dropped → the allocation comes back and the next round's
+        // frame reuses it byte-for-byte.
+        drop(first);
+        let scratch = BytesMut::try_from(frame).expect("sole handle recovers");
+        let next = encode_gradient_batch_into(8, 2, &entries, scratch);
+        assert_eq!(
+            next.as_ref().as_ptr() as usize,
+            base,
+            "allocation was reused"
+        );
+        let view = decode_gradient_batch(&next).unwrap();
+        assert_eq!(view.iteration, 8);
+        assert_eq!(view.entries.len(), 2);
+    }
+
+    #[test]
+    fn non_batch_frame_rejected() {
+        let frame = crate::Message::Shutdown.encode();
+        assert!(matches!(
+            decode_gradient_batch(&frame),
+            Err(WireError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn forged_entry_count_rejected() {
+        // Hand-build a batch body claiming u32::MAX entries with none
+        // present; the decoder must reject before sizing anything.
+        let mut body = BytesMut::new();
+        use bytes::BufMut;
+        body.put_u64_le(1);
+        body.put_u32_le(0);
+        body.put_u32_le(u32::MAX);
+        let frame = crate::message::seal_frame(KIND_GRADIENT_BATCH, body);
+        assert_eq!(
+            decode_gradient_batch(&frame).unwrap_err(),
+            WireError::MalformedBody
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut body = BytesMut::new();
+        use bytes::BufMut;
+        body.put_u64_le(1);
+        body.put_u32_le(0);
+        body.put_u32_le(0);
+        body.put_u32_le(0xFEED); // trailing bytes after the declared entries
+        let frame = crate::message::seal_frame(KIND_GRADIENT_BATCH, body);
+        assert_eq!(
+            decode_gradient_batch(&frame).unwrap_err(),
+            WireError::MalformedBody
+        );
+    }
+
+    proptest! {
+        /// Any batch of gradients roundtrips bit-exactly through the
+        /// codec, whatever the file ids, lengths, and float payloads
+        /// (including NaN bit patterns).
+        #[test]
+        fn roundtrip_any_batch(
+            iteration in 0u64..u64::MAX,
+            worker in 0u32..10_000,
+            grads in proptest::collection::vec(
+                (
+                    0u32..1_000_000,
+                    proptest::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..40),
+                ),
+                0..12,
+            ),
+        ) {
+            let frame = encode_pairs(iteration, worker, &grads);
+            let view = decode_gradient_batch(&frame).unwrap();
+            prop_assert_eq!(view.iteration, iteration);
+            prop_assert_eq!(view.worker, worker);
+            prop_assert_eq!(view.entries.len(), grads.len());
+            for ((file, grad), entry) in grads.iter().zip(&view.entries) {
+                prop_assert_eq!(entry.file, *file);
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+                prop_assert_eq!(bits(&entry.to_vec()), bits(grad));
+            }
+        }
+
+        /// Every strict prefix of a valid frame fails to decode with a
+        /// typed error — truncation degrades, never panics.
+        #[test]
+        fn truncation_degrades_not_panics(
+            cut in 0usize..200,
+            grads in proptest::collection::vec(
+                (0u32..100, proptest::collection::vec(-1e9f32..1e9, 0..16)),
+                1..6,
+            ),
+        ) {
+            let frame = encode_pairs(5, 2, &grads);
+            let cut = cut.min(frame.len().saturating_sub(1));
+            let truncated = frame.slice(0..cut);
+            prop_assert!(decode_gradient_batch(&truncated).is_err());
+        }
+
+        /// Flipping any single byte of a valid frame is caught — by the
+        /// checksum for body bytes, by the magic/kind/length checks for
+        /// header bytes — and never panics.
+        #[test]
+        fn single_byte_corruption_degrades(
+            pos_seed in 0usize..10_000,
+            flip in 1u8..=255,
+            grads in proptest::collection::vec(
+                (0u32..100, proptest::collection::vec(-1e3f32..1e3, 1..8)),
+                1..4,
+            ),
+        ) {
+            let frame = encode_pairs(3, 1, &grads);
+            let pos = pos_seed % frame.len();
+            let mut corrupted = BytesMut::from_bytes(&frame);
+            corrupted[pos] ^= flip;
+            // Either the decode fails with a typed error, or — only when
+            // the flipped byte lands in the checksum-covered body AND
+            // collides (impossible for FNV on a single flip) — succeeds.
+            // In practice: always an error for body flips; header flips
+            // hit magic/kind/len/checksum checks.
+            prop_assert!(decode_gradient_batch(&corrupted.freeze()).is_err());
+        }
+    }
+
+    #[test]
+    fn bytes_per_round_shrink_vs_per_file_frames() {
+        // The headline accounting: K·l per-file frames vs K batch frames.
+        let d = 256usize;
+        let l = 5usize;
+        let grad = vec![1.0f32; d];
+        let per_file: usize = (0..l)
+            .map(|f| {
+                crate::Message::GradientReturn {
+                    iteration: 1,
+                    worker: 0,
+                    file: f as u32,
+                    gradient: grad.clone(),
+                }
+                .encode()
+                .len()
+            })
+            .sum();
+        let entries: Vec<(u32, &[f32])> = (0..l).map(|f| (f as u32, grad.as_slice())).collect();
+        let batched = encode_gradient_batch(1, 0, &entries).len();
+        assert!(batched < per_file);
+        // Saved: l−1 frame headers, plus the per-entry iteration+worker
+        // (12 bytes) collapsing into one prefix; each entry keeps only
+        // its file+len (8 bytes).
+        let per_file_overhead = l * (FRAME_HEADER_LEN + 8 + 4 + 4 + 4);
+        let batch_overhead = FRAME_HEADER_LEN + 8 + 4 + 4 + l * (4 + 4);
+        assert_eq!(per_file - batched, per_file_overhead - batch_overhead);
+    }
+}

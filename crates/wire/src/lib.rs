@@ -25,17 +25,24 @@
 //! is distinguished from Byzantine *content* (which is well-formed but
 //! malicious — the attack model of the paper).
 
+mod batch;
 mod compress;
 mod hashvote;
 mod message;
 mod server;
 
+pub use batch::{
+    decode_gradient_batch, encode_gradient_batch, encode_gradient_batch_into, is_gradient_batch,
+    BatchEntry, GradientBatchView,
+};
 pub use compress::{packed_sign_majority, PackedSigns};
 pub use hashvote::{
     classic_uplink_bytes, hash_majority, hashvote_uplink_bytes, verify_payload, Fingerprint,
     HashVoteOutcome,
 };
-pub use message::{Message, WireError, FRAME_HEADER_LEN};
+pub use message::{
+    extend_f32s_le, put_f32s_le, read_f32s_le, Message, WireError, FRAME_HEADER_LEN,
+};
 pub use server::{LocalAttack, MessagePassingCluster, RoundSummary, ServerConfig, Transport};
 
 pub use byz_assign::Assignment;

@@ -9,12 +9,18 @@
 //! checksum: u64                        | FNV-1a over kind + body
 //! body: [u8; body_len]
 //! ```
+//!
+//! The codec is built for the round hot path: `f32` runs are moved with
+//! bulk byte copies (never per-element `put_f32_le` loops), checksums are
+//! computed by a streaming hasher (never a concatenated scratch copy of
+//! the body), and decoding slices payloads out of the refcounted frame
+//! where a view suffices (see the [`batch`](crate::batch) codec).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Frame magic marker.
-const MAGIC: u32 = 0xB125_51ED;
+pub(crate) const MAGIC: u32 = 0xB125_51ED;
 
 /// Bytes of header before the body (`magic + kind + body_len + checksum`).
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8;
@@ -24,6 +30,7 @@ const KIND_GRADIENT_RETURN: u8 = 2;
 const KIND_SHUTDOWN: u8 = 3;
 const KIND_HASH_ANNOUNCE: u8 = 4;
 const KIND_PAYLOAD_REQUEST: u8 = 5;
+pub(crate) const KIND_GRADIENT_BATCH: u8 = 6;
 
 /// Errors from frame decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +45,11 @@ pub enum WireError {
     ChecksumMismatch { expected: u64, computed: u64 },
     /// Body shorter than its declared length.
     BodyTruncated { declared: usize, got: usize },
+    /// The body's internal structure disagrees with its own length
+    /// fields (a batch entry running past the body end, a count that
+    /// cannot fit, …) — corruption the checksum cannot rule out when the
+    /// frame was forged whole.
+    MalformedBody,
 }
 
 impl fmt::Display for WireError {
@@ -57,11 +69,198 @@ impl fmt::Display for WireError {
             WireError::BodyTruncated { declared, got } => {
                 write!(f, "body truncated: declared {declared} bytes, got {got}")
             }
+            WireError::MalformedBody => write!(f, "body structure inconsistent with its length"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Streaming FNV-1a, so checksums never require concatenating `kind` and
+/// the body into a scratch buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn update(&mut self, data: &[u8]) {
+        let mut hash = self.0;
+        for &b in data {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = hash;
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Checksum of a frame: FNV-1a over the kind byte then the body.
+pub(crate) fn frame_checksum(kind: u8, body: &[u8]) -> u64 {
+    let mut hasher = Fnv1a::new();
+    hasher.update(&[kind]);
+    hasher.update(body);
+    hasher.finish()
+}
+
+/// Appends `values` to `out` as little-endian `f32`s in one bulk copy.
+///
+/// On little-endian targets the in-memory representation *is* the wire
+/// representation, so the whole run is a single `memcpy`; big-endian
+/// targets fall back to a conversion loop.
+pub fn put_f32s_le(out: &mut BytesMut, values: &[f32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: f32 has no padding and u8 has alignment 1, so viewing
+        // the f32 run as raw bytes is always valid for reads.
+        let raw =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+        out.extend_from_slice(raw);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.reserve(values.len() * 4);
+        for &v in values {
+            out.put_f32_le(v);
+        }
+    }
+}
+
+/// Decodes a run of little-endian `f32` bytes into `out` (appended), in
+/// bulk chunks instead of per-element `get_f32_le` calls.
+///
+/// # Panics
+///
+/// Panics if `raw.len()` is not a multiple of 4 — callers must have
+/// validated the length against the frame's own length fields first.
+pub fn extend_f32s_le(out: &mut Vec<f32>, raw: &[u8]) {
+    assert!(
+        raw.len().is_multiple_of(4),
+        "f32 run length must be a multiple of 4"
+    );
+    let n = raw.len() / 4;
+    out.reserve(n);
+    #[cfg(target_endian = "little")]
+    {
+        let start = out.len();
+        // SAFETY: capacity was just reserved; the byte copy fills
+        // exactly the `n` new elements with their little-endian (= native)
+        // representation, after which the length is extended over
+        // initialized memory. Every u32 bit pattern is a valid f32.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                raw.as_ptr(),
+                out.as_mut_ptr().add(start).cast::<u8>(),
+                raw.len(),
+            );
+            out.set_len(start + n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        out.extend(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+    }
+}
+
+/// Decodes a run of little-endian `f32` bytes into a fresh vector.
+pub fn read_f32s_le(raw: &[u8]) -> Vec<f32> {
+    let mut out = Vec::new();
+    extend_f32s_le(&mut out, raw);
+    out
+}
+
+/// Validates a frame's header and checksum and returns `(kind, body)`.
+///
+/// This is the single header/integrity gate shared by [`Message::decode`]
+/// and the batched-gradient codec — any byte-level corruption is caught
+/// here, before a single body field is interpreted.
+pub(crate) fn check_frame(frame: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    let mut header = frame;
+    if header.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: FRAME_HEADER_LEN,
+            got: header.len(),
+        });
+    }
+    let magic = header.get_u32_le();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = header.get_u8();
+    let body_len = header.get_u32_le() as usize;
+    let checksum = header.get_u64_le();
+    if header.len() < body_len {
+        return Err(WireError::BodyTruncated {
+            declared: body_len,
+            got: header.len(),
+        });
+    }
+    let body = &header[..body_len];
+    let computed = frame_checksum(kind, body);
+    if computed != checksum {
+        return Err(WireError::ChecksumMismatch {
+            expected: checksum,
+            computed,
+        });
+    }
+    Ok((kind, body))
+}
+
+/// A bounds-checked body reader: every read that would run past the end
+/// yields [`WireError::MalformedBody`] instead of panicking, so a forged
+/// frame with a self-consistent checksum can never take the PS down.
+pub(crate) struct BodyReader<'a>(&'a [u8]);
+
+impl<'a> BodyReader<'a> {
+    pub(crate) fn new(body: &'a [u8]) -> Self {
+        BodyReader(body)
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.0.len() < n {
+            return Err(WireError::MalformedBody);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    pub(crate) fn u32_le(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64_le(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Wraps an encoded body into a checksummed frame.
+pub(crate) fn seal_frame(kind: u8, body: BytesMut) -> Bytes {
+    let checksum = frame_checksum(kind, &body);
+    let mut frame = BytesMut::with_capacity(FRAME_HEADER_LEN + body.len());
+    frame.put_u32_le(MAGIC);
+    frame.put_u8(kind);
+    frame.put_u32_le(body.len() as u32);
+    frame.put_u64_le(checksum);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,16 +311,6 @@ pub enum Message {
     Shutdown,
 }
 
-/// FNV-1a over a byte slice.
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x1000_0000_01b3);
-    }
-    hash
-}
-
 impl Message {
     fn kind(&self) -> u8 {
         match self {
@@ -133,7 +322,9 @@ impl Message {
         }
     }
 
-    /// Serializes the message into a framed byte buffer.
+    /// Serializes the message into a framed byte buffer. The returned
+    /// [`Bytes`] is refcounted — fanning it out to `K` channels clones a
+    /// pointer, not the payload.
     pub fn encode(&self) -> Bytes {
         let mut body = BytesMut::new();
         match self {
@@ -144,9 +335,7 @@ impl Message {
             } => {
                 body.put_u64_le(*iteration);
                 body.put_u32_le(params.len() as u32);
-                for &p in params {
-                    body.put_f32_le(p);
-                }
+                put_f32s_le(&mut body, params);
                 body.put_u32_le(files.len() as u32);
                 for file in files {
                     body.put_u32_le(file.len() as u32);
@@ -165,9 +354,7 @@ impl Message {
                 body.put_u32_le(*worker);
                 body.put_u32_le(*file);
                 body.put_u32_le(gradient.len() as u32);
-                for &g in gradient {
-                    body.put_f32_le(g);
-                }
+                put_f32s_le(&mut body, gradient);
             }
             Message::HashAnnounce {
                 iteration,
@@ -186,20 +373,7 @@ impl Message {
             }
             Message::Shutdown => {}
         }
-
-        let kind = self.kind();
-        let mut hasher_input = Vec::with_capacity(1 + body.len());
-        hasher_input.push(kind);
-        hasher_input.extend_from_slice(&body);
-        let checksum = fnv1a(&hasher_input);
-
-        let mut frame = BytesMut::with_capacity(FRAME_HEADER_LEN + body.len());
-        frame.put_u32_le(MAGIC);
-        frame.put_u8(kind);
-        frame.put_u32_le(body.len() as u32);
-        frame.put_u64_le(checksum);
-        frame.extend_from_slice(&body);
-        frame.freeze()
+        seal_frame(self.kind(), body)
     }
 
     /// Parses a framed byte buffer back into a message.
@@ -207,58 +381,26 @@ impl Message {
     /// # Errors
     ///
     /// See [`WireError`]: truncation, bad magic, unknown kind, checksum
-    /// mismatch.
-    pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
-        if frame.len() < FRAME_HEADER_LEN {
-            return Err(WireError::Truncated {
-                needed: FRAME_HEADER_LEN,
-                got: frame.len(),
-            });
-        }
-        let magic = frame.get_u32_le();
-        if magic != MAGIC {
-            return Err(WireError::BadMagic(magic));
-        }
-        let kind = frame.get_u8();
-        let body_len = frame.get_u32_le() as usize;
-        let checksum = frame.get_u64_le();
-        if frame.len() < body_len {
-            return Err(WireError::BodyTruncated {
-                declared: body_len,
-                got: frame.len(),
-            });
-        }
-        let body = &frame[..body_len];
-
-        let mut hasher_input = Vec::with_capacity(1 + body.len());
-        hasher_input.push(kind);
-        hasher_input.extend_from_slice(body);
-        let computed = fnv1a(&hasher_input);
-        if computed != checksum {
-            return Err(WireError::ChecksumMismatch {
-                expected: checksum,
-                computed,
-            });
-        }
-
-        let mut body = body;
+    /// mismatch, inconsistent body structure.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        let (kind, body) = check_frame(frame)?;
+        let mut body = BodyReader::new(body);
         match kind {
             KIND_MODEL_BROADCAST => {
-                let iteration = body.get_u64_le();
-                let n = body.get_u32_le() as usize;
-                let mut params = Vec::with_capacity(n);
-                for _ in 0..n {
-                    params.push(body.get_f32_le());
-                }
-                let nf = body.get_u32_le() as usize;
-                let mut files = Vec::with_capacity(nf);
+                let iteration = body.u64_le()?;
+                let n = body.u32_le()? as usize;
+                let params =
+                    read_f32s_le(body.take(n.checked_mul(4).ok_or(WireError::MalformedBody)?)?);
+                let nf = body.u32_le()? as usize;
+                let mut files = Vec::with_capacity(nf.min(body.remaining() / 4));
                 for _ in 0..nf {
-                    let fl = body.get_u32_le() as usize;
-                    let mut file = Vec::with_capacity(fl);
-                    for _ in 0..fl {
-                        file.push(body.get_u32_le());
-                    }
-                    files.push(file);
+                    let fl = body.u32_le()? as usize;
+                    let raw = body.take(fl.checked_mul(4).ok_or(WireError::MalformedBody)?)?;
+                    files.push(
+                        raw.chunks_exact(4)
+                            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                            .collect(),
+                    );
                 }
                 Ok(Message::ModelBroadcast {
                     iteration,
@@ -267,14 +409,12 @@ impl Message {
                 })
             }
             KIND_GRADIENT_RETURN => {
-                let iteration = body.get_u64_le();
-                let worker = body.get_u32_le();
-                let file = body.get_u32_le();
-                let n = body.get_u32_le() as usize;
-                let mut gradient = Vec::with_capacity(n);
-                for _ in 0..n {
-                    gradient.push(body.get_f32_le());
-                }
+                let iteration = body.u64_le()?;
+                let worker = body.u32_le()?;
+                let file = body.u32_le()?;
+                let n = body.u32_le()? as usize;
+                let gradient =
+                    read_f32s_le(body.take(n.checked_mul(4).ok_or(WireError::MalformedBody)?)?);
                 Ok(Message::GradientReturn {
                     iteration,
                     worker,
@@ -283,10 +423,11 @@ impl Message {
                 })
             }
             KIND_HASH_ANNOUNCE => {
-                let iteration = body.get_u64_le();
-                let worker = body.get_u32_le();
-                let file = body.get_u32_le();
-                let fingerprint = crate::Fingerprint::read_from(&mut body);
+                let iteration = body.u64_le()?;
+                let worker = body.u32_le()?;
+                let file = body.u32_le()?;
+                let mut raw = body.take(16)?;
+                let fingerprint = crate::Fingerprint::read_from(&mut raw);
                 Ok(Message::HashAnnounce {
                     iteration,
                     worker,
@@ -295,8 +436,8 @@ impl Message {
                 })
             }
             KIND_PAYLOAD_REQUEST => {
-                let iteration = body.get_u64_le();
-                let file = body.get_u32_le();
+                let iteration = body.u64_le()?;
+                let file = body.u32_le()?;
                 Ok(Message::PayloadRequest { iteration, file })
             }
             KIND_SHUTDOWN => Ok(Message::Shutdown),
@@ -356,6 +497,24 @@ mod tests {
     }
 
     #[test]
+    fn f32_runs_roundtrip_bitwise() {
+        // NaN payloads, signed zeros, denormals: the bulk path must be a
+        // bit-pattern copy, not a float conversion.
+        let values = vec![
+            f32::NAN,
+            -0.0,
+            f32::MIN_POSITIVE / 2.0,
+            f32::INFINITY,
+            -1.5e-38,
+        ];
+        let mut buf = BytesMut::new();
+        put_f32s_le(&mut buf, &values);
+        let back = read_f32s_le(&buf);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&values), bits(&back));
+    }
+
+    #[test]
     fn corruption_detected() {
         let msg = Message::GradientReturn {
             iteration: 1,
@@ -363,7 +522,9 @@ mod tests {
             file: 0,
             gradient: vec![1.0, 2.0],
         };
-        let mut bytes = msg.encode().to_vec();
+        // Corrupting a frame requires a mutable copy — made once, here,
+        // where the corruption is intended.
+        let mut bytes = BytesMut::from_bytes(&msg.encode());
         // Flip a body bit.
         let last = bytes.len() - 1;
         bytes[last] ^= 0x40;
@@ -395,7 +556,7 @@ mod tests {
 
     #[test]
     fn bad_magic_detected() {
-        let mut bytes = Message::Shutdown.encode().to_vec();
+        let mut bytes = BytesMut::from_bytes(&Message::Shutdown.encode());
         bytes[0] ^= 0xFF;
         assert!(matches!(
             Message::decode(&bytes),
@@ -406,25 +567,31 @@ mod tests {
     #[test]
     fn unknown_kind_detected() {
         // Build a frame by hand with kind 99 and a valid checksum.
-        let mut hasher_input = vec![99u8];
-        let checksum = {
-            let mut hash = 0xcbf2_9ce4_8422_2325u64;
-            for &b in &hasher_input {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x1000_0000_01b3);
-            }
-            hash
-        };
-        hasher_input.clear();
-        let mut frame = bytes::BytesMut::new();
-        use bytes::BufMut;
-        frame.put_u32_le(super::MAGIC);
+        let checksum = frame_checksum(99, &[]);
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(MAGIC);
         frame.put_u8(99);
         frame.put_u32_le(0);
         frame.put_u64_le(checksum);
         assert_eq!(
             Message::decode(&frame).unwrap_err(),
             WireError::UnknownKind(99)
+        );
+    }
+
+    #[test]
+    fn oversized_count_is_malformed_not_panic() {
+        // A forged GradientReturn whose element count exceeds the body:
+        // the decoder must reject it, not slice past the end.
+        let mut body = BytesMut::new();
+        body.put_u64_le(1);
+        body.put_u32_le(0);
+        body.put_u32_le(0);
+        body.put_u32_le(u32::MAX); // claims 4 GiB of f32s
+        let frame = seal_frame(super::KIND_GRADIENT_RETURN, body);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            WireError::MalformedBody
         );
     }
 }

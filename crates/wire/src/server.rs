@@ -1,9 +1,11 @@
 //! The threaded message-passing parameter server.
 
+use crate::batch::{decode_gradient_batch, encode_gradient_batch};
 use crate::{hash_majority, verify_payload, Assignment, Fingerprint, Message};
+use bytes::Bytes;
 use byz_aggregate::{
-    quorum_vote_audited, Aggregator, CoordinateMedian, Provenance, QuorumConfig, ReplicaVerdict,
-    VoteAudit,
+    quorum_vote_all_audited, Aggregator, CoordinateMedian, Provenance, QuorumConfig,
+    ReplicaVerdict, VoteAudit,
 };
 use byz_cluster::FaultPlan;
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
@@ -205,12 +207,14 @@ impl MessagePassingCluster {
             "batch size must be divisible by the file count"
         );
 
-        let (to_ps, from_workers): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
-        let mut to_workers: Vec<Sender<Vec<u8>>> = Vec::with_capacity(k);
+        // Frames travel as refcounted `Bytes`: broadcasting one encoded
+        // model to K workers clones a pointer, never the payload.
+        let (to_ps, from_workers): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
+        let mut to_workers: Vec<Sender<Bytes>> = Vec::with_capacity(k);
 
         crossbeam::thread::scope(|scope| {
             for worker_id in 0..k {
-                let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = unbounded();
+                let (tx, rx): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
                 to_workers.push(tx);
                 let my_files: Vec<usize> = self.assignment.graph().files_of(worker_id).to_vec();
                 let dataset = Arc::clone(&self.dataset);
@@ -246,7 +250,7 @@ impl MessagePassingCluster {
 
             let result = self.ps_loop(initial_params, config, &to_workers, &from_workers);
 
-            let bye = Message::Shutdown.encode().to_vec();
+            let bye = Message::Shutdown.encode();
             for tx in &to_workers {
                 let _ = tx.send(bye.clone());
             }
@@ -260,8 +264,8 @@ impl MessagePassingCluster {
         &self,
         initial_params: Vec<f32>,
         config: &ServerConfig,
-        to_workers: &[Sender<Vec<u8>>],
-        from_workers: &Receiver<Vec<u8>>,
+        to_workers: &[Sender<Bytes>],
+        from_workers: &Receiver<Bytes>,
     ) -> (Vec<f32>, Vec<RoundSummary>) {
         let k = self.assignment.num_workers();
         let f = self.assignment.num_files();
@@ -272,6 +276,12 @@ impl MessagePassingCluster {
         let aggregator = CoordinateMedian;
         let mut summaries = Vec::with_capacity(config.iterations);
         let mut ledger = config.reputation.map(|cfg| ReputationLedger::new(k, cfg));
+        // Reused per-worker decode buffers (Full transport): each round's
+        // batched gradients land in one flat `f32` buffer per worker —
+        // cleared, never reallocated in steady state — and the votes read
+        // borrowed slices out of them.
+        let mut worker_buffers: Vec<Vec<f32>> = vec![Vec::new(); k];
+        let mut worker_entries: Vec<Vec<(u32, usize, usize)>> = vec![Vec::new(); k];
 
         for t in 1..=config.iterations as u64 {
             let batch = sampler.next_batch();
@@ -284,20 +294,25 @@ impl MessagePassingCluster {
                 params: params.clone(),
                 files,
             }
-            .encode()
-            .to_vec();
+            .encode();
             for tx in to_workers {
                 // A closed channel means the worker thread is gone — the
                 // same observable failure as a crash, and the receive
-                // timeout already covers missing replies.
+                // timeout already covers missing replies. The clone is a
+                // refcount bump, not a copy of the model.
                 let _ = tx.send(broadcast.clone());
             }
 
+            // Expected replica *entries* per round; under the batched
+            // transport these arrive inside at most `k` frames.
             let expected = k * l;
             let mut frames_received = 0usize;
             let mut bytes_received = 0usize;
             let mut non_strict = 0usize;
             let mut degraded_votes = 0usize;
+            // Replica entries that never arrived (Full transport only;
+            // set from the batch accounting below).
+            let mut missing_entries = 0usize;
             let mut audits: Vec<VoteAudit> = Vec::new();
             // Frames from quarantined workers are dropped on arrival:
             // worker file sets are fixed at spawn, so the PS ignores the
@@ -319,9 +334,19 @@ impl MessagePassingCluster {
 
             let winners: Vec<Option<Vec<f32>>> = match config.transport {
                 Transport::Full => {
-                    // Collect full gradients (with timeout for crashes).
-                    let mut per_file: HashMap<u32, Vec<(u32, Vec<f32>)>> = HashMap::new();
-                    while frames_received < expected {
+                    // Collect batched gradients: each live worker sends
+                    // ONE frame carrying all of its surviving replicas,
+                    // decoded straight into the reused per-worker flat
+                    // buffers (one bulk copy per frame, no per-replica
+                    // `Vec<f32>` allocation).
+                    for buffer in &mut worker_buffers {
+                        buffer.clear();
+                    }
+                    for entries in &mut worker_entries {
+                        entries.clear();
+                    }
+                    let mut entries_received = 0usize;
+                    while frames_received < k {
                         let Some(window) = recv_window(round_start) else {
                             break; // per-round deadline expired
                         };
@@ -332,51 +357,64 @@ impl MessagePassingCluster {
                         };
                         frames_received += 1;
                         bytes_received += frame.len();
-                        // A frame that fails to decode, or carries a message
-                        // type the PS never requests, is treated exactly like
-                        // a dropped frame: an injected fault must degrade the
-                        // round, never panic the PS thread.
-                        match Message::decode(&frame) {
-                            Ok(Message::GradientReturn {
-                                iteration,
-                                worker,
-                                file,
-                                gradient,
-                            }) => {
-                                if iteration != t {
-                                    continue; // stale frame from a slow round
-                                }
-                                if quarantined_mask.get(worker as usize) == Some(&true) {
-                                    continue;
-                                }
-                                per_file.entry(file).or_default().push((worker, gradient));
-                            }
-                            Ok(_) | Err(_) => continue,
+                        // A frame that fails to decode (truncated, corrupt
+                        // checksum, malformed body) is treated exactly like
+                        // a dropped frame: an injected fault must degrade
+                        // the round, never panic the PS thread.
+                        let Ok(batch) = decode_gradient_batch(&frame) else {
+                            continue;
+                        };
+                        entries_received += batch.entries.len();
+                        if batch.iteration != t {
+                            continue; // stale frame from a slow round
+                        }
+                        let w = batch.worker as usize;
+                        if w >= k || quarantined_mask[w] {
+                            continue;
+                        }
+                        let buffer = &mut worker_buffers[w];
+                        for entry in &batch.entries {
+                            let start = buffer.len();
+                            entry.extend_into(buffer);
+                            worker_entries[w].push((entry.file, start, entry.len()));
                         }
                     }
-                    // Vote with whatever replicas arrived — the same
-                    // degraded-quorum policy the in-process protocol uses.
-                    // Each vote's audit (who agreed, disagreed, never showed)
-                    // feeds the reputation ledger when one is configured.
-                    (0..f as u32)
+                    missing_entries = expected.saturating_sub(entries_received);
+
+                    // Per-file replica views into the worker buffers
+                    // (ascending worker order by construction), then all
+                    // files vote in parallel over the kernel pool — the
+                    // same degraded-quorum policy as before, bit-identical
+                    // to the sequential loop.
+                    let r = self.assignment.replication();
+                    let mut per_file: Vec<Vec<(usize, &[f32])>> =
+                        (0..f).map(|_| Vec::with_capacity(r)).collect();
+                    for (w, entries) in worker_entries.iter().enumerate() {
+                        for &(file, start, len) in entries {
+                            if (file as usize) < f {
+                                per_file[file as usize]
+                                    .push((w, &worker_buffers[w][start..start + len]));
+                            }
+                        }
+                    }
+                    let holders: Vec<Vec<usize>> = (0..f)
                         .map(|file| {
-                            let replicas: Vec<(usize, Vec<f32>)> = per_file
-                                .remove(&file)
-                                .unwrap_or_default()
-                                .into_iter()
-                                .map(|(w, g)| (w as usize, g))
-                                .collect();
-                            let holders: Vec<usize> = self
-                                .assignment
+                            self.assignment
                                 .graph()
-                                .workers_of(file as usize)
+                                .workers_of(file)
                                 .iter()
                                 .copied()
                                 .filter(|&w| !quarantined_mask[w])
-                                .collect();
-                            let outcome =
-                                quorum_vote_audited(&replicas, config.quorum.q_min, &holders)
-                                    .ok()?;
+                                .collect()
+                        })
+                        .collect();
+                    let vote_inputs: Vec<byz_aggregate::VoteInput<'_, &[f32]>> = (0..f)
+                        .map(|file| (per_file[file].as_slice(), holders[file].as_slice()))
+                        .collect();
+                    quorum_vote_all_audited(&vote_inputs, config.quorum.q_min)
+                        .into_iter()
+                        .map(|vote| {
+                            let outcome = vote.ok()?;
                             if !outcome.is_strict {
                                 non_strict += 1;
                             }
@@ -479,9 +517,7 @@ impl MessagePassingCluster {
                             audits.push(audit);
                         }
                         let holder = outcome.holders[0];
-                        let req = Message::PayloadRequest { iteration: t, file }
-                            .encode()
-                            .to_vec();
+                        let req = Message::PayloadRequest { iteration: t, file }.encode();
                         // A dead holder is indistinguishable from a crashed
                         // one: the pull below simply times out.
                         let _ = to_workers[holder].send(req);
@@ -527,7 +563,13 @@ impl MessagePassingCluster {
                 }
             };
 
-            let missing_votes = expected.saturating_sub(frames_received.min(expected));
+            // Full transport: entry-level accounting (frames are per
+            // worker, votes are per replica entry). HashVote keeps the
+            // frame-level accounting it always had.
+            let missing_votes = match config.transport {
+                Transport::Full => missing_entries,
+                Transport::HashVote => expected.saturating_sub(frames_received.min(expected)),
+            };
             let abandoned_files = winners.iter().filter(|w| w.is_none()).count();
             let available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
             if !available.is_empty() {
@@ -575,8 +617,8 @@ struct WorkerContext {
     my_files: Vec<usize>,
     dataset: Arc<Dataset>,
     dims: Vec<usize>,
-    rx: Receiver<Vec<u8>>,
-    to_ps: Sender<Vec<u8>>,
+    rx: Receiver<Bytes>,
+    to_ps: Sender<Bytes>,
     is_byz: bool,
     is_crashed: bool,
     attack: LocalAttack,
@@ -618,6 +660,10 @@ fn worker_loop(ctx: WorkerContext) {
                 }
                 cache.retain(|(it, _), _| *it + 1 >= iteration);
                 model.set_params(&params);
+                // Full transport: the whole round's gradients go out as
+                // ONE batched frame (drops suppress individual entries,
+                // not the frame). HashVote keeps per-file announces.
+                let mut batch: Vec<(u32, Vec<f32>)> = Vec::with_capacity(ctx.my_files.len());
                 for &file_idx in &ctx.my_files {
                     let samples: Vec<usize> = files[file_idx].iter().map(|&i| i as usize).collect();
                     let (x, labels) = gather_flat(&ctx.dataset, &samples);
@@ -628,34 +674,41 @@ fn worker_loop(ctx: WorkerContext) {
                         grad
                     };
                     // Deterministic message loss: same hash, same seed →
-                    // the same frames vanish in the simulator and here.
+                    // the same replicas vanish in the simulator and here.
                     if ctx
                         .plan
                         .drops_replica(iteration, 0, ctx.worker_id, file_idx)
                     {
                         continue;
                     }
-                    let reply = match ctx.transport {
-                        Transport::Full => Message::GradientReturn {
-                            iteration,
-                            worker: ctx.worker_id as u32,
-                            file: file_idx as u32,
-                            gradient,
-                        },
+                    match ctx.transport {
+                        Transport::Full => batch.push((file_idx as u32, gradient)),
                         Transport::HashVote => {
                             let fingerprint = Fingerprint::of(&gradient);
                             cache.insert((iteration, file_idx as u32), gradient);
-                            Message::HashAnnounce {
+                            let reply = Message::HashAnnounce {
                                 iteration,
                                 worker: ctx.worker_id as u32,
                                 file: file_idx as u32,
                                 fingerprint,
-                            }
+                            };
+                            // A hung-up PS means the run is over; uploads
+                            // to nowhere are silently dropped, the next
+                            // recv exits.
+                            let _ = ctx.to_ps.send(reply.encode());
                         }
-                    };
-                    // A hung-up PS means the run is over; uploads to
-                    // nowhere are silently dropped, the next recv exits.
-                    let _ = ctx.to_ps.send(reply.encode().to_vec());
+                    }
+                }
+                if ctx.transport == Transport::Full {
+                    // Sent even when every entry was dropped: the frame
+                    // itself is cheap and keeps the PS's frame accounting
+                    // deterministic (live workers send exactly one).
+                    let entries: Vec<(u32, &[f32])> = batch
+                        .iter()
+                        .map(|(file, g)| (*file, g.as_slice()))
+                        .collect();
+                    let frame = encode_gradient_batch(iteration, ctx.worker_id as u32, &entries);
+                    let _ = ctx.to_ps.send(frame);
                 }
             }
             Message::PayloadRequest { iteration, file } => {
@@ -685,8 +738,7 @@ fn worker_loop(ctx: WorkerContext) {
                         file,
                         gradient,
                     }
-                    .encode()
-                    .to_vec(),
+                    .encode(),
                 );
             }
             // Unexpected message types are ignored for the same reason
@@ -775,7 +827,9 @@ mod tests {
         );
         let (params, summaries) = cluster.train(initial_params(&dims), &config(40, vec![]));
         assert_eq!(summaries.len(), 40);
-        assert!(summaries.iter().all(|s| s.frames_received == 75));
+        // Batched transport: one frame per worker per round, carrying all
+        // 75 replica entries.
+        assert!(summaries.iter().all(|s| s.frames_received == 15));
         assert!(summaries.iter().all(|s| s.non_strict_votes == 0));
         assert!(summaries.iter().all(|s| s.missing_votes == 0));
         let acc = accuracy(&params, &dims, &data, 200);
@@ -905,13 +959,14 @@ mod tests {
         );
         let cfg = ServerConfig {
             faults: FaultPlan::new(0).crash_many([3, 9]),
-            receive_timeout: Duration::from_millis(200),
+            receive_timeout: Duration::from_millis(500),
             ..config(6, vec![])
         };
         let (params, summaries) = cluster.train(initial_params(&dims), &cfg);
-        // 2 crashed workers × 5 files each never arrive.
+        // 2 crashed workers × 5 files each never arrive (entry-level
+        // accounting); the 13 survivors send one batch frame each.
         assert!(summaries.iter().all(|s| s.missing_votes == 10));
-        assert!(summaries.iter().all(|s| s.frames_received == 65));
+        assert!(summaries.iter().all(|s| s.frames_received == 13));
         // Every file still reaches a (possibly degraded) quorum. Workers
         // 3 and 9 share exactly one file in this MOLS layout, so 9
         // distinct files are thinned (8 to 2/3 replicas, 1 to 1/3).
@@ -937,7 +992,7 @@ mod tests {
         let cfg = ServerConfig {
             faults: FaultPlan::new(0).crash(3),
             quorum: QuorumConfig::strict(3),
-            receive_timeout: Duration::from_millis(200),
+            receive_timeout: Duration::from_millis(500),
             ..config(3, vec![])
         };
         let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
@@ -959,7 +1014,7 @@ mod tests {
         );
         let cfg = ServerConfig {
             faults: FaultPlan::new(0xD0D0).drop_rate(0.15),
-            receive_timeout: Duration::from_millis(200),
+            receive_timeout: Duration::from_millis(500),
             ..config(5, vec![])
         };
         let (params, summaries) = cluster.train(initial_params(&dims), &cfg);
@@ -968,9 +1023,11 @@ mod tests {
         let lost: usize = summaries.iter().map(|s| s.missing_votes).sum();
         assert!(lost > 0, "15% drop rate should lose at least one frame");
         let degraded: usize = summaries.iter().map(|s| s.degraded_votes).sum();
-        assert!(degraded > 0, "lost frames should thin some quorums");
+        assert!(degraded > 0, "lost replicas should thin some quorums");
+        // Entry-level drops never suppress the batch frame itself: every
+        // live worker's frame still arrives.
         for s in &summaries {
-            assert_eq!(s.frames_received, 75 - s.missing_votes);
+            assert_eq!(s.frames_received, 15);
         }
     }
 
@@ -993,7 +1050,7 @@ mod tests {
             ..config(3, vec![])
         };
         let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
-        assert!(summaries.iter().all(|s| s.frames_received == 75));
+        assert!(summaries.iter().all(|s| s.frames_received == 15));
         assert!(summaries.iter().all(|s| s.missing_votes == 0));
         assert!(summaries.iter().all(|s| s.abandoned_files == 0));
     }
@@ -1009,7 +1066,8 @@ mod tests {
         );
         let (_, summaries) = cluster.train(initial_params(&dims), &config(2, vec![]));
         for s in &summaries {
-            assert!(s.bytes_received > 75 * crate::FRAME_HEADER_LEN);
+            // 15 batch frames, each with 5 full gradients on board.
+            assert!(s.bytes_received > 15 * crate::FRAME_HEADER_LEN);
         }
     }
 }

@@ -2,6 +2,7 @@
 //! valid messages, and NO byte mangling can cause a panic or a silently
 //! wrong decode — corruption is always surfaced as a `WireError`.
 
+use bytes::BytesMut;
 use byz_wire::{Message, WireError};
 use proptest::prelude::*;
 
@@ -50,7 +51,8 @@ proptest! {
         pos_frac in 0.0f64..1.0,
         flip in 1u8..=255,
     ) {
-        let mut bytes = msg.encode().to_vec();
+        // The one intended copy: corruption must not mutate the shared frame.
+        let mut bytes = BytesMut::from_bytes(&msg.encode());
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= flip;
         match Message::decode(&bytes) {

@@ -86,7 +86,7 @@ fn main() {
     let (hash_params, hash_summaries) = MessagePassingCluster::new(
         MolsAssignment::new(5, 3).expect("valid").build(),
         Arc::clone(&train),
-        dims.clone(),
+        dims,
     )
     .train(init, &hash_config);
     let hash_bytes: usize = hash_summaries.iter().map(|s| s.bytes_received).sum();

@@ -284,7 +284,7 @@ fn checkpoint_roundtrips_the_ledger_mid_training() {
         vec![0, 5],
         Box::new(Alie::default()),
     );
-    let ledger = history.ledger.clone().unwrap();
+    let ledger = history.ledger.unwrap();
     let checkpoint = Checkpoint {
         iteration: 10,
         tag: "mols(5,3) alie q=2".to_string(),

@@ -1,0 +1,206 @@
+//! Bit-identity pins for the zero-copy round hot path.
+//!
+//! The arena/batched/parallel-vote optimizations are only admissible
+//! because they change *nothing* observable: the same replicas, the same
+//! vote winners, the same `VoteAudit` verdicts, in the same order, as
+//! the legacy owned-gradient pipeline — sequential or threaded, with the
+//! arena reused (and never re-zeroed) across many rounds. These tests
+//! pin that contract end to end, across crates.
+
+use byz_aggregate::{quorum_vote_all_audited, quorum_vote_audited, QuorumOutcome, VoteInput};
+use byz_assign::{Assignment, MolsAssignment};
+use byz_cluster::{ArenaRound, Cluster, ComputedRound, ExecutionMode, FaultPlan, GradientArena};
+use byz_wire::{decode_gradient_batch, encode_gradient_batch};
+
+const Q_MIN: usize = 2;
+
+fn assignment() -> Assignment {
+    MolsAssignment::new(5, 3).unwrap().build()
+}
+
+/// Deterministic synthetic gradient: params shifted per file, so every
+/// honest replica of a file is bit-identical and distinct across files.
+fn toy_compute(params: &[f32], file: usize) -> Vec<f32> {
+    params
+        .iter()
+        .enumerate()
+        .map(|(j, p)| p + file as f32 + (j % 7) as f32 * 0.25)
+        .collect()
+}
+
+fn assert_rounds_equal(a: &ComputedRound, b: &ComputedRound, round: u64) {
+    assert_eq!(a.replicas, b.replicas, "replicas diverged at round {round}");
+    assert_eq!(
+        a.participated, b.participated,
+        "participation diverged at round {round}"
+    );
+    assert_eq!(
+        a.dropped_replicas, b.dropped_replicas,
+        "drop count diverged at round {round}"
+    );
+}
+
+/// Sequential per-file votes over an arena round, audits included.
+fn vote_sequential(round: &ArenaRound<'_>, assignment: &Assignment) -> Vec<Option<QuorumOutcome>> {
+    (0..round.num_files())
+        .map(|f| {
+            quorum_vote_audited(
+                &round.file_replicas(f),
+                Q_MIN,
+                assignment.graph().workers_of(f),
+            )
+            .ok()
+        })
+        .collect()
+}
+
+/// Pool-parallel votes over an arena round, audits included.
+fn vote_parallel(round: &ArenaRound<'_>, assignment: &Assignment) -> Vec<Option<QuorumOutcome>> {
+    let views: Vec<Vec<(usize, &[f32])>> = (0..round.num_files())
+        .map(|f| round.file_replicas(f))
+        .collect();
+    let inputs: Vec<VoteInput<'_, &[f32]>> = (0..round.num_files())
+        .map(|f| (views[f].as_slice(), assignment.graph().workers_of(f)))
+        .collect();
+    quorum_vote_all_audited(&inputs, Q_MIN)
+        .into_iter()
+        .map(Result::ok)
+        .collect()
+}
+
+#[test]
+fn sequential_and_threaded_arena_rounds_are_bit_identical_for_20_plus_rounds() {
+    // Crashes and message drops thin the replica sets differently every
+    // round; the two execution modes must still agree bit-for-bit on the
+    // materialized round AND on every per-file vote outcome, including
+    // the full VoteAudit verdict list, while both arenas are reused
+    // without re-zeroing.
+    let assignment = assignment();
+    let plan = FaultPlan::new(1312).crash(4).crash(9).drop_rate(0.25);
+    let seq = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
+    let thr = Cluster::new(
+        assignment.clone(),
+        ExecutionMode::Threaded { max_threads: 4 },
+    );
+    let mut arena_seq = GradientArena::new();
+    let mut arena_thr = GradientArena::new();
+    let mut params = vec![0.5f32, -1.25, 3.0, 0.0625];
+
+    for round in 0..24u64 {
+        {
+            let a =
+                seq.compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena_seq);
+            let b =
+                thr.compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena_thr);
+            assert_rounds_equal(&a.materialize(), &b.materialize(), round);
+
+            // VoteAudit equality: sequential votes on the sequential
+            // round vs parallel votes on the threaded round. QuorumOutcome
+            // derives PartialEq over value, votes, provenance AND audit.
+            let votes_a = vote_sequential(&a, &assignment);
+            let votes_b = vote_parallel(&b, &assignment);
+            assert_eq!(votes_a, votes_b, "vote outcomes diverged at round {round}");
+        }
+        // Evolve params so stale slab contents from round t would be
+        // detectable at round t+1 if they ever leaked through.
+        params.iter_mut().for_each(|p| *p += 0.03125);
+    }
+}
+
+#[test]
+fn arena_rounds_match_legacy_rounds_for_20_plus_rounds() {
+    // The arena path against the legacy owned-gradient gather under the
+    // same fault plan: same replicas, same votes, for 25 consecutive
+    // rounds of arena reuse.
+    let assignment = assignment();
+    let plan = FaultPlan::new(77).crash(2).drop_rate(0.2);
+    let cluster = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
+    let mut arena = GradientArena::new();
+    let mut params = vec![1.0f32, 2.0, -0.5];
+
+    for round in 0..25u64 {
+        let legacy = cluster.compute_round_faulty(&toy_compute, &params, &plan, round);
+        let arena_round =
+            cluster.compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena);
+        assert_rounds_equal(&arena_round.materialize(), &legacy, round);
+
+        let legacy_votes: Vec<Option<QuorumOutcome>> = (0..assignment.num_files())
+            .map(|f| {
+                quorum_vote_audited(&legacy.replicas[f], Q_MIN, assignment.graph().workers_of(f))
+                    .ok()
+            })
+            .collect();
+        let arena_votes = vote_parallel(&arena_round, &assignment);
+        assert_eq!(legacy_votes, arena_votes, "votes diverged at round {round}");
+        params.iter_mut().for_each(|p| *p *= 1.0078125);
+    }
+}
+
+#[test]
+fn batched_wire_roundtrip_preserves_vote_outcomes() {
+    // Push every arena round through the batched wire codec — encode one
+    // frame per worker, decode into flat PS buffers — and verify the
+    // votes over the decoded views equal the votes over the arena views.
+    // f32 -> LE bytes -> f32 is exact, so this must be bit-identical.
+    let assignment = assignment();
+    let plan = FaultPlan::new(5).crash(7).drop_rate(0.15);
+    let cluster = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
+    let mut arena = GradientArena::new();
+    let k = assignment.num_workers();
+    let params = vec![0.1f32, -2.5, 7.75];
+
+    for round in 0..21u64 {
+        let arena_round =
+            cluster.compute_round_arena_faulty(&toy_compute, &params, &plan, round, &mut arena);
+        let direct_votes = vote_sequential(&arena_round, &assignment);
+
+        // Worker side: one batched frame per surviving worker.
+        let file_views: Vec<Vec<(usize, &[f32])>> = (0..arena_round.num_files())
+            .map(|f| arena_round.file_replicas(f))
+            .collect();
+        let frames: Vec<bytes::Bytes> = (0..k)
+            .map(|worker| {
+                let entries: Vec<(u32, &[f32])> = assignment
+                    .graph()
+                    .files_of(worker)
+                    .iter()
+                    .filter_map(|&file| {
+                        file_views[file]
+                            .iter()
+                            .find(|(w, _)| *w == worker)
+                            .map(|(_, g)| (file as u32, *g))
+                    })
+                    .collect();
+                encode_gradient_batch(round, worker as u32, &entries)
+            })
+            .collect();
+
+        // PS side: flat per-worker buffers, then views, then votes.
+        let mut buffers: Vec<Vec<f32>> = vec![Vec::new(); k];
+        let mut index: Vec<Vec<(u32, usize, usize)>> = vec![Vec::new(); k];
+        for frame in &frames {
+            let batch = decode_gradient_batch(frame).expect("self-encoded frame decodes");
+            let w = batch.worker as usize;
+            for entry in &batch.entries {
+                let start = buffers[w].len();
+                entry.extend_into(&mut buffers[w]);
+                index[w].push((entry.file, start, entry.len()));
+            }
+        }
+        let mut decoded_views: Vec<Vec<(usize, &[f32])>> = vec![Vec::new(); assignment.num_files()];
+        for worker in 0..k {
+            for &(file, start, len) in &index[worker] {
+                decoded_views[file as usize].push((worker, &buffers[worker][start..start + len]));
+            }
+        }
+        let wire_votes: Vec<Option<QuorumOutcome>> = (0..assignment.num_files())
+            .map(|f| {
+                quorum_vote_audited(&decoded_views[f], Q_MIN, assignment.graph().workers_of(f)).ok()
+            })
+            .collect();
+        assert_eq!(
+            direct_votes, wire_votes,
+            "wire roundtrip changed votes at round {round}"
+        );
+    }
+}

@@ -1,74 +1,104 @@
 //! Offline API-compatible stand-in for the subset of `bytes` 1.x used by
 //! the byzshield workspace.
+//!
+//! [`Bytes`] is reference-counted like the real crate: `clone()` bumps a
+//! refcount and `slice()` produces a view into the same allocation, so
+//! fanning one encoded frame out to `K` workers, or carving per-file
+//! gradient payloads out of a batched frame, never copies payload bytes.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes { data: Vec::new() }
+        Bytes::default()
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: data.to_vec(),
-        }
+        Bytes::from(data.to_vec())
     }
 
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes {
-            data: data.to_vec(),
-        }
+        Bytes::from(data.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.clone()
+        self.as_slice().to_vec()
     }
 
+    /// A zero-copy sub-view sharing this buffer's allocation. The range
+    /// is relative to this view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice range reversed");
+        assert!(self.start + range.end <= self.end, "slice out of bounds");
         Bytes {
-            data: self.data[range].to_vec(),
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
         }
     }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
 }
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data }
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
-        Bytes {
-            data: data.to_vec(),
-        }
+        Bytes::from(data.to_vec())
     }
 }
 
@@ -88,6 +118,14 @@ impl BytesMut {
         }
     }
 
+    /// A mutable copy of an immutable buffer (the one place a copy is
+    /// intended — e.g. corrupting a frame in tests).
+    pub fn from_bytes(bytes: &Bytes) -> Self {
+        BytesMut {
+            data: bytes.to_vec(),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -97,15 +135,46 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes::from(self.data)
     }
 
     pub fn extend_from_slice(&mut self, other: &[u8]) {
         self.data.extend_from_slice(other);
     }
 
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     pub fn clear(&mut self) {
         self.data.clear();
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl TryFrom<Bytes> for BytesMut {
+    type Error = Bytes;
+
+    /// Recovers the allocation for reuse when this handle is the only one
+    /// and spans the whole buffer (parity with `bytes` 1.4's fallible
+    /// `Bytes → BytesMut` conversion). Otherwise the `Bytes` is returned
+    /// unchanged — never a copy.
+    fn try_from(bytes: Bytes) -> Result<Self, Bytes> {
+        if bytes.start != 0 || bytes.end != bytes.data.len() {
+            return Err(bytes);
+        }
+        let Bytes { data, start, end } = bytes;
+        match Arc::try_unwrap(data) {
+            Ok(vec) => Ok(BytesMut { data: vec }),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
     }
 }
 
@@ -193,16 +262,16 @@ impl Buf for &[u8] {
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
-        self.data.len()
+        self.len()
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 
     fn advance(&mut self, cnt: usize) {
-        assert!(cnt <= self.data.len(), "advance past end");
-        self.data.drain(..cnt);
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
     }
 }
 
@@ -243,5 +312,82 @@ impl BufMut for BytesMut {
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_the_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(&c[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        // Same backing allocation: the slice's pointer lies inside the
+        // original buffer.
+        let base = b.as_ref().as_ptr() as usize;
+        let view = s.as_ref().as_ptr() as usize;
+        assert_eq!(view, base + 1);
+    }
+
+    #[test]
+    fn nested_slices_compose() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(8..24).slice(4..8);
+        assert_eq!(&s[..], &[12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn advance_is_offset_only() {
+        let mut b = Bytes::from(vec![9u8, 8, 7, 6]);
+        b.advance(2);
+        assert_eq!(&b[..], &[7, 6]);
+        assert_eq!(b.get_u8(), 7);
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![0u8, 1, 2, 3]).slice(1..4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_bounds_checked() {
+        let _unused = Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn try_from_recovers_unique_whole_buffers_only() {
+        // Unique, whole view: the allocation comes back for reuse.
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let base = b.as_ref().as_ptr() as usize;
+        let m = BytesMut::try_from(b).expect("unique whole buffer recovers");
+        assert_eq!(m.as_ref().as_ptr() as usize, base);
+        assert_eq!(&m[..], &[1, 2, 3]);
+
+        // A second handle forbids recovery; the Bytes survives intact.
+        let b = Bytes::from(vec![4u8, 5]);
+        let held = b.clone();
+        let back = BytesMut::try_from(b).expect_err("shared buffer stays frozen");
+        assert_eq!(back, held);
+
+        // A partial view forbids recovery even when unique.
+        let s = Bytes::from(vec![6u8, 7, 8]).slice(1..3);
+        let back = BytesMut::try_from(s).expect_err("partial view stays frozen");
+        assert_eq!(&back[..], &[7, 8]);
+    }
+
+    #[test]
+    fn bytes_mut_copy_is_independent() {
+        let frozen = Bytes::from(vec![5u8, 6, 7]);
+        let mut copy = BytesMut::from_bytes(&frozen);
+        copy[0] ^= 0xFF;
+        assert_eq!(frozen[0], 5);
+        assert_eq!(copy[0], 5 ^ 0xFF);
     }
 }
