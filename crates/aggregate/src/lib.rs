@@ -34,6 +34,7 @@ mod krum;
 mod majority;
 mod median;
 mod quorum;
+mod sharded;
 mod signsgd;
 
 pub use auror::Auror;
@@ -43,9 +44,13 @@ pub use krum::{Krum, MultiKrum};
 pub use majority::{majority_vote, MajorityOutcome};
 pub use median::{CoordinateMedian, Mean, MedianOfMeans, TrimmedMean};
 pub use quorum::{
-    aggregate_winners, gradient_fingerprint, quorum_vote, quorum_vote_all_audited,
-    quorum_vote_audited, Provenance, QuorumConfig, QuorumError, QuorumOutcome, ReplicaVerdict,
-    VoteAudit, VoteInput,
+    aggregate_winners, bitwise_eq, gradient_fingerprint, quorum_vote, quorum_vote_all_audited,
+    quorum_vote_audited, FingerprintFold, Provenance, QuorumConfig, QuorumError, QuorumOutcome,
+    ReplicaVerdict, VoteAudit, VoteInput,
+};
+pub use sharded::{
+    fold_shard_votes, num_shards, quorum_vote_all_sharded_audited, quorum_vote_sharded_audited,
+    shard_span,
 };
 pub use signsgd::SignSgdMajority;
 

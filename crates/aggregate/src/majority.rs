@@ -151,7 +151,7 @@ mod tests {
         assert_eq!(out.value, honest);
         assert!(out.is_strict);
         // Even an all-NaN strict majority is counted consistently.
-        let out = majority_vote(&[evil.clone(), evil.clone(), honest]).unwrap();
+        let out = majority_vote(&[evil.clone(), evil, honest]).unwrap();
         assert!(out.is_strict);
         assert!(out.value[0].is_nan());
     }

@@ -87,17 +87,52 @@ impl VoteAudit {
     }
 }
 
+/// Resumable FNV-1a over f32 bit patterns: the streaming form of
+/// [`gradient_fingerprint`]. Because FNV is a sequential left fold over
+/// the byte stream, feeding a gradient's coordinate ranges shard by
+/// shard (in ascending range order) produces **bit-identically** the
+/// whole-vector fingerprint — the determinism argument that lets sharded
+/// votes emit the same [`VoteAudit::winner_hash`] as unsharded ones
+/// without ever materializing the full vector.
+#[derive(Debug, Clone)]
+pub struct FingerprintFold(u64);
+
+impl Default for FingerprintFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintFold {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        FingerprintFold(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds the next coordinate range into the running hash.
+    pub fn update(&mut self, shard: &[f32]) {
+        let mut hash = self.0;
+        for &g in shard {
+            for b in g.to_bits().to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        self.0 = hash;
+    }
+
+    /// The fingerprint of everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// FNV-1a over a gradient's f32 bit patterns (little-endian) — the
 /// winning-group identity carried by [`VoteAudit::winner_hash`].
 pub fn gradient_fingerprint(gradient: &[f32]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &g in gradient {
-        for b in g.to_bits().to_le_bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        }
-    }
-    hash
+    let mut fold = FingerprintFold::new();
+    fold.update(gradient);
+    fold.finish()
 }
 
 /// Minimum-quorum and retry policy for degraded rounds.
@@ -401,7 +436,10 @@ pub fn aggregate_winners(
     aggregator.aggregate(&values)
 }
 
-fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+/// Bit-pattern equality of two gradients — the replica-grouping
+/// predicate of the vote (NaN payloads, signed zeros and denormals all
+/// compare by their exact bits, never by float semantics).
+pub fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 

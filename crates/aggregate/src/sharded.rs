@@ -1,0 +1,436 @@
+//! Coordinate-sharded quorum voting.
+//!
+//! [`quorum_vote`](crate::quorum_vote) compares whole `d`-dimensional
+//! replicas; at `d ≫ 1M` the bitwise grouping pass is the PS's
+//! single-threaded bottleneck. This module cuts each replica into
+//! coordinate *shards* and votes shard-wise over the `byz-kernel` pool:
+//!
+//! 1. per shard, replicas are grouped by bit-exact equality of that
+//!    coordinate range — an embarrassingly parallel pass, since a
+//!    shard's group ids depend only on its own slice of the replicas;
+//! 2. two replicas are whole-vector equal **iff** their per-shard group
+//!    ids agree on every shard, so the cross-shard fold works on
+//!    `(num_shards)`-tuples of small integers instead of `d` floats;
+//! 3. the fold scans replicas in ascending worker order and keeps the
+//!    first maximal group — exactly [`quorum_vote`]'s deterministic
+//!    tie-break — and the winner hash is computed by running
+//!    [`FingerprintFold`] over the winner's shards in ascending range
+//!    order, which equals the whole-vector fingerprint because FNV-1a
+//!    is a sequential byte fold.
+//!
+//! The outcome (winner value, votes, provenance, **and the full
+//! [`VoteAudit`](crate::VoteAudit)**) is therefore bit-identical to the
+//! unsharded vote at any `BYZ_KERNEL_THREADS` setting — the invariant
+//! the reputation layer and the chunked wire path
+//! (`byz_wire::ShardedFileVoter`) both build on.
+
+use crate::quorum::{
+    bitwise_eq, FingerprintFold, Provenance, QuorumError, QuorumOutcome, ReplicaVerdict, VoteAudit,
+    VoteInput,
+};
+
+/// Number of shards a `total_len`-dimensional vote is cut into. An
+/// empty gradient still occupies one (empty) shard.
+pub fn num_shards(total_len: usize, shard_len: usize) -> usize {
+    total_len.div_ceil(shard_len.max(1)).max(1)
+}
+
+/// The `(start, len)` coordinate range of shard `index`.
+pub fn shard_span(total_len: usize, shard_len: usize, index: usize) -> (usize, usize) {
+    let shard_len = shard_len.max(1);
+    let start = (index * shard_len).min(total_len);
+    (start, shard_len.min(total_len - start))
+}
+
+/// Assigns per-shard group ids for a run of shards.
+///
+/// `order` holds replica indices in ascending worker order. `ids` is
+/// the shard-major row block for global shards
+/// `[first_shard, first_shard + ids.len() / order.len())`:
+/// `ids[local_s * n + j]` is the group id of the `j`-th replica (in
+/// `order`) within global shard `first_shard + local_s`. Ids are
+/// assigned in ascending worker order per shard, so they are a pure
+/// function of the replica values — never of thread count or arrival
+/// order.
+fn shard_group_ids<G: AsRef<[f32]>>(
+    replicas: &[(usize, G)],
+    order: &[usize],
+    d: usize,
+    shard_len: usize,
+    first_shard: usize,
+    ids: &mut [u32],
+) {
+    let n = order.len();
+    debug_assert!(ids.len().is_multiple_of(n.max(1)));
+    for (local_s, slot) in ids.chunks_exact_mut(n).enumerate() {
+        let (start, len) = shard_span(d, shard_len, first_shard + local_s);
+        // Group reps are positions in `order`: compare each replica's
+        // shard against the first member of every existing group.
+        let mut groups: Vec<usize> = Vec::new();
+        for (j, &i) in order.iter().enumerate() {
+            let shard = &replicas[i].1.as_ref()[start..start + len];
+            let found = groups.iter().position(|&rep| {
+                bitwise_eq(&replicas[order[rep]].1.as_ref()[start..start + len], shard)
+            });
+            slot[j] = match found {
+                Some(g) => g as u32,
+                None => {
+                    groups.push(j);
+                    (groups.len() - 1) as u32
+                }
+            };
+        }
+    }
+}
+
+/// Folds per-shard group ids into the final [`QuorumOutcome`].
+///
+/// Shared by this module and the chunked-wire voter
+/// (`byz_wire::ShardedFileVoter`): given, for each complete replica in
+/// ascending worker order, its tuple of per-shard group ids, plus a way
+/// to read the winning group's values for one shard, this reproduces
+/// [`quorum_vote`](crate::quorum_vote)'s grouping, tie-break, audit and
+/// fingerprint exactly. `shard_values(s, rep)` must yield the values of
+/// shard `s` for the replica at position `rep`.
+pub fn fold_shard_votes(
+    workers: &[usize],
+    keys: &[&[u32]],
+    expected_workers: &[usize],
+    shards: usize,
+    shard_values: impl Fn(usize, usize) -> Vec<f32>,
+) -> QuorumOutcome {
+    debug_assert_eq!(workers.len(), keys.len());
+    let received = workers.len();
+
+    // Group whole replicas by their shard-id tuples. Scanning in
+    // ascending worker order means the first maximal group IS the
+    // smallest-supporting-worker tie-break of the unsharded vote.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // (rep position, votes)
+    for j in 0..received {
+        match groups.iter_mut().find(|(rep, _)| keys[*rep] == keys[j]) {
+            Some((_, votes)) => *votes += 1,
+            None => groups.push((j, 1)),
+        }
+    }
+    let (mut winner_rep, mut votes) = groups[0];
+    for &(rep, v) in &groups[1..] {
+        if v > votes {
+            winner_rep = rep;
+            votes = v;
+        }
+    }
+
+    // Assemble the winner and its fingerprint shard by shard, in
+    // ascending range order — the shard-wise hash fold equals the
+    // whole-vector FNV because the hash is a sequential byte fold.
+    let mut value = Vec::new();
+    let mut fold = FingerprintFold::new();
+    for s in 0..shards {
+        let shard = shard_values(s, winner_rep);
+        fold.update(&shard);
+        value.extend_from_slice(&shard);
+    }
+
+    let mut audit = VoteAudit {
+        replicas: (0..received)
+            .map(|j| {
+                let verdict = if keys[j] == keys[winner_rep] {
+                    ReplicaVerdict::Agreed
+                } else {
+                    ReplicaVerdict::Disagreed
+                };
+                (workers[j], verdict)
+            })
+            .collect(),
+        winner_hash: fold.finish(),
+    };
+    audit.mark_absent(expected_workers);
+
+    QuorumOutcome {
+        value,
+        votes,
+        received,
+        winner_worker: workers[winner_rep],
+        is_strict: votes * 2 > received,
+        provenance: if received >= expected_workers.len() {
+            Provenance::Full
+        } else {
+            Provenance::Degraded {
+                received,
+                expected: expected_workers.len(),
+            }
+        },
+        audit,
+    }
+}
+
+/// Validates replicas and computes the ascending-worker scan order —
+/// the same gate [`quorum_vote`](crate::quorum_vote) applies.
+fn validate<G: AsRef<[f32]>>(
+    replicas: &[(usize, G)],
+    q_min: usize,
+) -> Result<(Vec<usize>, usize), QuorumError> {
+    if replicas.is_empty() {
+        return Err(QuorumError::NoReplicas);
+    }
+    if replicas.len() < q_min {
+        return Err(QuorumError::QuorumNotMet {
+            got: replicas.len(),
+            needed: q_min,
+        });
+    }
+    let d = replicas[0].1.as_ref().len();
+    if let Some((_, bad)) = replicas.iter().find(|(_, g)| g.as_ref().len() != d) {
+        return Err(QuorumError::DimensionMismatch {
+            expected: d,
+            got: bad.as_ref().len(),
+        });
+    }
+    let mut order: Vec<usize> = (0..replicas.len()).collect();
+    order.sort_by_key(|&i| replicas[i].0);
+    Ok((order, d))
+}
+
+/// Gathers the shard-major id matrix into per-replica contiguous keys
+/// and folds the outcome.
+fn sharded_outcome<G: AsRef<[f32]>>(
+    replicas: &[(usize, G)],
+    order: &[usize],
+    d: usize,
+    shard_len: usize,
+    expected_workers: &[usize],
+    ids: &[u32],
+) -> QuorumOutcome {
+    let n = order.len();
+    let shards = num_shards(d, shard_len);
+    let workers: Vec<usize> = order.iter().map(|&i| replicas[i].0).collect();
+    let mut key_storage: Vec<u32> = vec![0; n * shards];
+    for s in 0..shards {
+        for j in 0..n {
+            key_storage[j * shards + s] = ids[s * n + j];
+        }
+    }
+    let keys: Vec<&[u32]> = key_storage.chunks_exact(shards.max(1)).collect();
+    fold_shard_votes(&workers, &keys, expected_workers, shards, |s, winner| {
+        let (start, len) = shard_span(d, shard_len, s);
+        replicas[order[winner]].1.as_ref()[start..start + len].to_vec()
+    })
+}
+
+/// Coordinate-sharded
+/// [`quorum_vote_audited`](crate::quorum_vote_audited): same inputs
+/// plus a shard length, **bit-identical outcome** (winner, votes,
+/// provenance, audit, winner hash), with the per-shard grouping pass
+/// run in parallel over the kernel pool.
+///
+/// # Errors
+///
+/// Same as [`quorum_vote`](crate::quorum_vote).
+pub fn quorum_vote_sharded_audited<G>(
+    replicas: &[(usize, G)],
+    q_min: usize,
+    expected_workers: &[usize],
+    shard_len: usize,
+) -> Result<QuorumOutcome, QuorumError>
+where
+    G: AsRef<[f32]> + Sync,
+{
+    let (order, d) = validate(replicas, q_min)?;
+    let n = order.len();
+    let shards = num_shards(d, shard_len);
+    let mut ids: Vec<u32> = vec![0; shards * n];
+
+    // Each pool chunk owns a disjoint run of shard-major rows, so the
+    // parallel pass writes disjoint slots and the ids are identical at
+    // any thread count.
+    let rows_per_chunk = shards.div_ceil(byz_kernel::num_threads().max(1)).max(1);
+    byz_kernel::parallel_chunks_mut(&mut ids, rows_per_chunk * n, |start, slot| {
+        shard_group_ids(replicas, &order, d, shard_len, start / n, slot);
+    });
+
+    Ok(sharded_outcome(
+        replicas,
+        &order,
+        d,
+        shard_len,
+        expected_workers,
+        &ids,
+    ))
+}
+
+/// Sequential sharded vote (no pool entry) — the per-file body of
+/// [`quorum_vote_all_sharded_audited`].
+fn quorum_vote_sharded_seq<G: AsRef<[f32]>>(
+    replicas: &[(usize, G)],
+    q_min: usize,
+    expected_workers: &[usize],
+    shard_len: usize,
+) -> Result<QuorumOutcome, QuorumError> {
+    let (order, d) = validate(replicas, q_min)?;
+    let shards = num_shards(d, shard_len);
+    let mut ids: Vec<u32> = vec![0; shards * order.len()];
+    shard_group_ids(replicas, &order, d, shard_len, 0, &mut ids);
+    Ok(sharded_outcome(
+        replicas,
+        &order,
+        d,
+        shard_len,
+        expected_workers,
+        &ids,
+    ))
+}
+
+/// Audited sharded votes for every file of a round, run in parallel
+/// over the kernel pool — one task per file, each file's shards grouped
+/// sequentially inside its task (no nested pool entry). Results are
+/// index-aligned with `files` and bit-identical to a sequential
+/// [`quorum_vote_audited`](crate::quorum_vote_audited) loop at any
+/// `BYZ_KERNEL_THREADS`.
+pub fn quorum_vote_all_sharded_audited<G>(
+    files: &[VoteInput<'_, G>],
+    q_min: usize,
+    shard_len: usize,
+) -> Vec<Result<QuorumOutcome, QuorumError>>
+where
+    G: AsRef<[f32]> + Sync,
+{
+    let mut out: Vec<Option<Result<QuorumOutcome, QuorumError>>> = vec![None; files.len()];
+    let chunk = files
+        .len()
+        .div_ceil(byz_kernel::num_threads().max(1))
+        .max(1);
+    byz_kernel::parallel_chunks_mut(&mut out, chunk, |start, slots| {
+        for (offset, slot) in slots.iter_mut().enumerate() {
+            let (replicas, expected_workers) = files[start + offset];
+            *slot = Some(quorum_vote_sharded_seq(
+                replicas,
+                q_min,
+                expected_workers,
+                shard_len,
+            ));
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every file slot is written by exactly one chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quorum_vote_all_audited, quorum_vote_audited};
+    use proptest::prelude::*;
+
+    fn pairs(ids: &[usize], grads: &[Vec<f32>]) -> Vec<(usize, Vec<f32>)> {
+        ids.iter().copied().zip(grads.iter().cloned()).collect()
+    }
+
+    #[test]
+    fn span_helpers() {
+        assert_eq!(num_shards(0, 4), 1);
+        assert_eq!(num_shards(9, 4), 3);
+        assert_eq!(shard_span(9, 4, 2), (8, 1));
+        assert_eq!(shard_span(0, 4, 0), (0, 0));
+        assert_eq!(num_shards(5, 0), 5); // clamped, no div-by-zero
+    }
+
+    #[test]
+    fn matches_unsharded_on_split_vote() {
+        let h = vec![1.0f32; 10];
+        let mut e = h.clone();
+        e[7] = 9.0; // differs only in the second shard
+        let replicas = pairs(&[0, 1, 2, 5], &[h.clone(), e.clone(), h, e]);
+        let expected = [0usize, 1, 2, 5, 9];
+        let baseline = quorum_vote_audited(&replicas, 1, &expected).unwrap();
+        for shard_len in [1usize, 3, 4, 10, 64] {
+            let sharded = quorum_vote_sharded_audited(&replicas, 1, &expected, shard_len).unwrap();
+            assert_eq!(sharded, baseline, "shard_len {shard_len}");
+        }
+    }
+
+    #[test]
+    fn errors_match_unsharded() {
+        let replicas: Vec<(usize, Vec<f32>)> = Vec::new();
+        assert_eq!(
+            quorum_vote_sharded_audited(&replicas, 1, &[0], 4).unwrap_err(),
+            QuorumError::NoReplicas
+        );
+        let one = pairs(&[3], &[vec![1.0, 2.0]]);
+        assert_eq!(
+            quorum_vote_sharded_audited(&one, 2, &[0, 3], 4).unwrap_err(),
+            QuorumError::QuorumNotMet { got: 1, needed: 2 }
+        );
+        let ragged = vec![(0usize, vec![1.0f32, 2.0]), (1, vec![1.0f32])];
+        assert_eq!(
+            quorum_vote_sharded_audited(&ragged, 1, &[0, 1], 4).unwrap_err(),
+            QuorumError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn all_files_parallel_matches_sequential_unsharded() {
+        let h = vec![1.0f32, -2.0, 3.5, 0.0, 9.0];
+        let e = vec![7.0f32, 7.0, 7.0, 7.0, 7.0];
+        type OwnedFile = (Vec<(usize, Vec<f32>)>, Vec<usize>);
+        let mut per_file: Vec<OwnedFile> = Vec::new();
+        for f in 0..61usize {
+            let holders = vec![f % 5, f % 5 + 5, f % 5 + 10];
+            let replicas: Vec<(usize, Vec<f32>)> = match f % 4 {
+                0 => holders.iter().map(|&w| (w, h.clone())).collect(),
+                1 => vec![(holders[0], h.clone()), (holders[1], e.clone())],
+                2 => vec![(holders[2], e.clone())],
+                _ => Vec::new(),
+            };
+            per_file.push((replicas, holders));
+        }
+        let files: Vec<VoteInput<'_, Vec<f32>>> = per_file
+            .iter()
+            .map(|(r, w)| (r.as_slice(), w.as_slice()))
+            .collect();
+        let unsharded = quorum_vote_all_audited(&files, 1);
+        for shard_len in [1usize, 2, 5, 100] {
+            assert_eq!(
+                quorum_vote_all_sharded_audited(&files, 1, shard_len),
+                unsharded,
+                "shard_len {shard_len}"
+            );
+        }
+    }
+
+    proptest! {
+        /// The sharded vote is bit-identical to the unsharded one —
+        /// winner value, votes, tie-break witness, provenance, winner
+        /// hash and the complete audit — for arbitrary replica patterns,
+        /// worker ids, dimensions and shard lengths.
+        #[test]
+        fn sharded_equals_unsharded(
+            ids in proptest::collection::btree_set(0usize..32, 1..=6),
+            pattern in 0u32..64,
+            d in 0usize..40,
+            shard_len in 1usize..16,
+            q_min in 1usize..=3,
+        ) {
+            let ids: Vec<usize> = ids.into_iter().collect();
+            prop_assume!(ids.len() >= q_min);
+            let replicas: Vec<(usize, Vec<f32>)> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let v: Vec<f32> = if pattern >> i & 1 == 1 {
+                        (0..d).map(|c| (c as f32) * 0.5 - 3.0).collect()
+                    } else {
+                        (0..d).map(|c| -(c as f32)).collect()
+                    };
+                    (w, v)
+                })
+                .collect();
+            let baseline = quorum_vote_audited(&replicas, q_min, &ids).unwrap();
+            let sharded =
+                quorum_vote_sharded_audited(&replicas, q_min, &ids, shard_len).unwrap();
+            prop_assert_eq!(sharded, baseline);
+        }
+    }
+}

@@ -104,13 +104,10 @@ fn main() {
     let batch = 16usize;
     let x = filled(batch * 128, 9);
     let labels: Vec<usize> = (0..batch).map(|s| s % 10).collect();
-    let compute = {
-        let net = net.clone();
-        move |p: &[f32], _file: usize| {
-            let mut model = net.clone();
-            model.set_params(p);
-            model.gradient_sum(&x, batch, &labels).1
-        }
+    let compute = move |p: &[f32], _file: usize| {
+        let mut model = net.clone();
+        model.set_params(p);
+        model.gradient_sum(&x, batch, &labels).1
     };
     let seq = Cluster::new(assignment.clone(), ExecutionMode::Sequential);
     let thr = Cluster::new(

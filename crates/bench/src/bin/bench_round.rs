@@ -512,8 +512,31 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // Wire-layout gate: the batched frame layout is deterministic —
+        // K frame headers + 16-byte batch prefixes, K*l 8-byte entry
+        // headers, K*l*d*4 payload bytes. Any accidental per-entry
+        // padding, duplicated payload or lost batching (regressing to
+        // per-file frames) moves this count by construction.
+        let expected_batched = reference.workers * (byz_wire::FRAME_HEADER_LEN + 16)
+            + reference.workers * REPLICATION * 8
+            + reference.workers * REPLICATION * reference.dim * 4;
+        if reference.batched_bytes != expected_batched {
+            eprintln!(
+                "FAIL: batched wire moved {} bytes/round at K=25, d=1M; the frame layout predicts {expected_batched}",
+                reference.batched_bytes
+            );
+            std::process::exit(1);
+        }
+        if reference.batched_bytes > reference.legacy_bytes {
+            eprintln!(
+                "FAIL: batched wire ({} B) outweighs per-file frames ({} B) at K=25, d=1M",
+                reference.batched_bytes, reference.legacy_bytes
+            );
+            std::process::exit(1);
+        }
         println!(
-            "gate OK: allocation reduction {alloc_factor:.3}x >= {min}x (wall-clock {speedup:.3}x) at K=25, d=1M"
+            "gate OK: allocation reduction {alloc_factor:.3}x >= {min}x (wall-clock {speedup:.3}x, batched wire {} B as laid out) at K=25, d=1M",
+            reference.batched_bytes
         );
     }
 }

@@ -162,6 +162,38 @@ impl FaultPlan {
         unit < self.drop_rate
     }
 
+    /// Whether one *chunk* of `worker`'s replica of `file` is lost in
+    /// transit during `round` — the chunked-wire analogue of
+    /// [`FaultPlan::drops_replica`], sharing its drop probability.
+    /// A lost chunk leaves the replica incomplete, so it degrades
+    /// exactly like a lost whole replica; the extra mixing constant
+    /// keeps the per-chunk rolls independent of the per-replica ones
+    /// (chunk 0's fate is not the batched frame's fate).
+    pub fn drops_chunk(
+        &self,
+        round: u64,
+        attempt: u32,
+        worker: usize,
+        file: usize,
+        chunk: usize,
+    ) -> bool {
+        if self.drop_rate <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            self.seed
+                ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ (worker as u64).wrapping_mul(0x1656_67B1_9E37_79F9)
+                ^ (chunk as u64)
+                    .wrapping_add(1)
+                    .wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ (file as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.drop_rate
+    }
+
     /// Whether `worker`'s replica of `file` reaches the parameter server
     /// in `(round, attempt)` — i.e. the worker is alive and the message
     /// is not dropped.
@@ -230,6 +262,45 @@ mod tests {
         };
         assert_eq!(pattern(&a), pattern(&b), "same seed ⇒ same drops");
         assert_ne!(pattern(&a), pattern(&c), "different seed ⇒ different drops");
+    }
+
+    #[test]
+    fn chunk_drops_are_deterministic_and_independent_of_replica_drops() {
+        let plan = FaultPlan::new(42).drop_rate(0.3);
+        assert!(!FaultPlan::none().drops_chunk(7, 0, 2, 11, 3));
+        let roll = |p: &FaultPlan| -> Vec<bool> {
+            (0..400)
+                .map(|i| {
+                    p.drops_chunk(
+                        i / 100,
+                        0,
+                        (i % 5) as usize,
+                        (i % 25) as usize,
+                        (i % 8) as usize,
+                    )
+                })
+                .collect()
+        };
+        let chunk_pattern = roll(&plan);
+        let again = roll(&plan);
+        assert_eq!(chunk_pattern, again, "chunk drops are deterministic");
+        let dropped = chunk_pattern.iter().filter(|&&d| d).count();
+        assert!(
+            (60..180).contains(&dropped),
+            "drop rate roughly honored, got {dropped}/400"
+        );
+        // Chunk 0's fate must not simply mirror the whole-replica roll —
+        // the rolls use distinct mixing, so they should disagree somewhere.
+        let disagree =
+            (0..400u64).any(|i| plan.drops_chunk(i, 0, 1, 2, 0) != plan.drops_replica(i, 0, 1, 2));
+        assert!(
+            disagree,
+            "per-chunk rolls are independent of per-replica rolls"
+        );
+        // Retry waves re-roll chunk losses, like replica losses do.
+        let reroll =
+            (0..400u64).any(|i| plan.drops_chunk(i, 0, 1, 2, 3) != plan.drops_chunk(i, 1, 1, 2, 3));
+        assert!(reroll, "attempt index participates in the chunk roll");
     }
 
     #[test]

@@ -109,7 +109,8 @@ pub mod prelude {
     };
     pub use byz_tensor::Tensor;
     pub use byz_wire::{
-        packed_sign_majority, LocalAttack, Message, MessagePassingCluster, PackedSigns,
-        RoundSummary, ServerConfig, Transport, WireError,
+        packed_sign_majority, ChunkConfig, ChunkScheme, LocalAttack, Message,
+        MessagePassingCluster, PackedSigns, RoundSummary, ServerConfig, SparsifyConfig, Transport,
+        WireError, WireFormat,
     };
 }

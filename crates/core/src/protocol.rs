@@ -4,8 +4,9 @@ use crate::{
     evaluate_accuracy, gradients_differ, FileGradientOracle, GradientMoments, InputLayout,
 };
 use byz_aggregate::{
-    quorum_vote_all_audited, quorum_vote_audited, AggregationError, Aggregator, Provenance,
-    QuorumConfig, QuorumError, QuorumOutcome, VoteAudit,
+    quorum_vote_all_audited, quorum_vote_all_sharded_audited, quorum_vote_audited,
+    quorum_vote_sharded_audited, AggregationError, Aggregator, Provenance, QuorumConfig,
+    QuorumError, QuorumOutcome, VoteAudit,
 };
 use byz_assign::{reassign_quarantined, Assignment};
 use byz_attack::{AttackContext, AttackVector, ByzantineSelector};
@@ -15,6 +16,7 @@ use byz_distortion::count_distorted;
 use byz_graph::BipartiteGraph;
 use byz_nn::{flatten_params, Module, Sgd, StepDecaySchedule};
 use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
+use byz_wire::{apply_scheme, num_chunks, ChunkConfig, ChunkScheme};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -105,6 +107,18 @@ pub struct TrainingConfig {
     /// voting defense produces audit evidence; [`Defense::Direct`]
     /// ignores reputation.
     pub reputation: Option<ReputationConfig>,
+    /// Gradient wire chunking: when set, replicas travel (conceptually)
+    /// as fixed-size coordinate chunks under the given [`ChunkConfig`] —
+    /// the vote runs shard-wise over the kernel pool
+    /// ([`quorum_vote_all_sharded_audited`], shard = chunk), replica
+    /// payloads pass through the config's compression scheme
+    /// ([`apply_scheme`]: identity for dense, seeded top-k or sign
+    /// planes otherwise), and the fault plan additionally rolls
+    /// per-chunk message loss — a replica with *any* chunk lost degrades
+    /// exactly like a dropped whole replica. Degraded-quorum, retry and
+    /// reputation semantics are untouched. `None` (the default)
+    /// preserves the unchunked protocol bit for bit.
+    pub chunking: Option<ChunkConfig>,
 }
 
 impl Default for TrainingConfig {
@@ -122,6 +136,7 @@ impl Default for TrainingConfig {
             quorum: QuorumConfig::default(),
             retry: RetryPolicy::default(),
             reputation: None,
+            chunking: None,
         }
     }
 }
@@ -483,6 +498,22 @@ impl<'a, M: Module> Trainer<'a, M> {
             let plan = &self.config.faults;
             let q_min = self.config.quorum.q_min;
             let max_retries = self.config.quorum.max_retries;
+            let chunking = self.config.chunking;
+            let d_model = params.len();
+            // A delivery is lost when the whole replica drops, or — under
+            // a chunked wire — when *any* of its chunk frames drops: an
+            // incomplete replica casts no vote, exactly like an absent
+            // one. Retry waves re-roll both, keyed on the attempt index.
+            let delivery_lost = |attempt: u32, w: usize, file_idx: usize| -> bool {
+                if plan.drops_replica(t as u64, attempt, w, file_idx) {
+                    return true;
+                }
+                match chunking {
+                    Some(cfg) => (0..num_chunks(d_model, cfg.span_len()))
+                        .any(|c| plan.drops_chunk(t as u64, attempt, w, file_idx, c)),
+                    None => false,
+                }
+            };
             let mut outcome = RoundOutcome {
                 crashed_workers: plan.num_crashed(),
                 ..RoundOutcome::default()
@@ -502,11 +533,28 @@ impl<'a, M: Module> Trainer<'a, M> {
             //    index); crashed workers never return.
             let aggregated = match &self.defense {
                 Defense::VoteThenAggregate(aggregator) => {
+                    // Under a lossy chunk scheme every payload passes
+                    // through the same deterministic compression, so the
+                    // honest replicas of a file stay bit-identical (and
+                    // shareable) *after* compression — the vote still
+                    // works by exact equality.
+                    let wire_grads: Vec<Vec<f32>> = match chunking {
+                        Some(cfg) if cfg.scheme != ChunkScheme::Dense => {
+                            true_grads.iter().map(|g| apply_scheme(g, &cfg)).collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    let honest_grads: &Vec<Vec<f32>> = if wire_grads.is_empty() {
+                        &true_grads
+                    } else {
+                        &wire_grads
+                    };
                     // Zero-copy forge: honest replicas borrow the shared
-                    // true gradient, only forgeries allocate.
+                    // (possibly compressed) gradient, only forgeries
+                    // allocate.
                     let forge_replica = |w: usize, file_idx: usize| {
                         if is_byz[w] {
-                            Replica::Forged(self.attack.forge(&AttackContext {
+                            let forged = self.attack.forge(&AttackContext {
                                 true_gradient: &true_grads[file_idx],
                                 honest_mean: &moments.mean,
                                 honest_std: &moments.std,
@@ -514,9 +562,15 @@ impl<'a, M: Module> Trainer<'a, M> {
                                 num_byzantine: q,
                                 iteration: t,
                                 file: file_idx,
-                            }))
+                            });
+                            Replica::Forged(match chunking {
+                                Some(cfg) if cfg.scheme != ChunkScheme::Dense => {
+                                    apply_scheme(&forged, &cfg)
+                                }
+                                _ => forged,
+                            })
                         } else {
-                            Replica::Honest(&true_grads[file_idx])
+                            Replica::Honest(&honest_grads[file_idx])
                         }
                     };
 
@@ -535,7 +589,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                             if plan.is_crashed(w) {
                                 continue;
                             }
-                            if plan.drops_replica(t as u64, 0, w, file_idx) {
+                            if delivery_lost(0, w, file_idx) {
                                 outcome.dropped_replicas += 1;
                             } else {
                                 present.push((w, forge_replica(w, file_idx)));
@@ -548,7 +602,15 @@ impl<'a, M: Module> Trainer<'a, M> {
                         .enumerate()
                         .map(|(fi, present)| (present.as_slice(), active_graph.workers_of(fi)))
                         .collect();
-                    let wave0_votes = quorum_vote_all_audited(&vote_inputs, q_min);
+                    // Chunked wire: the vote runs shard-wise (shard =
+                    // chunk), folding per-shard group ids — bit-identical
+                    // to the whole-vector vote by construction.
+                    let wave0_votes = match chunking {
+                        Some(cfg) => {
+                            quorum_vote_all_sharded_audited(&vote_inputs, q_min, cfg.span_len())
+                        }
+                        None => quorum_vote_all_audited(&vote_inputs, q_min),
+                    };
 
                     // Retry waves stay sequential (they are rare and
                     // per-file); bookkeeping runs in ascending file order
@@ -591,13 +653,21 @@ impl<'a, M: Module> Trainer<'a, M> {
                                         if plan.is_crashed(w) {
                                             continue;
                                         }
-                                        if plan.drops_replica(t as u64, attempt, w, file_idx) {
+                                        if delivery_lost(attempt, w, file_idx) {
                                             outcome.dropped_replicas += 1;
                                         } else {
                                             present.push((w, forge_replica(w, file_idx)));
                                         }
                                     }
-                                    result = quorum_vote_audited(&present, q_min, workers);
+                                    result = match chunking {
+                                        Some(cfg) => quorum_vote_sharded_audited(
+                                            &present,
+                                            q_min,
+                                            workers,
+                                            cfg.span_len(),
+                                        ),
+                                        None => quorum_vote_audited(&present, q_min, workers),
+                                    };
                                 }
                             }
                         }
@@ -609,9 +679,12 @@ impl<'a, M: Module> Trainer<'a, M> {
                         });
                     }
                     if !plan.is_trivial() || ledger.is_some() {
+                        // Under a lossy scheme the honest (compressed)
+                        // payload is the reference: sparsification error
+                        // is not Byzantine distortion.
                         let distorted = winners
                             .iter()
-                            .filter(|(fi, vote)| gradients_differ(&vote.value, &true_grads[*fi]))
+                            .filter(|(fi, vote)| gradients_differ(&vote.value, &honest_grads[*fi]))
                             .count();
                         measured = Some((distorted, winners.len()));
                     }

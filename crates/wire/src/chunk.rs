@@ -1,0 +1,860 @@
+//! Chunked (and optionally sparsified) gradient frames.
+//!
+//! A [`KIND_GRADIENT_CHUNK`](crate::message) frame carries one
+//! *coordinate range* of one `(worker, file)` replica, so a `d = 10M`
+//! model streams through fixed-size reusable buffers instead of one
+//! `d`-sized frame per worker — the receive side never needs more than
+//! `O(chunk_len)` of decode scratch per frame (see
+//! [`ShardedFileVoter`](crate::voter::ShardedFileVoter)).
+//!
+//! ```text
+//! header:  magic | kind = 7 | body_len | checksum       (see message.rs)
+//! body:    iteration:   u64
+//!          worker:      u32
+//!          file:        u32
+//!          chunk_index: u32    | which range of the replica this is
+//!          num_chunks:  u32    | ranges the replica was cut into
+//!          start:       u32    | first coordinate of the range
+//!          range_len:   u32    | coordinates in this range
+//!          total_len:   u32    | full replica dimension d
+//!          encoding:    u8     | 0 dense · 1 sparse top-k · 2 sign bits
+//!          payload:     encoding-specific (see below)
+//! ```
+//!
+//! Every chunk is its own checksummed frame, so corruption is detected
+//! *per chunk*: one flipped bit costs one chunk (and thereby one
+//! replica's vote — a dropped chunk degrades like a dropped replica),
+//! never the round.
+//!
+//! Payloads:
+//!
+//! * **Dense** (`0`): `range_len` little-endian `f32`s — the bit-exact
+//!   baseline.
+//! * **Sparse** (`1`): `count: u32`, then `count` strictly-increasing
+//!   range-relative `u32` indices, then `count` `f32` values — the
+//!   seeded top-k encoding produced by [`sparsify_top_k`]. Because the
+//!   selection is a pure function of the values and the shared seed,
+//!   honest replicas sparsify **bit-identically**, so the exact-equality
+//!   majority vote is unweakened; the encoder falls back to dense when
+//!   `k / range_len ≥ dense_threshold` (a sparse entry costs 8 bytes
+//!   against dense's 4).
+//! * **Signs** (`2`): the two [`PackedSigns`] bit planes of the range
+//!   (negative then zero mask), `2·⌈range_len/8⌉` bytes — the signSGD
+//!   ternary encoding, 16× smaller than dense on the wire.
+//!
+//! Nothing in this module panics on wire input: forged counts,
+//! out-of-range indices, non-monotone indices, ragged geometry and
+//! trailing bytes all decode to [`WireError::MalformedBody`].
+
+use crate::message::{check_frame, frame_checksum, BodyReader, KIND_GRADIENT_CHUNK, MAGIC};
+use crate::{extend_f32s_le, put_f32s_le, PackedSigns, WireError, FRAME_HEADER_LEN};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Fixed body bytes before the payload
+/// (`iteration + worker + file + chunk_index + num_chunks + start +
+/// range_len + total_len + encoding`).
+pub const CHUNK_PREFIX_LEN: usize = 8 + 4 * 6 + 4 + 1;
+
+const ENC_DENSE: u8 = 0;
+const ENC_SPARSE: u8 = 1;
+const ENC_SIGNS: u8 = 2;
+
+/// How a replica's chunks are encoded on the wire — negotiated per
+/// `ServerConfig`, so both sides derive identical geometry and the PS
+/// can validate every arriving chunk against the agreed shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChunkScheme {
+    /// Bit-exact `f32` ranges.
+    Dense,
+    /// Seeded top-k per chunk ([`sparsify_top_k`]), dense fallback when
+    /// the sparse form would not be smaller.
+    TopK(SparsifyConfig),
+    /// Ternary sign bits ([`PackedSigns`] planes) per chunk.
+    Signs,
+}
+
+/// The chunked-wire negotiation: range size plus encoding scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkConfig {
+    /// Coordinates per chunk (the last chunk of a replica may be
+    /// shorter). Clamped to ≥ 1.
+    pub chunk_len: usize,
+    /// Payload encoding.
+    pub scheme: ChunkScheme,
+}
+
+impl ChunkConfig {
+    /// A dense chunking with the given range size.
+    pub fn dense(chunk_len: usize) -> Self {
+        ChunkConfig {
+            chunk_len,
+            scheme: ChunkScheme::Dense,
+        }
+    }
+
+    /// The effective (≥ 1) chunk length.
+    pub fn span_len(&self) -> usize {
+        self.chunk_len.max(1)
+    }
+}
+
+/// Seeded top-k sparsification parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsifyConfig {
+    /// Coordinates kept per chunk.
+    pub k: usize,
+    /// Dense fallback threshold: when `k ≥ dense_threshold · range_len`
+    /// the chunk is sent dense (sparse entries cost 8 bytes vs 4).
+    pub dense_threshold: f64,
+    /// Tie-break seed, shared by all honest workers so equal-magnitude
+    /// ties resolve identically everywhere.
+    pub seed: u64,
+}
+
+impl SparsifyConfig {
+    /// Keep `k` coordinates per chunk with the default 0.5 fallback
+    /// threshold.
+    pub fn top_k(k: usize, seed: u64) -> Self {
+        SparsifyConfig {
+            k,
+            dense_threshold: 0.5,
+            seed,
+        }
+    }
+
+    fn keeps_dense(&self, range_len: usize) -> bool {
+        (self.k as f64) >= self.dense_threshold * (range_len as f64)
+    }
+}
+
+/// Number of chunks a `total_len`-dimensional replica is cut into. An
+/// empty replica still occupies one (empty) chunk so its vote can
+/// complete.
+pub fn num_chunks(total_len: usize, chunk_len: usize) -> usize {
+    total_len.div_ceil(chunk_len.max(1)).max(1)
+}
+
+/// The `(start, len)` coordinate range of chunk `index`.
+pub fn chunk_span(total_len: usize, chunk_len: usize, index: usize) -> (usize, usize) {
+    let chunk_len = chunk_len.max(1);
+    let start = (index * chunk_len).min(total_len);
+    let len = chunk_len.min(total_len - start);
+    (start, len)
+}
+
+/// One sparsified chunk: `indices[i]` (range-relative, strictly
+/// increasing) holds value `values[i]`; every other coordinate of the
+/// range is zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseChunk {
+    /// Coordinates in the full (densified) range.
+    pub range_len: usize,
+    /// Kept coordinate indices, sorted strictly increasing, `< range_len`.
+    pub indices: Vec<u32>,
+    /// Kept values, aligned with `indices`.
+    pub values: Vec<f32>,
+}
+
+impl SparseChunk {
+    /// Appends the densified range (zeros at dropped coordinates).
+    pub fn densify_into(&self, out: &mut Vec<f32>) {
+        let base = out.len();
+        out.resize(base + self.range_len, 0.0);
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[base + i as usize] = v;
+        }
+    }
+
+    /// Serialized payload size in bytes.
+    pub fn wire_len(&self) -> usize {
+        4 + self.indices.len() * 8
+    }
+}
+
+/// Mixes the sparsifier seed with a coordinate's global index into a
+/// tie-break key (splitmix64 finalizer) — a fixed function of
+/// `(seed, coordinate)` only, so every honest worker ranks equal
+/// magnitudes identically.
+fn tie_key(seed: u64, global_index: u64) -> u64 {
+    let mut z = seed ^ global_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic top-k of one chunk by |value|.
+///
+/// Selection order is a strict total order — magnitude descending
+/// (NaN magnitudes rank largest, so a NaN coordinate is never silently
+/// dropped in favor of a finite one), then seeded tie key, then index —
+/// so the kept set is a pure function of `(values, k, seed, start)` and
+/// honest replicas stay **bit-identical** after sparsification.
+/// `chunk_start` is the chunk's global coordinate offset (it feeds the
+/// tie key, making the ranking independent of chunk boundaries).
+pub fn sparsify_top_k(chunk: &[f32], k: usize, seed: u64, chunk_start: usize) -> SparseChunk {
+    let len = chunk.len();
+    let rank = |i: &u32| {
+        let i = *i;
+        let mag = chunk[i as usize].to_bits() & 0x7fff_ffff;
+        // Descending magnitude = ascending (!mag); pack tie keys below.
+        (!mag, tie_key(seed, (chunk_start + i as usize) as u64), i)
+    };
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    let kept: &mut [u32] = if k >= len {
+        &mut order
+    } else if k == 0 {
+        &mut []
+    } else {
+        let (head, _, _) = order.select_nth_unstable_by_key(k, rank);
+        head
+    };
+    kept.sort_unstable();
+    SparseChunk {
+        range_len: len,
+        values: kept.iter().map(|&i| chunk[i as usize]).collect(),
+        indices: kept.to_vec(),
+    }
+}
+
+/// Applies the negotiated scheme to a whole gradient and returns the
+/// values the PS will densify — the in-process reference both the
+/// trainer and the equivalence tests use. Dense and Signs-free schemes:
+/// for [`ChunkScheme::Dense`] this is the identity; for
+/// [`ChunkScheme::TopK`] each chunk keeps its top-k (respecting the
+/// dense fallback); for [`ChunkScheme::Signs`] coordinates collapse to
+/// `{−1.0, 0.0, +1.0}`.
+pub fn apply_scheme(gradient: &[f32], cfg: &ChunkConfig) -> Vec<f32> {
+    match cfg.scheme {
+        ChunkScheme::Dense => gradient.to_vec(),
+        ChunkScheme::TopK(sp) => {
+            let mut out = Vec::with_capacity(gradient.len());
+            let span = cfg.span_len();
+            for index in 0..num_chunks(gradient.len(), span) {
+                let (start, len) = chunk_span(gradient.len(), span, index);
+                let chunk = &gradient[start..start + len];
+                if sp.keeps_dense(len) {
+                    out.extend_from_slice(chunk);
+                } else {
+                    sparsify_top_k(chunk, sp.k, sp.seed, start).densify_into(&mut out);
+                }
+            }
+            out
+        }
+        ChunkScheme::Signs => {
+            let mut out = Vec::new();
+            PackedSigns::pack(gradient).unpack_into(&mut out);
+            out
+        }
+    }
+}
+
+/// Encodes chunk `chunk_index` of one `(worker, file)` replica under the
+/// negotiated config, writing into `scratch` (cleared first) so frame
+/// allocations can be recycled round over round.
+///
+/// # Panics
+///
+/// Panics if `chunk_index ≥ num_chunks(gradient.len(), cfg)` — chunk
+/// geometry is caller-driven, not wire input.
+pub fn encode_gradient_chunk_into(
+    iteration: u64,
+    worker: u32,
+    file: u32,
+    gradient: &[f32],
+    chunk_index: usize,
+    cfg: &ChunkConfig,
+    mut scratch: BytesMut,
+) -> Bytes {
+    let span = cfg.span_len();
+    let chunks = num_chunks(gradient.len(), span);
+    assert!(
+        chunk_index < chunks,
+        "chunk index {chunk_index} out of {chunks}"
+    );
+    let (start, len) = chunk_span(gradient.len(), span, chunk_index);
+    let range = &gradient[start..start + len];
+
+    // Resolve the payload encoding (TopK may fall back to dense).
+    let sparse = match cfg.scheme {
+        ChunkScheme::TopK(sp) if !sp.keeps_dense(len) => {
+            Some(sparsify_top_k(range, sp.k, sp.seed, start))
+        }
+        _ => None,
+    };
+    let (encoding, payload_len) = match (&cfg.scheme, &sparse) {
+        (_, Some(sp)) => (ENC_SPARSE, sp.wire_len()),
+        (ChunkScheme::Signs, _) => (ENC_SIGNS, 2 * len.div_ceil(8)),
+        _ => (ENC_DENSE, len * 4),
+    };
+
+    let body_len = CHUNK_PREFIX_LEN + payload_len;
+    scratch.clear();
+    scratch.reserve(FRAME_HEADER_LEN + body_len);
+    scratch.put_u32_le(MAGIC);
+    scratch.put_u8(KIND_GRADIENT_CHUNK);
+    scratch.put_u32_le(body_len as u32);
+    scratch.put_u64_le(0); // checksum backfilled below
+    scratch.put_u64_le(iteration);
+    scratch.put_u32_le(worker);
+    scratch.put_u32_le(file);
+    scratch.put_u32_le(chunk_index as u32);
+    scratch.put_u32_le(chunks as u32);
+    scratch.put_u32_le(start as u32);
+    scratch.put_u32_le(len as u32);
+    scratch.put_u32_le(gradient.len() as u32);
+    scratch.put_u8(encoding);
+    match (&sparse, encoding) {
+        (Some(sp), _) => {
+            scratch.put_u32_le(sp.indices.len() as u32);
+            for &i in &sp.indices {
+                scratch.put_u32_le(i);
+            }
+            put_f32s_le(&mut scratch, &sp.values);
+        }
+        (_, ENC_SIGNS) => {
+            let packed = PackedSigns::pack(range);
+            let (neg, zero) = packed.planes();
+            scratch.extend_from_slice(neg);
+            scratch.extend_from_slice(zero);
+        }
+        _ => put_f32s_le(&mut scratch, range),
+    }
+
+    let checksum = frame_checksum(KIND_GRADIENT_CHUNK, &scratch[FRAME_HEADER_LEN..]);
+    scratch[FRAME_HEADER_LEN - 8..FRAME_HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
+    scratch.freeze()
+}
+
+/// Encodes every chunk of one replica (fresh allocations; the streaming
+/// paths use [`encode_gradient_chunk_into`] with recycled scratch).
+pub fn encode_gradient_chunks(
+    iteration: u64,
+    worker: u32,
+    file: u32,
+    gradient: &[f32],
+    cfg: &ChunkConfig,
+) -> Vec<Bytes> {
+    (0..num_chunks(gradient.len(), cfg.span_len()))
+        .map(|i| {
+            encode_gradient_chunk_into(iteration, worker, file, gradient, i, cfg, BytesMut::new())
+        })
+        .collect()
+}
+
+/// The decoded payload of one chunk — zero-copy slices of the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChunkPayload {
+    Dense(Bytes),
+    Sparse { indices: Bytes, values: Bytes },
+    Signs { negative: Bytes, zero: Bytes },
+}
+
+/// A decoded gradient chunk: geometry fields plus a zero-copy payload
+/// view. [`GradientChunkView::densify_into`] is the only place payload
+/// bytes are copied, and it appends exactly `range_len` floats — the
+/// `O(chunk)` decode bound the streaming PS relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientChunkView {
+    /// Iteration the chunk belongs to.
+    pub iteration: u64,
+    /// Sender worker id.
+    pub worker: u32,
+    /// File index.
+    pub file: u32,
+    /// Which range of the replica this is.
+    pub chunk_index: u32,
+    /// Ranges the replica was cut into.
+    pub num_chunks: u32,
+    /// First coordinate of the range.
+    pub start: u32,
+    /// Coordinates in the range.
+    pub range_len: u32,
+    /// Full replica dimension `d`.
+    pub total_len: u32,
+    payload: ChunkPayload,
+}
+
+impl GradientChunkView {
+    /// Appends the densified range (`range_len` floats) to `out`.
+    /// Sparse chunks zero-fill then scatter; sign chunks synthesize
+    /// `{−1.0, 0.0, +1.0}` from the bit planes.
+    pub fn densify_into(&self, out: &mut Vec<f32>) {
+        let len = self.range_len as usize;
+        match &self.payload {
+            ChunkPayload::Dense(raw) => extend_f32s_le(out, raw),
+            ChunkPayload::Sparse { indices, values } => {
+                let base = out.len();
+                out.resize(base + len, 0.0);
+                for (i, v) in indices.chunks_exact(4).zip(values.chunks_exact(4)) {
+                    let idx = u32::from_le_bytes([i[0], i[1], i[2], i[3]]) as usize;
+                    out[base + idx] = f32::from_le_bytes([v[0], v[1], v[2], v[3]]);
+                }
+            }
+            ChunkPayload::Signs { negative, zero } => {
+                const ONE_BITS: u32 = 1.0f32.to_bits();
+                out.reserve(len);
+                let mut remaining = len;
+                for (&neg, &zer) in negative.iter().zip(zero.iter()) {
+                    let lanes = remaining.min(8);
+                    for bit in 0..lanes {
+                        let z = u32::from(zer >> bit) & 1;
+                        let n = u32::from(neg >> bit) & 1;
+                        let bits = (ONE_BITS * (1 - z)) | ((n & (1 - z)) << 31);
+                        out.push(f32::from_bits(bits));
+                    }
+                    remaining -= lanes;
+                }
+            }
+        }
+    }
+
+    /// For sign-encoded chunks, the range as a [`PackedSigns`] vector —
+    /// the form [`packed_sign_majority`](crate::packed_sign_majority)
+    /// tallies without unpacking to floats. `None` for other encodings.
+    pub fn to_packed_signs(&self) -> Option<PackedSigns> {
+        match &self.payload {
+            ChunkPayload::Signs { negative, zero } => {
+                PackedSigns::from_planes(self.range_len as usize, negative, zero)
+            }
+            _ => None,
+        }
+    }
+
+    /// Payload bytes on the wire (excluding prefix and frame header).
+    pub fn payload_wire_len(&self) -> usize {
+        match &self.payload {
+            ChunkPayload::Dense(raw) => raw.len(),
+            ChunkPayload::Sparse { indices, values } => 4 + indices.len() + values.len(),
+            ChunkPayload::Signs { negative, zero } => negative.len() + zero.len(),
+        }
+    }
+}
+
+/// Returns whether a frame is a gradient chunk, without decoding the
+/// body (header + checksum are still verified by the full decode).
+pub fn is_gradient_chunk(frame: &[u8]) -> bool {
+    frame.len() > 4 && frame[4] == KIND_GRADIENT_CHUNK
+}
+
+/// Decodes a gradient-chunk frame into a zero-copy view.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, bad magic, checksum mismatch, a
+/// non-chunk kind, or any internal inconsistency
+/// ([`WireError::MalformedBody`]): zero/overflowing chunk counts, a
+/// range outside `[0, total_len)`, an unknown encoding byte, payload
+/// bytes disagreeing with the declared range, sparse counts exceeding
+/// the range, non-strictly-increasing or out-of-range sparse indices,
+/// or trailing bytes. Malformed input never panics — a forged chunk
+/// degrades exactly like a dropped one.
+pub fn decode_gradient_chunk(frame: &Bytes) -> Result<GradientChunkView, WireError> {
+    let (kind, body) = check_frame(frame)?;
+    if kind != KIND_GRADIENT_CHUNK {
+        return Err(WireError::UnknownKind(kind));
+    }
+    let body_start = frame.len() - body.len();
+
+    let mut reader = BodyReader::new(body);
+    let iteration = reader.u64_le()?;
+    let worker = reader.u32_le()?;
+    let file = reader.u32_le()?;
+    let chunk_index = reader.u32_le()?;
+    let num_chunks = reader.u32_le()?;
+    let start = reader.u32_le()?;
+    let range_len = reader.u32_le()?;
+    let total_len = reader.u32_le()?;
+    let encoding = reader.take(1)?[0];
+
+    if num_chunks == 0
+        || chunk_index >= num_chunks
+        || u64::from(start) + u64::from(range_len) > u64::from(total_len)
+    {
+        return Err(WireError::MalformedBody);
+    }
+
+    let len = range_len as usize;
+    let payload_start = body_start + CHUNK_PREFIX_LEN;
+    let payload = match encoding {
+        ENC_DENSE => {
+            let raw = reader.take(len * 4)?;
+            debug_assert_eq!(raw.len(), len * 4);
+            ChunkPayload::Dense(frame.slice(payload_start..payload_start + len * 4))
+        }
+        ENC_SPARSE => {
+            let count = reader.u32_le()? as usize;
+            if count > len {
+                return Err(WireError::MalformedBody);
+            }
+            let idx_raw = reader.take(count * 4)?;
+            reader.take(count * 4)?;
+            // Indices must be strictly increasing and in range: checked
+            // here, so densify can scatter without bounds surprises.
+            let mut prev: i64 = -1;
+            for c in idx_raw.chunks_exact(4) {
+                let idx = i64::from(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+                if idx <= prev || idx >= len as i64 {
+                    return Err(WireError::MalformedBody);
+                }
+                prev = idx;
+            }
+            ChunkPayload::Sparse {
+                indices: frame.slice(payload_start + 4..payload_start + 4 + count * 4),
+                values: frame.slice(payload_start + 4 + count * 4..payload_start + 4 + count * 8),
+            }
+        }
+        ENC_SIGNS => {
+            let plane = len.div_ceil(8);
+            reader.take(2 * plane)?;
+            ChunkPayload::Signs {
+                negative: frame.slice(payload_start..payload_start + plane),
+                zero: frame.slice(payload_start + plane..payload_start + 2 * plane),
+            }
+        }
+        _ => return Err(WireError::MalformedBody),
+    };
+    if reader.remaining() != 0 {
+        return Err(WireError::MalformedBody);
+    }
+
+    Ok(GradientChunkView {
+        iteration,
+        worker,
+        file,
+        chunk_index,
+        num_chunks,
+        start,
+        range_len,
+        total_len,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dense_cfg(chunk_len: usize) -> ChunkConfig {
+        ChunkConfig::dense(chunk_len)
+    }
+
+    fn sparse_cfg(chunk_len: usize, k: usize, seed: u64) -> ChunkConfig {
+        ChunkConfig {
+            chunk_len,
+            scheme: ChunkScheme::TopK(SparsifyConfig::top_k(k, seed)),
+        }
+    }
+
+    fn densify_all(frames: &[Bytes]) -> Vec<f32> {
+        let mut views: Vec<GradientChunkView> = frames
+            .iter()
+            .map(|f| decode_gradient_chunk(f).unwrap())
+            .collect();
+        views.sort_by_key(|v| v.chunk_index);
+        let mut out = Vec::new();
+        for v in &views {
+            assert_eq!(v.start as usize, out.len());
+            v.densify_into(&mut out);
+        }
+        assert_eq!(out.len(), views[0].total_len as usize);
+        out
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        assert_eq!(num_chunks(0, 4), 1);
+        assert_eq!(num_chunks(1, 4), 1);
+        assert_eq!(num_chunks(8, 4), 2);
+        assert_eq!(num_chunks(9, 4), 3);
+        assert_eq!(chunk_span(9, 4, 0), (0, 4));
+        assert_eq!(chunk_span(9, 4, 2), (8, 1));
+        assert_eq!(chunk_span(0, 4, 0), (0, 0));
+        // chunk_len 0 is clamped, never a division by zero.
+        assert_eq!(num_chunks(5, 0), 5);
+    }
+
+    #[test]
+    fn dense_roundtrip_bitwise() {
+        let g = vec![1.5f32, -0.0, f32::NAN, 3.0e-40, f32::INFINITY, -7.25, 0.1];
+        let frames = encode_gradient_chunks(9, 4, 2, &g, &dense_cfg(3));
+        assert_eq!(frames.len(), 3);
+        for f in &frames {
+            assert!(is_gradient_chunk(f));
+            let v = decode_gradient_chunk(f).unwrap();
+            assert_eq!((v.iteration, v.worker, v.file), (9, 4, 2));
+            assert_eq!(v.num_chunks, 3);
+            assert_eq!(v.total_len, 7);
+        }
+        assert_eq!(bits(&densify_all(&frames)), bits(&g));
+    }
+
+    #[test]
+    fn empty_gradient_is_one_empty_chunk() {
+        let frames = encode_gradient_chunks(1, 0, 0, &[], &dense_cfg(4096));
+        assert_eq!(frames.len(), 1);
+        let v = decode_gradient_chunk(&frames[0]).unwrap();
+        assert_eq!((v.range_len, v.total_len, v.num_chunks), (0, 0, 1));
+        assert_eq!(densify_all(&frames), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn sparse_roundtrip_matches_apply_scheme() {
+        let g: Vec<f32> = (0..100)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.25)
+            .collect();
+        let cfg = sparse_cfg(32, 5, 0xFEED);
+        let frames = encode_gradient_chunks(2, 1, 0, &g, &cfg);
+        assert_eq!(frames.len(), 4);
+        assert_eq!(bits(&densify_all(&frames)), bits(&apply_scheme(&g, &cfg)));
+        // Sparse payloads are actually smaller than dense ones.
+        let sparse_bytes: usize = frames.iter().map(Bytes::len).sum();
+        let dense_bytes: usize = encode_gradient_chunks(2, 1, 0, &g, &dense_cfg(32))
+            .iter()
+            .map(Bytes::len)
+            .sum();
+        assert!(sparse_bytes < dense_bytes);
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let chunk = [0.1f32, -9.0, 0.0, 4.0, -0.2, 8.5];
+        let sp = sparsify_top_k(&chunk, 3, 7, 0);
+        assert_eq!(sp.indices, vec![1, 3, 5]);
+        assert_eq!(sp.values, vec![-9.0, 4.0, 8.5]);
+        let mut dense = Vec::new();
+        sp.densify_into(&mut dense);
+        assert_eq!(dense, vec![0.0, -9.0, 0.0, 4.0, 0.0, 8.5]);
+        // k ≥ len keeps everything; k = 0 keeps nothing.
+        assert_eq!(sparsify_top_k(&chunk, 9, 7, 0).indices.len(), 6);
+        assert_eq!(sparsify_top_k(&chunk, 0, 7, 0).indices.len(), 0);
+    }
+
+    #[test]
+    fn equal_magnitude_ties_break_by_seed_not_position() {
+        // Four coordinates of equal magnitude: the kept pair must be a
+        // pure function of the seed, identical across "workers".
+        let chunk = [2.0f32, -2.0, 2.0, 2.0];
+        let a = sparsify_top_k(&chunk, 2, 123, 64);
+        let b = sparsify_top_k(&chunk, 2, 123, 64);
+        assert_eq!(a, b);
+        let other_seed = sparsify_top_k(&chunk, 2, 124, 64);
+        // (Different seeds may pick a different pair — not asserted
+        // which, only that each seed is self-consistent.)
+        assert_eq!(other_seed, sparsify_top_k(&chunk, 2, 124, 64));
+    }
+
+    #[test]
+    fn dense_fallback_when_k_too_large() {
+        let g: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        // k = 8 of chunk 16 hits the 0.5 threshold → dense frames.
+        let cfg = sparse_cfg(16, 8, 1);
+        let frames = encode_gradient_chunks(0, 0, 0, &g, &cfg);
+        let v = decode_gradient_chunk(&frames[0]).unwrap();
+        assert_eq!(v.payload_wire_len(), 16 * 4);
+        assert_eq!(bits(&densify_all(&frames)), bits(&g));
+        assert_eq!(bits(&apply_scheme(&g, &cfg)), bits(&g));
+    }
+
+    #[test]
+    fn signs_roundtrip_matches_packed_unpack() {
+        let g = vec![1.5f32, -0.25, 0.0, -0.0, 7.0, -1e-20, f32::NAN, 3.0, -4.0];
+        let cfg = ChunkConfig {
+            chunk_len: 4,
+            scheme: ChunkScheme::Signs,
+        };
+        let frames = encode_gradient_chunks(3, 2, 1, &g, &cfg);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(densify_all(&frames), PackedSigns::pack(&g).unpack());
+        assert_eq!(apply_scheme(&g, &cfg), PackedSigns::pack(&g).unpack());
+        // And the packed view feeds the fast majority tally directly.
+        let v = decode_gradient_chunk(&frames[0]).unwrap();
+        let packed = v.to_packed_signs().unwrap();
+        assert_eq!(packed.unpack(), PackedSigns::pack(&g[..4]).unpack());
+    }
+
+    #[test]
+    fn forged_geometry_rejected() {
+        use crate::message::{seal_frame, KIND_GRADIENT_CHUNK};
+        // Build chunk bodies by hand with inconsistent fields.
+        let forge = |mutate: &dyn Fn(&mut BytesMut)| {
+            let mut body = BytesMut::new();
+            body.put_u64_le(1); // iteration
+            body.put_u32_le(0); // worker
+            body.put_u32_le(0); // file
+            body.put_u32_le(0); // chunk_index
+            body.put_u32_le(1); // num_chunks
+            body.put_u32_le(0); // start
+            body.put_u32_le(2); // range_len
+            body.put_u32_le(2); // total_len
+            body.put_u8(ENC_DENSE);
+            put_f32s_le(&mut body, &[1.0, 2.0]);
+            mutate(&mut body);
+            seal_frame(KIND_GRADIENT_CHUNK, body)
+        };
+        assert!(decode_gradient_chunk(&forge(&|_| {})).is_ok());
+        // Body offsets: iteration 0..8, worker 8..12, file 12..16,
+        // chunk_index 16..20, num_chunks 20..24, start 24..28,
+        // range_len 28..32, total_len 32..36, encoding 36.
+        // chunk_index ≥ num_chunks
+        assert_eq!(
+            decode_gradient_chunk(&forge(&|b| b[16..20].copy_from_slice(&9u32.to_le_bytes())))
+                .unwrap_err(),
+            WireError::MalformedBody
+        );
+        // num_chunks = 0
+        assert_eq!(
+            decode_gradient_chunk(&forge(&|b| b[20..24].copy_from_slice(&0u32.to_le_bytes())))
+                .unwrap_err(),
+            WireError::MalformedBody
+        );
+        // start + range_len > total_len
+        assert_eq!(
+            decode_gradient_chunk(&forge(&|b| b[24..28].copy_from_slice(&7u32.to_le_bytes())))
+                .unwrap_err(),
+            WireError::MalformedBody
+        );
+        // unknown encoding byte
+        assert_eq!(
+            decode_gradient_chunk(&forge(&|b| b[36] = 9)).unwrap_err(),
+            WireError::MalformedBody
+        );
+        // oversized range_len: payload shorter than declared
+        assert_eq!(
+            decode_gradient_chunk(&forge(&|b| {
+                b[28..32].copy_from_slice(&1000u32.to_le_bytes());
+                b[32..36].copy_from_slice(&1000u32.to_le_bytes());
+            }))
+            .unwrap_err(),
+            WireError::MalformedBody
+        );
+    }
+
+    #[test]
+    fn forged_sparse_indices_rejected() {
+        use crate::message::{seal_frame, KIND_GRADIENT_CHUNK};
+        let forge = |indices: &[u32], count: u32, range_len: u32| {
+            let mut body = BytesMut::new();
+            body.put_u64_le(1);
+            body.put_u32_le(0);
+            body.put_u32_le(0);
+            body.put_u32_le(0);
+            body.put_u32_le(1);
+            body.put_u32_le(0);
+            body.put_u32_le(range_len);
+            body.put_u32_le(range_len);
+            body.put_u8(ENC_SPARSE);
+            body.put_u32_le(count);
+            for &i in indices {
+                body.put_u32_le(i);
+            }
+            put_f32s_le(&mut body, &vec![1.0f32; indices.len()]);
+            seal_frame(KIND_GRADIENT_CHUNK, body)
+        };
+        assert!(decode_gradient_chunk(&forge(&[0, 3], 2, 8)).is_ok());
+        // Out-of-range index.
+        assert_eq!(
+            decode_gradient_chunk(&forge(&[0, 8], 2, 8)).unwrap_err(),
+            WireError::MalformedBody
+        );
+        // Non-increasing (duplicate) indices.
+        assert_eq!(
+            decode_gradient_chunk(&forge(&[3, 3], 2, 8)).unwrap_err(),
+            WireError::MalformedBody
+        );
+        // Decreasing indices.
+        assert_eq!(
+            decode_gradient_chunk(&forge(&[5, 2], 2, 8)).unwrap_err(),
+            WireError::MalformedBody
+        );
+        // Count exceeding the range.
+        assert_eq!(
+            decode_gradient_chunk(&forge(&[0, 1, 2], 3, 2)).unwrap_err(),
+            WireError::MalformedBody
+        );
+        // Count claiming more entries than the body holds.
+        assert_eq!(
+            decode_gradient_chunk(&forge(&[0, 3], 1000, 2000)).unwrap_err(),
+            WireError::MalformedBody
+        );
+    }
+
+    #[test]
+    fn recycled_scratch_reuses_the_allocation() {
+        let g = vec![1.0f32; 512];
+        let cfg = dense_cfg(512);
+        let frame = encode_gradient_chunk_into(1, 0, 0, &g, 0, &cfg, BytesMut::new());
+        let base = frame.as_ref().as_ptr() as usize;
+        let scratch = BytesMut::try_from(frame).expect("sole handle recovers");
+        let next = encode_gradient_chunk_into(2, 0, 0, &g, 0, &cfg, scratch);
+        assert_eq!(next.as_ref().as_ptr() as usize, base, "allocation reused");
+        assert_eq!(decode_gradient_chunk(&next).unwrap().iteration, 2);
+    }
+
+    proptest! {
+        /// Dense chunking roundtrips bit-exactly at arbitrary (d, chunk),
+        /// including NaN payloads and chunk lengths larger than d.
+        #[test]
+        fn dense_roundtrip_any_geometry(
+            g in proptest::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..200),
+            chunk_len in 1usize..64,
+        ) {
+            let frames = encode_gradient_chunks(1, 2, 3, &g, &dense_cfg(chunk_len));
+            prop_assert_eq!(frames.len(), num_chunks(g.len(), chunk_len));
+            prop_assert_eq!(bits(&densify_all(&frames)), bits(&g));
+        }
+
+        /// Sparsified chunking densifies to exactly `apply_scheme`'s
+        /// reference at arbitrary (d, chunk, k) — the wire is a faithful
+        /// transport of the sparsifier, whatever the geometry.
+        #[test]
+        fn sparse_roundtrip_any_geometry(
+            g in proptest::collection::vec(-1e6f32..1e6, 0..200),
+            chunk_len in 1usize..64,
+            k in 0usize..32,
+            seed in 0u64..1000,
+        ) {
+            let cfg = sparse_cfg(chunk_len, k, seed);
+            let frames = encode_gradient_chunks(1, 2, 3, &g, &cfg);
+            prop_assert_eq!(bits(&densify_all(&frames)), bits(&apply_scheme(&g, &cfg)));
+        }
+
+        /// Honest determinism: two independent encodes of the same
+        /// gradient produce byte-identical frames — the property that
+        /// keeps exact-equality voting sound under sparsification.
+        #[test]
+        fn sparsified_replicas_stay_bit_identical(
+            g in proptest::collection::vec(-1e3f32..1e3, 1..120),
+            chunk_len in 1usize..48,
+            k in 0usize..16,
+            seed in 0u64..1000,
+        ) {
+            let cfg = sparse_cfg(chunk_len, k, seed);
+            let a = encode_gradient_chunks(5, 0, 7, &g, &cfg);
+            let b = encode_gradient_chunks(5, 0, 7, &g, &cfg);
+            prop_assert_eq!(a, b);
+        }
+
+        /// Every strict prefix and every single-byte corruption of a
+        /// valid chunk frame decodes to a typed error, never a panic.
+        #[test]
+        fn corruption_degrades_not_panics(
+            g in proptest::collection::vec(-1e3f32..1e3, 1..64),
+            chunk_len in 1usize..32,
+            pos_seed in 0usize..10_000,
+            flip in 1u8..=255,
+        ) {
+            let frames = encode_gradient_chunks(1, 0, 0, &g, &dense_cfg(chunk_len));
+            let frame = &frames[pos_seed % frames.len()];
+            let cut = pos_seed % frame.len();
+            prop_assert!(decode_gradient_chunk(&frame.slice(0..cut)).is_err());
+            let mut corrupted = BytesMut::from_bytes(frame);
+            corrupted[cut] ^= flip;
+            prop_assert!(decode_gradient_chunk(&corrupted.freeze()).is_err());
+        }
+    }
+}

@@ -19,19 +19,53 @@ pub struct PackedSigns {
     zero: Vec<u8>,
 }
 
+/// Classifies one coordinate from its bit pattern (branchless):
+/// returns `(negative_bit, zero_bit)` where "negative" means strictly
+/// `g < 0` and "zero" means `g == ±0` or NaN (no vote). Exactly the
+/// predicate the old per-element float compares implemented.
+#[inline(always)]
+fn classify_bits(b: u32) -> (u64, u64) {
+    let magnitude = b & 0x7fff_ffff;
+    let is_nan = (magnitude > 0x7f80_0000) as u64;
+    let is_zero = (magnitude == 0) as u64;
+    let sign = u64::from(b >> 31);
+    let zero_vote = is_nan | is_zero;
+    (sign & !zero_vote & 1, zero_vote)
+}
+
 impl PackedSigns {
-    /// Packs the signs of a gradient.
+    /// Packs the signs of a gradient, a word at a time: each group of 8
+    /// coordinates is classified branchlessly from its `f32` bit patterns
+    /// and assembled into one sign byte + one zero byte, instead of a
+    /// per-coordinate read-modify-write on the bit vectors.
     pub fn pack(gradient: &[f32]) -> Self {
         let bytes = gradient.len().div_ceil(8);
         let mut negative = vec![0u8; bytes];
         let mut zero = vec![0u8; bytes];
-        for (i, &g) in gradient.iter().enumerate() {
-            if g < 0.0 {
-                negative[i / 8] |= 1 << (i % 8);
-            } else if g <= 0.0 || g.is_nan() {
-                // Zero or NaN: no vote.
-                zero[i / 8] |= 1 << (i % 8);
+        let mut lanes = gradient.chunks_exact(8);
+        let mut byte = 0usize;
+        for lane in &mut lanes {
+            let mut neg_word = 0u64;
+            let mut zero_word = 0u64;
+            for (bit, &g) in lane.iter().enumerate() {
+                let (n, z) = classify_bits(g.to_bits());
+                neg_word |= n << bit;
+                zero_word |= z << bit;
             }
+            negative[byte] = neg_word as u8;
+            zero[byte] = zero_word as u8;
+            byte += 1;
+        }
+        let mut neg_word = 0u64;
+        let mut zero_word = 0u64;
+        for (bit, &g) in lanes.remainder().iter().enumerate() {
+            let (n, z) = classify_bits(g.to_bits());
+            neg_word |= n << bit;
+            zero_word |= z << bit;
+        }
+        if !lanes.remainder().is_empty() {
+            negative[byte] = neg_word as u8;
+            zero[byte] = zero_word as u8;
         }
         PackedSigns {
             len: gradient.len(),
@@ -52,22 +86,59 @@ impl PackedSigns {
 
     /// Unpacks back into a ternary `{−1.0, 0.0, +1.0}` vector.
     pub fn unpack(&self) -> Vec<f32> {
-        (0..self.len)
-            .map(|i| {
-                if self.zero[i / 8] & (1 << (i % 8)) != 0 {
-                    0.0
-                } else if self.negative[i / 8] & (1 << (i % 8)) != 0 {
-                    -1.0
-                } else {
-                    1.0
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.unpack_into(&mut out);
+        out
+    }
+
+    /// Appends the unpacked ternary values to `out` — the allocation-free
+    /// decode the signSGD hot path uses (clear and reuse the vector
+    /// across rounds). Values are synthesized a byte (8 coordinates) at a
+    /// time from the bit planes: `±1.0` differ only in the `f32` sign
+    /// bit, so each lane is a branchless bit merge instead of the old
+    /// per-bit test chain.
+    pub fn unpack_into(&self, out: &mut Vec<f32>) {
+        const ONE_BITS: u32 = 1.0f32.to_bits();
+        out.reserve(self.len);
+        let mut remaining = self.len;
+        for (&neg, &zero) in self.negative.iter().zip(&self.zero) {
+            let lanes = remaining.min(8);
+            for bit in 0..lanes {
+                let z = u32::from(zero >> bit) & 1;
+                let n = u32::from(neg >> bit) & 1;
+                // zero ⇒ all-zero bits; else ±1.0 with the sign bit from n.
+                let bits = (ONE_BITS * (1 - z)) | ((n & (1 - z)) << 31);
+                out.push(f32::from_bits(bits));
+            }
+            remaining -= lanes;
+        }
     }
 
     /// Serialized size in bytes (excluding any outer frame).
     pub fn wire_len(&self) -> usize {
         4 + self.negative.len() + self.zero.len()
+    }
+
+    /// The raw bit planes `(negative, zero)`, each `⌈len/8⌉` bytes — the
+    /// chunk codec embeds these directly (its frame already carries the
+    /// coordinate count, so the explicit length prefix of
+    /// [`PackedSigns::encode`] would be redundant).
+    pub fn planes(&self) -> (&[u8], &[u8]) {
+        (&self.negative, &self.zero)
+    }
+
+    /// Rebuilds a packed vector from its raw bit planes. Returns `None`
+    /// when either plane is not exactly `⌈len/8⌉` bytes.
+    pub fn from_planes(len: usize, negative: &[u8], zero: &[u8]) -> Option<Self> {
+        let nb = len.div_ceil(8);
+        if negative.len() != nb || zero.len() != nb {
+            return None;
+        }
+        Some(PackedSigns {
+            len,
+            negative: negative.to_vec(),
+            zero: zero.to_vec(),
+        })
     }
 
     /// Serializes: `u32 len ∥ negative bits ∥ zero bits`.
@@ -172,6 +243,72 @@ mod tests {
         let b = PackedSigns::pack(&[1.0]);
         assert!(packed_sign_majority(&[a, b]).is_none());
         assert!(packed_sign_majority(&[]).is_none());
+    }
+
+    /// Scalar reference for the word-at-a-time pack: the seed's original
+    /// per-bit loop, kept verbatim as the semantic pin.
+    fn pack_reference(gradient: &[f32]) -> (Vec<u8>, Vec<u8>) {
+        let bytes = gradient.len().div_ceil(8);
+        let mut negative = vec![0u8; bytes];
+        let mut zero = vec![0u8; bytes];
+        for (i, &g) in gradient.iter().enumerate() {
+            if g < 0.0 {
+                negative[i / 8] |= 1 << (i % 8);
+            } else if g <= 0.0 || g.is_nan() {
+                zero[i / 8] |= 1 << (i % 8);
+            }
+        }
+        (negative, zero)
+    }
+
+    #[test]
+    fn vectorized_pack_matches_scalar_reference() {
+        // Every tricky class: ±0, ±denormals, ±inf, NaNs with either
+        // sign, plus lengths that exercise the 8-lane remainder.
+        let specials = [
+            0.0f32,
+            -0.0,
+            f32::MIN_POSITIVE / 4.0,
+            -f32::MIN_POSITIVE / 4.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            1.0,
+            -1.0,
+        ];
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 200] {
+            let g: Vec<f32> = (0..len).map(|i| specials[i % specials.len()]).collect();
+            let packed = PackedSigns::pack(&g);
+            let (neg, zero) = pack_reference(&g);
+            assert_eq!(packed.negative, neg, "len {len}");
+            assert_eq!(packed.zero, zero, "len {len}");
+            // And the decode side inverts it to the ternary values.
+            for (i, v) in packed.unpack().iter().enumerate() {
+                let expected = if g[i] < 0.0 {
+                    -1.0
+                } else if g[i] > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
+                assert_eq!(*v, expected, "len {len} coord {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_into_reuses_the_buffer() {
+        let g: Vec<f32> = (0..50).map(|i| (i as f32) - 25.0).collect();
+        let packed = PackedSigns::pack(&g);
+        let mut out = Vec::with_capacity(64);
+        let base = out.as_ptr();
+        packed.unpack_into(&mut out);
+        assert_eq!(out, packed.unpack());
+        out.clear();
+        packed.unpack_into(&mut out);
+        assert_eq!(out.len(), 50);
+        assert_eq!(out.as_ptr(), base, "decode must not reallocate");
     }
 
     #[test]

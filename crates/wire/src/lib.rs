@@ -26,14 +26,21 @@
 //! malicious — the attack model of the paper).
 
 mod batch;
+mod chunk;
 mod compress;
 mod hashvote;
 mod message;
 mod server;
+mod voter;
 
 pub use batch::{
     decode_gradient_batch, encode_gradient_batch, encode_gradient_batch_into, is_gradient_batch,
     BatchEntry, GradientBatchView,
+};
+pub use chunk::{
+    apply_scheme, chunk_span, decode_gradient_chunk, encode_gradient_chunk_into,
+    encode_gradient_chunks, is_gradient_chunk, num_chunks, sparsify_top_k, ChunkConfig,
+    ChunkScheme, GradientChunkView, SparseChunk, SparsifyConfig, CHUNK_PREFIX_LEN,
 };
 pub use compress::{packed_sign_majority, PackedSigns};
 pub use hashvote::{
@@ -43,6 +50,9 @@ pub use hashvote::{
 pub use message::{
     extend_f32s_le, put_f32s_le, read_f32s_le, Message, WireError, FRAME_HEADER_LEN,
 };
-pub use server::{LocalAttack, MessagePassingCluster, RoundSummary, ServerConfig, Transport};
+pub use server::{
+    LocalAttack, MessagePassingCluster, RoundSummary, ServerConfig, Transport, WireFormat,
+};
+pub use voter::{ChunkIngest, ShardedFileVoter};
 
 pub use byz_assign::Assignment;

@@ -31,6 +31,7 @@ const KIND_SHUTDOWN: u8 = 3;
 const KIND_HASH_ANNOUNCE: u8 = 4;
 const KIND_PAYLOAD_REQUEST: u8 = 5;
 pub(crate) const KIND_GRADIENT_BATCH: u8 = 6;
+pub(crate) const KIND_GRADIENT_CHUNK: u8 = 7;
 
 /// Errors from frame decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]

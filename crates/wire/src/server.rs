@@ -1,8 +1,12 @@
 //! The threaded message-passing parameter server.
 
 use crate::batch::{decode_gradient_batch, encode_gradient_batch};
-use crate::{hash_majority, verify_payload, Assignment, Fingerprint, Message};
-use bytes::Bytes;
+use crate::chunk::{encode_gradient_chunk_into, num_chunks, ChunkConfig};
+use crate::voter::ShardedFileVoter;
+use crate::{
+    decode_gradient_chunk, hash_majority, verify_payload, Assignment, Fingerprint, Message,
+};
+use bytes::{Bytes, BytesMut};
 use byz_aggregate::{
     quorum_vote_all_audited, Aggregator, CoordinateMedian, Provenance, QuorumConfig,
     ReplicaVerdict, VoteAudit,
@@ -56,6 +60,23 @@ pub enum Transport {
     HashVote,
 }
 
+/// How full gradients are laid out on the wire (Full transport only;
+/// hash-vote pulls always travel as whole payloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFormat {
+    /// One frame per worker per round carrying all of its replicas
+    /// (the pre-chunking protocol, and the default).
+    Batched,
+    /// Each replica streams as `num_chunks` independent
+    /// `KIND_GRADIENT_CHUNK` frames covering disjoint coordinate
+    /// ranges, optionally sparsified per the [`ChunkConfig`]'s scheme.
+    /// The PS votes incrementally per shard as chunks arrive
+    /// ([`ShardedFileVoter`]), holding peak decode state to O(chunk)
+    /// instead of O(d); a lost or corrupt chunk degrades its replica
+    /// exactly like a lost whole replica.
+    Chunked(ChunkConfig),
+}
+
 /// Training configuration for the message-passing server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -84,6 +105,11 @@ pub struct ServerConfig {
     pub quorum: QuorumConfig,
     /// How gradients travel.
     pub transport: Transport,
+    /// How full gradients are framed under [`Transport::Full`].
+    /// [`WireFormat::Batched`] preserves the pre-chunking protocol
+    /// bit-for-bit; [`WireFormat::Chunked`] streams fixed-size chunk
+    /// frames and votes shard-wise at the PS.
+    pub wire: WireFormat,
     /// How long the PS waits for a straggling frame before declaring the
     /// remaining replicas of the round missing.
     pub receive_timeout: Duration,
@@ -119,6 +145,7 @@ impl Default for ServerConfig {
             faults: FaultPlan::none(),
             quorum: QuorumConfig::default(),
             transport: Transport::Full,
+            wire: WireFormat::Batched,
             receive_timeout: Duration::from_millis(500),
             round_deadline: Duration::from_secs(5),
             straggler_unit: Duration::from_millis(1),
@@ -224,6 +251,7 @@ impl MessagePassingCluster {
                 let is_crashed = config.faults.is_crashed(worker_id);
                 let attack = config.attack;
                 let transport = config.transport;
+                let wire = config.wire;
                 let plan = config.faults.clone();
                 let delay = config
                     .straggler_unit
@@ -241,6 +269,7 @@ impl MessagePassingCluster {
                         is_crashed,
                         attack,
                         transport,
+                        wire,
                         plan,
                         delay,
                     })
@@ -332,8 +361,81 @@ impl MessagePassingCluster {
                     .map(|rem| rem.min(config.receive_timeout))
             };
 
-            let winners: Vec<Option<Vec<f32>>> = match config.transport {
-                Transport::Full => {
+            let winners: Vec<Option<Vec<f32>>> = match (config.transport, config.wire) {
+                (Transport::Full, WireFormat::Chunked(chunk_cfg)) => {
+                    // Chunked wire: every replica arrives as `chunks`
+                    // independent frames, ingested straight into one
+                    // incremental voter per file — the PS never
+                    // materializes a whole gradient per replica, only the
+                    // per-shard group representatives and one reusable
+                    // O(chunk) densify scratch per file.
+                    let chunk_len = chunk_cfg.span_len();
+                    let chunks = num_chunks(params.len(), chunk_len);
+                    let mut voters: Vec<ShardedFileVoter> = (0..f)
+                        .map(|file| ShardedFileVoter::new(file as u32, params.len(), chunk_len))
+                        .collect();
+                    let expected_frames = k * l * chunks;
+                    while frames_received < expected_frames {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        // Malformed chunks degrade their replica (the
+                        // voter marks it incomplete), never panic the PS.
+                        let Ok(view) = decode_gradient_chunk(&frame) else {
+                            continue;
+                        };
+                        if view.iteration != t {
+                            continue;
+                        }
+                        let w = view.worker as usize;
+                        if w >= k || quarantined_mask[w] {
+                            continue;
+                        }
+                        let Some(voter) = voters.get_mut(view.file as usize) else {
+                            continue;
+                        };
+                        voter.ingest(&view);
+                    }
+                    // Entry accounting: a replica counts as arrived only
+                    // when every one of its chunks landed — a partially
+                    // delivered replica is missing, exactly like the
+                    // simulator's dropped-replica policy.
+                    let complete: usize = voters.iter().map(|v| v.complete_workers().len()).sum();
+                    missing_entries = expected.saturating_sub(complete);
+
+                    (0..f)
+                        .map(|file| {
+                            let holders: Vec<usize> = self
+                                .assignment
+                                .graph()
+                                .workers_of(file)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect();
+                            let outcome =
+                                voters[file].finalize(config.quorum.q_min, &holders).ok()?;
+                            if !outcome.is_strict {
+                                non_strict += 1;
+                            }
+                            if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                degraded_votes += 1;
+                            }
+                            if ledger.is_some() {
+                                audits.push(outcome.audit.clone());
+                            }
+                            Some(outcome.value)
+                        })
+                        .collect()
+                }
+                (Transport::Full, WireFormat::Batched) => {
                     // Collect batched gradients: each live worker sends
                     // ONE frame carrying all of its surviving replicas,
                     // decoded straight into the reused per-worker flat
@@ -428,7 +530,7 @@ impl MessagePassingCluster {
                         })
                         .collect()
                 }
-                Transport::HashVote => {
+                (Transport::HashVote, _) => {
                     // Phase 1: collect fingerprints.
                     let mut per_file: HashMap<u32, Vec<(usize, Fingerprint)>> = HashMap::new();
                     while frames_received < expected {
@@ -623,6 +725,7 @@ struct WorkerContext {
     is_crashed: bool,
     attack: LocalAttack,
     transport: Transport,
+    wire: WireFormat,
     plan: FaultPlan,
     delay: Duration,
 }
@@ -700,15 +803,54 @@ fn worker_loop(ctx: WorkerContext) {
                     }
                 }
                 if ctx.transport == Transport::Full {
-                    // Sent even when every entry was dropped: the frame
-                    // itself is cheap and keeps the PS's frame accounting
-                    // deterministic (live workers send exactly one).
-                    let entries: Vec<(u32, &[f32])> = batch
-                        .iter()
-                        .map(|(file, g)| (*file, g.as_slice()))
-                        .collect();
-                    let frame = encode_gradient_batch(iteration, ctx.worker_id as u32, &entries);
-                    let _ = ctx.to_ps.send(frame);
+                    match ctx.wire {
+                        WireFormat::Batched => {
+                            // Sent even when every entry was dropped: the
+                            // frame itself is cheap and keeps the PS's frame
+                            // accounting deterministic (live workers send
+                            // exactly one).
+                            let entries: Vec<(u32, &[f32])> = batch
+                                .iter()
+                                .map(|(file, g)| (*file, g.as_slice()))
+                                .collect();
+                            let frame =
+                                encode_gradient_batch(iteration, ctx.worker_id as u32, &entries);
+                            let _ = ctx.to_ps.send(frame);
+                        }
+                        WireFormat::Chunked(cfg) => {
+                            // Each surviving replica streams as independent
+                            // chunk frames; message loss now rolls per chunk
+                            // (a lost chunk strands its replica at the PS,
+                            // which degrades it like a lost whole replica).
+                            // Every in-flight buffer is chunk-sized: the
+                            // worker never serializes more than one chunk's
+                            // worth of gradient at a time.
+                            for (file, gradient) in &batch {
+                                let n = num_chunks(gradient.len(), cfg.span_len());
+                                for chunk_index in 0..n {
+                                    if ctx.plan.drops_chunk(
+                                        iteration,
+                                        0,
+                                        ctx.worker_id,
+                                        *file as usize,
+                                        chunk_index,
+                                    ) {
+                                        continue;
+                                    }
+                                    let frame = encode_gradient_chunk_into(
+                                        iteration,
+                                        ctx.worker_id as u32,
+                                        *file,
+                                        gradient,
+                                        chunk_index,
+                                        &cfg,
+                                        BytesMut::new(),
+                                    );
+                                    let _ = ctx.to_ps.send(frame);
+                                }
+                            }
+                        }
+                    }
                 }
             }
             Message::PayloadRequest { iteration, file } => {
@@ -773,6 +915,7 @@ fn gather_flat(dataset: &Dataset, indices: &[usize]) -> (Vec<f32>, Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chunk::{ChunkScheme, SparsifyConfig};
     use byz_assign::MolsAssignment;
     use byz_data::{SyntheticConfig, SyntheticImages};
     use rand::SeedableRng;
@@ -946,6 +1089,110 @@ mod tests {
             (bytes_hash as f64) < 0.5 * bytes_full as f64,
             "hash-vote moved {bytes_hash} vs full {bytes_full} bytes"
         );
+    }
+
+    #[test]
+    fn chunked_dense_wire_matches_batched_transport() {
+        // Same seeds, same attack: streaming each replica as dense chunk
+        // frames and voting shard-wise must compute byte-identical
+        // parameters to the one-frame-per-worker batched wire.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let batched_cfg = config(12, vec![0, 5]);
+        let chunked_cfg = ServerConfig {
+            wire: WireFormat::Chunked(ChunkConfig::dense(128)),
+            ..batched_cfg.clone()
+        };
+        let (p_batched, s_batched) = cluster.train(initial_params(&dims), &batched_cfg);
+        let (p_chunked, s_chunked) = cluster.train(initial_params(&dims), &chunked_cfg);
+
+        assert_eq!(
+            p_batched, p_chunked,
+            "wire formats must be semantically identical"
+        );
+        // d = 332 params, 128-float chunks ⇒ 3 chunks per replica,
+        // 15 workers × 5 files × 3 chunks per round.
+        assert!(s_chunked.iter().all(|s| s.frames_received == 15 * 5 * 3));
+        for (a, b) in s_batched.iter().zip(&s_chunked) {
+            assert_eq!(a.non_strict_votes, b.non_strict_votes);
+            assert_eq!(a.missing_votes, b.missing_votes);
+            assert_eq!(a.degraded_votes, b.degraded_votes);
+            assert_eq!(a.abandoned_files, b.abandoned_files);
+        }
+    }
+
+    #[test]
+    fn sparsified_chunked_wire_stays_strict_and_saves_bytes() {
+        // Top-k sparsification is seeded and deterministic, so honest
+        // replicas of a file stay bit-identical after compression and
+        // every vote remains strict; the wire moves far fewer bytes than
+        // the dense chunk stream.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let dense_cfg = ServerConfig {
+            wire: WireFormat::Chunked(ChunkConfig::dense(128)),
+            ..config(10, vec![0, 5])
+        };
+        let sparse_cfg = ServerConfig {
+            wire: WireFormat::Chunked(ChunkConfig {
+                chunk_len: 128,
+                scheme: ChunkScheme::TopK(SparsifyConfig::top_k(16, 0xBEEF)),
+            }),
+            ..dense_cfg.clone()
+        };
+        let (p_dense, s_dense) = cluster.train(initial_params(&dims), &dense_cfg);
+        let (p_sparse, s_sparse) = cluster.train(initial_params(&dims), &sparse_cfg);
+
+        assert!(s_sparse.iter().all(|s| s.non_strict_votes == 0));
+        assert!(s_sparse.iter().all(|s| s.missing_votes == 0));
+        assert!(s_sparse.iter().all(|s| s.abandoned_files == 0));
+        let bytes_dense: usize = s_dense.iter().map(|s| s.bytes_received).sum();
+        let bytes_sparse: usize = s_sparse.iter().map(|s| s.bytes_received).sum();
+        assert!(
+            (bytes_sparse as f64) < 0.6 * bytes_dense as f64,
+            "sparsified moved {bytes_sparse} vs dense {bytes_dense} bytes"
+        );
+        // Sparsification changes the trained parameters (lossy), but the
+        // run must stay finite and complete.
+        assert_eq!(p_sparse.len(), p_dense.len());
+        assert!(p_sparse.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn chunked_wire_tolerates_crashed_workers_like_batched() {
+        // A crashed worker's chunks never arrive; each of its replicas
+        // degrades exactly like a dropped whole replica — the same
+        // missing/degraded accounting the batched wire reports.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            faults: FaultPlan::new(0).crash_many([3, 9]),
+            wire: WireFormat::Chunked(ChunkConfig::dense(128)),
+            receive_timeout: Duration::from_millis(300),
+            ..config(4, vec![])
+        };
+        let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
+        // Same layout as `crashed_workers_are_tolerated`: 2 crashed
+        // workers × 5 files missing, 9 distinct files thinned.
+        assert!(summaries.iter().all(|s| s.missing_votes == 10));
+        assert!(summaries.iter().all(|s| s.frames_received == 13 * 5 * 3));
+        assert!(summaries.iter().all(|s| s.abandoned_files == 0));
+        assert!(summaries.iter().all(|s| s.degraded_votes == 9));
     }
 
     #[test]
