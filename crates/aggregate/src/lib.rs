@@ -50,7 +50,7 @@ pub use quorum::{
 };
 pub use sharded::{
     fold_shard_votes, num_shards, quorum_vote_all_sharded_audited, quorum_vote_sharded_audited,
-    shard_span,
+    quorum_vote_some_sharded_audited, shard_span,
 };
 pub use signsgd::SignSgdMajority;
 

@@ -315,6 +315,52 @@ where
         .collect()
 }
 
+/// Audited sharded votes for a *subset* of a round's files — the
+/// streaming finalize entry point. A pipelined parameter server settles
+/// most files eagerly as their replicas complete and is left, when the
+/// collection window closes, with an arbitrary set of straggler files to
+/// flush in one pass; this votes exactly the files named by `indices`
+/// (indices into `files`), in parallel over the kernel pool, returning
+/// results index-aligned with `indices`.
+///
+/// Each per-file outcome is bit-identical to
+/// [`quorum_vote_audited`](crate::quorum_vote_audited) on that file at
+/// any `BYZ_KERNEL_THREADS` — the subset choice and its ordering affect
+/// only which slots are computed, never their contents.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds for `files`.
+pub fn quorum_vote_some_sharded_audited<G>(
+    files: &[VoteInput<'_, G>],
+    indices: &[usize],
+    q_min: usize,
+    shard_len: usize,
+) -> Vec<Result<QuorumOutcome, QuorumError>>
+where
+    G: AsRef<[f32]> + Sync,
+{
+    let mut out: Vec<Option<Result<QuorumOutcome, QuorumError>>> = vec![None; indices.len()];
+    let chunk = indices
+        .len()
+        .div_ceil(byz_kernel::num_threads().max(1))
+        .max(1);
+    byz_kernel::parallel_chunks_mut(&mut out, chunk, |start, slots| {
+        for (offset, slot) in slots.iter_mut().enumerate() {
+            let (replicas, expected_workers) = files[indices[start + offset]];
+            *slot = Some(quorum_vote_sharded_seq(
+                replicas,
+                q_min,
+                expected_workers,
+                shard_len,
+            ));
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every subset slot is written by exactly one chunk"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +444,37 @@ mod tests {
                 "shard_len {shard_len}"
             );
         }
+    }
+
+    #[test]
+    fn subset_finalize_matches_full_pass() {
+        let h = vec![1.0f32, -2.0, 3.5, 0.0, 9.0];
+        let e = vec![7.0f32, 7.0, 7.0, 7.0, 7.0];
+        type OwnedFile = (Vec<(usize, Vec<f32>)>, Vec<usize>);
+        let per_file: Vec<OwnedFile> = (0..23usize)
+            .map(|f| {
+                let holders = vec![f % 5, f % 5 + 5, f % 5 + 10];
+                let replicas: Vec<(usize, Vec<f32>)> = match f % 3 {
+                    0 => holders.iter().map(|&w| (w, h.clone())).collect(),
+                    1 => vec![(holders[0], h.clone()), (holders[1], e.clone())],
+                    _ => Vec::new(),
+                };
+                (replicas, holders)
+            })
+            .collect();
+        let files: Vec<VoteInput<'_, Vec<f32>>> = per_file
+            .iter()
+            .map(|(r, w)| (r.as_slice(), w.as_slice()))
+            .collect();
+        let full = quorum_vote_all_sharded_audited(&files, 1, 2);
+        // Scattered, unsorted subset: results stay aligned with `indices`
+        // and equal the full pass slot-for-slot.
+        let indices = [19usize, 0, 7, 22, 3];
+        let subset = quorum_vote_some_sharded_audited(&files, &indices, 1, 2);
+        for (slot, &file) in subset.iter().zip(&indices) {
+            assert_eq!(slot, &full[file], "file {file}");
+        }
+        assert!(quorum_vote_some_sharded_audited(&files, &[], 1, 2).is_empty());
     }
 
     proptest! {

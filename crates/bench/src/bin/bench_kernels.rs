@@ -10,31 +10,15 @@
 
 use byz_aggregate::{Aggregator, CoordinateMedian};
 use byz_assign::MolsAssignment;
+use byz_bench::harness::{median_ns, JsonReport};
 use byz_cluster::{Cluster, ExecutionMode};
 use byz_nn::FastMlp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
-use std::time::Instant;
 
 fn filled(len: usize, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
-}
-
-/// Median wall-clock nanoseconds of `reps` runs of `f`.
-fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
-    // One warm-up run so lazy pool/scratch initialization is not billed.
-    f();
-    let mut times: Vec<u128> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
 }
 
 /// The seed's coordinate-median: column copy + full sort per coordinate.
@@ -126,23 +110,26 @@ fn main() {
     println!("cluster round:      seq   {seq_ns:>12} | pooled {thr_ns:>11} | {round_speedup:.2}x");
 
     // ── BENCH_kernels.json ────────────────────────────────────────────
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pool_threads\": {},", byz_kernel::num_threads());
-    let _ = writeln!(
-        json,
-        "  \"matmul_256\": {{ \"naive_ns\": {naive_ns}, \"kernel_ns\": {kernel_ns}, \"speedup\": {matmul_speedup:.3} }},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"coordinate_median_d100k\": {{ \"sort_ns\": {sort_ns}, \"select_parallel_ns\": {select_ns}, \"speedup\": {median_speedup:.3} }},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"cluster_round\": {{ \"sequential_ns\": {seq_ns}, \"threaded_ns\": {thr_ns}, \"speedup\": {round_speedup:.3} }}"
-    );
-    json.push_str("}\n");
-    match std::fs::write("BENCH_kernels.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_kernels.json"),
-        Err(e) => eprintln!("\ncould not write BENCH_kernels.json: {e}"),
-    }
+    let mut report = JsonReport::new();
+    report
+        .field("pool_threads", byz_kernel::num_threads())
+        .field(
+            "matmul_256",
+            format!(
+                "{{ \"naive_ns\": {naive_ns}, \"kernel_ns\": {kernel_ns}, \"speedup\": {matmul_speedup:.3} }}"
+            ),
+        )
+        .field(
+            "coordinate_median_d100k",
+            format!(
+                "{{ \"sort_ns\": {sort_ns}, \"select_parallel_ns\": {select_ns}, \"speedup\": {median_speedup:.3} }}"
+            ),
+        )
+        .field(
+            "cluster_round",
+            format!(
+                "{{ \"sequential_ns\": {seq_ns}, \"threaded_ns\": {thr_ns}, \"speedup\": {round_speedup:.3} }}"
+            ),
+        );
+    report.write("BENCH_kernels.json");
 }

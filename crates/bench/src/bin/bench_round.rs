@@ -32,14 +32,13 @@
 
 use byz_aggregate::{quorum_vote_all_audited, quorum_vote_audited, QuorumOutcome, VoteInput};
 use byz_assign::{Assignment, RandomAssignment};
+use byz_bench::harness::{check_min_arg, fail_gate, median_ns, rounds_per_sec, JsonReport};
 use byz_cluster::{Cluster, ExecutionMode, GradientArena, WorkerCompute};
 use byz_wire::{decode_gradient_batch, encode_gradient_batch_into, Message};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Majority quorum for r = 3.
 const Q_MIN: usize = 2;
@@ -290,20 +289,6 @@ fn arena_round(
     (bytes, fp)
 }
 
-/// Median wall-clock nanoseconds of `reps` runs of `f` (one warm-up).
-fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
-    f();
-    let mut times: Vec<u128> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 struct ConfigResult {
     workers: usize,
     dim: usize,
@@ -325,9 +310,6 @@ impl ConfigResult {
     }
     fn alloc_reduction(&self) -> f64 {
         self.legacy_alloc_bytes as f64 / self.arena_alloc_bytes.max(1) as f64
-    }
-    fn rounds_per_sec(ns: u128) -> f64 {
-        1e9 / ns as f64
     }
 }
 
@@ -407,12 +389,7 @@ fn run_config(workers: usize, dim: usize, reps: usize) -> ConfigResult {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let check_min: Option<f64> = args.iter().position(|a| a == "--check").map(|i| {
-        args.get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--check requires a numeric minimum, e.g. --check 1.5")
-    });
+    let check_min = check_min_arg();
 
     println!(
         "round hot-path benches (pool: {} threads) — median ns/round\n",
@@ -443,52 +420,50 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pool_threads\": {},", byz_kernel::num_threads());
-    let _ = writeln!(json, "  \"replication\": {REPLICATION},");
-    let _ = writeln!(
-        json,
-        "  \"mmap_threshold_pinned\": {},",
-        std::env::var("MALLOC_MMAP_THRESHOLD_").is_ok()
-    );
-    let _ = writeln!(json, "  \"configs\": [");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{ \"workers\": {}, \"dim\": {}, \"legacy_seq_ns\": {}, \"arena_seq_ns\": {}, \"arena_threaded_ns\": {}, \"legacy_rounds_per_sec\": {:.3}, \"arena_threaded_rounds_per_sec\": {:.3}, \"legacy_bytes_per_round\": {}, \"batched_bytes_per_round\": {}, \"legacy_alloc_bytes_per_round\": {}, \"arena_alloc_bytes_per_round\": {}, \"alloc_reduction\": {:.3}, \"arena_seq_speedup\": {:.3}, \"arena_threaded_speedup\": {:.3} }}{comma}",
-            r.workers,
-            r.dim,
-            r.legacy_seq_ns,
-            r.arena_seq_ns,
-            r.arena_threaded_ns,
-            ConfigResult::rounds_per_sec(r.legacy_seq_ns),
-            ConfigResult::rounds_per_sec(r.arena_threaded_ns),
-            r.legacy_bytes,
-            r.batched_bytes,
-            r.legacy_alloc_bytes,
-            r.arena_alloc_bytes,
-            r.alloc_reduction(),
-            r.seq_speedup(),
-            r.threaded_speedup(),
-        );
-    }
-    let _ = writeln!(json, "  ],");
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"workers\": {}, \"dim\": {}, \"legacy_seq_ns\": {}, \"arena_seq_ns\": {}, \"arena_threaded_ns\": {}, \"legacy_rounds_per_sec\": {:.3}, \"arena_threaded_rounds_per_sec\": {:.3}, \"legacy_bytes_per_round\": {}, \"batched_bytes_per_round\": {}, \"legacy_alloc_bytes_per_round\": {}, \"arena_alloc_bytes_per_round\": {}, \"alloc_reduction\": {:.3}, \"arena_seq_speedup\": {:.3}, \"arena_threaded_speedup\": {:.3} }}",
+                r.workers,
+                r.dim,
+                r.legacy_seq_ns,
+                r.arena_seq_ns,
+                r.arena_threaded_ns,
+                rounds_per_sec(r.legacy_seq_ns),
+                rounds_per_sec(r.arena_threaded_ns),
+                r.legacy_bytes,
+                r.batched_bytes,
+                r.legacy_alloc_bytes,
+                r.arena_alloc_bytes,
+                r.alloc_reduction(),
+                r.seq_speedup(),
+                r.threaded_speedup(),
+            )
+        })
+        .collect();
     let reference = results
         .iter()
         .find(|r| r.workers == 25 && r.dim == 1_000_000)
         .expect("K=25, d=1M is always in the sweep");
-    let _ = writeln!(
-        json,
-        "  \"gate\": {{ \"workers\": 25, \"dim\": 1000000, \"alloc_reduction\": {:.3}, \"arena_threaded_speedup\": {:.3} }}",
-        reference.alloc_reduction(),
-        reference.threaded_speedup()
-    );
-    json.push_str("}\n");
-    match std::fs::write("BENCH_round.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_round.json"),
-        Err(e) => eprintln!("\ncould not write BENCH_round.json: {e}"),
-    }
+    let mut report = JsonReport::new();
+    report
+        .field("pool_threads", byz_kernel::num_threads())
+        .field("replication", REPLICATION)
+        .field(
+            "mmap_threshold_pinned",
+            std::env::var("MALLOC_MMAP_THRESHOLD_").is_ok(),
+        )
+        .array("configs", &rows)
+        .field(
+            "gate",
+            format!(
+                "{{ \"workers\": 25, \"dim\": 1000000, \"alloc_reduction\": {:.3}, \"arena_threaded_speedup\": {:.3} }}",
+                reference.alloc_reduction(),
+                reference.threaded_speedup()
+            ),
+        );
+    report.write("BENCH_round.json");
 
     if let Some(min) = check_min {
         // Primary gate: the deterministic allocation-reduction factor at
@@ -497,20 +472,18 @@ fn main() {
         // reversion to per-file frames + owned decode lands near ~1.3x).
         let alloc_factor = reference.alloc_reduction();
         if alloc_factor < min {
-            eprintln!(
-                "FAIL: round allocation reduction {alloc_factor:.3}x at K=25, d=1M is below the {min}x gate"
-            );
-            std::process::exit(1);
+            fail_gate(format!(
+                "round allocation reduction {alloc_factor:.3}x at K=25, d=1M is below the {min}x gate"
+            ));
         }
         // Secondary floor: the arena round must never be a wall-clock
         // slowdown. Kept loose (1.0x) because absolute round time swings
         // with the allocator's mmap-threshold mode on shared runners.
         let speedup = reference.threaded_speedup();
         if speedup < 1.0 {
-            eprintln!(
-                "FAIL: arena threaded round is a slowdown ({speedup:.3}x legacy) at K=25, d=1M"
-            );
-            std::process::exit(1);
+            fail_gate(format!(
+                "arena threaded round is a slowdown ({speedup:.3}x legacy) at K=25, d=1M"
+            ));
         }
         // Wire-layout gate: the batched frame layout is deterministic —
         // K frame headers + 16-byte batch prefixes, K*l 8-byte entry
@@ -521,18 +494,16 @@ fn main() {
             + reference.workers * REPLICATION * 8
             + reference.workers * REPLICATION * reference.dim * 4;
         if reference.batched_bytes != expected_batched {
-            eprintln!(
-                "FAIL: batched wire moved {} bytes/round at K=25, d=1M; the frame layout predicts {expected_batched}",
+            fail_gate(format!(
+                "batched wire moved {} bytes/round at K=25, d=1M; the frame layout predicts {expected_batched}",
                 reference.batched_bytes
-            );
-            std::process::exit(1);
+            ));
         }
         if reference.batched_bytes > reference.legacy_bytes {
-            eprintln!(
-                "FAIL: batched wire ({} B) outweighs per-file frames ({} B) at K=25, d=1M",
+            fail_gate(format!(
+                "batched wire ({} B) outweighs per-file frames ({} B) at K=25, d=1M",
                 reference.batched_bytes, reference.legacy_bytes
-            );
-            std::process::exit(1);
+            ));
         }
         println!(
             "gate OK: allocation reduction {alloc_factor:.3}x >= {min}x (wall-clock {speedup:.3}x, batched wire {} B as laid out) at K=25, d=1M",

@@ -34,6 +34,7 @@
 use bytes::BytesMut;
 use byz_aggregate::{gradient_fingerprint, quorum_vote_audited};
 use byz_assign::{Assignment, RandomAssignment};
+use byz_bench::harness::{check_min_arg, fail_gate, median_ns, rounds_per_sec, JsonReport};
 use byz_wire::{
     apply_scheme, decode_gradient_batch, decode_gradient_chunk, encode_gradient_batch,
     encode_gradient_chunk_into, num_chunks, packed_sign_majority, ChunkConfig, ChunkScheme,
@@ -41,8 +42,6 @@ use byz_wire::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Majority quorum for r = 3.
 const Q_MIN: usize = 2;
@@ -236,20 +235,6 @@ fn signs_round(assignment: &Assignment, grad: &mut [f32], iteration: u64) -> (us
     (bytes, digest)
 }
 
-/// Median wall-clock nanoseconds of `reps` runs of `f` (one warm-up).
-fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
-    f();
-    let mut times: Vec<u128> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_nanos()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 struct ConfigResult {
     workers: usize,
     dim: usize,
@@ -270,9 +255,6 @@ impl ConfigResult {
     }
     fn signs_reduction(&self) -> f64 {
         self.batched_bytes as f64 / self.signs_bytes.max(1) as f64
-    }
-    fn rounds_per_sec(ns: u128) -> f64 {
-        1e9 / ns as f64
     }
 }
 
@@ -365,12 +347,7 @@ fn run_config(workers: usize, dim: usize, reps: usize) -> ConfigResult {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let check_min: Option<f64> = args.iter().position(|a| a == "--check").map(|i| {
-        args.get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .expect("--check requires a numeric minimum, e.g. --check 4")
-    });
+    let check_min = check_min_arg();
 
     println!(
         "gradient-wire benches (pool: {} threads, chunk = {CHUNK_LEN}, top-k = {TOP_K}) — median ns/round\n",
@@ -405,53 +382,52 @@ fn main() {
         results.push(r);
     }
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"pool_threads\": {},", byz_kernel::num_threads());
-    let _ = writeln!(json, "  \"replication\": {REPLICATION},");
-    let _ = writeln!(json, "  \"chunk_len\": {CHUNK_LEN},");
-    let _ = writeln!(json, "  \"top_k\": {TOP_K},");
-    let _ = writeln!(json, "  \"configs\": [");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{ \"workers\": {}, \"dim\": {}, \"batched_bytes_per_round\": {}, \"chunked_bytes_per_round\": {}, \"sparse_bytes_per_round\": {}, \"signs_bytes_per_round\": {}, \"batched_ns\": {}, \"chunked_ns\": {}, \"sparse_ns\": {}, \"signs_ns\": {}, \"batched_rounds_per_sec\": {:.3}, \"chunked_rounds_per_sec\": {:.3}, \"sparse_rounds_per_sec\": {:.3}, \"signs_rounds_per_sec\": {:.3}, \"sparse_bytes_reduction\": {:.3}, \"signs_bytes_reduction\": {:.3}, \"peak_decode_floats\": {} }}{comma}",
-            r.workers,
-            r.dim,
-            r.batched_bytes,
-            r.chunked_bytes,
-            r.sparse_bytes,
-            r.signs_bytes,
-            r.batched_ns,
-            r.chunked_ns,
-            r.sparse_ns,
-            r.signs_ns,
-            ConfigResult::rounds_per_sec(r.batched_ns),
-            ConfigResult::rounds_per_sec(r.chunked_ns),
-            ConfigResult::rounds_per_sec(r.sparse_ns),
-            ConfigResult::rounds_per_sec(r.signs_ns),
-            r.sparse_reduction(),
-            r.signs_reduction(),
-            r.peak_decode_floats,
-        );
-    }
-    let _ = writeln!(json, "  ],");
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"workers\": {}, \"dim\": {}, \"batched_bytes_per_round\": {}, \"chunked_bytes_per_round\": {}, \"sparse_bytes_per_round\": {}, \"signs_bytes_per_round\": {}, \"batched_ns\": {}, \"chunked_ns\": {}, \"sparse_ns\": {}, \"signs_ns\": {}, \"batched_rounds_per_sec\": {:.3}, \"chunked_rounds_per_sec\": {:.3}, \"sparse_rounds_per_sec\": {:.3}, \"signs_rounds_per_sec\": {:.3}, \"sparse_bytes_reduction\": {:.3}, \"signs_bytes_reduction\": {:.3}, \"peak_decode_floats\": {} }}",
+                r.workers,
+                r.dim,
+                r.batched_bytes,
+                r.chunked_bytes,
+                r.sparse_bytes,
+                r.signs_bytes,
+                r.batched_ns,
+                r.chunked_ns,
+                r.sparse_ns,
+                r.signs_ns,
+                rounds_per_sec(r.batched_ns),
+                rounds_per_sec(r.chunked_ns),
+                rounds_per_sec(r.sparse_ns),
+                rounds_per_sec(r.signs_ns),
+                r.sparse_reduction(),
+                r.signs_reduction(),
+                r.peak_decode_floats,
+            )
+        })
+        .collect();
     let reference = results
         .iter()
         .find(|r| r.workers == 50 && r.dim == 1_000_000)
         .expect("K=50, d=1M is always in the sweep");
-    let _ = writeln!(
-        json,
-        "  \"gate\": {{ \"workers\": 50, \"dim\": 1000000, \"sparse_bytes_reduction\": {:.3}, \"signs_bytes_reduction\": {:.3}, \"peak_decode_floats\": {} }}",
-        reference.sparse_reduction(),
-        reference.signs_reduction(),
-        reference.peak_decode_floats,
-    );
-    json.push_str("}\n");
-    match std::fs::write("BENCH_wire.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_wire.json"),
-        Err(e) => eprintln!("\ncould not write BENCH_wire.json: {e}"),
-    }
+    let mut report = JsonReport::new();
+    report
+        .field("pool_threads", byz_kernel::num_threads())
+        .field("replication", REPLICATION)
+        .field("chunk_len", CHUNK_LEN)
+        .field("top_k", TOP_K)
+        .array("configs", &rows)
+        .field(
+            "gate",
+            format!(
+                "{{ \"workers\": 50, \"dim\": 1000000, \"sparse_bytes_reduction\": {:.3}, \"signs_bytes_reduction\": {:.3}, \"peak_decode_floats\": {} }}",
+                reference.sparse_reduction(),
+                reference.signs_reduction(),
+                reference.peak_decode_floats,
+            ),
+        );
+    report.write("BENCH_wire.json");
 
     if let Some(min) = check_min {
         // The gate is structural, not wall-clock: bytes per round are a
@@ -459,17 +435,15 @@ fn main() {
         // reduction factor reproduces to the byte on any machine.
         let reduction = reference.sparse_reduction();
         if reduction < min {
-            eprintln!(
-                "FAIL: sparsified wire reduction {reduction:.3}x at K=50, d=1M is below the {min}x gate"
-            );
-            std::process::exit(1);
+            fail_gate(format!(
+                "sparsified wire reduction {reduction:.3}x at K=50, d=1M is below the {min}x gate"
+            ));
         }
         if reference.peak_decode_floats != CHUNK_LEN {
-            eprintln!(
-                "FAIL: chunked decode scratch is {} floats, expected one chunk ({CHUNK_LEN})",
+            fail_gate(format!(
+                "chunked decode scratch is {} floats, expected one chunk ({CHUNK_LEN})",
                 reference.peak_decode_floats
-            );
-            std::process::exit(1);
+            ));
         }
         println!(
             "gate OK: sparsified wire moves {reduction:.3}x >= {min}x fewer bytes (signs {:.3}x, peak decode {} floats) at K=50, d=1M",

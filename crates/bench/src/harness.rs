@@ -1,0 +1,146 @@
+//! Shared scaffolding for the `bench_*` regression binaries.
+//!
+//! `bench_kernels`, `bench_round`, `bench_wire` and `bench_pipeline`
+//! share the same skeleton: a median-of-reps timing loop with one
+//! warm-up run, a `--check MIN` argument that turns the binary into a CI
+//! gate, and a hand-rolled flat-JSON report written next to the repo
+//! root. This module holds the skeleton once; each binary keeps only its
+//! workload and its gate predicate.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `reps` runs of `f` (one warm-up run
+/// first, so lazy pool/scratch initialization is not billed).
+pub fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    f();
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Rounds per second for a median-nanoseconds measurement.
+pub fn rounds_per_sec(ns: u128) -> f64 {
+    1e9 / ns as f64
+}
+
+/// Parses `--check MIN` from the process arguments: `None` when absent,
+/// the parsed minimum when present.
+///
+/// # Panics
+///
+/// When `--check` is given without a parseable number — a malformed CI
+/// invocation should fail loudly, not run ungated.
+pub fn check_min_arg() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--check requires a numeric minimum, e.g. --check 1.5")
+    })
+}
+
+/// Prints a gate failure and exits nonzero (the CI contract shared by
+/// every `bench_*` binary).
+pub fn fail_gate(message: impl Display) -> ! {
+    eprintln!("FAIL: {message}");
+    std::process::exit(1);
+}
+
+/// Builder for the flat `BENCH_*.json` reports: top-level fields in
+/// insertion order, optional arrays of preformatted object literals,
+/// two-space indentation, comma placement handled centrally.
+#[derive(Default)]
+pub struct JsonReport {
+    entries: Vec<String>,
+}
+
+impl JsonReport {
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Adds `"key": value` with `value` rendered via `Display` — numbers
+    /// and booleans; pre-quoted strings and `{ ... }` literals work too.
+    pub fn field(&mut self, key: &str, value: impl Display) -> &mut Self {
+        self.entries.push(format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Adds `"key": [ ... ]` where each item is a preformatted object
+    /// literal placed on its own line.
+    pub fn array(&mut self, key: &str, items: &[String]) -> &mut Self {
+        let mut out = format!("\"{key}\": [\n");
+        for (i, item) in items.iter().enumerate() {
+            let comma = if i + 1 < items.len() { "," } else { "" };
+            out.push_str(&format!("    {item}{comma}\n"));
+        }
+        out.push_str("  ]");
+        self.entries.push(out);
+        self
+    }
+
+    /// Serializes the report.
+    pub fn render(&self) -> String {
+        let mut json = String::from("{\n");
+        for (i, entry) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            json.push_str(&format!("  {entry}{comma}\n"));
+        }
+        json.push_str("}\n");
+        json
+    }
+
+    /// Writes the report to `path`, reporting success or failure on
+    /// stdout/stderr exactly like the binaries always did.
+    pub fn write(&self, path: &str) {
+        match std::fs::write(path, self.render()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("\ncould not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let mut calls = 0u32;
+        let ns = median_ns(5, || {
+            calls += 1;
+        });
+        // 5 timed runs + 1 warm-up; the median of five tiny samples is
+        // still a tiny number.
+        assert_eq!(calls, 6);
+        assert!(ns < 1_000_000, "empty closure took {ns} ns");
+    }
+
+    #[test]
+    fn json_report_renders_fields_and_arrays() {
+        let mut report = JsonReport::new();
+        report.field("pool_threads", 4).field("ratio", "1.500");
+        report.array(
+            "configs",
+            &[
+                String::from("{ \"workers\": 15 }"),
+                String::from("{ \"workers\": 25 }"),
+            ],
+        );
+        report.field("gate", "{ \"speedup\": 1.500 }");
+        let json = report.render();
+        assert_eq!(
+            json,
+            "{\n  \"pool_threads\": 4,\n  \"ratio\": 1.500,\n  \"configs\": [\n    \
+             { \"workers\": 15 },\n    { \"workers\": 25 }\n  ],\n  \
+             \"gate\": { \"speedup\": 1.500 }\n}\n"
+        );
+    }
+}

@@ -6,6 +6,7 @@
 //! write CSV files under `bench_results/` for external plotting.
 
 mod chart;
+pub mod harness;
 
 pub use chart::render_ascii_chart;
 

@@ -40,4 +40,4 @@ mod timing;
 pub use arena::{ArenaRound, GradientArena};
 pub use engine::{Cluster, ComputedRound, ExecutionMode, WorkerCompute};
 pub use fault::{ClusterError, FaultPlan};
-pub use timing::{CostModel, IterationTimeEstimate, RetryPolicy};
+pub use timing::{CostModel, IterationTimeEstimate, PhaseTimings, RetryPolicy};

@@ -70,6 +70,58 @@ impl IterationTimeEstimate {
     }
 }
 
+/// Measured wall-clock nanoseconds per round phase, as observed by the
+/// parameter server.
+///
+/// In the barrier round mode the phases run back-to-back, so their sum is
+/// close to the round wall time ([`PhaseTimings::overlap_ratio`] ≈ 1). In
+/// the streaming mode votes run *inside* the collection window while
+/// later frames are still in flight, so the phase sum exceeds the wall
+/// time and the ratio rises above 1 — the ratio is the per-round
+/// observable for how much work the pipeline hid.
+///
+/// Phase boundaries:
+/// * `compute_ns` — model broadcast until the first gradient frame
+///   arrives (worker compute plus straggler delay, as seen by the PS);
+/// * `wire_ns` — first frame until the collection window closes
+///   (includes any vote work done inline while waiting);
+/// * `vote_ns` — CPU time spent in quorum votes and the canonical fold,
+///   wherever it ran;
+/// * `update_ns` — robust aggregation plus the SGD-momentum step;
+/// * `round_ns` — broadcast until the round summary is sealed.
+///
+/// Wall-clock values: nondeterministic, excluded from any bit-identity
+/// comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Broadcast → first gradient frame.
+    pub compute_ns: u64,
+    /// First gradient frame → collection window closed.
+    pub wire_ns: u64,
+    /// Total vote + canonical-fold CPU time.
+    pub vote_ns: u64,
+    /// Aggregation + model update time.
+    pub update_ns: u64,
+    /// Whole-round wall time.
+    pub round_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum of the (possibly overlapping) phase durations.
+    pub fn total_phase_ns(&self) -> u64 {
+        self.compute_ns + self.wire_ns + self.vote_ns + self.update_ns
+    }
+
+    /// Phase-sum over wall time: ≈ 1 when phases run as strict barriers,
+    /// > 1 when the pipeline overlaps them. 0 for an unmeasured round.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.round_ns == 0 {
+            return 0.0;
+        }
+        self.total_phase_ns() as f64 / self.round_ns as f64
+    }
+}
+
 /// Bounded-retry backoff policy for files whose quorum collapsed: the PS
 /// re-requests the file's replicas from its surviving workers, waiting
 /// `backoff_base · backoff_factor^(attempt−1)` before attempt `attempt`.
@@ -363,6 +415,27 @@ mod tests {
         assert_eq!(none.retry, Duration::ZERO);
         assert!(some.retry >= Duration::from_millis(300));
         assert!(some.total() > none.total());
+    }
+
+    #[test]
+    fn overlap_ratio_reflects_hidden_work() {
+        let barrier = PhaseTimings {
+            compute_ns: 100,
+            wire_ns: 50,
+            vote_ns: 30,
+            update_ns: 20,
+            round_ns: 200,
+        };
+        assert!((barrier.overlap_ratio() - 1.0).abs() < 1e-12);
+        // Streaming: votes ran inside the wire window, so the phase sum
+        // exceeds the wall time.
+        let streaming = PhaseTimings {
+            round_ns: 170,
+            ..barrier
+        };
+        assert!(streaming.overlap_ratio() > 1.0);
+        assert_eq!(PhaseTimings::default().overlap_ratio(), 0.0);
+        assert_eq!(barrier.total_phase_ns(), 200);
     }
 
     #[test]

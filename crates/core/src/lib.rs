@@ -92,7 +92,7 @@ pub mod prelude {
     };
     pub use byz_cluster::{
         Cluster, ClusterError, CostModel, ExecutionMode, FaultPlan, IterationTimeEstimate,
-        RetryPolicy,
+        PhaseTimings, RetryPolicy,
     };
     pub use byz_data::{BatchSampler, Dataset, SyntheticConfig, SyntheticImages};
     pub use byz_distortion::{
@@ -110,7 +110,7 @@ pub mod prelude {
     pub use byz_tensor::Tensor;
     pub use byz_wire::{
         packed_sign_majority, ChunkConfig, ChunkScheme, LocalAttack, Message,
-        MessagePassingCluster, PackedSigns, RoundSummary, ServerConfig, SparsifyConfig, Transport,
-        WireError, WireFormat,
+        MessagePassingCluster, PackedSigns, RoundMode, RoundSummary, ServerConfig, SparsifyConfig,
+        Transport, WireError, WireFormat,
     };
 }

@@ -119,6 +119,16 @@ pub struct TrainingConfig {
     /// reputation semantics are untouched. `None` (the default)
     /// preserves the unchunked protocol bit for bit.
     pub chunking: Option<ChunkConfig>,
+    /// Pipelined round scheduling (mirrors `byz_wire::RoundMode`): when
+    /// `true`, wave-0 votes finalize per file in modeled completion
+    /// order — a file is done when its slowest live replica holder
+    /// lands, so stragglers only delay their own files — instead of as
+    /// one post-barrier batch. Every vote still sees exactly the same
+    /// replicas and every outcome folds in canonical file order, so the
+    /// [`TrainingHistory`], [`VoteAudit`]s and reputation ledger are
+    /// bit-identical to the barrier path at any `BYZ_KERNEL_THREADS`.
+    /// `false` (the default) keeps the strict-barrier schedule.
+    pub streaming: bool,
 }
 
 impl Default for TrainingConfig {
@@ -137,6 +147,7 @@ impl Default for TrainingConfig {
             retry: RetryPolicy::default(),
             reputation: None,
             chunking: None,
+            streaming: false,
         }
     }
 }
@@ -605,11 +616,45 @@ impl<'a, M: Module> Trainer<'a, M> {
                     // Chunked wire: the vote runs shard-wise (shard =
                     // chunk), folding per-shard group ids — bit-identical
                     // to the whole-vector vote by construction.
-                    let wave0_votes = match chunking {
-                        Some(cfg) => {
-                            quorum_vote_all_sharded_audited(&vote_inputs, q_min, cfg.span_len())
+                    let wave0_votes = if self.config.streaming {
+                        // Streaming schedule: each file's vote finalizes
+                        // the moment its slowest live replica holder
+                        // lands (ties break on file index), mirroring the
+                        // wire engine's eager per-file finalize. Votes
+                        // land in per-file slots, so the canonical-order
+                        // bookkeeping below is oblivious to the schedule.
+                        let finish = |fi: usize| -> f64 {
+                            active_graph
+                                .workers_of(fi)
+                                .iter()
+                                .filter(|&&w| !plan.is_crashed(w))
+                                .map(|&w| plan.straggle_factor(w))
+                                .fold(1.0, f64::max)
+                        };
+                        let mut order: Vec<usize> = (0..f).collect();
+                        order.sort_by(|&a, &b| finish(a).total_cmp(&finish(b)).then(a.cmp(&b)));
+                        let mut slots: Vec<Option<Result<QuorumOutcome, QuorumError>>> =
+                            (0..f).map(|_| None).collect();
+                        for fi in order {
+                            let (present, workers) = vote_inputs[fi];
+                            slots[fi] = Some(match chunking {
+                                Some(cfg) => quorum_vote_sharded_audited(
+                                    present,
+                                    q_min,
+                                    workers,
+                                    cfg.span_len(),
+                                ),
+                                None => quorum_vote_audited(present, q_min, workers),
+                            });
                         }
-                        None => quorum_vote_all_audited(&vote_inputs, q_min),
+                        slots.into_iter().map(Option::unwrap).collect()
+                    } else {
+                        match chunking {
+                            Some(cfg) => {
+                                quorum_vote_all_sharded_audited(&vote_inputs, q_min, cfg.span_len())
+                            }
+                            None => quorum_vote_all_audited(&vote_inputs, q_min),
+                        }
                     };
 
                     // Retry waves stay sequential (they are rare and
@@ -777,10 +822,10 @@ impl<'a, M: Module> Trainer<'a, M> {
             // 5. Model update. File gradients are SUMS over b/f samples;
             //    the aggregate approximates a per-file sum, so scaling by
             //    f/b yields a per-sample mean-gradient step (Algorithm 1,
-            //    line 17).
+            //    line 17). The scale folds into the chunk-parallel kernel
+            //    step, bit-identical to pre-scaling the gradient.
             let scale = f as f32 / self.config.batch_size as f32;
-            let scaled: Vec<f32> = aggregated.iter().map(|g| g * scale).collect();
-            opt.step_with_gradient(&scaled);
+            opt.step_with_scaled_gradient(&aggregated, scale);
             params = flatten_params(&params_tensors);
 
             // Bookkeeping. Without faults ε̂ keeps its predictive meaning

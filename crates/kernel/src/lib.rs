@@ -23,6 +23,9 @@
 //!   per-coordinate sorts, and a vectorized many-columns-at-once
 //!   sorting network ([`sort_columns`]) for the coordinate-median
 //!   hot path.
+//! * [`update`] — chunk-parallel SGD-with-momentum steps
+//!   ([`sgd_momentum_step`]) so the post-aggregation model update stops
+//!   being a single-threaded walk over every parameter.
 //!
 //! # Determinism contract
 //!
@@ -37,8 +40,10 @@ pub mod buffer;
 pub mod matmul;
 pub mod pool;
 pub mod select;
+pub mod update;
 
 pub use buffer::with_scratch;
 pub use matmul::{matmul, matmul_naive, matmul_transa, matmul_transb};
 pub use pool::{num_threads, parallel_chunks, parallel_chunks_mut};
 pub use select::{median_select, sort_columns, trimmed_sum_select};
+pub use update::{sgd_momentum_step, sgd_momentum_velocity_step, UPDATE_CHUNK};

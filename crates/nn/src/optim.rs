@@ -119,6 +119,40 @@ impl Sgd {
         assert_eq!(offset, gradient.len(), "gradient length mismatch");
         self.iteration += 1;
     }
+
+    /// Like [`Sgd::step_with_gradient`], but folds the `f/b` gradient
+    /// scaling into the update and runs it chunk-parallel on the
+    /// `byz-kernel` pool:
+    ///
+    /// ```text
+    /// v ← µ·v + g·scale
+    /// w ← w − η_t·v
+    /// ```
+    ///
+    /// Bitwise identical to scaling the gradient up front and calling
+    /// [`Sgd::step_with_gradient`], at any `BYZ_KERNEL_THREADS` — the
+    /// per-coordinate arithmetic (`g·scale` rounded once, then the
+    /// momentum recurrence) is the same sequence of f32 operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gradient.len()` differs from the total parameter count.
+    pub fn step_with_scaled_gradient(&mut self, gradient: &[f32], scale: f32) {
+        let lr = self.current_rate() as f32;
+        let mut offset = 0usize;
+        let mut step = Vec::new();
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            let n = p.len();
+            let grad = &gradient[offset..offset + n];
+            step.resize(n, 0.0);
+            byz_kernel::sgd_momentum_velocity_step(v, &mut step, grad, scale, lr, self.momentum);
+            p.apply_step(&step);
+            p.zero_grad();
+            offset += n;
+        }
+        assert_eq!(offset, gradient.len(), "gradient length mismatch");
+        self.iteration += 1;
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +209,44 @@ mod tests {
         let mut opt = Sgd::new(vec![w.clone()], StepDecaySchedule::constant(0.5), 0.0);
         opt.step_with_gradient(&[2.0, -2.0]);
         assert_eq!(w.to_vec(), vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn scaled_step_matches_prescaled_step_bitwise() {
+        // Two tensors so the offset walk is exercised; enough coordinates
+        // to span several kernel chunks.
+        let n0 = 40_000;
+        let n1 = 123;
+        let data0: Vec<f32> = (0..n0).map(|i| (i as f32 * 0.013).cos()).collect();
+        let data1: Vec<f32> = (0..n1).map(|i| (i as f32 * 0.31).sin()).collect();
+        let grad: Vec<f32> = (0..n0 + n1)
+            .map(|i| (i as f32 * 0.07).sin() * 3.0)
+            .collect();
+        let scale = 25.0f32 / 96.0;
+
+        let make = || {
+            let t0 = Tensor::from_vec(vec![n0], data0.clone()).requires_grad();
+            let t1 = Tensor::from_vec(vec![n1], data1.clone()).requires_grad();
+            Sgd::new(vec![t0, t1], StepDecaySchedule::new(0.1, 0.5, 2), 0.9)
+        };
+
+        let mut a = make();
+        let mut b = make();
+        for _ in 0..4 {
+            let scaled: Vec<f32> = grad.iter().map(|g| g * scale).collect();
+            a.step_with_gradient(&scaled);
+            b.step_with_scaled_gradient(&grad, scale);
+        }
+        for (pa, pb) in a.params.iter().zip(&b.params) {
+            let bits = |t: &Tensor| t.to_vec().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(pa), bits(pb));
+        }
+        for (va, vb) in a.velocity.iter().zip(&b.velocity) {
+            assert_eq!(
+                va.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                vb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub use message::{
     extend_f32s_le, put_f32s_le, read_f32s_le, Message, WireError, FRAME_HEADER_LEN,
 };
 pub use server::{
-    LocalAttack, MessagePassingCluster, RoundSummary, ServerConfig, Transport, WireFormat,
+    LocalAttack, MessagePassingCluster, RoundMode, RoundSummary, ServerConfig, Transport,
+    WireFormat,
 };
 pub use voter::{ChunkIngest, ShardedFileVoter};
 

@@ -8,10 +8,11 @@ use crate::{
 };
 use bytes::{Bytes, BytesMut};
 use byz_aggregate::{
-    quorum_vote_all_audited, Aggregator, CoordinateMedian, Provenance, QuorumConfig,
-    ReplicaVerdict, VoteAudit,
+    quorum_vote_all_audited, quorum_vote_audited, quorum_vote_some_sharded_audited, Aggregator,
+    CoordinateMedian, Provenance, QuorumConfig, QuorumError, QuorumOutcome, ReplicaVerdict,
+    VoteAudit,
 };
-use byz_cluster::FaultPlan;
+use byz_cluster::{FaultPlan, PhaseTimings};
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
 use byz_nn::FastMlp;
 use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
@@ -77,6 +78,30 @@ pub enum WireFormat {
     Chunked(ChunkConfig),
 }
 
+/// How the PS schedules the stages of a round (Full transport only;
+/// hash-vote's announce/pull exchange is already per-file and ignores
+/// this knob).
+///
+/// Both modes compute bit-identical parameters, vote outcomes, audits
+/// and reputation trajectories: streaming changes only *when* votes run,
+/// never what they see — outcomes land in per-file slots and every
+/// counter, audit and update is folded in canonical file order after the
+/// collection window closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoundMode {
+    /// Strict phases: collect every frame, then vote all files, then
+    /// update (the pre-pipelining protocol, and the default).
+    #[default]
+    Barrier,
+    /// Pipelined: workers emit each file's frames as soon as that file's
+    /// gradient is computed, the PS finalizes each file's vote the
+    /// moment its last live replica completes (stragglers only delay
+    /// their own files), and the next round's batch split is prefetched
+    /// while workers compute. Vote work hides inside the collection
+    /// window instead of serializing after it.
+    Streaming,
+}
+
 /// Training configuration for the message-passing server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -110,6 +135,10 @@ pub struct ServerConfig {
     /// bit-for-bit; [`WireFormat::Chunked`] streams fixed-size chunk
     /// frames and votes shard-wise at the PS.
     pub wire: WireFormat,
+    /// Whether the round runs as strict barriers or as a pipeline
+    /// overlapping compute, wire, vote and update. Semantically
+    /// identical either way; see [`RoundMode`].
+    pub mode: RoundMode,
     /// How long the PS waits for a straggling frame before declaring the
     /// remaining replicas of the round missing.
     pub receive_timeout: Duration,
@@ -146,6 +175,7 @@ impl Default for ServerConfig {
             quorum: QuorumConfig::default(),
             transport: Transport::Full,
             wire: WireFormat::Batched,
+            mode: RoundMode::Barrier,
             receive_timeout: Duration::from_millis(500),
             round_deadline: Duration::from_secs(5),
             straggler_unit: Duration::from_millis(1),
@@ -182,7 +212,18 @@ pub struct RoundSummary {
     /// The cumulative quarantined worker set after this round,
     /// ascending. Empty when reputation is disabled.
     pub quarantined_workers: Vec<usize>,
+    /// Measured wall-clock phase split of this round. In
+    /// [`RoundMode::Streaming`] votes run inside the wire window, so
+    /// [`PhaseTimings::overlap_ratio`] rises above 1. Wall-clock values:
+    /// nondeterministic across runs.
+    pub timings: PhaseTimings,
 }
+
+/// Shard length for the streaming flush's sharded subset-finalize pass.
+/// Any value yields bit-identical votes (the sharded fold is pinned
+/// equal to the unsharded one); this only sizes the pool parallelism of
+/// the flush.
+const STREAM_FLUSH_SHARD_LEN: usize = 4096;
 
 /// A parameter server plus `K` worker threads, communicating exclusively
 /// through framed [`Message`]s over channels.
@@ -252,6 +293,7 @@ impl MessagePassingCluster {
                 let attack = config.attack;
                 let transport = config.transport;
                 let wire = config.wire;
+                let mode = config.mode;
                 let plan = config.faults.clone();
                 let delay = config
                     .straggler_unit
@@ -270,6 +312,7 @@ impl MessagePassingCluster {
                         attack,
                         transport,
                         wire,
+                        mode,
                         plan,
                         delay,
                     })
@@ -312,12 +355,21 @@ impl MessagePassingCluster {
         let mut worker_buffers: Vec<Vec<f32>> = vec![Vec::new(); k];
         let mut worker_entries: Vec<Vec<(u32, usize, usize)>> = vec![Vec::new(); k];
 
-        for t in 1..=config.iterations as u64 {
+        // Double-buffered batch split: in streaming mode round t+1's
+        // split is drawn right after round t's broadcast, hiding it
+        // under worker compute. The sampler is advanced in the same
+        // sequence either way, so both modes see identical batches.
+        let mut sample_files = move || -> Vec<Vec<u32>> {
             let batch = sampler.next_batch();
-            let files: Vec<Vec<u32>> = split_batch_into_files(&batch, f)
+            split_batch_into_files(&batch, f)
                 .into_iter()
                 .map(|file| file.into_iter().map(|i| i as u32).collect())
-                .collect();
+                .collect()
+        };
+        let mut next_files: Option<Vec<Vec<u32>>> = None;
+
+        for t in 1..=config.iterations as u64 {
+            let files = next_files.take().unwrap_or_else(&mut sample_files);
             let broadcast = Message::ModelBroadcast {
                 iteration: t,
                 params: params.clone(),
@@ -330,6 +382,9 @@ impl MessagePassingCluster {
                 // timeout already covers missing replies. The clone is a
                 // refcount bump, not a copy of the model.
                 let _ = tx.send(broadcast.clone());
+            }
+            if config.mode == RoundMode::Streaming {
+                next_files = Some(sample_files());
             }
 
             // Expected replica *entries* per round; under the batched
@@ -361,8 +416,266 @@ impl MessagePassingCluster {
                     .map(|rem| rem.min(config.receive_timeout))
             };
 
-            let winners: Vec<Option<Vec<f32>>> = match (config.transport, config.wire) {
-                (Transport::Full, WireFormat::Chunked(chunk_cfg)) => {
+            // Phase-timing probes shared by every arm: first frame marks
+            // the end of (observed) worker compute, `collect_end` the end
+            // of the wire window, and `vote_ns` accumulates vote CPU
+            // wherever it ran — inside the window for streaming, after it
+            // for barriers.
+            let mut first_frame: Option<Instant> = None;
+            let collect_end: Option<Instant>;
+            let mut vote_ns = 0u64;
+
+            let winners: Vec<Option<Vec<f32>>> = match (config.transport, config.wire, config.mode)
+            {
+                (Transport::Full, WireFormat::Chunked(chunk_cfg), RoundMode::Streaming) => {
+                    // Streaming chunked wire: chunks feed the per-file
+                    // voters exactly as in the barrier arm, but each
+                    // file's vote finalizes the moment its last live
+                    // replica completes — a straggler only delays its own
+                    // files, and the finalized votes hide inside the
+                    // receive window. Outcomes land in per-file slots and
+                    // every counter/audit is folded in ascending file
+                    // order afterwards, so all derived state is
+                    // bit-identical to the barrier arm.
+                    let chunk_len = chunk_cfg.span_len();
+                    let chunks = num_chunks(params.len(), chunk_len);
+                    let mut voters: Vec<ShardedFileVoter> = (0..f)
+                        .map(|file| ShardedFileVoter::new(file as u32, params.len(), chunk_len))
+                        .collect();
+                    let holders: Vec<Vec<usize>> = (0..f)
+                        .map(|file| {
+                            self.assignment
+                                .graph()
+                                .workers_of(file)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect()
+                        })
+                        .collect();
+                    let mut outcomes: Vec<Option<Result<QuorumOutcome, QuorumError>>> =
+                        vec![None; f];
+                    let expected_frames = k * l * chunks;
+                    while frames_received < expected_frames {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        let Ok(view) = decode_gradient_chunk(&frame) else {
+                            continue;
+                        };
+                        if view.iteration != t {
+                            continue;
+                        }
+                        let w = view.worker as usize;
+                        if w >= k || quarantined_mask[w] {
+                            continue;
+                        }
+                        let file = view.file as usize;
+                        let Some(voter) = voters.get_mut(file) else {
+                            continue;
+                        };
+                        voter.ingest(&view);
+                        // Eager finalize: every live holder's replica is
+                        // complete, so the vote can never change again.
+                        if outcomes[file].is_none()
+                            && !holders[file].is_empty()
+                            && voter.complete_workers().len() >= holders[file].len()
+                        {
+                            let vote_start = Instant::now();
+                            outcomes[file] =
+                                Some(voters[file].finalize(config.quorum.q_min, &holders[file]));
+                            vote_ns += vote_start.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    collect_end = Some(Instant::now());
+                    let complete: usize = voters.iter().map(|v| v.complete_workers().len()).sum();
+                    missing_entries = expected.saturating_sub(complete);
+
+                    // Flush: files whose replica set never completed
+                    // (crashes, drops, deadline) finalize from whatever
+                    // arrived — the same replica sets the barrier arm
+                    // votes on. Then fold counters in canonical file
+                    // order.
+                    let vote_start = Instant::now();
+                    for file in 0..f {
+                        if outcomes[file].is_none() {
+                            outcomes[file] =
+                                Some(voters[file].finalize(config.quorum.q_min, &holders[file]));
+                        }
+                    }
+                    let winners = outcomes
+                        .into_iter()
+                        .map(|slot| {
+                            let outcome = slot.expect("every file slot flushed").ok()?;
+                            if !outcome.is_strict {
+                                non_strict += 1;
+                            }
+                            if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                degraded_votes += 1;
+                            }
+                            if ledger.is_some() {
+                                audits.push(outcome.audit);
+                            }
+                            Some(outcome.value)
+                        })
+                        .collect();
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
+                    winners
+                }
+                (Transport::Full, WireFormat::Batched, RoundMode::Streaming) => {
+                    // Streaming batched wire: each worker sends one
+                    // single-entry frame per assigned file the moment
+                    // that file's gradient is ready (an empty frame when
+                    // the entry was dropped, keeping the frame count
+                    // deterministic), and each file votes eagerly once
+                    // all of its live holders' entries arrived. The
+                    // flush for never-completed files runs through the
+                    // sharded subset-finalize pass; counters and audits
+                    // fold in ascending file order, bit-identical to the
+                    // barrier arm.
+                    for buffer in &mut worker_buffers {
+                        buffer.clear();
+                    }
+                    for entries in &mut worker_entries {
+                        entries.clear();
+                    }
+                    let holders: Vec<Vec<usize>> = (0..f)
+                        .map(|file| {
+                            self.assignment
+                                .graph()
+                                .workers_of(file)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect()
+                        })
+                        .collect();
+                    // (worker, start, len) triples per file, in arrival
+                    // order; votes sort by worker internally.
+                    let mut file_entries: Vec<Vec<(usize, usize, usize)>> =
+                        (0..f).map(|_| Vec::new()).collect();
+                    let mut outcomes: Vec<Option<Result<QuorumOutcome, QuorumError>>> =
+                        vec![None; f];
+                    let mut entries_received = 0usize;
+                    let expected_frames = k * l;
+                    while frames_received < expected_frames {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        let Ok(batch) = decode_gradient_batch(&frame) else {
+                            continue;
+                        };
+                        entries_received += batch.entries.len();
+                        if batch.iteration != t {
+                            continue;
+                        }
+                        let w = batch.worker as usize;
+                        if w >= k || quarantined_mask[w] {
+                            continue;
+                        }
+                        for entry in &batch.entries {
+                            let file = entry.file as usize;
+                            if file >= f {
+                                continue;
+                            }
+                            let buffer = &mut worker_buffers[w];
+                            let start = buffer.len();
+                            entry.extend_into(buffer);
+                            file_entries[file].push((w, start, entry.len()));
+                            if outcomes[file].is_none()
+                                && !holders[file].is_empty()
+                                && file_entries[file].len() >= holders[file].len()
+                            {
+                                let vote_start = Instant::now();
+                                let replicas: Vec<(usize, &[f32])> = file_entries[file]
+                                    .iter()
+                                    .map(|&(rw, rs, rl)| (rw, &worker_buffers[rw][rs..rs + rl]))
+                                    .collect();
+                                outcomes[file] = Some(quorum_vote_audited(
+                                    &replicas,
+                                    config.quorum.q_min,
+                                    &holders[file],
+                                ));
+                                vote_ns += vote_start.elapsed().as_nanos() as u64;
+                            }
+                        }
+                    }
+                    collect_end = Some(Instant::now());
+                    missing_entries = expected.saturating_sub(entries_received);
+
+                    // Flush the stragglers' files in one sharded pass
+                    // over the kernel pool, then fold in file order.
+                    let vote_start = Instant::now();
+                    let pending: Vec<usize> =
+                        (0..f).filter(|&file| outcomes[file].is_none()).collect();
+                    if !pending.is_empty() {
+                        let pending_replicas: Vec<Vec<(usize, &[f32])>> = pending
+                            .iter()
+                            .map(|&file| {
+                                file_entries[file]
+                                    .iter()
+                                    .map(|&(rw, rs, rl)| (rw, &worker_buffers[rw][rs..rs + rl]))
+                                    .collect()
+                            })
+                            .collect();
+                        let vote_inputs: Vec<byz_aggregate::VoteInput<'_, &[f32]>> = pending
+                            .iter()
+                            .zip(&pending_replicas)
+                            .map(|(&file, replicas)| {
+                                (replicas.as_slice(), holders[file].as_slice())
+                            })
+                            .collect();
+                        let indices: Vec<usize> = (0..pending.len()).collect();
+                        let flushed = quorum_vote_some_sharded_audited(
+                            &vote_inputs,
+                            &indices,
+                            config.quorum.q_min,
+                            STREAM_FLUSH_SHARD_LEN,
+                        );
+                        for (&file, outcome) in pending.iter().zip(flushed) {
+                            outcomes[file] = Some(outcome);
+                        }
+                    }
+                    let winners = outcomes
+                        .into_iter()
+                        .map(|slot| {
+                            let outcome = slot.expect("every file slot flushed").ok()?;
+                            if !outcome.is_strict {
+                                non_strict += 1;
+                            }
+                            if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                degraded_votes += 1;
+                            }
+                            if ledger.is_some() {
+                                audits.push(outcome.audit);
+                            }
+                            Some(outcome.value)
+                        })
+                        .collect();
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
+                    winners
+                }
+                (Transport::Full, WireFormat::Chunked(chunk_cfg), RoundMode::Barrier) => {
                     // Chunked wire: every replica arrives as `chunks`
                     // independent frames, ingested straight into one
                     // incremental voter per file — the PS never
@@ -384,6 +697,9 @@ impl MessagePassingCluster {
                             Err(RecvTimeoutError::Timeout) => break,
                             Err(RecvTimeoutError::Disconnected) => break,
                         };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
                         frames_received += 1;
                         bytes_received += frame.len();
                         // Malformed chunks degrade their replica (the
@@ -403,6 +719,7 @@ impl MessagePassingCluster {
                         };
                         voter.ingest(&view);
                     }
+                    collect_end = Some(Instant::now());
                     // Entry accounting: a replica counts as arrived only
                     // when every one of its chunks landed — a partially
                     // delivered replica is missing, exactly like the
@@ -410,7 +727,8 @@ impl MessagePassingCluster {
                     let complete: usize = voters.iter().map(|v| v.complete_workers().len()).sum();
                     missing_entries = expected.saturating_sub(complete);
 
-                    (0..f)
+                    let vote_start = Instant::now();
+                    let winners = (0..f)
                         .map(|file| {
                             let holders: Vec<usize> = self
                                 .assignment
@@ -433,9 +751,11 @@ impl MessagePassingCluster {
                             }
                             Some(outcome.value)
                         })
-                        .collect()
+                        .collect();
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
+                    winners
                 }
-                (Transport::Full, WireFormat::Batched) => {
+                (Transport::Full, WireFormat::Batched, RoundMode::Barrier) => {
                     // Collect batched gradients: each live worker sends
                     // ONE frame carrying all of its surviving replicas,
                     // decoded straight into the reused per-worker flat
@@ -457,6 +777,9 @@ impl MessagePassingCluster {
                             Err(RecvTimeoutError::Timeout) => break,
                             Err(RecvTimeoutError::Disconnected) => break,
                         };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
                         frames_received += 1;
                         bytes_received += frame.len();
                         // A frame that fails to decode (truncated, corrupt
@@ -481,6 +804,7 @@ impl MessagePassingCluster {
                             worker_entries[w].push((entry.file, start, entry.len()));
                         }
                     }
+                    collect_end = Some(Instant::now());
                     missing_entries = expected.saturating_sub(entries_received);
 
                     // Per-file replica views into the worker buffers
@@ -513,7 +837,8 @@ impl MessagePassingCluster {
                     let vote_inputs: Vec<byz_aggregate::VoteInput<'_, &[f32]>> = (0..f)
                         .map(|file| (per_file[file].as_slice(), holders[file].as_slice()))
                         .collect();
-                    quorum_vote_all_audited(&vote_inputs, config.quorum.q_min)
+                    let vote_start = Instant::now();
+                    let winners = quorum_vote_all_audited(&vote_inputs, config.quorum.q_min)
                         .into_iter()
                         .map(|vote| {
                             let outcome = vote.ok()?;
@@ -528,9 +853,11 @@ impl MessagePassingCluster {
                             }
                             Some(outcome.value)
                         })
-                        .collect()
+                        .collect();
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
+                    winners
                 }
-                (Transport::HashVote, _) => {
+                (Transport::HashVote, _, _) => {
                     // Phase 1: collect fingerprints.
                     let mut per_file: HashMap<u32, Vec<(usize, Fingerprint)>> = HashMap::new();
                     while frames_received < expected {
@@ -541,6 +868,9 @@ impl MessagePassingCluster {
                             Ok(fr) => fr,
                             Err(_) => break,
                         };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
                         frames_received += 1;
                         bytes_received += frame.len();
                         // Malformed or unexpected frames degrade, never panic
@@ -566,10 +896,12 @@ impl MessagePassingCluster {
                             Ok(_) | Err(_) => continue,
                         }
                     }
+                    collect_end = Some(Instant::now());
                     // Phase 2: vote on fingerprints, pull each winner once.
                     // The same quorum floor applies: files that announced
                     // fewer than `q_min` fingerprints are abandoned, and
                     // partial announce sets count as degraded votes.
+                    let vote_start = Instant::now();
                     let r = self.assignment.replication();
                     let mut winners: Vec<Option<Vec<f32>>> = vec![None; f];
                     let mut pulls: Vec<(u32, Fingerprint)> = Vec::new();
@@ -625,6 +957,7 @@ impl MessagePassingCluster {
                         let _ = to_workers[holder].send(req);
                         pulls.push((file, outcome.winner));
                     }
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
                     for _ in 0..pulls.len() {
                         let Some(window) = recv_window(round_start) else {
                             break;
@@ -674,6 +1007,7 @@ impl MessagePassingCluster {
             };
             let abandoned_files = winners.iter().filter(|w| w.is_none()).count();
             let available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
+            let update_start = Instant::now();
             if !available.is_empty() {
                 // Invariant expect: `available` is non-empty and every
                 // winner has the model's dimension, the only preconditions
@@ -683,11 +1017,18 @@ impl MessagePassingCluster {
                     .aggregate(&available)
                     .expect("median is always applicable");
                 let scale = f as f32 / config.batch_size as f32;
-                for ((p, v), g) in params.iter_mut().zip(&mut velocity).zip(&aggregated) {
-                    *v = config.momentum * *v + g * scale;
-                    *p -= config.learning_rate * *v;
-                }
+                // Chunk-parallel on the kernel pool; elementwise, so
+                // bit-identical to the scalar loop at any thread count.
+                byz_kernel::sgd_momentum_step(
+                    &mut params,
+                    &mut velocity,
+                    &aggregated,
+                    scale,
+                    config.learning_rate,
+                    config.momentum,
+                );
             }
+            let update_ns = update_start.elapsed().as_nanos() as u64;
 
             let (suspicions, reputation_events, quarantined_workers) = match ledger.as_mut() {
                 Some(ledger) => {
@@ -697,6 +1038,18 @@ impl MessagePassingCluster {
                 None => (Vec::new(), Vec::new(), Vec::new()),
             };
 
+            let timings = PhaseTimings {
+                compute_ns: first_frame
+                    .map(|ff| ff.duration_since(round_start).as_nanos() as u64)
+                    .unwrap_or(0),
+                wire_ns: match (first_frame, collect_end) {
+                    (Some(ff), Some(ce)) => ce.duration_since(ff).as_nanos() as u64,
+                    _ => 0,
+                },
+                vote_ns,
+                update_ns,
+                round_ns: round_start.elapsed().as_nanos() as u64,
+            };
             summaries.push(RoundSummary {
                 iteration: t as usize,
                 non_strict_votes: non_strict,
@@ -708,6 +1061,7 @@ impl MessagePassingCluster {
                 suspicions,
                 reputation_events,
                 quarantined_workers,
+                timings,
             });
         }
         (params, summaries)
@@ -726,6 +1080,7 @@ struct WorkerContext {
     attack: LocalAttack,
     transport: Transport,
     wire: WireFormat,
+    mode: RoundMode,
     plan: FaultPlan,
     delay: Duration,
 }
@@ -763,9 +1118,11 @@ fn worker_loop(ctx: WorkerContext) {
                 }
                 cache.retain(|(it, _), _| *it + 1 >= iteration);
                 model.set_params(&params);
-                // Full transport: the whole round's gradients go out as
-                // ONE batched frame (drops suppress individual entries,
-                // not the frame). HashVote keeps per-file announces.
+                // Full transport, barrier mode: the whole round's
+                // gradients go out as ONE batched frame (drops suppress
+                // individual entries, not the frame). Streaming mode
+                // emits each file's frames the moment its gradient is
+                // computed. HashVote keeps per-file announces either way.
                 let mut batch: Vec<(u32, Vec<f32>)> = Vec::with_capacity(ctx.my_files.len());
                 for &file_idx in &ctx.my_files {
                     let samples: Vec<usize> = files[file_idx].iter().map(|&i| i as usize).collect();
@@ -778,15 +1135,51 @@ fn worker_loop(ctx: WorkerContext) {
                     };
                     // Deterministic message loss: same hash, same seed →
                     // the same replicas vanish in the simulator and here.
-                    if ctx
+                    let dropped = ctx
                         .plan
-                        .drops_replica(iteration, 0, ctx.worker_id, file_idx)
-                    {
-                        continue;
-                    }
+                        .drops_replica(iteration, 0, ctx.worker_id, file_idx);
                     match ctx.transport {
-                        Transport::Full => batch.push((file_idx as u32, gradient)),
+                        Transport::Full => match (ctx.mode, ctx.wire) {
+                            (RoundMode::Streaming, WireFormat::Batched) => {
+                                // One single-entry frame per file, sent as
+                                // soon as the gradient exists. A dropped
+                                // entry still sends an empty frame, so
+                                // live workers emit exactly `l` frames —
+                                // the per-file analogue of the barrier
+                                // wire's send-even-when-empty policy.
+                                let entries: Vec<(u32, &[f32])> = if dropped {
+                                    Vec::new()
+                                } else {
+                                    vec![(file_idx as u32, gradient.as_slice())]
+                                };
+                                let frame = encode_gradient_batch(
+                                    iteration,
+                                    ctx.worker_id as u32,
+                                    &entries,
+                                );
+                                let _ = ctx.to_ps.send(frame);
+                            }
+                            (RoundMode::Streaming, WireFormat::Chunked(cfg)) => {
+                                if !dropped {
+                                    send_replica_chunks(
+                                        &ctx,
+                                        iteration,
+                                        file_idx as u32,
+                                        &gradient,
+                                        &cfg,
+                                    );
+                                }
+                            }
+                            (RoundMode::Barrier, _) => {
+                                if !dropped {
+                                    batch.push((file_idx as u32, gradient));
+                                }
+                            }
+                        },
                         Transport::HashVote => {
+                            if dropped {
+                                continue;
+                            }
                             let fingerprint = Fingerprint::of(&gradient);
                             cache.insert((iteration, file_idx as u32), gradient);
                             let reply = Message::HashAnnounce {
@@ -802,7 +1195,7 @@ fn worker_loop(ctx: WorkerContext) {
                         }
                     }
                 }
-                if ctx.transport == Transport::Full {
+                if ctx.transport == Transport::Full && ctx.mode == RoundMode::Barrier {
                     match ctx.wire {
                         WireFormat::Batched => {
                             // Sent even when every entry was dropped: the
@@ -818,36 +1211,8 @@ fn worker_loop(ctx: WorkerContext) {
                             let _ = ctx.to_ps.send(frame);
                         }
                         WireFormat::Chunked(cfg) => {
-                            // Each surviving replica streams as independent
-                            // chunk frames; message loss now rolls per chunk
-                            // (a lost chunk strands its replica at the PS,
-                            // which degrades it like a lost whole replica).
-                            // Every in-flight buffer is chunk-sized: the
-                            // worker never serializes more than one chunk's
-                            // worth of gradient at a time.
                             for (file, gradient) in &batch {
-                                let n = num_chunks(gradient.len(), cfg.span_len());
-                                for chunk_index in 0..n {
-                                    if ctx.plan.drops_chunk(
-                                        iteration,
-                                        0,
-                                        ctx.worker_id,
-                                        *file as usize,
-                                        chunk_index,
-                                    ) {
-                                        continue;
-                                    }
-                                    let frame = encode_gradient_chunk_into(
-                                        iteration,
-                                        ctx.worker_id as u32,
-                                        *file,
-                                        gradient,
-                                        chunk_index,
-                                        &cfg,
-                                        BytesMut::new(),
-                                    );
-                                    let _ = ctx.to_ps.send(frame);
-                                }
+                                send_replica_chunks(&ctx, iteration, *file, gradient, &cfg);
                             }
                         }
                     }
@@ -888,6 +1253,41 @@ fn worker_loop(ctx: WorkerContext) {
             // kinds above have worker-side semantics.
             _ => continue,
         }
+    }
+}
+
+/// Streams one replica's gradient as independent chunk frames. Message
+/// loss rolls per chunk (a lost chunk strands its replica at the PS,
+/// which degrades it like a lost whole replica). Every in-flight buffer
+/// is chunk-sized: the worker never serializes more than one chunk's
+/// worth of gradient at a time. Shared by the barrier wire (which sends
+/// all replicas after the compute loop) and the streaming wire (which
+/// calls this per file as soon as its gradient is ready).
+fn send_replica_chunks(
+    ctx: &WorkerContext,
+    iteration: u64,
+    file: u32,
+    gradient: &[f32],
+    cfg: &ChunkConfig,
+) {
+    let n = num_chunks(gradient.len(), cfg.span_len());
+    for chunk_index in 0..n {
+        if ctx
+            .plan
+            .drops_chunk(iteration, 0, ctx.worker_id, file as usize, chunk_index)
+        {
+            continue;
+        }
+        let frame = encode_gradient_chunk_into(
+            iteration,
+            ctx.worker_id as u32,
+            file,
+            gradient,
+            chunk_index,
+            cfg,
+            BytesMut::new(),
+        );
+        let _ = ctx.to_ps.send(frame);
     }
 }
 
@@ -1193,6 +1593,148 @@ mod tests {
         assert!(summaries.iter().all(|s| s.frames_received == 13 * 5 * 3));
         assert!(summaries.iter().all(|s| s.abandoned_files == 0));
         assert!(summaries.iter().all(|s| s.degraded_votes == 9));
+    }
+
+    /// Streaming must change *when* votes run, never what they see: every
+    /// vote-derived field of the round summary has to agree with the
+    /// barrier run bit-for-bit (wall-clock timings are exempt).
+    fn assert_summaries_equivalent(barrier: &[RoundSummary], streaming: &[RoundSummary]) {
+        assert_eq!(barrier.len(), streaming.len());
+        for (a, b) in barrier.iter().zip(streaming) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.non_strict_votes, b.non_strict_votes, "it {}", a.iteration);
+            assert_eq!(a.missing_votes, b.missing_votes, "it {}", a.iteration);
+            assert_eq!(a.degraded_votes, b.degraded_votes, "it {}", a.iteration);
+            assert_eq!(a.abandoned_files, b.abandoned_files, "it {}", a.iteration);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.suspicions), bits(&b.suspicions));
+            assert_eq!(a.quarantined_workers, b.quarantined_workers);
+            assert_eq!(a.reputation_events.len(), b.reputation_events.len());
+        }
+    }
+
+    #[test]
+    fn streaming_batched_wire_matches_barrier_bitwise() {
+        // Byzantine workers, message drops, a straggler AND reputation at
+        // once: the streaming round must still compute byte-identical
+        // parameters and identical vote/audit/ledger trajectories,
+        // because votes fold in canonical file order regardless of when
+        // they finalized.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let barrier_cfg = ServerConfig {
+            faults: FaultPlan::new(7).drop_rate(0.08).straggle(4, 3.0),
+            reputation: Some(ReputationConfig::default()),
+            ..config(10, vec![0, 5])
+        };
+        let streaming_cfg = ServerConfig {
+            mode: RoundMode::Streaming,
+            ..barrier_cfg.clone()
+        };
+        let (p_barrier, s_barrier) = cluster.train(initial_params(&dims), &barrier_cfg);
+        let (p_streaming, s_streaming) = cluster.train(initial_params(&dims), &streaming_cfg);
+
+        assert_eq!(p_barrier, p_streaming, "modes must be bit-identical");
+        assert_summaries_equivalent(&s_barrier, &s_streaming);
+        // Streaming emits one single-entry frame per (worker, file) —
+        // dropped entries included, as empty frames — so the count stays
+        // deterministic at k·l instead of the barrier's k.
+        assert!(s_barrier.iter().all(|s| s.frames_received == 15));
+        assert!(s_streaming.iter().all(|s| s.frames_received == 15 * 5));
+    }
+
+    #[test]
+    fn streaming_chunked_wire_matches_barrier_bitwise() {
+        // Same property over the chunked wire: per-file eager finalize
+        // through ShardedFileVoter plus the sharded flush must agree with
+        // the barrier's vote-everything-at-the-end pass, frame for frame.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let barrier_cfg = ServerConfig {
+            wire: WireFormat::Chunked(ChunkConfig::dense(128)),
+            faults: FaultPlan::new(11).drop_rate(0.05),
+            ..config(10, vec![0, 5])
+        };
+        let streaming_cfg = ServerConfig {
+            mode: RoundMode::Streaming,
+            ..barrier_cfg.clone()
+        };
+        let (p_barrier, s_barrier) = cluster.train(initial_params(&dims), &barrier_cfg);
+        let (p_streaming, s_streaming) = cluster.train(initial_params(&dims), &streaming_cfg);
+
+        assert_eq!(p_barrier, p_streaming, "modes must be bit-identical");
+        assert_summaries_equivalent(&s_barrier, &s_streaming);
+        // Chunk frames are emitted per file instead of per round, but the
+        // set of frames on the wire is identical.
+        for (a, b) in s_barrier.iter().zip(&s_streaming) {
+            assert_eq!(a.frames_received, b.frames_received);
+            assert_eq!(a.bytes_received, b.bytes_received);
+        }
+    }
+
+    #[test]
+    fn streaming_tolerates_crashed_workers_like_barrier() {
+        // Crashed workers send nothing in streaming mode (no empty
+        // frames), so the PS must fall back to the timeout exactly like
+        // the barrier wire — and report identical degradation accounting.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            faults: FaultPlan::new(0).crash_many([3, 9]),
+            mode: RoundMode::Streaming,
+            receive_timeout: Duration::from_millis(300),
+            ..config(4, vec![])
+        };
+        let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
+        // Same layout as `crashed_workers_are_tolerated`: 2 crashed
+        // workers × 5 files missing, 9 distinct files thinned; the 13
+        // survivors emit 5 single-entry frames each.
+        assert!(summaries.iter().all(|s| s.missing_votes == 10));
+        assert!(summaries.iter().all(|s| s.frames_received == 13 * 5));
+        assert!(summaries.iter().all(|s| s.abandoned_files == 0));
+        assert!(summaries.iter().all(|s| s.degraded_votes == 9));
+    }
+
+    #[test]
+    fn streaming_round_reports_phase_timings() {
+        // The phase probes are wall-clock and thus nondeterministic, but
+        // their structure is not: every round has a total, the phases are
+        // bounded by it individually, and the overlap ratio is finite.
+        let data = dataset();
+        let dims = vec![36usize, 8, 4];
+        let cluster = MessagePassingCluster::new(
+            MolsAssignment::new(5, 3).unwrap().build(),
+            Arc::clone(&data),
+            dims.clone(),
+        );
+        let cfg = ServerConfig {
+            mode: RoundMode::Streaming,
+            ..config(3, vec![])
+        };
+        let (_, summaries) = cluster.train(initial_params(&dims), &cfg);
+        for s in &summaries {
+            let t = &s.timings;
+            assert!(t.round_ns > 0, "round must take time");
+            assert!(t.compute_ns <= t.round_ns);
+            assert!(t.wire_ns <= t.round_ns);
+            assert!(t.update_ns <= t.round_ns);
+            assert!(t.overlap_ratio().is_finite());
+        }
     }
 
     #[test]

@@ -400,5 +400,77 @@ mod tests {
                 (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
             }
         }
+
+        /// The streaming engine's correctness rests on this: finalize
+        /// (winner value, full audit, rejections) is invariant under ANY
+        /// permutation of chunk-frame arrival order — with byte-identical
+        /// duplicate frames and forged-geometry frames interleaved at
+        /// arbitrary positions. Group ids may be assigned in a different
+        /// first-seen order, but the vote folds over value equality, so
+        /// the outcome cannot depend on the schedule.
+        #[test]
+        fn finalize_is_invariant_under_arrival_permutation(
+            d in 1usize..48,
+            chunk_len in 1usize..16,
+            pattern in 0u32..16,
+            dup_mask in 0u64..u64::MAX,
+            seed in 0u64..u64::MAX,
+        ) {
+            let workers = [0usize, 1, 4, 6];
+            let h: Vec<f32> = (0..d).map(|i| (i as f32) * 0.5).collect();
+            let e: Vec<f32> = (0..d).map(|i| 3.0 - i as f32).collect();
+            let cfg = ChunkConfig::dense(chunk_len);
+
+            // Canonical stream: honest/equivocating replicas per
+            // `pattern`, every frame optionally duplicated per
+            // `dup_mask`, and worker 6 poisoned with forged-geometry
+            // frames (a total_len lie) that void its replica wherever
+            // they land in the order.
+            let mut stream: Vec<Bytes> = Vec::new();
+            for (i, &w) in workers.iter().enumerate() {
+                let g = if pattern >> i & 1 == 1 { &e } else { &h };
+                for (c, f) in frames(w as u32, g, &cfg).iter().enumerate() {
+                    stream.push(f.clone());
+                    if dup_mask >> ((i * 16 + c) % 64) & 1 == 1 {
+                        stream.push(f.clone());
+                    }
+                }
+            }
+            let long: Vec<f32> = (0..d + 1).map(|i| i as f32).collect();
+            stream.extend(encode_gradient_chunks(1, 6, 0, &long, &cfg));
+
+            let mut canonical = ShardedFileVoter::new(0, d, chunk_len);
+            for f in &stream {
+                canonical.ingest(&decode_gradient_chunk(f).unwrap());
+            }
+
+            // Fisher-Yates driven by an LCG: reaches any permutation.
+            let mut order: Vec<usize> = (0..stream.len()).collect();
+            let mut state = seed | 1;
+            for i in (1..order.len()).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let mut permuted = ShardedFileVoter::new(0, d, chunk_len);
+            for &i in &order {
+                permuted.ingest(&decode_gradient_chunk(&stream[i]).unwrap());
+            }
+
+            // Forged geometry voids worker 6 in every order; the other
+            // workers complete in every order.
+            let complete = canonical.complete_workers();
+            prop_assert_eq!(complete.as_slice(), &[0usize, 1, 4]);
+            prop_assert_eq!(complete, permuted.complete_workers());
+
+            let expected = [0usize, 1, 4, 6, 9];
+            match (canonical.finalize(2, &expected), permuted.finalize(2, &expected)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
+            }
+        }
     }
 }

@@ -1,0 +1,167 @@
+//! Bit-identity pins for the pipelined streaming round engine.
+//!
+//! Streaming changes *when* work runs — per-file vote finalize inside
+//! the collection window, update overlapped with late votes, next
+//! round's split prefetched — but never *what* any stage sees. These
+//! tests pin that contract at both layers: the in-process trainer
+//! (`TrainingConfig::streaming`) and the message-passing wire
+//! (`ServerConfig::mode = RoundMode::Streaming`), with Byzantine
+//! workers, crashes, stragglers, message drops, reputation and both
+//! wire formats in play. They hold at any `BYZ_KERNEL_THREADS` (CI runs
+//! 1 and 4).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use byzshield::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_dataset() -> (Dataset, Dataset) {
+    SyntheticImages::new(SyntheticConfig {
+        num_classes: 5,
+        channels: 1,
+        hw: 8,
+        train_samples: 800,
+        test_samples: 200,
+        noise: 0.5,
+        max_shift: 1,
+        seed: 2024,
+    })
+    .generate()
+}
+
+fn config(streaming: bool, chunking: Option<ChunkConfig>) -> TrainingConfig {
+    TrainingConfig {
+        batch_size: 100,
+        iterations: 8,
+        lr_schedule: StepDecaySchedule::new(0.05, 0.96, 30),
+        momentum: 0.9,
+        num_byzantine: 2,
+        eval_every: 4,
+        eval_samples: 200,
+        seed: 77,
+        faults: FaultPlan::new(5).crash(11).straggle(2, 4.0).drop_rate(0.1),
+        reputation: Some(ReputationConfig::default()),
+        chunking,
+        streaming,
+        ..TrainingConfig::default()
+    }
+}
+
+fn run(cfg: TrainingConfig) -> TrainingHistory {
+    let (train, test) = small_dataset();
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = Mlp::new(&[64, 32, 5], &mut rng);
+    Trainer::new(
+        &model,
+        &train,
+        &test,
+        MolsAssignment::new(5, 3).unwrap().build(),
+        InputLayout::Flat,
+        ByzantineSelector::Fixed(vec![0, 5]),
+        Box::new(Alie::default()),
+        Defense::VoteThenAggregate(Box::new(CoordinateMedian)),
+        cfg,
+    )
+    .run()
+    .expect("training completes")
+}
+
+/// Wall-clock fields are the only admissible difference between the two
+/// schedules; zero them so the rest of the record compares exactly.
+fn normalized(records: &[IterationRecord]) -> Vec<IterationRecord> {
+    records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.compute_time = Duration::ZERO;
+            r.aggregate_time = Duration::ZERO;
+            r
+        })
+        .collect()
+}
+
+fn assert_histories_bit_identical(barrier: &TrainingHistory, streaming: &TrainingHistory) {
+    assert_eq!(normalized(&barrier.records), normalized(&streaming.records));
+    assert_eq!(
+        barrier.final_loss.to_bits(),
+        streaming.final_loss.to_bits(),
+        "final loss diverged"
+    );
+    assert_eq!(
+        barrier.final_accuracy.to_bits(),
+        streaming.final_accuracy.to_bits(),
+        "final accuracy diverged"
+    );
+    // "Ledger bytes bit-identical": the serialized reputation state is
+    // the strongest equality the ledger offers.
+    let bytes = |h: &TrainingHistory| h.ledger.as_ref().map(ReputationLedger::to_bytes);
+    assert_eq!(bytes(barrier), bytes(streaming), "ledger bytes diverged");
+}
+
+#[test]
+fn streaming_trainer_matches_barrier_unchunked() {
+    let barrier = run(config(false, None));
+    let streaming = run(config(true, None));
+    assert_histories_bit_identical(&barrier, &streaming);
+}
+
+#[test]
+fn streaming_trainer_matches_barrier_chunked() {
+    let cfg = ChunkConfig::dense(128);
+    let barrier = run(config(false, Some(cfg)));
+    let streaming = run(config(true, Some(cfg)));
+    assert_histories_bit_identical(&barrier, &streaming);
+}
+
+/// The wire layer's streaming mode must agree with its barrier mode on
+/// parameters AND on every vote-derived summary field, under both wire
+/// formats at once (batched here, chunked in the sibling assertion),
+/// with drops, a straggler and reputation active.
+#[test]
+fn streaming_wire_matches_barrier_for_both_formats() {
+    let (train, _) = small_dataset();
+    let data = Arc::new(train);
+    let dims = vec![64usize, 16, 5];
+    let cluster = MessagePassingCluster::new(
+        MolsAssignment::new(5, 3).unwrap().build(),
+        Arc::clone(&data),
+        dims.clone(),
+    );
+    let initial = {
+        let mut rng = StdRng::seed_from_u64(2);
+        flatten_params(&Mlp::new(&dims, &mut rng).parameters())
+    };
+    for wire in [
+        WireFormat::Batched,
+        WireFormat::Chunked(ChunkConfig::dense(256)),
+    ] {
+        let barrier_cfg = ServerConfig {
+            iterations: 6,
+            byzantine: vec![0, 5],
+            attack: LocalAttack::Constant { value: -50.0 },
+            faults: FaultPlan::new(7).drop_rate(0.08).straggle(4, 3.0),
+            reputation: Some(ReputationConfig::default()),
+            seed: 31,
+            wire,
+            ..ServerConfig::default()
+        };
+        let streaming_cfg = ServerConfig {
+            mode: RoundMode::Streaming,
+            ..barrier_cfg.clone()
+        };
+        let (p_barrier, s_barrier) = cluster.train(initial.clone(), &barrier_cfg);
+        let (p_streaming, s_streaming) = cluster.train(initial.clone(), &streaming_cfg);
+        assert_eq!(p_barrier, p_streaming, "{wire:?}: params diverged");
+        for (a, b) in s_barrier.iter().zip(&s_streaming) {
+            assert_eq!(a.non_strict_votes, b.non_strict_votes, "{wire:?}");
+            assert_eq!(a.missing_votes, b.missing_votes, "{wire:?}");
+            assert_eq!(a.degraded_votes, b.degraded_votes, "{wire:?}");
+            assert_eq!(a.abandoned_files, b.abandoned_files, "{wire:?}");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.suspicions), bits(&b.suspicions), "{wire:?}");
+            assert_eq!(a.quarantined_workers, b.quarantined_workers, "{wire:?}");
+        }
+    }
+}
