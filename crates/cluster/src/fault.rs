@@ -17,12 +17,35 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// Errors from fault-aware cluster queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Errors from fault-aware cluster queries and from the socket
+/// deployment layer (`byz-wire`'s TCP transport reports peer and
+/// transport failures through this type so that a remote worker dying is
+/// an *error*, never a panic — the same class of observable failure as a
+/// crashed in-process worker).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
     /// Every worker is crashed (or the cluster is empty): there is no
     /// straggler time, no surviving compute, nothing to estimate.
     NoSurvivingWorkers,
+    /// A remote peer's connection was lost and could not be
+    /// re-established within the reconnect budget.
+    PeerDisconnected {
+        /// The worker whose link died.
+        worker: usize,
+    },
+    /// A deployed job never assembled: fewer than `expected` workers
+    /// completed the handshake before the readiness deadline.
+    HandshakeTimeout {
+        /// The job that failed to assemble.
+        job_id: u64,
+        /// Workers that did complete the handshake.
+        connected: usize,
+        /// Workers the job's assignment requires.
+        expected: usize,
+    },
+    /// A transport-level failure (bind, accept, stream clone, …) in the
+    /// socket deployment, with the underlying error rendered as text.
+    Transport(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -34,6 +57,18 @@ impl fmt::Display for ClusterError {
                     "no surviving workers: the cluster is empty or fully crashed"
                 )
             }
+            ClusterError::PeerDisconnected { worker } => {
+                write!(f, "worker {worker}'s connection was lost for good")
+            }
+            ClusterError::HandshakeTimeout {
+                job_id,
+                connected,
+                expected,
+            } => write!(
+                f,
+                "job {job_id} never assembled: {connected}/{expected} workers completed the handshake"
+            ),
+            ClusterError::Transport(what) => write!(f, "transport failure: {what}"),
         }
     }
 }
@@ -50,6 +85,8 @@ pub struct FaultPlan {
     crashed: BTreeSet<usize>,
     stragglers: BTreeMap<usize, f64>,
     drop_rate: f64,
+    disconnects: BTreeMap<usize, u64>,
+    stalls: BTreeMap<usize, u64>,
 }
 
 impl Default for FaultPlan {
@@ -66,6 +103,8 @@ impl FaultPlan {
             crashed: BTreeSet::new(),
             stragglers: BTreeMap::new(),
             drop_rate: 0.0,
+            disconnects: BTreeMap::new(),
+            stalls: BTreeMap::new(),
         }
     }
 
@@ -107,6 +146,27 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a connection fault: `worker` drops its transport link
+    /// mid-round at `round` (after its first upload of that round), then
+    /// reconnects through the handshake. Connection faults are a
+    /// *socket-deployment* fault class — the in-process engine and the
+    /// channel transport have no connections to cut and ignore them; over
+    /// TCP a cut link degrades exactly like the replica-drop path.
+    pub fn disconnect_at(mut self, worker: usize, round: u64) -> Self {
+        self.disconnects.insert(worker, round);
+        self
+    }
+
+    /// Schedules a half-open connection: from `round` onward, `worker`
+    /// keeps its socket open and keeps reading broadcasts but never
+    /// writes another frame — the stalled-peer failure TCP cannot
+    /// distinguish from a slow one. Socket-deployment only, like
+    /// [`FaultPlan::disconnect_at`].
+    pub fn stall_from(mut self, worker: usize, round: u64) -> Self {
+        self.stalls.insert(worker, round);
+        self
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -114,7 +174,27 @@ impl FaultPlan {
 
     /// Whether the plan injects no faults at all.
     pub fn is_trivial(&self) -> bool {
-        self.crashed.is_empty() && self.stragglers.is_empty() && self.drop_rate == 0.0
+        self.crashed.is_empty()
+            && self.stragglers.is_empty()
+            && self.drop_rate == 0.0
+            && self.disconnects.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// The round at which `worker`'s connection is scheduled to be cut
+    /// (one-shot), if any.
+    pub fn disconnects_at(&self, worker: usize) -> Option<u64> {
+        self.disconnects.get(&worker).copied()
+    }
+
+    /// The round from which `worker`'s connection goes half-open, if any.
+    pub fn stalls_from(&self, worker: usize) -> Option<u64> {
+        self.stalls.get(&worker).copied()
+    }
+
+    /// Whether the plan schedules any connection-level fault.
+    pub fn has_connection_faults(&self) -> bool {
+        !self.disconnects.is_empty() || !self.stalls.is_empty()
     }
 
     /// Whether `worker` is fail-stop crashed.

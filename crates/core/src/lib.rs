@@ -109,8 +109,9 @@ pub mod prelude {
     };
     pub use byz_tensor::Tensor;
     pub use byz_wire::{
-        packed_sign_majority, ChunkConfig, ChunkScheme, LocalAttack, Message,
-        MessagePassingCluster, PackedSigns, RoundMode, RoundSummary, ServerConfig, SparsifyConfig,
-        Transport, WireError, WireFormat,
+        packed_sign_majority, run_tcp_worker, ChunkConfig, ChunkScheme, Handshake, HandshakeError,
+        JobResult, JobSpec, Link, LinkError, LocalAttack, Message, MessagePassingCluster,
+        PackedSigns, PsServer, RejectReason, RoundMode, RoundSummary, ServerConfig, SparsifyConfig,
+        StreamDecoder, TcpLink, Transport, WireError, WireFormat, WireTrainingRun, WorkerSpec,
     };
 }

@@ -1,0 +1,107 @@
+//! The standalone multi-job parameter server.
+//!
+//! ```text
+//! byzshield-ps listen=127.0.0.1:7001 [ready-secs=30] \
+//!     job id=1 l=5 r=3 iters=10 byzantine=0,5 reputation=on \
+//!     job id=2 seed=99 mode=streaming
+//! ```
+//!
+//! Every token after a `job` marker describes that job (see
+//! [`DeploySpec`] for the key set); tokens before the first `job` are
+//! server-global. The server binds one port, serves every job
+//! concurrently (connections are routed by the `id` each worker names in
+//! its handshake), and prints a per-job summary when all jobs finish.
+
+use byz_psd::{DeploySpec, SpecError};
+use byz_wire::{JobSpec, PsServer};
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: byzshield-ps [listen=ADDR] [ready-secs=N] job <key=value>... [job <key=value>...]";
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("byzshield-ps: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+
+    let mut listen = String::from("127.0.0.1:7001");
+    let mut ready_secs = 30u64;
+    let mut job_tokens: Vec<Vec<String>> = Vec::new();
+    for token in args {
+        if token == "job" {
+            job_tokens.push(Vec::new());
+        } else if let Some(current) = job_tokens.last_mut() {
+            current.push(token);
+        } else if let Some(addr) = token.strip_prefix("listen=") {
+            listen = addr.to_string();
+        } else if let Some(secs) = token.strip_prefix("ready-secs=") {
+            ready_secs = secs
+                .parse()
+                .map_err(|_| SpecError(format!("ready-secs={secs} is not a number")))?;
+        } else {
+            return Err(SpecError(format!("unexpected token `{token}` before first job")).into());
+        }
+    }
+    if job_tokens.is_empty() {
+        return Err(SpecError(format!("no jobs given\n{USAGE}")).into());
+    }
+
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(job_tokens.len());
+    for tokens in &job_tokens {
+        let spec = DeploySpec::parse(tokens)?;
+        let job = spec.job_spec()?;
+        println!(
+            "job {}: K={} workers, {} files, {} rounds, {:?}/{:?}, byzantine={:?}",
+            job.job_id,
+            spec.num_workers(),
+            job.assignment.num_files(),
+            spec.iterations,
+            spec.wire,
+            spec.mode,
+            spec.byzantine,
+        );
+        jobs.push(job);
+    }
+
+    let server = PsServer::bind(listen.parse()?)?;
+    println!(
+        "listening on {} — waiting up to {ready_secs}s for all workers to join",
+        server.local_addr()?
+    );
+    let results = server.serve(jobs, Duration::from_secs(ready_secs))?;
+
+    for result in results {
+        let rounds = result.run.summaries.len();
+        let missing: usize = result.run.summaries.iter().map(|s| s.missing_votes).sum();
+        let quarantined = result
+            .run
+            .summaries
+            .last()
+            .map(|s| s.quarantined_workers.clone())
+            .unwrap_or_default();
+        println!(
+            "job {} done: {rounds} rounds, {missing} missing replica votes, \
+             quarantined={quarantined:?}, params fingerprint {:#018x}",
+            result.job_id,
+            fingerprint(&result.run.params),
+        );
+    }
+    Ok(())
+}
+
+/// An order-sensitive digest of the trained parameters, printed by both
+/// binaries' docs as the quick way to eyeball run agreement.
+fn fingerprint(params: &[f32]) -> u64 {
+    params.iter().fold(0xcbf2_9ce4_8422_2325, |acc, p| {
+        (acc ^ u64::from(p.to_bits())).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}

@@ -28,9 +28,13 @@
 mod batch;
 mod chunk;
 mod compress;
+mod handshake;
 mod hashvote;
+mod link;
 mod message;
+mod psd;
 mod server;
+mod tcp;
 mod voter;
 
 pub use batch::{
@@ -43,17 +47,21 @@ pub use chunk::{
     ChunkScheme, GradientChunkView, SparseChunk, SparsifyConfig, CHUNK_PREFIX_LEN,
 };
 pub use compress::{packed_sign_majority, PackedSigns};
+pub use handshake::{client_handshake, Handshake, HandshakeError, RejectReason};
 pub use hashvote::{
     classic_uplink_bytes, hash_majority, hashvote_uplink_bytes, verify_payload, Fingerprint,
     HashVoteOutcome,
 };
+pub use link::{channel_link_pair, ChannelLink, Link, LinkError};
 pub use message::{
     extend_f32s_le, put_f32s_le, read_f32s_le, Message, WireError, FRAME_HEADER_LEN,
 };
+pub use psd::{run_tcp_worker, JobResult, JobSpec, PsServer, WorkerSpec};
 pub use server::{
     LocalAttack, MessagePassingCluster, RoundMode, RoundSummary, ServerConfig, Transport,
-    WireFormat,
+    WireFormat, WireTrainingRun,
 };
+pub use tcp::{write_frame, CodecError, StreamDecoder, TcpLink, LENGTH_PREFIX_LEN, MAX_FRAME_LEN};
 pub use voter::{ChunkIngest, ShardedFileVoter};
 
 pub use byz_assign::Assignment;

@@ -1,0 +1,660 @@
+//! The standalone, multi-job, socket-facing parameter server — and the
+//! matching TCP worker runner.
+//!
+//! [`PsServer`] listens on one TCP port and serves any number of
+//! **concurrent jobs**, each with its own assignment, dataset, model,
+//! reputation ledger and [`ServerConfig`]. Routing is dealer-style: the
+//! first frame on every connection is a [`Handshake::Hello`] naming a
+//! `(job_id, worker)` pair, and the connection is patched into that
+//! job's channel fabric — jobs never share protocol state, only the
+//! port.
+//!
+//! The load-bearing design decision is that the networked PS runs the
+//! *exact same* [`MessagePassingCluster::ps_loop`] as the in-process
+//! transport, still typed against crossbeam channels. TCP exists purely
+//! at the edges:
+//!
+//! * one **reader thread per connection** decodes length-delimited
+//!   frames off the socket and forwards them into the job's fan-in
+//!   channel (the `from_workers` receiver the PS loop already drains);
+//! * one **slot-writer thread per (job, worker)** drains the PS loop's
+//!   per-worker sender and writes each frame to whatever connection
+//!   currently holds that slot — no connection means the frame is
+//!   dropped, exactly the observable behaviour of sending to a crashed
+//!   in-process worker.
+//!
+//! Because the PS loop consumes the same frame multiset in both
+//! deployments and is arrival-order independent, a loopback-TCP run is
+//! bit-identical to a channel run — `TrainingHistory`, `VoteAudit`s and
+//! ledger bytes alike (asserted by `tests/socket_deployment.rs`).
+//!
+//! Connection lifecycle is a fault class, not an error path: a dropped
+//! or half-open connection degrades the affected replicas through the
+//! usual missing-frame accounting (the round completes under the PS
+//! round deadline), and a reconnecting worker re-enters through the
+//! handshake, is told the current round, and resumes at the next
+//! broadcast.
+
+use crate::handshake::{client_handshake, Handshake, HandshakeError, RejectReason};
+use crate::link::{Link, LinkError};
+use crate::server::{worker_loop, MessagePassingCluster, ServerConfig, WorkerExit};
+use crate::tcp::TcpLink;
+use crate::{Assignment, WireTrainingRun};
+use bytes::Bytes;
+use byz_cluster::ClusterError;
+use byz_data::Dataset;
+use crossbeam::channel::{unbounded, Sender};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the PS waits for a connection's `Hello` frame. Connections
+/// that dawdle are dropped — they can always reconnect and try again.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Read-slice granularity of connection reader threads. The protocol's
+/// real deadline is the PS round deadline, enforced where frames are
+/// *consumed* (the PS loop's collection window over the fan-in channel);
+/// readers poll in short slices only so they notice job completion and
+/// server shutdown promptly.
+const READER_POLL: Duration = Duration::from_millis(100);
+
+/// One training job hosted by a [`PsServer`].
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Identity workers name in their `Hello` frames. Must be unique
+    /// within one [`PsServer::serve`] call.
+    pub job_id: u64,
+    /// The job's worker–file placement.
+    pub assignment: Assignment,
+    /// The job's training data (workers hold their own replica —
+    /// typically regenerated from a shared seed).
+    pub dataset: Arc<Dataset>,
+    /// MLP layer widths.
+    pub model_dims: Vec<usize>,
+    /// Starting flat parameters.
+    pub initial_params: Vec<f32>,
+    /// The full protocol configuration, same type as in-process runs.
+    pub config: ServerConfig,
+}
+
+/// What one job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Echo of the job's id.
+    pub job_id: u64,
+    /// The trained parameters, summaries (audits included) and ledger.
+    pub run: WireTrainingRun,
+}
+
+/// Start barrier: a job's PS loop only opens round 1 once every worker
+/// slot has completed its first handshake, so round 1's broadcast is
+/// never dropped on the floor of an unconnected slot.
+struct JobGate {
+    connected: Mutex<Vec<bool>>,
+    cond: Condvar,
+}
+
+impl JobGate {
+    fn new(k: usize) -> Self {
+        JobGate {
+            connected: Mutex::new(vec![false; k]),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn mark(&self, worker: usize) {
+        let mut connected = self.connected.lock().expect("gate lock poisoned");
+        if let Some(slot) = connected.get_mut(worker) {
+            *slot = true;
+        }
+        self.cond.notify_all();
+    }
+
+    /// Waits for all slots; returns the connected count on timeout.
+    fn wait(&self, timeout: Duration) -> Result<(), usize> {
+        let deadline = Instant::now() + timeout;
+        let mut connected = self.connected.lock().expect("gate lock poisoned");
+        loop {
+            if connected.iter().all(|&c| c) {
+                return Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(connected.iter().filter(|&&c| c).count());
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(connected, remaining)
+                .expect("gate lock poisoned");
+            connected = guard;
+        }
+    }
+}
+
+/// The shared, routable state of one job: everything the accept loop
+/// needs to patch a fresh connection into the job's channel fabric.
+struct JobHandle {
+    fan_in: Sender<Bytes>,
+    /// `slots[w]` holds worker `w`'s current write-half, if connected.
+    slots: Vec<Mutex<Option<TcpStream>>>,
+    gate: JobGate,
+    round_gauge: AtomicU64,
+    finished: AtomicBool,
+    round_deadline: Duration,
+}
+
+/// A TCP parameter server hosting multiple concurrent jobs on one port.
+pub struct PsServer {
+    listener: TcpListener,
+}
+
+impl PsServer {
+    /// Binds the server socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(addr: SocketAddr) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(PsServer { listener })
+    }
+
+    /// The bound address (use with port 0 binds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs every job to completion and returns their results in input
+    /// order. Blocks the calling thread; each job gets its own PS loop
+    /// thread, and each admitted connection its reader thread.
+    ///
+    /// A job whose workers do not all complete the handshake within
+    /// `ready_timeout` fails the whole call with
+    /// [`ClusterError::HandshakeTimeout`] — a server whose cluster never
+    /// assembled is a deployment error, not a degraded round.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::HandshakeTimeout`] as above,
+    /// [`ClusterError::Transport`] for listener-level socket failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two jobs share a `job_id`, or if a PS thread panics.
+    pub fn serve(
+        &self,
+        jobs: Vec<JobSpec>,
+        ready_timeout: Duration,
+    ) -> Result<Vec<JobResult>, ClusterError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ClusterError::Transport(format!("listener nonblocking: {e}")))?;
+
+        // Per-job channel fabric: the PS loop keeps its channel types;
+        // TCP is adapted into them at the edges.
+        let mut handles: HashMap<u64, Arc<JobHandle>> = HashMap::new();
+        let mut job_records = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let k = job.assignment.num_workers();
+            let (fan_in_tx, fan_in_rx) = unbounded();
+            let mut slot_rxs = Vec::with_capacity(k);
+            let mut slot_txs = Vec::with_capacity(k);
+            for _ in 0..k {
+                let (tx, rx) = unbounded();
+                slot_txs.push(tx);
+                slot_rxs.push(rx);
+            }
+            let handle = Arc::new(JobHandle {
+                fan_in: fan_in_tx,
+                slots: (0..k).map(|_| Mutex::new(None)).collect(),
+                gate: JobGate::new(k),
+                round_gauge: AtomicU64::new(0),
+                finished: AtomicBool::new(false),
+                round_deadline: job.config.round_deadline,
+            });
+            assert!(
+                handles.insert(job.job_id, Arc::clone(&handle)).is_none(),
+                "duplicate job id {}",
+                job.job_id
+            );
+            job_records.push((job, handle, slot_txs, slot_rxs, fan_in_rx));
+        }
+
+        let stop = AtomicBool::new(false);
+        let handles = &handles;
+        let stop_ref = &stop;
+
+        let outcome = crossbeam::thread::scope(|scope| {
+            // Slot writers: one thread per (job, worker), draining the
+            // PS loop's sender into whatever connection holds the slot.
+            for (_, handle, _, slot_rxs, _) in &job_records {
+                for (worker, rx) in slot_rxs.iter().enumerate() {
+                    let handle = Arc::clone(handle);
+                    let rx = rx.clone();
+                    scope.spawn(move |_| slot_writer(&handle, worker, &rx));
+                }
+            }
+
+            // The accept loop: admit, handshake, route.
+            let accept_thread = scope.spawn(move |_| {
+                accept_loop(&self.listener, handles, stop_ref);
+            });
+
+            // One PS thread per job — running the identical protocol
+            // loop the channel transport runs.
+            let mut job_threads = Vec::with_capacity(job_records.len());
+            for (job, handle, slot_txs, _, fan_in_rx) in &job_records {
+                let handle = Arc::clone(handle);
+                job_threads.push((
+                    job.job_id,
+                    scope.spawn(move |_| -> Result<WireTrainingRun, ClusterError> {
+                        let k = job.assignment.num_workers();
+                        if let Err(connected) = handle.gate.wait(ready_timeout) {
+                            handle.finished.store(true, Ordering::SeqCst);
+                            return Err(ClusterError::HandshakeTimeout {
+                                job_id: job.job_id,
+                                connected,
+                                expected: k,
+                            });
+                        }
+                        let cluster = MessagePassingCluster::new(
+                            job.assignment.clone(),
+                            Arc::clone(&job.dataset),
+                            job.model_dims.clone(),
+                        );
+                        let run = cluster.ps_loop(
+                            job.initial_params.clone(),
+                            &job.config,
+                            slot_txs,
+                            fan_in_rx,
+                            Some(&handle.round_gauge),
+                        );
+                        // Job over: tell connected workers, then flip the
+                        // finished flag (in that order — slot writers drain
+                        // their queues after seeing the flag, so the bye
+                        // frames are already enqueued when they exit).
+                        let bye = crate::Message::Shutdown.encode();
+                        for tx in slot_txs {
+                            let _ = tx.send(bye.clone());
+                        }
+                        handle.finished.store(true, Ordering::SeqCst);
+                        Ok(run)
+                    }),
+                ));
+            }
+
+            let mut results = Vec::with_capacity(job_threads.len());
+            let mut first_err = None;
+            for (job_id, thread) in job_threads {
+                match thread.join().expect("PS job thread panicked") {
+                    Ok(run) => results.push(JobResult { job_id, run }),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            // Give slot writers a beat to flush the shutdown frames to
+            // still-connected workers, then tear everything down.
+            std::thread::sleep(Duration::from_millis(50));
+            stop_ref.store(true, Ordering::SeqCst);
+            for (_, handle, _, _, _) in &job_records {
+                handle.finished.store(true, Ordering::SeqCst);
+                // Writers watch `finished` rather than sender drops
+                // (they hold receiver clones); closing the sockets
+                // unblocks any in-flight write and tells lingering
+                // workers the run is over.
+                for slot in &handle.slots {
+                    if let Ok(mut guard) = slot.lock() {
+                        if let Some(stream) = guard.take() {
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
+                }
+            }
+            accept_thread.join().expect("accept thread panicked");
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(results),
+            }
+        })
+        .expect("PS scope panicked");
+        outcome
+    }
+}
+
+/// The accept loop: polls for connections until told to stop, runs the
+/// hello/welcome exchange, and patches admitted connections into their
+/// job's fabric.
+fn accept_loop(listener: &TcpListener, handles: &HashMap<u64, Arc<JobHandle>>, stop: &AtomicBool) {
+    let mut readers = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Some(reader) = admit_connection(stream, handles) {
+                    readers.push(reader);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+}
+
+/// Runs the PS side of the handshake on a fresh connection. Returns the
+/// reader thread on admission, `None` on rejection (the connection is
+/// closed either way when rejected).
+fn admit_connection(
+    stream: TcpStream,
+    handles: &HashMap<u64, Arc<JobHandle>>,
+) -> Option<std::thread::JoinHandle<()>> {
+    let mut link = TcpLink::from_stream(stream);
+    let hello = link.recv_timeout(HELLO_TIMEOUT).ok()?;
+    let Ok(Handshake::Hello { job_id, worker }) = Handshake::decode(&hello) else {
+        // Not a hello — a confused or hostile peer. Drop silently; the
+        // protocol offers it nothing to talk to.
+        return None;
+    };
+    let reject = |mut link: TcpLink, reason: RejectReason| {
+        let _ = link.send(Handshake::Reject { job_id, reason }.encode());
+        None
+    };
+    let Some(handle) = handles.get(&job_id) else {
+        return reject(link, RejectReason::UnknownJob);
+    };
+    if handle.finished.load(Ordering::SeqCst) {
+        return reject(link, RejectReason::JobFinished);
+    }
+    let w = worker as usize;
+    if w >= handle.slots.len() {
+        return reject(link, RejectReason::BadWorker);
+    }
+    // Welcome goes out BEFORE the write-half is installed in the slot:
+    // the slot writer only touches installed streams, so the worker is
+    // guaranteed to read Welcome before any round frame.
+    let welcome = Handshake::Welcome {
+        job_id,
+        worker,
+        current_round: handle.round_gauge.load(Ordering::SeqCst),
+        cluster_size: handle.slots.len() as u32,
+    };
+    link.send(welcome.encode()).ok()?;
+
+    let write_half = link.stream().try_clone().ok()?;
+    {
+        let mut slot = handle.slots[w].lock().ok()?;
+        // A reconnect replaces whatever stale stream the slot held; the
+        // old connection's reader dies on its closed socket.
+        if let Some(old) = slot.replace(write_half) {
+            let _ = old.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    handle.gate.mark(w);
+
+    let handle = Arc::clone(handle);
+    Some(std::thread::spawn(move || {
+        connection_reader(link, &handle);
+    }))
+}
+
+/// Pumps one admitted connection's frames into the job's fan-in channel
+/// until the connection dies or the job finishes. Which frames *count*
+/// is decided downstream by the PS loop's round deadline over the
+/// fan-in — the reader enforces no protocol deadline of its own, exactly
+/// as a crossbeam channel enforces none.
+fn connection_reader(mut link: TcpLink, handle: &JobHandle) {
+    let slice = READER_POLL.min(handle.round_deadline);
+    loop {
+        if handle.finished.load(Ordering::SeqCst) {
+            return;
+        }
+        match link.recv_timeout(slice) {
+            Ok(frame) => {
+                if handle.fan_in.send(frame).is_err() {
+                    return;
+                }
+            }
+            Err(LinkError::Timeout) => continue,
+            // A dropped or desynced connection ends the reader; the
+            // worker's missing frames degrade its replicas through the
+            // PS's ordinary timeout accounting, and the worker may
+            // reconnect through a fresh handshake.
+            Err(LinkError::Closed | LinkError::Desync(_)) => return,
+        }
+    }
+}
+
+/// Drains one worker slot's outbound channel into whatever connection
+/// currently holds the slot. No connection ⇒ the frame is dropped — the
+/// same fate as a frame sent to a crashed in-process worker, which is
+/// what keeps connection loss inside the existing fault model.
+fn slot_writer(handle: &JobHandle, worker: usize, rx: &crossbeam::channel::Receiver<Bytes>) {
+    loop {
+        match rx.recv_timeout(READER_POLL) {
+            Ok(frame) => write_to_slot(handle, worker, &frame),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if handle.finished.load(Ordering::SeqCst) {
+                    // The finished flag is set only after the shutdown
+                    // frames are enqueued, so draining here delivers
+                    // them before the writer exits.
+                    while let Ok(frame) = rx.try_recv() {
+                        write_to_slot(handle, worker, &frame);
+                    }
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Writes one frame to whatever stream holds the slot; a failed write
+/// clears the slot so later frames drop cheaply until a reconnect
+/// installs a fresh stream.
+fn write_to_slot(handle: &JobHandle, worker: usize, frame: &Bytes) {
+    let Ok(mut slot) = handle.slots[worker].lock() else {
+        return;
+    };
+    if let Some(stream) = slot.as_mut() {
+        if crate::tcp::write_frame(stream, frame).is_err() {
+            if let Some(old) = slot.take() {
+                let _ = old.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Everything a TCP worker process needs to join a job.
+pub struct WorkerSpec {
+    /// The job to join.
+    pub job_id: u64,
+    /// This worker's slot.
+    pub worker_id: usize,
+    /// The job's placement (the worker derives its file set from it).
+    pub assignment: Assignment,
+    /// The worker's local dataset replica.
+    pub dataset: Arc<Dataset>,
+    /// MLP layer widths (must match the PS's).
+    pub model_dims: Vec<usize>,
+    /// The job's protocol configuration. Worker-relevant fields:
+    /// `byzantine`, `attack`, `faults` (including connection faults),
+    /// `transport`, `wire`, `mode`, `straggler_unit`.
+    pub config: ServerConfig,
+    /// How long to keep retrying the initial TCP connect (covers the PS
+    /// starting a moment after the workers).
+    pub connect_timeout: Duration,
+    /// How many reconnects to attempt after a lost connection before
+    /// giving up with [`ClusterError::PeerDisconnected`].
+    pub reconnect_attempts: usize,
+    /// Pause between reconnect attempts.
+    pub reconnect_backoff: Duration,
+}
+
+impl WorkerSpec {
+    /// A spec with deployment-tuned connect/reconnect defaults.
+    pub fn new(
+        job_id: u64,
+        worker_id: usize,
+        assignment: Assignment,
+        dataset: Arc<Dataset>,
+        model_dims: Vec<usize>,
+        config: ServerConfig,
+    ) -> Self {
+        WorkerSpec {
+            job_id,
+            worker_id,
+            assignment,
+            dataset,
+            model_dims,
+            config,
+            connect_timeout: Duration::from_secs(10),
+            reconnect_attempts: 5,
+            reconnect_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Connection-fault injector: wraps the worker's [`TcpLink`] and fires
+/// the [`FaultPlan`](byz_cluster::FaultPlan)'s connection faults against
+/// protocol rounds (learned via [`Link::note_round`] from broadcast
+/// iterations, so faults are seeded and deterministic).
+///
+/// * `stall_from(w, r)`: from round `r` on, uploads are swallowed — the
+///   connection stays open and downlink traffic still flows, which is
+///   exactly how a half-open connection looks from the PS: a healthy
+///   socket that never delivers.
+/// * `disconnect_at(w, r)`: the first upload of round `r` is let
+///   through, then the socket is cut — a mid-round disconnect. The
+///   `fired` flag lives in the caller so the fault fires once across
+///   reconnects.
+struct ChaosLink<'a> {
+    inner: TcpLink,
+    disconnect_round: Option<u64>,
+    stall_round: Option<u64>,
+    fired: &'a mut bool,
+    round: u64,
+}
+
+impl Link for ChaosLink<'_> {
+    fn send(&mut self, frame: Bytes) -> Result<(), LinkError> {
+        if self.stall_round.is_some_and(|s| self.round >= s) {
+            // Half-open wire: the worker believes it uploaded.
+            return Ok(());
+        }
+        let result = self.inner.send(frame);
+        if result.is_ok() && !*self.fired && self.disconnect_round == Some(self.round) {
+            *self.fired = true;
+            self.inner.shutdown();
+        }
+        result
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, LinkError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn note_round(&mut self, round: u64) {
+        self.round = round;
+        self.inner.note_round(round);
+    }
+}
+
+/// Runs one worker over TCP until its job shuts down: connect (with
+/// retry), handshake, protocol loop; on a lost connection, reconnect
+/// through a fresh handshake and resume at the current round.
+///
+/// # Errors
+///
+/// [`ClusterError::PeerDisconnected`] when the reconnect budget runs
+/// out, [`ClusterError::Transport`] for unrecoverable socket or
+/// handshake failures.
+pub fn run_tcp_worker(addr: SocketAddr, spec: &WorkerSpec) -> Result<(), ClusterError> {
+    let cluster = MessagePassingCluster::new(
+        spec.assignment.clone(),
+        Arc::clone(&spec.dataset),
+        spec.model_dims.clone(),
+    );
+    let ctx = cluster.worker_context(spec.worker_id, &spec.config);
+    let disconnect_round = spec.config.faults.disconnects_at(spec.worker_id);
+    let stall_round = spec.config.faults.stalls_from(spec.worker_id);
+    let mut disconnect_fired = false;
+    let mut attempts_left = spec.reconnect_attempts;
+
+    loop {
+        let tcp = connect_with_retry(addr, spec.connect_timeout)
+            .map_err(|e| ClusterError::Transport(format!("connect to {addr}: {e}")))?;
+        let mut link = ChaosLink {
+            inner: tcp,
+            disconnect_round,
+            stall_round,
+            fired: &mut disconnect_fired,
+            round: 0,
+        };
+        match client_handshake(&mut link, spec.job_id, spec.worker_id as u32, HELLO_TIMEOUT) {
+            Ok(_current_round) => {}
+            // The job ran to completion while this worker was away —
+            // a clean exit, not a failure.
+            Err(HandshakeError::Rejected(RejectReason::JobFinished)) => return Ok(()),
+            Err(HandshakeError::Rejected(reason)) => {
+                return Err(ClusterError::Transport(format!(
+                    "PS rejected worker {}: {reason}",
+                    spec.worker_id
+                )));
+            }
+            Err(e) => {
+                if attempts_left == 0 {
+                    return Err(ClusterError::Transport(format!(
+                        "handshake failed for worker {}: {e}",
+                        spec.worker_id
+                    )));
+                }
+                attempts_left -= 1;
+                std::thread::sleep(spec.reconnect_backoff);
+                continue;
+            }
+        }
+        match worker_loop(&ctx, &mut link) {
+            WorkerExit::Shutdown => return Ok(()),
+            WorkerExit::LinkClosed => {
+                if attempts_left == 0 {
+                    return Err(ClusterError::PeerDisconnected {
+                        worker: spec.worker_id,
+                    });
+                }
+                attempts_left -= 1;
+                std::thread::sleep(spec.reconnect_backoff);
+                // Loop around: fresh connect, fresh handshake, resume at
+                // whatever round the job has reached.
+            }
+        }
+    }
+}
+
+/// Dials until `timeout` elapses — the PS may bind a beat after its
+/// workers launch.
+fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpLink> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "connect retry budget exhausted",
+            ));
+        }
+        match TcpLink::connect(addr, remaining.min(Duration::from_millis(250))) {
+            Ok(link) => return Ok(link),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::batch::{decode_gradient_batch, encode_gradient_batch};
 use crate::chunk::{encode_gradient_chunk_into, num_chunks, ChunkConfig};
+use crate::link::{ChannelLink, Link, LinkError};
 use crate::voter::ShardedFileVoter;
 use crate::{
     decode_gradient_chunk, hash_majority, verify_payload, Assignment, Fingerprint, Message,
@@ -18,6 +19,7 @@ use byz_nn::FastMlp;
 use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -212,6 +214,11 @@ pub struct RoundSummary {
     /// The cumulative quarantined worker set after this round,
     /// ascending. Empty when reputation is disabled.
     pub quarantined_workers: Vec<usize>,
+    /// The round's vote audits in canonical (ascending-file) order, one
+    /// per file that produced a winner. Deterministic: transports and
+    /// round modes must agree on these byte for byte — the socket
+    /// conformance suite compares them directly.
+    pub audits: Vec<VoteAudit>,
     /// Measured wall-clock phase split of this round. In
     /// [`RoundMode::Streaming`] votes run inside the wire window, so
     /// [`PhaseTimings::overlap_ratio`] rises above 1. Wall-clock values:
@@ -219,11 +226,43 @@ pub struct RoundSummary {
     pub timings: PhaseTimings,
 }
 
+/// Everything a training run produced, in directly comparable form: the
+/// socket conformance suite asserts a loopback-TCP run equals a channel
+/// run on every field (timings inside the summaries excepted — they are
+/// wall-clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrainingRun {
+    /// The trained flat parameters.
+    pub params: Vec<f32>,
+    /// One summary per round, vote audits included.
+    pub summaries: Vec<RoundSummary>,
+    /// The final reputation ledger, serialized; `None` when reputation
+    /// was disabled.
+    pub ledger_bytes: Option<Vec<u8>>,
+}
+
+/// Why a worker loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// The PS said `Shutdown`: training is over.
+    Shutdown,
+    /// The link died (channel dropped, socket closed or desynced). Over
+    /// channels this means the run is over; over sockets the caller may
+    /// reconnect and re-enter the loop.
+    LinkClosed,
+}
+
 /// Shard length for the streaming flush's sharded subset-finalize pass.
 /// Any value yields bit-identical votes (the sharded fold is pinned
 /// equal to the unsharded one); this only sizes the pool parallelism of
 /// the flush.
 const STREAM_FLUSH_SHARD_LEN: usize = 4096;
+
+/// How long an idle worker waits on its link before re-checking for a
+/// broadcast. Purely a liveness knob (the loop just waits again): the
+/// protocol's real deadlines live at the PS, so this only bounds how
+/// fast a worker notices a dead transport.
+const IDLE_RECV_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// A parameter server plus `K` worker threads, communicating exclusively
 /// through framed [`Message`]s over channels.
@@ -267,6 +306,18 @@ impl MessagePassingCluster {
         initial_params: Vec<f32>,
         config: &ServerConfig,
     ) -> (Vec<f32>, Vec<RoundSummary>) {
+        let run = self.train_run(initial_params, config);
+        (run.params, run.summaries)
+    }
+
+    /// [`train`](Self::train), returning the full comparable record
+    /// (summaries with audits, serialized reputation ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size is not divisible by the file count, or
+    /// if a worker thread panics.
+    pub fn train_run(&self, initial_params: Vec<f32>, config: &ServerConfig) -> WireTrainingRun {
         let k = self.assignment.num_workers();
         let f = self.assignment.num_files();
         assert_eq!(
@@ -284,43 +335,16 @@ impl MessagePassingCluster {
             for worker_id in 0..k {
                 let (tx, rx): (Sender<Bytes>, Receiver<Bytes>) = unbounded();
                 to_workers.push(tx);
-                let my_files: Vec<usize> = self.assignment.graph().files_of(worker_id).to_vec();
-                let dataset = Arc::clone(&self.dataset);
-                let dims = self.model_dims.clone();
+                let ctx = self.worker_context(worker_id, config);
                 let to_ps = to_ps.clone();
-                let is_byz = config.byzantine.contains(&worker_id);
-                let is_crashed = config.faults.is_crashed(worker_id);
-                let attack = config.attack;
-                let transport = config.transport;
-                let wire = config.wire;
-                let mode = config.mode;
-                let plan = config.faults.clone();
-                let delay = config
-                    .straggler_unit
-                    .mul_f64(config.faults.straggle_factor(worker_id) - 1.0);
-
                 scope.spawn(move |_| {
-                    worker_loop(WorkerContext {
-                        worker_id,
-                        my_files,
-                        dataset,
-                        dims,
-                        rx,
-                        to_ps,
-                        is_byz,
-                        is_crashed,
-                        attack,
-                        transport,
-                        wire,
-                        mode,
-                        plan,
-                        delay,
-                    })
+                    let mut link = ChannelLink::new(to_ps, rx);
+                    worker_loop(&ctx, &mut link)
                 });
             }
             drop(to_ps);
 
-            let result = self.ps_loop(initial_params, config, &to_workers, &from_workers);
+            let result = self.ps_loop(initial_params, config, &to_workers, &from_workers, None);
 
             let bye = Message::Shutdown.encode();
             for tx in &to_workers {
@@ -331,14 +355,50 @@ impl MessagePassingCluster {
         .expect("worker thread panicked")
     }
 
+    /// Builds the per-worker protocol context the worker loop runs on —
+    /// shared by the in-process transport (threads over channels) and
+    /// the socket deployment (processes over TCP).
+    pub(crate) fn worker_context(&self, worker_id: usize, config: &ServerConfig) -> WorkerContext {
+        WorkerContext {
+            worker_id,
+            my_files: self.assignment.graph().files_of(worker_id).to_vec(),
+            dataset: Arc::clone(&self.dataset),
+            dims: self.model_dims.clone(),
+            is_byz: config.byzantine.contains(&worker_id),
+            is_crashed: config.faults.is_crashed(worker_id),
+            attack: config.attack,
+            transport: config.transport,
+            wire: config.wire,
+            mode: config.mode,
+            plan: config.faults.clone(),
+            delay: config
+                .straggler_unit
+                .mul_f64(config.faults.straggle_factor(worker_id) - 1.0),
+            idle_timeout: IDLE_RECV_TIMEOUT,
+        }
+    }
+
     /// The parameter-server side of the protocol.
-    fn ps_loop(
+    ///
+    /// Deliberately typed against channels on both sides: the socket
+    /// deployment adapts TCP connections *into* exactly these channels
+    /// (per-connection reader threads fan into `from_workers`, per-slot
+    /// writer threads drain the `to_workers` senders), so a networked
+    /// run executes this identical loop on the identical frame multiset
+    /// — which is what makes TCP ≡ channel bit-identity a structural
+    /// property instead of a test-enforced hope.
+    ///
+    /// `round_gauge`, when present, is stored with the current iteration
+    /// as each round opens; the socket server reads it to stamp
+    /// `current_round` into reconnect handshakes.
+    pub(crate) fn ps_loop(
         &self,
         initial_params: Vec<f32>,
         config: &ServerConfig,
         to_workers: &[Sender<Bytes>],
         from_workers: &Receiver<Bytes>,
-    ) -> (Vec<f32>, Vec<RoundSummary>) {
+        round_gauge: Option<&AtomicU64>,
+    ) -> WireTrainingRun {
         let k = self.assignment.num_workers();
         let f = self.assignment.num_files();
         let l = self.assignment.load();
@@ -369,6 +429,9 @@ impl MessagePassingCluster {
         let mut next_files: Option<Vec<Vec<u32>>> = None;
 
         for t in 1..=config.iterations as u64 {
+            if let Some(gauge) = round_gauge {
+                gauge.store(t, Ordering::SeqCst);
+            }
             let files = next_files.take().unwrap_or_else(&mut sample_files);
             let broadcast = Message::ModelBroadcast {
                 iteration: t,
@@ -523,9 +586,7 @@ impl MessagePassingCluster {
                             if matches!(outcome.provenance, Provenance::Degraded { .. }) {
                                 degraded_votes += 1;
                             }
-                            if ledger.is_some() {
-                                audits.push(outcome.audit);
-                            }
+                            audits.push(outcome.audit);
                             Some(outcome.value)
                         })
                         .collect();
@@ -595,7 +656,14 @@ impl MessagePassingCluster {
                         }
                         for entry in &batch.entries {
                             let file = entry.file as usize;
-                            if file >= f {
+                            // Shape gate: a well-checksummed frame can
+                            // still carry a forged entry whose length is
+                            // not the model's. Mixed-length winners would
+                            // sink the coordinate median, so such entries
+                            // degrade like dropped replicas — reachable
+                            // over real sockets, where any process can
+                            // connect and upload.
+                            if file >= f || entry.len() != params.len() {
                                 continue;
                             }
                             let buffer = &mut worker_buffers[w];
@@ -666,9 +734,7 @@ impl MessagePassingCluster {
                             if matches!(outcome.provenance, Provenance::Degraded { .. }) {
                                 degraded_votes += 1;
                             }
-                            if ledger.is_some() {
-                                audits.push(outcome.audit);
-                            }
+                            audits.push(outcome.audit);
                             Some(outcome.value)
                         })
                         .collect();
@@ -746,9 +812,7 @@ impl MessagePassingCluster {
                             if matches!(outcome.provenance, Provenance::Degraded { .. }) {
                                 degraded_votes += 1;
                             }
-                            if ledger.is_some() {
-                                audits.push(outcome.audit.clone());
-                            }
+                            audits.push(outcome.audit.clone());
                             Some(outcome.value)
                         })
                         .collect();
@@ -799,6 +863,12 @@ impl MessagePassingCluster {
                         }
                         let buffer = &mut worker_buffers[w];
                         for entry in &batch.entries {
+                            // Same shape gate as the streaming arm: a
+                            // wrong-length entry degrades, never reaches
+                            // the median.
+                            if entry.len() != params.len() {
+                                continue;
+                            }
                             let start = buffer.len();
                             entry.extend_into(buffer);
                             worker_entries[w].push((entry.file, start, entry.len()));
@@ -848,9 +918,7 @@ impl MessagePassingCluster {
                             if matches!(outcome.provenance, Provenance::Degraded { .. }) {
                                 degraded_votes += 1;
                             }
-                            if ledger.is_some() {
-                                audits.push(outcome.audit.clone());
-                            }
+                            audits.push(outcome.audit.clone());
                             Some(outcome.value)
                         })
                         .collect();
@@ -921,35 +989,33 @@ impl MessagePassingCluster {
                         if announced.len() < r {
                             degraded_votes += 1;
                         }
-                        if ledger.is_some() {
-                            // Fingerprint votes audit exactly like full
-                            // votes: announcing a losing hash is a
-                            // disagreement, never announcing is an absence.
-                            let mut audit = VoteAudit {
-                                replicas: announced
-                                    .iter()
-                                    .map(|&(w, fp)| {
-                                        let verdict = if fp == outcome.winner {
-                                            ReplicaVerdict::Agreed
-                                        } else {
-                                            ReplicaVerdict::Disagreed
-                                        };
-                                        (w, verdict)
-                                    })
-                                    .collect(),
-                                winner_hash: outcome.winner.0 ^ outcome.winner.1,
-                            };
-                            let holders: Vec<usize> = self
-                                .assignment
-                                .graph()
-                                .workers_of(file as usize)
+                        // Fingerprint votes audit exactly like full
+                        // votes: announcing a losing hash is a
+                        // disagreement, never announcing is an absence.
+                        let mut audit = VoteAudit {
+                            replicas: announced
                                 .iter()
-                                .copied()
-                                .filter(|&w| !quarantined_mask[w])
-                                .collect();
-                            audit.mark_absent(&holders);
-                            audits.push(audit);
-                        }
+                                .map(|&(w, fp)| {
+                                    let verdict = if fp == outcome.winner {
+                                        ReplicaVerdict::Agreed
+                                    } else {
+                                        ReplicaVerdict::Disagreed
+                                    };
+                                    (w, verdict)
+                                })
+                                .collect(),
+                            winner_hash: outcome.winner.0 ^ outcome.winner.1,
+                        };
+                        let holders: Vec<usize> = self
+                            .assignment
+                            .graph()
+                            .workers_of(file as usize)
+                            .iter()
+                            .copied()
+                            .filter(|&w| !quarantined_mask[w])
+                            .collect();
+                        audit.mark_absent(&holders);
+                        audits.push(audit);
                         let holder = outcome.holders[0];
                         let req = Message::PayloadRequest { iteration: t, file }.encode();
                         // A dead holder is indistinguishable from a crashed
@@ -986,8 +1052,15 @@ impl MessagePassingCluster {
                                     continue;
                                 };
                                 // Bait-and-switch defense: the payload
-                                // must hash to the winning fingerprint.
-                                if verify_payload(&gradient, expected_fp) {
+                                // must hash to the winning fingerprint —
+                                // and carry the model's shape (a degraded
+                                // single-holder vote can be won by a
+                                // Byzantine fingerprint of arbitrary
+                                // length, which must not reach the
+                                // median).
+                                if gradient.len() == params.len()
+                                    && verify_payload(&gradient, expected_fp)
+                                {
                                     winners[file as usize] = Some(gradient);
                                 }
                             }
@@ -1010,9 +1083,12 @@ impl MessagePassingCluster {
             let update_start = Instant::now();
             if !available.is_empty() {
                 // Invariant expect: `available` is non-empty and every
-                // winner has the model's dimension, the only preconditions
-                // the coordinate median has. A failure here is a kernel
-                // bug, not an injected fault, and must stay a panic.
+                // winner has the model's dimension — the shape gates at
+                // every ingestion point (batched entries, chunk voters
+                // sized to the model, hash-vote pulls) enforce the
+                // latter even against arbitrary socket peers. A failure
+                // here is a kernel bug, not reachable input, and must
+                // stay a panic.
                 let aggregated = aggregator
                     .aggregate(&available)
                     .expect("median is always applicable");
@@ -1061,51 +1137,80 @@ impl MessagePassingCluster {
                 suspicions,
                 reputation_events,
                 quarantined_workers,
+                audits,
                 timings,
             });
         }
-        (params, summaries)
+        WireTrainingRun {
+            params,
+            summaries,
+            ledger_bytes: ledger.as_ref().map(ReputationLedger::to_bytes),
+        }
     }
 }
 
-struct WorkerContext {
-    worker_id: usize,
-    my_files: Vec<usize>,
-    dataset: Arc<Dataset>,
-    dims: Vec<usize>,
-    rx: Receiver<Bytes>,
-    to_ps: Sender<Bytes>,
-    is_byz: bool,
-    is_crashed: bool,
-    attack: LocalAttack,
-    transport: Transport,
-    wire: WireFormat,
-    mode: RoundMode,
-    plan: FaultPlan,
-    delay: Duration,
+/// Everything a worker's protocol loop needs besides its transport. The
+/// same context drives an in-process thread over channels and a remote
+/// process over TCP — only the [`Link`] differs.
+pub(crate) struct WorkerContext {
+    pub(crate) worker_id: usize,
+    pub(crate) my_files: Vec<usize>,
+    pub(crate) dataset: Arc<Dataset>,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) is_byz: bool,
+    pub(crate) is_crashed: bool,
+    pub(crate) attack: LocalAttack,
+    pub(crate) transport: Transport,
+    pub(crate) wire: WireFormat,
+    pub(crate) mode: RoundMode,
+    pub(crate) plan: FaultPlan,
+    pub(crate) delay: Duration,
+    pub(crate) idle_timeout: Duration,
 }
 
-fn worker_loop(ctx: WorkerContext) {
+/// The worker's protocol loop over any [`Link`].
+///
+/// Takes the context by reference because a socket worker re-enters the
+/// loop after a reconnect — the model replica and gradient cache are
+/// per-connection state (the next broadcast rebuilds them), the context
+/// is not.
+pub(crate) fn worker_loop(ctx: &WorkerContext, link: &mut dyn Link) -> WorkerExit {
     let mut rng = rand_stub();
     let mut model = FastMlp::new(&ctx.dims, &mut rng);
+    let param_len = model.num_params();
     // Cache of this iteration's computed (possibly forged) gradients, for
     // the hash-vote pull phase.
     let mut cache: HashMap<(u64, u32), Vec<f32>> = HashMap::new();
 
-    // Run until shutdown or the PS drops the channel. A frame that fails
-    // to decode or carries a message the PS never sends is ignored — a
-    // corrupted broadcast degrades the worker's round, never kills it.
-    while let Ok(frame) = ctx.rx.recv() {
+    // Run until shutdown or the link dies. A frame that fails to decode
+    // or carries a message the PS never sends is ignored — a corrupted
+    // broadcast degrades the worker's round, never kills it.
+    loop {
+        let frame = match link.recv_timeout(ctx.idle_timeout) {
+            Ok(frame) => frame,
+            // An idle wire is not a fault: the PS simply has not
+            // broadcast yet (or this worker is quarantined-adjacent slow).
+            Err(LinkError::Timeout) => continue,
+            Err(LinkError::Closed | LinkError::Desync(_)) => return WorkerExit::LinkClosed,
+        };
         let Ok(message) = Message::decode(&frame) else {
             continue;
         };
         match message {
-            Message::Shutdown => break,
+            Message::Shutdown => return WorkerExit::Shutdown,
             Message::ModelBroadcast {
                 iteration,
                 params,
                 files,
             } => {
+                link.note_round(iteration);
+                // Shape gate: over a real socket the broadcast may come
+                // from anything claiming to be a PS. A model of the
+                // wrong dimension cannot be trained on; skipping the
+                // round degrades it like a dropped broadcast.
+                if params.len() != param_len {
+                    continue;
+                }
                 if ctx.is_crashed {
                     continue; // fail-stop: receive but never respond
                 }
@@ -1125,7 +1230,17 @@ fn worker_loop(ctx: WorkerContext) {
                 // computed. HashVote keeps per-file announces either way.
                 let mut batch: Vec<(u32, Vec<f32>)> = Vec::with_capacity(ctx.my_files.len());
                 for &file_idx in &ctx.my_files {
-                    let samples: Vec<usize> = files[file_idx].iter().map(|&i| i as usize).collect();
+                    // Bounds gates for forged broadcasts: a file table
+                    // that does not cover this worker's assignment, or
+                    // sample indices outside the local dataset, degrade
+                    // the file — they must never index-panic the worker.
+                    let Some(file_samples) = files.get(file_idx) else {
+                        continue;
+                    };
+                    let samples: Vec<usize> = file_samples.iter().map(|&i| i as usize).collect();
+                    if samples.iter().any(|&i| i >= ctx.dataset.len()) {
+                        continue;
+                    }
                     let (x, labels) = gather_flat(&ctx.dataset, &samples);
                     let (_, grad) = model.gradient_sum(&x, samples.len(), &labels);
                     let gradient = if ctx.is_byz {
@@ -1157,17 +1272,23 @@ fn worker_loop(ctx: WorkerContext) {
                                     ctx.worker_id as u32,
                                     &entries,
                                 );
-                                let _ = ctx.to_ps.send(frame);
+                                if link.send(frame).is_err() {
+                                    return WorkerExit::LinkClosed;
+                                }
                             }
                             (RoundMode::Streaming, WireFormat::Chunked(cfg)) => {
-                                if !dropped {
-                                    send_replica_chunks(
-                                        &ctx,
+                                if !dropped
+                                    && send_replica_chunks(
+                                        ctx,
+                                        link,
                                         iteration,
                                         file_idx as u32,
                                         &gradient,
                                         &cfg,
-                                    );
+                                    )
+                                    .is_err()
+                                {
+                                    return WorkerExit::LinkClosed;
                                 }
                             }
                             (RoundMode::Barrier, _) => {
@@ -1188,10 +1309,10 @@ fn worker_loop(ctx: WorkerContext) {
                                 file: file_idx as u32,
                                 fingerprint,
                             };
-                            // A hung-up PS means the run is over; uploads
-                            // to nowhere are silently dropped, the next
-                            // recv exits.
-                            let _ = ctx.to_ps.send(reply.encode());
+                            // A hung-up PS means the run is over.
+                            if link.send(reply.encode()).is_err() {
+                                return WorkerExit::LinkClosed;
+                            }
                         }
                     }
                 }
@@ -1208,11 +1329,17 @@ fn worker_loop(ctx: WorkerContext) {
                                 .collect();
                             let frame =
                                 encode_gradient_batch(iteration, ctx.worker_id as u32, &entries);
-                            let _ = ctx.to_ps.send(frame);
+                            if link.send(frame).is_err() {
+                                return WorkerExit::LinkClosed;
+                            }
                         }
                         WireFormat::Chunked(cfg) => {
                             for (file, gradient) in &batch {
-                                send_replica_chunks(&ctx, iteration, *file, gradient, &cfg);
+                                if send_replica_chunks(ctx, link, iteration, *file, gradient, &cfg)
+                                    .is_err()
+                                {
+                                    return WorkerExit::LinkClosed;
+                                }
                             }
                         }
                     }
@@ -1238,15 +1365,16 @@ fn worker_loop(ctx: WorkerContext) {
                 let Some(gradient) = cache.get(&(iteration, file)).cloned() else {
                     continue;
                 };
-                let _ = ctx.to_ps.send(
-                    Message::GradientReturn {
-                        iteration,
-                        worker: ctx.worker_id as u32,
-                        file,
-                        gradient,
-                    }
-                    .encode(),
-                );
+                let reply = Message::GradientReturn {
+                    iteration,
+                    worker: ctx.worker_id as u32,
+                    file,
+                    gradient,
+                }
+                .encode();
+                if link.send(reply).is_err() {
+                    return WorkerExit::LinkClosed;
+                }
             }
             // Unexpected message types are ignored for the same reason
             // malformed frames are: only Shutdown and the two request
@@ -1265,11 +1393,12 @@ fn worker_loop(ctx: WorkerContext) {
 /// calls this per file as soon as its gradient is ready).
 fn send_replica_chunks(
     ctx: &WorkerContext,
+    link: &mut dyn Link,
     iteration: u64,
     file: u32,
     gradient: &[f32],
     cfg: &ChunkConfig,
-) {
+) -> Result<(), LinkError> {
     let n = num_chunks(gradient.len(), cfg.span_len());
     for chunk_index in 0..n {
         if ctx
@@ -1287,8 +1416,9 @@ fn send_replica_chunks(
             cfg,
             BytesMut::new(),
         );
-        let _ = ctx.to_ps.send(frame);
+        link.send(frame)?;
     }
+    Ok(())
 }
 
 /// Deterministic tiny RNG for worker-side model construction (the
