@@ -36,6 +36,7 @@
 //! assert_eq!(a.graph().files_of(0), &[0, 9, 13, 17, 21]);
 //! ```
 
+mod dynamic;
 mod frc;
 mod latin;
 mod mols;
@@ -44,6 +45,7 @@ mod random;
 mod repair;
 mod scheme;
 
+pub use dynamic::{DynamicAssignment, MembershipPatch};
 pub use frc::FrcAssignment;
 pub use latin::{LatinSquare, MolsFamily};
 pub use mols::MolsAssignment;

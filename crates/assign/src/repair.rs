@@ -35,6 +35,23 @@ pub struct RepairedAssignment {
 }
 
 impl RepairedAssignment {
+    /// Assembles a repaired placement from an already-realized graph —
+    /// the bridge the dynamic membership layer uses to present its
+    /// canonical realization in this legacy shape.
+    pub(crate) fn from_parts(
+        graph: BipartiteGraph,
+        added: Vec<(usize, usize)>,
+        under_replicated: Vec<usize>,
+        replication: usize,
+    ) -> Self {
+        RepairedAssignment {
+            graph,
+            added,
+            under_replicated,
+            replication,
+        }
+    }
+
     /// The patched worker–file graph. Quarantined workers have no edges.
     pub fn graph(&self) -> &BipartiteGraph {
         &self.graph

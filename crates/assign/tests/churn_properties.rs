@@ -1,0 +1,163 @@
+//! Property-based tests over the churn-driven dynamic assignment.
+//!
+//! These pin the invariants the elastic-membership layer is built on:
+//! every file keeps its replicas as long as members survive, the greedy
+//! repair/rebalance keeps load skew bounded, the realization is a pure
+//! function of the membership *sets* (event order and batching are
+//! irrelevant), and a pure departure set lands on exactly the placement
+//! `reassign_quarantined` produces.
+
+use byz_assign::{reassign_quarantined, Assignment, DynamicAssignment, MolsAssignment};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The paper's flagship instance: K = 15 workers, f = 25 files, l = 5,
+/// r = 3.
+fn mols() -> Assignment {
+    MolsAssignment::new(5, 3).unwrap().build()
+}
+
+/// A churn scenario: a set of founding workers that leave and a set of
+/// fresh ids (≥ K) that join. Leaves are capped so at least one founder
+/// survives even when no one joins.
+fn churn() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        prop::collection::btree_set(0usize..15, 0..=10),
+        prop::collection::btree_set(15usize..21, 0..=4),
+    )
+        .prop_map(|(leaves, joins)| {
+            (
+                leaves.into_iter().collect::<Vec<_>>(),
+                joins.into_iter().collect::<Vec<_>>(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replica survival: every file holds `min(r, |members|)` *distinct*
+    /// member replicas, and `under_replicated()` is exactly the set of
+    /// files below `r`.
+    #[test]
+    fn every_file_keeps_its_replicas((leaves, joins) in churn()) {
+        let mut dynamic = DynamicAssignment::new(mols());
+        dynamic.apply(&joins, &leaves);
+        let members: BTreeSet<usize> = dynamic.members().into_iter().collect();
+        let r = dynamic.replication();
+        let expected = r.min(members.len());
+        for file in 0..dynamic.num_files() {
+            let holders = dynamic.graph().workers_of(file);
+            let distinct: BTreeSet<usize> = holders.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), holders.len(), "file {} has duplicate holders", file);
+            prop_assert!(
+                distinct.iter().all(|w| members.contains(w)),
+                "file {} held by a non-member", file
+            );
+            prop_assert_eq!(holders.len(), expected, "file {} replica count", file);
+            prop_assert_eq!(
+                dynamic.under_replicated().contains(&file),
+                holders.len() < r,
+                "under_replicated mismatch for file {}", file
+            );
+        }
+    }
+
+    /// The greedy repair (least-loaded member first) and joiner
+    /// rebalance (donate from the heaviest) keep the realized placement
+    /// within `r` files of even.
+    #[test]
+    fn load_skew_stays_bounded((leaves, joins) in churn()) {
+        let mut dynamic = DynamicAssignment::new(mols());
+        dynamic.apply(&joins, &leaves);
+        prop_assert!(
+            dynamic.load_skew() <= dynamic.replication(),
+            "skew {} exceeds r = {} (members {:?})",
+            dynamic.load_skew(),
+            dynamic.replication(),
+            dynamic.members()
+        );
+        // Non-members never carry load.
+        for w in 0..dynamic.universe() {
+            if !dynamic.is_member(w) {
+                prop_assert_eq!(dynamic.load_of(w), 0, "non-member {} holds files", w);
+            }
+        }
+    }
+
+    /// The realization depends only on the final membership sets: any
+    /// interleaving of the same join/leave events — one at a time in
+    /// shuffled order, or one batch — lands on the identical graph.
+    #[test]
+    fn realization_is_permutation_invariant(
+        (leaves, joins) in churn(),
+        order_seed in 0u64..1024,
+    ) {
+        let mut events: Vec<(bool, usize)> = leaves
+            .iter().map(|&w| (false, w))
+            .chain(joins.iter().map(|&w| (true, w)))
+            .collect();
+
+        let mut batched = DynamicAssignment::new(mols());
+        batched.apply(&joins, &leaves);
+
+        let mut sequential = DynamicAssignment::new(mols());
+        // A cheap deterministic shuffle (Fisher–Yates on a splitmix-ish
+        // stream) — proptest's shuffle strategy would hide the seed from
+        // the failure report.
+        let mut state = order_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for i in (1..events.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            events.swap(i, (state as usize) % (i + 1));
+        }
+        for (is_join, w) in events {
+            if is_join {
+                sequential.join(w);
+            } else {
+                sequential.depart(w);
+            }
+        }
+        prop_assert_eq!(sequential.graph(), batched.graph());
+        prop_assert_eq!(sequential.under_replicated(), batched.under_replicated());
+    }
+
+    /// A pure departure set realizes exactly the placement the one-shot
+    /// quarantine repair produces — quarantine and graceful leave are
+    /// the same placement event.
+    #[test]
+    fn depart_set_matches_reassign_quarantined(
+        leaves in prop::collection::btree_set(0usize..15, 0..=12),
+    ) {
+        let base = mols();
+        let leaves: Vec<usize> = leaves.into_iter().collect();
+        let mut dynamic = DynamicAssignment::new(base.clone());
+        dynamic.apply(&[], &leaves);
+        let repaired = reassign_quarantined(&base, &leaves);
+        prop_assert_eq!(dynamic.graph(), repaired.graph());
+        prop_assert_eq!(dynamic.under_replicated(), repaired.under_replicated());
+    }
+
+    /// Canonical realization means churn leaves no scars: rejoining
+    /// every departed founder (and dropping every joiner) restores the
+    /// base placement bit-for-bit.
+    #[test]
+    fn full_rejoin_restores_base((leaves, joins) in churn()) {
+        let base = mols();
+        let mut dynamic = DynamicAssignment::new(base.clone());
+        dynamic.apply(&joins, &leaves);
+        dynamic.apply(&leaves, &joins);
+        for w in 0..base.num_workers() {
+            prop_assert_eq!(
+                dynamic.graph().files_of(w),
+                base.graph().files_of(w),
+                "worker {} placement not restored", w
+            );
+        }
+        for j in joins {
+            prop_assert!(dynamic.graph().files_of(j).is_empty());
+        }
+        prop_assert!(dynamic.is_fully_replicated());
+    }
+}

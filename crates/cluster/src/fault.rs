@@ -87,6 +87,8 @@ pub struct FaultPlan {
     drop_rate: f64,
     disconnects: BTreeMap<usize, u64>,
     stalls: BTreeMap<usize, u64>,
+    joins: BTreeMap<usize, u64>,
+    leaves: BTreeMap<usize, u64>,
 }
 
 impl Default for FaultPlan {
@@ -105,6 +107,8 @@ impl FaultPlan {
             drop_rate: 0.0,
             disconnects: BTreeMap::new(),
             stalls: BTreeMap::new(),
+            joins: BTreeMap::new(),
+            leaves: BTreeMap::new(),
         }
     }
 
@@ -167,6 +171,86 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules an elastic join: `worker` is *absent* (not a cluster
+    /// member, holds no files, sends nothing) for every round before
+    /// `round`, then joins the job at the start of `round` and stays a
+    /// member until it leaves (if ever). Joiners may use worker ids at or
+    /// beyond the initial cluster size `K` — the membership universe is
+    /// `max(K, max join id + 1)`.
+    pub fn join_at(mut self, worker: usize, round: u64) -> Self {
+        self.joins.insert(worker, round);
+        self
+    }
+
+    /// Schedules a graceful departure: `worker` is a member for every
+    /// round before `round` and gone from `round` onward. Unlike a crash
+    /// (which strands the worker's replicas every round), a departure
+    /// changes *membership*: the dynamic assignment layer re-replicates
+    /// the departed worker's files onto the survivors.
+    pub fn leave_at(mut self, worker: usize, round: u64) -> Self {
+        self.leaves.insert(worker, round);
+        self
+    }
+
+    /// The round at which `worker` joins, if it is a scheduled joiner.
+    pub fn joins_at(&self, worker: usize) -> Option<u64> {
+        self.joins.get(&worker).copied()
+    }
+
+    /// The round at which `worker` leaves, if it is scheduled to depart.
+    pub fn leaves_at(&self, worker: usize) -> Option<u64> {
+        self.leaves.get(&worker).copied()
+    }
+
+    /// Whether the plan schedules any membership change.
+    pub fn has_churn(&self) -> bool {
+        !self.joins.is_empty() || !self.leaves.is_empty()
+    }
+
+    /// Whether `worker` is a cluster member during `round`: it has
+    /// joined (workers without a `join_at` entry are founding members)
+    /// and has not yet left. Crashes are orthogonal — a crashed member
+    /// is still a member, it just never delivers.
+    pub fn is_member(&self, worker: usize, round: u64) -> bool {
+        let joined = self.joins.get(&worker).is_none_or(|&j| round >= j);
+        let left = self.leaves.get(&worker).is_some_and(|&l| round >= l);
+        joined && !left
+    }
+
+    /// The member set of a cluster with `k` founding workers during
+    /// `round`, ascending. Scheduled joiners with ids `≥ k` extend the
+    /// universe; departed members are excluded.
+    pub fn members_at(&self, k: usize, round: u64) -> Vec<usize> {
+        (0..self.membership_universe(k))
+            .filter(|&w| (w < k || self.joins.contains_key(&w)) && self.is_member(w, round))
+            .collect()
+    }
+
+    /// The size of the worker-id universe for a cluster founded with `k`
+    /// workers: founding ids plus every scheduled joiner's id.
+    pub fn membership_universe(&self, k: usize) -> usize {
+        self.joins.keys().map(|&w| w + 1).max().unwrap_or(0).max(k)
+    }
+
+    /// The rounds at which membership changes (some worker joins or
+    /// leaves), ascending and deduplicated — the rounds the dynamic
+    /// assignment layer must re-realize the placement.
+    pub fn churn_rounds(&self) -> Vec<u64> {
+        let mut rounds: BTreeSet<u64> = self.joins.values().copied().collect();
+        rounds.extend(self.leaves.values().copied());
+        rounds.into_iter().collect()
+    }
+
+    /// The scheduled joiners as `(worker, round)`, ascending by worker.
+    pub fn joining_workers(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.joins.iter().map(|(&w, &r)| (w, r))
+    }
+
+    /// The scheduled leavers as `(worker, round)`, ascending by worker.
+    pub fn leaving_workers(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.leaves.iter().map(|(&w, &r)| (w, r))
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -179,6 +263,8 @@ impl FaultPlan {
             && self.drop_rate == 0.0
             && self.disconnects.is_empty()
             && self.stalls.is_empty()
+            && self.joins.is_empty()
+            && self.leaves.is_empty()
     }
 
     /// The round at which `worker`'s connection is scheduled to be cut
@@ -432,6 +518,44 @@ mod tests {
             FaultPlan::none().max_surviving_straggle(0),
             Err(ClusterError::NoSurvivingWorkers)
         );
+    }
+
+    #[test]
+    fn churn_membership_windows() {
+        // 4 founders; worker 5 joins at round 2, worker 1 leaves at
+        // round 3, worker 5 leaves again at round 6.
+        let plan = FaultPlan::new(9)
+            .join_at(5, 2)
+            .leave_at(1, 3)
+            .leave_at(5, 6);
+        assert!(plan.has_churn());
+        assert!(!plan.is_trivial());
+        assert_eq!(plan.membership_universe(4), 6);
+        assert_eq!(plan.churn_rounds(), vec![2, 3, 6]);
+
+        assert_eq!(plan.members_at(4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(plan.members_at(4, 2), vec![0, 1, 2, 3, 5]);
+        assert_eq!(plan.members_at(4, 3), vec![0, 2, 3, 5]);
+        assert_eq!(plan.members_at(4, 6), vec![0, 2, 3]);
+
+        // Joiners are absent before their join round even though their
+        // id is inside the universe; id 4 is never a member at all.
+        assert!(!plan.is_member(5, 1));
+        assert!(plan.is_member(5, 2));
+        assert!(!plan.members_at(4, 2).contains(&4));
+
+        // Founding members without a leave schedule stay forever.
+        assert!(plan.is_member(0, u64::MAX));
+    }
+
+    #[test]
+    fn churn_is_orthogonal_to_crashes() {
+        let plan = FaultPlan::new(0).join_at(4, 1).crash(4);
+        // Member from round 1 but crashed: in the member set, never
+        // delivering.
+        assert!(plan.is_member(4, 1));
+        assert!(plan.members_at(4, 1).contains(&4));
+        assert!(!plan.replica_arrives(1, 0, 4, 0));
     }
 
     #[test]

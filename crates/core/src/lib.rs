@@ -61,8 +61,8 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use metrics::{evaluate_accuracy, gradients_differ, GradientMoments};
 pub use oracle::{FileGradientOracle, InputLayout};
 pub use protocol::{
-    AbandonedFile, Defense, IterationRecord, ReputationOutcome, RoundOutcome, Trainer,
-    TrainingConfig, TrainingError, TrainingHistory,
+    AbandonedFile, Defense, IterationRecord, MembershipOutcome, ReputationOutcome, RoundOutcome,
+    Trainer, TrainingConfig, TrainingError, TrainingHistory,
 };
 
 /// One-stop imports for applications and experiments.
@@ -73,8 +73,8 @@ pub mod prelude {
     };
     pub use crate::{
         evaluate_accuracy, gradients_differ, AbandonedFile, Checkpoint, CheckpointError, Defense,
-        FileGradientOracle, InputLayout, IterationRecord, ReputationOutcome, RoundOutcome, Trainer,
-        TrainingConfig, TrainingError, TrainingHistory,
+        FileGradientOracle, InputLayout, IterationRecord, MembershipOutcome, ReputationOutcome,
+        RoundOutcome, Trainer, TrainingConfig, TrainingError, TrainingHistory,
     };
     pub use byz_aggregate::{
         aggregate_winners, gradient_fingerprint, majority_vote, quorum_vote, quorum_vote_audited,
@@ -83,8 +83,8 @@ pub mod prelude {
         SignSgdMajority, TrimmedMean, VoteAudit,
     };
     pub use byz_assign::{
-        reassign_quarantined, Assignment, FrcAssignment, MolsAssignment, RamanujanAssignment,
-        RandomAssignment, RepairedAssignment, SchemeKind,
+        reassign_quarantined, Assignment, DynamicAssignment, FrcAssignment, MembershipPatch,
+        MolsAssignment, RamanujanAssignment, RandomAssignment, RepairedAssignment, SchemeKind,
     };
     pub use byz_attack::{
         Alie, AttackContext, AttackVector, ByzantineSelector, ConstantAttack, InnerProductAttack,
@@ -97,8 +97,9 @@ pub mod prelude {
     pub use byz_data::{BatchSampler, Dataset, SyntheticConfig, SyntheticImages};
     pub use byz_distortion::{
         baseline_epsilon, claim2_exact_epsilon, cmax_auto, cmax_branch_and_bound, cmax_exhaustive,
-        cmax_greedy, count_distorted, count_distorted_post_quarantine, count_distorted_surviving,
-        frc_epsilon, CmaxResult, SurvivingDistortion,
+        cmax_graph_exhaustive, cmax_greedy, count_distorted, count_distorted_graph,
+        count_distorted_post_quarantine, count_distorted_surviving, frc_epsilon, CmaxResult,
+        SurvivingDistortion,
     };
     pub use byz_draco::{CyclicCode, DracoError, FrcCode};
     pub use byz_nn::{
@@ -109,9 +110,10 @@ pub mod prelude {
     };
     pub use byz_tensor::Tensor;
     pub use byz_wire::{
-        packed_sign_majority, run_tcp_worker, ChunkConfig, ChunkScheme, Handshake, HandshakeError,
-        JobResult, JobSpec, Link, LinkError, LocalAttack, Message, MessagePassingCluster,
-        PackedSigns, PsServer, RejectReason, RoundMode, RoundSummary, ServerConfig, SparsifyConfig,
-        StreamDecoder, TcpLink, Transport, WireError, WireFormat, WireTrainingRun, WorkerSpec,
+        packed_sign_majority, run_tcp_joiner, run_tcp_worker, ChunkConfig, ChunkScheme, Handshake,
+        HandshakeError, JobResult, JobSpec, JoinGrant, Link, LinkError, LocalAttack, Message,
+        MessagePassingCluster, PackedSigns, PsServer, RejectReason, RoundMode, RoundSummary,
+        ServerConfig, SparsifyConfig, StreamDecoder, TcpLink, Transport, WireError, WireFormat,
+        WireTrainingRun, WorkerSpec,
     };
 }

@@ -8,15 +8,14 @@ use byz_aggregate::{
     quorum_vote_sharded_audited, AggregationError, Aggregator, Provenance, QuorumConfig,
     QuorumError, QuorumOutcome, VoteAudit,
 };
-use byz_assign::{reassign_quarantined, Assignment};
+use byz_assign::{Assignment, DynamicAssignment};
 use byz_attack::{AttackContext, AttackVector, ByzantineSelector};
 use byz_cluster::{FaultPlan, RetryPolicy};
 use byz_data::{split_batch_into_files, BatchSampler, Dataset};
-use byz_distortion::count_distorted;
-use byz_graph::BipartiteGraph;
+use byz_distortion::{binomial_saturating, cmax_graph_exhaustive, count_distorted};
 use byz_nn::{flatten_params, Module, Sgd, StepDecaySchedule};
 use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
-use byz_wire::{apply_scheme, num_chunks, ChunkConfig, ChunkScheme};
+use byz_wire::{apply_scheme, num_chunks, ChunkConfig, ChunkScheme, RoundMode};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -119,16 +118,30 @@ pub struct TrainingConfig {
     /// reputation semantics are untouched. `None` (the default)
     /// preserves the unchunked protocol bit for bit.
     pub chunking: Option<ChunkConfig>,
-    /// Pipelined round scheduling (mirrors `byz_wire::RoundMode`): when
-    /// `true`, wave-0 votes finalize per file in modeled completion
-    /// order — a file is done when its slowest live replica holder
-    /// lands, so stragglers only delay their own files — instead of as
-    /// one post-barrier batch. Every vote still sees exactly the same
-    /// replicas and every outcome folds in canonical file order, so the
-    /// [`TrainingHistory`], [`VoteAudit`]s and reputation ledger are
-    /// bit-identical to the barrier path at any `BYZ_KERNEL_THREADS`.
-    /// `false` (the default) keeps the strict-barrier schedule.
-    pub streaming: bool,
+    /// Round scheduling, shared with the wire engine
+    /// ([`byz_wire::RoundMode`]):
+    ///
+    /// * [`RoundMode::Barrier`] (the default) — strict synchronous
+    ///   rounds, votes as one post-barrier batch.
+    /// * [`RoundMode::Streaming`] — wave-0 votes finalize per file in
+    ///   modeled completion order (a file is done when its slowest live
+    ///   replica holder lands). Every vote still sees exactly the same
+    ///   replicas and every outcome folds in canonical file order, so
+    ///   the [`TrainingHistory`], [`VoteAudit`]s and reputation ledger
+    ///   are bit-identical to the barrier path at any
+    ///   `BYZ_KERNEL_THREADS`.
+    /// * [`RoundMode::BoundedStaleness`] — rounds close on the on-time
+    ///   quorum. A worker's deterministic lag is
+    ///   `λ(w) = min(⌈straggle_factor(w)⌉ − 1, max_staleness)`; a file
+    ///   with at least `q_min` live lag-0 holders votes at its own
+    ///   round over those on-time replicas (late holders audit
+    ///   `Absent`), while a file below the on-time quorum votes over
+    ///   *all* live holders and its winner folds `lag` rounds later,
+    ///   discounted by `1/(1 + lag)`, after the fold round's on-time
+    ///   winners in `(origin round, file)` order. With no stragglers in
+    ///   the fault plan — and always with `max_staleness = 0` — the
+    ///   schedule is bit-identical to [`RoundMode::Barrier`].
+    pub mode: RoundMode,
 }
 
 impl Default for TrainingConfig {
@@ -147,7 +160,7 @@ impl Default for TrainingConfig {
             retry: RetryPolicy::default(),
             reputation: None,
             chunking: None,
-            streaming: false,
+            mode: RoundMode::Barrier,
         }
     }
 }
@@ -185,6 +198,16 @@ pub struct RoundOutcome {
     pub dropped_replicas: usize,
     /// Workers crashed for the whole round.
     pub crashed_workers: usize,
+    /// Files whose vote completed this round but whose fold is deferred
+    /// to a later round (bounded staleness: the file fell below the
+    /// on-time quorum, so it finalizes over all live holders and folds
+    /// `lag` rounds later). Always zero outside
+    /// [`RoundMode::BoundedStaleness`].
+    pub deferred: usize,
+    /// Stale winners from *earlier* rounds folded into this round's
+    /// update (discounted by `1/(1 + lag)`). Always zero outside
+    /// [`RoundMode::BoundedStaleness`].
+    pub stale_folded: usize,
     /// Files given up after exhausting the retry budget.
     pub abandoned: Vec<AbandonedFile>,
 }
@@ -200,6 +223,32 @@ impl RoundOutcome {
     pub fn is_collapsed(&self) -> bool {
         self.surviving_files() == 0
     }
+}
+
+/// Membership report for a round whose effective placement changed
+/// because of cluster churn (a scheduled join or leave in the
+/// [`FaultPlan`]). Quarantine-driven repairs keep their pre-churn
+/// reporting shape ([`ReputationOutcome`]) and do not emit one of
+/// these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipOutcome {
+    /// Workers that joined (or rejoined) service this round, ascending.
+    pub joined: Vec<usize>,
+    /// Workers that left service this round, ascending.
+    pub left: Vec<usize>,
+    /// The full member set after the change, ascending.
+    pub members: Vec<usize>,
+    /// Files left below the replication factor because the surviving
+    /// member pool is too small. Empty whenever `|members| ≥ r`.
+    pub under_replicated: Vec<usize>,
+    /// `max_load − min_load` across members after the repair.
+    pub load_skew: usize,
+    /// The realized worst-case distortion fraction ε̂ of the repaired
+    /// placement: the best `q` Byzantine members re-scored exhaustively
+    /// against the *actual* post-churn graph (`byz-distortion`'s
+    /// graph-level solver). `None` when the member set is too large to
+    /// enumerate cheaply.
+    pub realized_epsilon_bound: Option<f64>,
 }
 
 /// Per-round reputation report (present only when
@@ -282,6 +331,9 @@ pub struct IterationRecord {
     /// Reputation report for this round (`None` when reputation is
     /// disabled or the defense is [`Defense::Direct`]).
     pub reputation: Option<ReputationOutcome>,
+    /// Membership report, present only on rounds where cluster churn
+    /// changed the effective placement.
+    pub membership: Option<MembershipOutcome>,
     /// Top-1 test accuracy, when evaluated this iteration.
     pub test_accuracy: Option<f64>,
     /// Mean training loss over the probe set, when evaluated this
@@ -361,6 +413,68 @@ impl TrainingHistory {
             return 0.0;
         }
         self.records.iter().map(|r| r.epsilon_hat).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+/// A vote winner finalized below the on-time quorum under
+/// [`RoundMode::BoundedStaleness`], parked until its fold round.
+struct StaleWinner {
+    origin: u64,
+    file: usize,
+    lag: u64,
+    /// Whether the winner differed bitwise from the origin round's
+    /// honest reference (fixed at the origin; folded into the fold
+    /// round's measured distortion).
+    distorted: bool,
+    audit: Option<VoteAudit>,
+    value: Vec<f32>,
+}
+
+/// Re-realizes the dynamic placement for the plan-level member set
+/// minus the quarantined workers. The realization is a pure function of
+/// the final sets (not of event order), so this single entry point
+/// serves both churn syncs and quarantine repairs and the two compose
+/// without drift.
+fn sync_membership(dynamic: &mut DynamicAssignment, plan_members: &[usize], quarantined: &[usize]) {
+    let universe = dynamic.universe();
+    let desired: Vec<usize> = plan_members
+        .iter()
+        .copied()
+        .filter(|w| !quarantined.contains(w))
+        .collect();
+    let leaves: Vec<usize> = (0..universe).filter(|w| !desired.contains(w)).collect();
+    dynamic.apply(&desired, &leaves);
+}
+
+/// Byzantine-set enumeration budget for re-scoring a repaired
+/// placement's realized ε̂ (C(members, q) subsets, each a full
+/// per-file majority count). Past this the bound is skipped, not
+/// approximated.
+const REALIZED_EPSILON_BUDGET: u64 = 200_000;
+
+/// Assembles the per-round membership report after a churn sync,
+/// including the realized worst-case ε̂ of the repaired graph when the
+/// member set is small enough to enumerate.
+fn membership_report(
+    dynamic: &DynamicAssignment,
+    joined: Vec<usize>,
+    left: Vec<usize>,
+    q: usize,
+) -> MembershipOutcome {
+    let members = dynamic.members();
+    let q_eff = q.min(members.len());
+    let bound = (binomial_saturating(members.len() as u64, q_eff as u64)
+        <= REALIZED_EPSILON_BUDGET)
+        .then(|| {
+            cmax_graph_exhaustive(dynamic.graph(), &members, q_eff).epsilon_hat(dynamic.num_files())
+        });
+    MembershipOutcome {
+        joined,
+        left,
+        under_replicated: dynamic.under_replicated().to_vec(),
+        load_skew: dynamic.load_skew(),
+        realized_epsilon_bound: bound,
+        members,
     }
 }
 
@@ -453,16 +567,63 @@ impl<'a, M: Module> Trainer<'a, M> {
         let mut params = flatten_params(&params_tensors);
 
         // Reputation state: the ledger plus the *effective* placement.
-        // The placement starts as the scheme's graph and is greedily
-        // patched after every quarantine; with reputation disabled it is
+        // The placement starts as the scheme's graph and is canonically
+        // re-realized (`DynamicAssignment`) after every quarantine and
+        // every churn event; with reputation disabled and no churn it is
         // never touched, so the protocol is bit-identical to before.
         let mut ledger = self
             .config
             .reputation
             .map(|cfg| ReputationLedger::new(k, cfg));
-        let mut active_graph: BipartiteGraph = self.assignment.graph().clone();
+        let mut dynamic = DynamicAssignment::new(self.assignment.clone());
+        // The fault plan's member set as last realized; churn syncs fire
+        // only when this changes, so quarantine-only runs keep the exact
+        // legacy repair cadence.
+        let mut current_plan_members: Vec<usize> = (0..k).collect();
+        // Bounded staleness: winners voted below the on-time quorum,
+        // parked until their fold round. Pushed in (origin, file) order,
+        // which is exactly the canonical fold order.
+        let mut parked: Vec<StaleWinner> = Vec::new();
 
         for t in 1..=self.config.iterations {
+            // 0. Cluster churn: realize this round's member set before
+            //    anything is polled. The realization is a pure function
+            //    of (base assignment, member set), so join/leave order
+            //    and batching cannot perturb the placement.
+            let membership = if self.config.faults.has_churn() {
+                let plan_members = self.config.faults.members_at(k, t as u64);
+                if plan_members == current_plan_members {
+                    None
+                } else {
+                    let joined: Vec<usize> = plan_members
+                        .iter()
+                        .copied()
+                        .filter(|w| !current_plan_members.contains(w))
+                        .collect();
+                    let left: Vec<usize> = current_plan_members
+                        .iter()
+                        .copied()
+                        .filter(|w| !plan_members.contains(w))
+                        .collect();
+                    if let Some(ledger) = ledger.as_mut() {
+                        for &w in &joined {
+                            ledger.admit_worker(w);
+                        }
+                        for &w in &left {
+                            ledger.depart_worker(w, t as u64);
+                        }
+                    }
+                    let quarantined = ledger
+                        .as_ref()
+                        .map(ReputationLedger::quarantined_workers)
+                        .unwrap_or_default();
+                    sync_membership(&mut dynamic, &plan_members, &quarantined);
+                    current_plan_members = plan_members;
+                    Some(membership_report(&dynamic, joined, left, q))
+                }
+            } else {
+                None
+            };
             // 1. Batch → files.
             let batch = sampler.next_batch();
             let files = split_batch_into_files(&batch, f);
@@ -476,9 +637,11 @@ impl<'a, M: Module> Trainer<'a, M> {
                 .collect();
             let compute_time = compute_start.elapsed();
 
-            // 3. Byzantine selection + forgery.
+            // 3. Byzantine selection + forgery. The flag vector spans
+            //    the membership universe (joiners extend it past K); the
+            //    selector itself still draws from the founding set.
             let byzantine = self.selector.select(&self.assignment, q, t);
-            let mut is_byz = vec![false; k];
+            let mut is_byz = vec![false; k.max(dynamic.universe())];
             for &w in &byzantine {
                 is_byz[w] = true;
             }
@@ -585,6 +748,48 @@ impl<'a, M: Module> Trainer<'a, M> {
                         }
                     };
 
+                    let active_graph = dynamic.graph();
+                    // Bounded staleness: each worker's lag is a pure
+                    // function of the fault plan, never of observed
+                    // arrival times. A file with enough live lag-0
+                    // holders votes now over those on-time replicas; a
+                    // file below the on-time quorum votes over all live
+                    // holders and folds `lag` rounds later.
+                    let max_staleness = match self.config.mode {
+                        RoundMode::BoundedStaleness { max_staleness } => Some(max_staleness),
+                        _ => None,
+                    };
+                    let lag_of = |w: usize| -> u64 {
+                        match max_staleness {
+                            Some(s) => (plan.straggle_factor(w).ceil() as u64)
+                                .saturating_sub(1)
+                                .min(s),
+                            None => 0,
+                        }
+                    };
+                    let file_lag: Vec<u64> = (0..f)
+                        .map(|fi| {
+                            if max_staleness.is_none() {
+                                return 0;
+                            }
+                            let holders = active_graph.workers_of(fi);
+                            let on_time = holders
+                                .iter()
+                                .filter(|&&w| !plan.is_crashed(w) && lag_of(w) == 0)
+                                .count();
+                            if on_time >= q_min {
+                                0
+                            } else {
+                                holders
+                                    .iter()
+                                    .filter(|&&w| !plan.is_crashed(w))
+                                    .map(|&w| lag_of(w))
+                                    .max()
+                                    .unwrap_or(0)
+                            }
+                        })
+                        .collect();
+
                     // Wave 0: collect every file's attempt-0 deliveries
                     // (drop decisions evaluated in the same (file, worker)
                     // order as the sequential loop), then vote all files
@@ -593,11 +798,17 @@ impl<'a, M: Module> Trainer<'a, M> {
                     // winners/audits are bit-identical to voting one file
                     // at a time.
                     let mut wave0: Vec<Vec<(usize, Replica<'_>)>> = Vec::with_capacity(f);
-                    for file_idx in 0..f {
+                    for (file_idx, &lag) in file_lag.iter().enumerate() {
                         let workers = active_graph.workers_of(file_idx);
                         let mut present = Vec::with_capacity(workers.len());
                         for &w in workers {
                             if plan.is_crashed(w) {
+                                continue;
+                            }
+                            // An on-time file never waits for a late
+                            // holder: its replica is discarded on
+                            // (modeled) late arrival and audits Absent.
+                            if lag == 0 && lag_of(w) > 0 {
                                 continue;
                             }
                             if delivery_lost(0, w, file_idx) {
@@ -616,7 +827,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                     // Chunked wire: the vote runs shard-wise (shard =
                     // chunk), folding per-shard group ids — bit-identical
                     // to the whole-vector vote by construction.
-                    let wave0_votes = if self.config.streaming {
+                    let wave0_votes = if self.config.mode == RoundMode::Streaming {
                         // Streaming schedule: each file's vote finalizes
                         // the moment its slowest live replica holder
                         // lands (ties break on file index), mirroring the
@@ -676,9 +887,6 @@ impl<'a, M: Module> Trainer<'a, M> {
                                         Provenance::Full => outcome.full_quorum += 1,
                                         Provenance::Degraded { .. } => outcome.degraded += 1,
                                     }
-                                    if ledger.is_some() {
-                                        audits.push(vote.audit.clone());
-                                    }
                                     winners.push((file_idx, vote));
                                     break;
                                 }
@@ -696,6 +904,9 @@ impl<'a, M: Module> Trainer<'a, M> {
                                         Vec::with_capacity(workers.len());
                                     for &w in workers {
                                         if plan.is_crashed(w) {
+                                            continue;
+                                        }
+                                        if file_lag[file_idx] == 0 && lag_of(w) > 0 {
                                             continue;
                                         }
                                         if delivery_lost(attempt, w, file_idx) {
@@ -717,25 +928,86 @@ impl<'a, M: Module> Trainer<'a, M> {
                             }
                         }
                     }
-                    if winners.is_empty() {
+                    // Partition this round's winners: on-time files fold
+                    // now; deferred files (below the on-time quorum) park
+                    // until round `t + lag`. Their measured-distortion
+                    // verdict is fixed at the origin round against the
+                    // origin's honest reference.
+                    let voted_any = !winners.is_empty();
+                    let mut on_time: Vec<(usize, QuorumOutcome)> =
+                        Vec::with_capacity(winners.len());
+                    for (fi, vote) in winners {
+                        if file_lag[fi] > 0 {
+                            outcome.deferred += 1;
+                            parked.push(StaleWinner {
+                                origin: t as u64,
+                                file: fi,
+                                lag: file_lag[fi],
+                                distorted: gradients_differ(&vote.value, &honest_grads[fi]),
+                                audit: ledger.is_some().then(|| vote.audit.clone()),
+                                value: vote.value,
+                            });
+                        } else {
+                            on_time.push((fi, vote));
+                        }
+                    }
+                    // Stale winners due this round, folded in canonical
+                    // (origin round, file) order. Parking happens in
+                    // round order with ascending files, so the sort is a
+                    // no-op in practice; it pins the order explicitly
+                    // rather than by construction.
+                    let (mut due, keep): (Vec<StaleWinner>, Vec<StaleWinner>) =
+                        std::mem::take(&mut parked)
+                            .into_iter()
+                            .partition(|s| s.origin + s.lag == t as u64);
+                    due.sort_by_key(|s| (s.origin, s.file));
+                    parked = keep;
+                    if !voted_any && due.is_empty() {
                         return Err(TrainingError::RoundCollapsed {
                             iteration: t,
                             outcome: Box::new(outcome),
                         });
                     }
+                    if ledger.is_some() {
+                        // Evidence folds when a vote's gradient folds:
+                        // on-time audits in file order, then due stale
+                        // audits in (origin, file) order — mirroring the
+                        // operand order below.
+                        for (_, vote) in &on_time {
+                            audits.push(vote.audit.clone());
+                        }
+                        for stale in &due {
+                            if let Some(audit) = &stale.audit {
+                                audits.push(audit.clone());
+                            }
+                        }
+                    }
                     if !plan.is_trivial() || ledger.is_some() {
                         // Under a lossy scheme the honest (compressed)
                         // payload is the reference: sparsification error
                         // is not Byzantine distortion.
-                        let distorted = winners
+                        let distorted = on_time
                             .iter()
                             .filter(|(fi, vote)| gradients_differ(&vote.value, &honest_grads[*fi]))
-                            .count();
-                        measured = Some((distorted, winners.len()));
+                            .count()
+                            + due.iter().filter(|s| s.distorted).count();
+                        measured = Some((distorted, on_time.len() + due.len()));
                     }
-                    let values: Vec<Vec<f32>> =
-                        winners.into_iter().map(|(_, vote)| vote.value).collect();
-                    aggregator.aggregate(&values)
+                    let mut values: Vec<Vec<f32>> =
+                        on_time.into_iter().map(|(_, vote)| vote.value).collect();
+                    for stale in due {
+                        outcome.stale_folded += 1;
+                        let discount = 1.0 / (1.0 + stale.lag as f32);
+                        values.push(stale.value.iter().map(|v| v * discount).collect());
+                    }
+                    if values.is_empty() {
+                        // Every winner was deferred and nothing came due:
+                        // the round produced evidence but no gradient.
+                        // Parameters hold; this is not a collapse.
+                        Ok(None)
+                    } else {
+                        aggregator.aggregate(&values).map(Some)
+                    }
                 }
                 Defense::Direct(aggregator) => {
                     // Without voting, every arriving return is an operand
@@ -790,7 +1062,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                             outcome: Box::new(outcome),
                         });
                     }
-                    aggregator.aggregate(&operands)
+                    aggregator.aggregate(&operands).map(Some)
                 }
             }
             .map_err(|source| TrainingError::DefenseInapplicable {
@@ -801,16 +1073,18 @@ impl<'a, M: Module> Trainer<'a, M> {
             let retry_time = self.config.retry.total_backoff(outcome.retry_waves);
 
             // Reputation fold: turn this round's audits into suspicion
-            // updates; on a quarantine, patch the placement so the
+            // updates; on a quarantine, re-realize the placement so the
             // flagged workers stop being polled and their files regain
-            // full replication on the survivors.
+            // full replication on the surviving members.
             let voting = matches!(self.defense, Defense::VoteThenAggregate(_));
             let reputation = ledger.as_mut().filter(|_| voting).map(|ledger| {
                 let events = ledger.observe_round(t as u64, &audits);
                 if events.iter().any(QuarantineEvent::is_quarantine) {
-                    let repaired =
-                        reassign_quarantined(&self.assignment, &ledger.quarantined_workers());
-                    active_graph = repaired.graph().clone();
+                    sync_membership(
+                        &mut dynamic,
+                        &current_plan_members,
+                        &ledger.quarantined_workers(),
+                    );
                 }
                 ReputationOutcome {
                     suspicions: ledger.suspicions(),
@@ -825,14 +1099,21 @@ impl<'a, M: Module> Trainer<'a, M> {
             //    line 17). The scale folds into the chunk-parallel kernel
             //    step, bit-identical to pre-scaling the gradient.
             let scale = f as f32 / self.config.batch_size as f32;
-            opt.step_with_scaled_gradient(&aggregated, scale);
-            params = flatten_params(&params_tensors);
+            if let Some(gradient) = &aggregated {
+                opt.step_with_scaled_gradient(gradient, scale);
+                params = flatten_params(&params_tensors);
+            }
 
             // Bookkeeping. Without faults ε̂ keeps its predictive meaning
             // (`count_distorted / f`, exactly as before); with faults it
             // is measured over the files that actually reached quorum.
             let (distorted_files, epsilon_hat) = match measured {
-                Some((distorted, surviving)) => (distorted, distorted as f64 / surviving as f64),
+                // `surviving` can be zero only when every winner was
+                // deferred under bounded staleness; report ε̂ = 0 for
+                // such a no-fold round rather than dividing by zero.
+                Some((distorted, surviving)) => {
+                    (distorted, distorted as f64 / surviving.max(1) as f64)
+                }
                 None => (predicted_distorted, predicted_distorted as f64 / f as f64),
             };
             let evaluate = self.config.eval_every != 0 && t % self.config.eval_every == 0;
@@ -858,6 +1139,7 @@ impl<'a, M: Module> Trainer<'a, M> {
                 epsilon_hat,
                 outcome,
                 reputation,
+                membership,
                 test_accuracy,
                 train_loss,
                 compute_time,

@@ -35,8 +35,9 @@ mod solver;
 pub use formulas::{baseline_epsilon, claim2_exact_cmax, claim2_exact_epsilon, frc_epsilon};
 pub use montecarlo::{monte_carlo_epsilon, MonteCarloEpsilon};
 pub use solver::{
-    cmax_branch_and_bound, cmax_exhaustive, cmax_greedy, count_distorted,
-    count_distorted_post_quarantine, count_distorted_surviving, CmaxResult, SurvivingDistortion,
+    cmax_branch_and_bound, cmax_exhaustive, cmax_graph_exhaustive, cmax_greedy, count_distorted,
+    count_distorted_graph, count_distorted_post_quarantine, count_distorted_surviving, CmaxResult,
+    SurvivingDistortion,
 };
 
 use byz_assign::Assignment;

@@ -3,6 +3,7 @@
 //! files.
 
 use byz_assign::Assignment;
+use byz_graph::BipartiteGraph;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -144,6 +145,91 @@ pub fn count_distorted_post_quarantine(
         }
     }
     count_distorted_surviving(assignment, byzantine, &|_, w| !gone[w])
+}
+
+/// Distortion accounting over a *raw* worker–file graph — the entry
+/// point for repaired/elastic placements, which are generally not
+/// biregular and so are not [`Assignment`]s.
+///
+/// Unlike [`count_distorted`], the majority is taken over each file's
+/// *actual* holder set (replica counts vary after churn repair): a file
+/// is distorted iff its Byzantine holders outnumber the honest ones, or
+/// tie with the smallest holder id Byzantine (the degraded-vote
+/// tie-break). Files with no holders at all are `lost_files`.
+pub fn count_distorted_graph(graph: &BipartiteGraph, byzantine: &[usize]) -> SurvivingDistortion {
+    let mut is_byz = vec![false; graph.num_workers()];
+    for &w in byzantine {
+        if let Some(slot) = is_byz.get_mut(w) {
+            *slot = true;
+        }
+    }
+    let mut out = SurvivingDistortion {
+        distorted: 0,
+        surviving_files: 0,
+        lost_files: 0,
+    };
+    for fidx in 0..graph.num_files() {
+        let holders = graph.workers_of(fidx);
+        if holders.is_empty() {
+            out.lost_files += 1;
+            continue;
+        }
+        out.surviving_files += 1;
+        let byz = holders.iter().filter(|&&w| is_byz[w]).count();
+        let honest = holders.len() - byz;
+        // holders is ascending, so holders[0] is the tie-break holder.
+        let distorted = byz > honest || (byz == honest && byz > 0 && is_byz[holders[0]]);
+        if distorted {
+            out.distorted += 1;
+        }
+    }
+    out
+}
+
+/// Exact worst-case `c_max(q)` over a raw graph: enumerates every
+/// `q`-subset of `candidates` (normally the current member set) and
+/// returns the most distorting one. Plain enumeration — meant for the
+/// post-churn re-scoring of repaired placements, where the member count
+/// is a cluster size, not a search-space size.
+pub fn cmax_graph_exhaustive(graph: &BipartiteGraph, candidates: &[usize], q: usize) -> CmaxResult {
+    assert!(
+        q <= candidates.len(),
+        "cannot corrupt more workers than there are candidates"
+    );
+    let mut best = CmaxResult {
+        value: 0,
+        witness: Vec::new(),
+        exact: true,
+        nodes_explored: 0,
+    };
+    let mut subset: Vec<usize> = Vec::with_capacity(q);
+    enumerate_subsets(graph, candidates, q, 0, &mut subset, &mut best);
+    best
+}
+
+fn enumerate_subsets(
+    graph: &BipartiteGraph,
+    candidates: &[usize],
+    q: usize,
+    start: usize,
+    subset: &mut Vec<usize>,
+    best: &mut CmaxResult,
+) {
+    if subset.len() == q {
+        best.nodes_explored += 1;
+        let value = count_distorted_graph(graph, subset).distorted;
+        if value > best.value || best.witness.is_empty() {
+            best.value = value;
+            best.witness = subset.clone();
+        }
+        return;
+    }
+    let needed = q - subset.len();
+    for i in start..=candidates.len().saturating_sub(needed) {
+        subset.push(candidates[i]);
+        enumerate_subsets(graph, candidates, q, i + 1, subset, best);
+        subset.pop();
+    }
 }
 
 /// Exhaustive `c_max(q)`: checks every `C(K, q)` Byzantine set.
@@ -641,5 +727,48 @@ mod tests {
         // Still returns the greedy incumbent, a valid lower bound.
         assert!(res.value <= cmax_exhaustive(&a, 6).value);
         assert_eq!(count_distorted(&a, &res.witness), res.value);
+    }
+
+    #[test]
+    fn graph_counter_matches_assignment_counter_on_biregular_graphs() {
+        // On the unrepaired placement every file has exactly r holders,
+        // so the per-holder majority equals the fixed-threshold count
+        // whenever no tie arises (odd r ⇒ no ties).
+        let a = example1();
+        for byz in [vec![], vec![0], vec![0, 5, 10], vec![1, 2, 3, 4]] {
+            let graph_count = count_distorted_graph(a.graph(), &byz);
+            assert_eq!(graph_count.distorted, count_distorted(&a, &byz));
+            assert_eq!(graph_count.surviving_files, a.num_files());
+            assert_eq!(graph_count.lost_files, 0);
+        }
+    }
+
+    #[test]
+    fn graph_counter_handles_empty_and_tied_files() {
+        // file 0: no holders (lost); file 1: {0, 1} (a tie breaks
+        // toward the smallest holder id); file 2: {1} only.
+        let graph = BipartiteGraph::from_edges(2, 3, &[(0, 1), (1, 1), (1, 2)]).unwrap();
+        let against_zero = count_distorted_graph(&graph, &[0]);
+        assert_eq!(against_zero.lost_files, 1);
+        assert_eq!(against_zero.surviving_files, 2);
+        // file 1 ties with Byzantine worker 0 as smallest holder.
+        assert_eq!(against_zero.distorted, 1);
+        let against_one = count_distorted_graph(&graph, &[1]);
+        // file 1's tie breaks honest; file 2 is fully Byzantine.
+        assert_eq!(against_one.distorted, 1);
+        // Out-of-range Byzantine ids are ignored, not a panic.
+        assert_eq!(count_distorted_graph(&graph, &[99]).distorted, 0);
+    }
+
+    #[test]
+    fn graph_cmax_matches_assignment_cmax() {
+        let a = example1();
+        let members: Vec<usize> = (0..a.num_workers()).collect();
+        for q in [0, 1, 2, 3] {
+            let via_graph = cmax_graph_exhaustive(a.graph(), &members, q);
+            let via_assignment = cmax_exhaustive(&a, q);
+            assert_eq!(via_graph.value, via_assignment.value, "q = {q}");
+            assert!(via_graph.exact);
+        }
     }
 }

@@ -1,0 +1,100 @@
+//! Property-based tests for the post-churn ε̂ re-scoring: the repaired
+//! placement, re-scored exhaustively against its *actual* holder sets,
+//! never exceeds the pre-repair bound in the honest-majority regime.
+//!
+//! The spectral ε̂ bound of the base biregular scheme does not survive
+//! repair (the realized graph is generally not biregular), which is why
+//! the elastic layer re-scores with `cmax_graph_exhaustive` /
+//! `count_distorted_graph` instead. These properties pin the contract
+//! that re-scoring relies on.
+
+use byz_assign::{Assignment, DynamicAssignment, MolsAssignment};
+use byz_distortion::{cmax_exhaustive, cmax_graph_exhaustive, count_distorted_graph};
+use proptest::prelude::*;
+
+/// K = 15 workers, f = 25 files, l = 5, r = 3.
+fn mols() -> Assignment {
+    MolsAssignment::new(5, 3).unwrap().build()
+}
+
+/// Churn that always leaves a full replication pool: at most `K − r`
+/// founders leave, up to 4 fresh ids join.
+fn churn() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        prop::collection::btree_set(0usize..15, 0..=12),
+        prop::collection::btree_set(15usize..21, 0..=4),
+    )
+        .prop_map(|(leaves, joins)| {
+            (
+                leaves.into_iter().collect::<Vec<_>>(),
+                joins.into_iter().collect::<Vec<_>>(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Honest majorities survive repair: with `q ≤ ⌊(r−1)/2⌋` Byzantine
+    /// members, no file of a fully-replicated repaired placement can be
+    /// distorted — the realized ε̂ is 0, never above the pre-repair
+    /// bound at the same `q`. (Repair guarantees every file `r`
+    /// *distinct* member holders; a sub-majority holder set can neither
+    /// outvote nor tie the honest replicas.)
+    #[test]
+    fn honest_majority_epsilon_never_exceeds_pre_repair((leaves, joins) in churn()) {
+        let base = mols();
+        let q = (base.replication() - 1) / 2;
+        let pre_repair = cmax_exhaustive(&base, q);
+        let mut dynamic = DynamicAssignment::new(base.clone());
+        dynamic.apply(&joins, &leaves);
+        prop_assume!(dynamic.is_fully_replicated());
+        let members = dynamic.members();
+        let realized = cmax_graph_exhaustive(dynamic.graph(), &members, q);
+        prop_assert!(realized.exact);
+        prop_assert!(
+            realized.epsilon_hat(dynamic.num_files())
+                <= pre_repair.epsilon_hat(base.num_files()),
+            "realized ε̂ {} exceeds pre-repair {} for q = {q}",
+            realized.epsilon_hat(dynamic.num_files()),
+            pre_repair.epsilon_hat(base.num_files()),
+        );
+        prop_assert_eq!(realized.value, 0);
+    }
+
+    /// The graph-level distortion counter accounts for every file
+    /// exactly once: surviving + lost = f, distorted ⊆ surviving, and
+    /// ε̂ is a fraction.
+    #[test]
+    fn distortion_accounting_is_total(
+        (leaves, joins) in churn(),
+        byz_picks in prop::collection::btree_set(0usize..21, 0..=5),
+    ) {
+        let mut dynamic = DynamicAssignment::new(mols());
+        dynamic.apply(&joins, &leaves);
+        let byzantine: Vec<usize> = byz_picks
+            .into_iter()
+            .filter(|&w| dynamic.is_member(w))
+            .collect();
+        let out = count_distorted_graph(dynamic.graph(), &byzantine);
+        prop_assert_eq!(out.surviving_files + out.lost_files, dynamic.num_files());
+        prop_assert!(out.distorted <= out.surviving_files);
+        prop_assert!((0.0..=1.0).contains(&out.epsilon_hat()));
+    }
+
+    /// A larger adversary never distorts less: the realized worst case
+    /// is monotone in `q` over the repaired graph.
+    #[test]
+    fn realized_cmax_is_monotone_in_q((leaves, joins) in churn()) {
+        let mut dynamic = DynamicAssignment::new(mols());
+        dynamic.apply(&joins, &leaves);
+        let members = dynamic.members();
+        let q_top = 3.min(members.len());
+        let mut prev = 0usize;
+        for q in 0..=q_top {
+            let result = cmax_graph_exhaustive(dynamic.graph(), &members, q);
+            prop_assert!(result.value >= prev, "c_max({q}) dropped below c_max({})", q as i64 - 1);
+            prev = result.value;
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! concurrently (connections are routed by the `id` each worker names in
 //! its handshake), and prints a per-job summary when all jobs finish.
 
+use byz_cluster::PhaseTimings;
 use byz_psd::{DeploySpec, SpecError};
 use byz_wire::{JobSpec, PsServer};
 use std::time::Duration;
@@ -82,6 +83,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for result in results {
         let rounds = result.run.summaries.len();
         let missing: usize = result.run.summaries.iter().map(|s| s.missing_votes).sum();
+        let deferred: usize = result.run.summaries.iter().map(|s| s.deferred_files).sum();
+        let folded: usize = result.run.summaries.iter().map(|s| s.stale_folded).sum();
         let quarantined = result
             .run
             .summaries
@@ -94,8 +97,46 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             result.job_id,
             fingerprint(&result.run.params),
         );
+        if deferred > 0 || folded > 0 {
+            println!(
+                "job {}   staleness: {deferred} file votes deferred, {folded} \
+                 stale winners folded",
+                result.job_id,
+            );
+        }
+        // Phase timings are wall-clock (nondeterministic, excluded from
+        // bit-identity checks) but they are the pipeline's observable:
+        // overlap ×1.0 means phases ran back-to-back, above 1 means the
+        // round hid vote/wire work inside the collection window.
+        let agg = result
+            .run
+            .summaries
+            .iter()
+            .fold(PhaseTimings::default(), |acc, s| PhaseTimings {
+                compute_ns: acc.compute_ns + s.timings.compute_ns,
+                wire_ns: acc.wire_ns + s.timings.wire_ns,
+                vote_ns: acc.vote_ns + s.timings.vote_ns,
+                update_ns: acc.update_ns + s.timings.update_ns,
+                round_ns: acc.round_ns + s.timings.round_ns,
+            });
+        println!(
+            "job {}   phases: compute {}, wire {}, vote {}, update {} \
+             over {} wall — overlap x{:.2}",
+            result.job_id,
+            ms(agg.compute_ns),
+            ms(agg.wire_ns),
+            ms(agg.vote_ns),
+            ms(agg.update_ns),
+            ms(agg.round_ns),
+            agg.overlap_ratio(),
+        );
     }
     Ok(())
+}
+
+/// Renders a nanosecond phase total as fractional milliseconds.
+fn ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
 }
 
 /// An order-sensitive digest of the trained parameters, printed by both

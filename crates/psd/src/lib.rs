@@ -83,11 +83,25 @@ pub struct DeploySpec {
     /// (`fault-seed=`).
     pub drop_rate: f64,
     pub fault_seed: u64,
+    /// Scheduled joins (`joins=3:4,7:6`): worker id → first round it is
+    /// a member. A join-scheduled worker process enters through the join
+    /// handshake and receives its model snapshot and file set from the
+    /// PS instead of deriving them locally.
+    pub joins: Vec<(usize, u64)>,
+    /// Scheduled departures (`leaves=2:5`): worker id → first round it
+    /// is gone. Membership, not a crash: the placement layer re-homes
+    /// the departed worker's files.
+    pub leaves: Vec<(usize, u64)>,
+    /// Modelled stragglers (`straggle=3:4.0`): worker id → latency
+    /// multiplier ≥ 1. Under bounded staleness the plan's straggle
+    /// factors decide which workers arrive late and by how many rounds.
+    pub stragglers: Vec<(usize, f64)>,
     /// Vote-audit reputation at the PS (`reputation=true`).
     pub reputation: bool,
     /// Wire format (`wire=batched` or `wire=chunked:256`).
     pub wire: WireFormat,
-    /// Round scheduling (`mode=barrier` or `mode=streaming`).
+    /// Round scheduling (`mode=barrier`, `mode=streaming` or
+    /// `mode=bounded:N` for bounded staleness with `max_staleness = N`).
     pub mode: RoundMode,
     /// PS receive window in milliseconds (`recv-ms=`).
     pub receive_timeout_ms: u64,
@@ -115,6 +129,9 @@ impl Default for DeploySpec {
             attack: LocalAttack::Constant { value: -100.0 },
             drop_rate: 0.0,
             fault_seed: 7,
+            joins: Vec::new(),
+            leaves: Vec::new(),
+            stragglers: Vec::new(),
             reputation: false,
             wire: WireFormat::Batched,
             mode: RoundMode::Barrier,
@@ -156,6 +173,9 @@ impl DeploySpec {
                 "attack" => spec.attack = parse_attack(value)?,
                 "drops" => spec.drop_rate = parse_num(key, value)?,
                 "fault-seed" => spec.fault_seed = parse_num(key, value)?,
+                "joins" => spec.joins = parse_pairs(key, value)?,
+                "leaves" => spec.leaves = parse_pairs(key, value)?,
+                "straggle" => spec.stragglers = parse_pairs(key, value)?,
                 "reputation" => spec.reputation = parse_bool(value)?,
                 "wire" => spec.wire = parse_wire(value)?,
                 "mode" => spec.mode = parse_mode(value)?,
@@ -209,6 +229,21 @@ impl DeploySpec {
         if !(0.0..1.0).contains(&self.drop_rate) {
             return err(format!("drops={} must be in [0, 1)", self.drop_rate));
         }
+        // Socket deployments route churn through the job's fixed slot
+        // table, so every scheduled member must name an in-range slot.
+        for (kind, pairs) in [("joins", &self.joins), ("leaves", &self.leaves)] {
+            if let Some(&(w, _)) = pairs.iter().find(|&&(w, _)| w >= k) {
+                return err(format!("{kind} worker {w} outside cluster of K={k}"));
+            }
+        }
+        // `contains` rejects NaN along with sub-unit multipliers.
+        if let Some(&(w, m)) = self
+            .stragglers
+            .iter()
+            .find(|&&(_, m)| !(1.0..).contains(&m))
+        {
+            return err(format!("straggle={w}:{m} needs a multiplier ≥ 1"));
+        }
         Ok(())
     }
 
@@ -255,11 +290,26 @@ impl DeploySpec {
         flatten_params(&Mlp::new(&self.dims, &mut rng).parameters())
     }
 
+    /// Whether `worker` enters the job through the join handshake (its
+    /// first member round is scheduled) rather than the seed handshake.
+    pub fn is_joiner(&self, worker: usize) -> bool {
+        self.joins.iter().any(|&(w, _)| w == worker)
+    }
+
     /// The protocol configuration both sides run.
     pub fn server_config(&self) -> ServerConfig {
         let mut faults = byz_cluster::FaultPlan::new(self.fault_seed);
         if self.drop_rate > 0.0 {
             faults = faults.drop_rate(self.drop_rate);
+        }
+        for &(w, round) in &self.joins {
+            faults = faults.join_at(w, round);
+        }
+        for &(w, round) in &self.leaves {
+            faults = faults.leave_at(w, round);
+        }
+        for &(w, multiplier) in &self.stragglers {
+            faults = faults.straggle(w, multiplier);
         }
         ServerConfig {
             batch_size: self.batch_size,
@@ -341,6 +391,23 @@ fn parse_dims(value: &str) -> Result<Vec<usize>, SpecError> {
         .collect()
 }
 
+/// Parses `w:v,w:v,…` pairs — worker id to a per-worker value (a round
+/// for `joins=`/`leaves=`, a latency multiplier for `straggle=`).
+fn parse_pairs<T: std::str::FromStr>(key: &str, value: &str) -> Result<Vec<(usize, T)>, SpecError> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|pair| {
+            let Some((worker, v)) = pair.split_once(':') else {
+                return err(format!("{key} entry `{pair}` is not worker:value"));
+            };
+            Ok((parse_num(key, worker)?, parse_num(key, v)?))
+        })
+        .collect()
+}
+
 fn parse_list(value: &str) -> Result<Vec<usize>, SpecError> {
     if value.is_empty() {
         return Ok(Vec::new());
@@ -386,7 +453,14 @@ fn parse_mode(value: &str) -> Result<RoundMode, SpecError> {
     match value {
         "barrier" => Ok(RoundMode::Barrier),
         "streaming" => Ok(RoundMode::Streaming),
-        _ => err(format!("mode=`{value}` (expected barrier or streaming)")),
+        other => match other.split_once(':') {
+            Some(("bounded", s)) => Ok(RoundMode::BoundedStaleness {
+                max_staleness: parse_num("mode", s)?,
+            }),
+            _ => err(format!(
+                "mode=`{value}` (expected barrier, streaming or bounded:<s>)"
+            )),
+        },
     }
 }
 
@@ -428,6 +502,24 @@ mod tests {
     }
 
     #[test]
+    fn churn_and_bounded_mode_parse() {
+        let spec = DeploySpec::parse(&toks(
+            "mode=bounded:2 joins=3:4,7:6 leaves=2:5 straggle=3:4.0,9:2.5",
+        ))
+        .unwrap();
+        assert_eq!(spec.mode, RoundMode::BoundedStaleness { max_staleness: 2 });
+        assert!(spec.is_joiner(3) && spec.is_joiner(7) && !spec.is_joiner(2));
+        let faults = spec.server_config().faults;
+        assert_eq!(faults.joins_at(3), Some(4));
+        assert_eq!(faults.joins_at(7), Some(6));
+        assert_eq!(faults.leaves_at(2), Some(5));
+        assert!(faults.has_churn());
+        assert_eq!(faults.straggle_factor(3), 4.0);
+        assert_eq!(faults.straggle_factor(9), 2.5);
+        assert_eq!(faults.straggle_factor(0), 1.0);
+    }
+
+    #[test]
     fn dims_default_tracks_shape() {
         let spec = DeploySpec::parse(&toks("hw=8 classes=5 batch=100 l=5 r=3")).unwrap();
         assert_eq!(spec.dims, vec![64, 16, 5]);
@@ -445,6 +537,11 @@ mod tests {
             "attack=downgrade:2", // unknown attack
             "wire=pigeon",        // unknown wire format
             "iters",              // not key=value
+            "mode=bounded",       // bounded needs :<s>
+            "joins=99:2",         // joiner outside the slot table
+            "leaves=15:3",        // leaver outside K = 15
+            "joins=3-2",          // not worker:round
+            "straggle=3:0.5",     // multiplier below 1
         ] {
             assert!(DeploySpec::parse(&toks(bad)).is_err(), "`{bad}` parsed");
         }

@@ -132,6 +132,13 @@ pub enum WorkerStanding {
         /// Round of readmission.
         since: u64,
     },
+    /// Left the cluster (elastic churn) at `since`. Benign — the entry
+    /// is kept so the history survives a rejoin, but the worker is not
+    /// consulted and accrues no evidence while gone.
+    Departed {
+        /// Round of departure.
+        since: u64,
+    },
 }
 
 /// Per-worker accumulator. All floats are folded in a fixed order, so
@@ -256,10 +263,63 @@ impl ReputationLedger {
         )
     }
 
+    /// Whether the worker has departed the cluster (elastic churn).
+    pub fn is_departed(&self, worker: usize) -> bool {
+        matches!(
+            self.workers[worker].standing,
+            WorkerStanding::Departed { .. }
+        )
+    }
+
+    /// Whether the worker is consulted at all: a member that is neither
+    /// quarantined nor departed.
+    pub fn in_service(&self, worker: usize) -> bool {
+        worker < self.workers.len() && !self.is_quarantined(worker) && !self.is_departed(worker)
+    }
+
+    /// Grows the ledger so `worker` has an entry, with fresh (zero
+    /// suspicion, active) state for every new slot — how elastic joiners
+    /// enter the reputation fold. Existing entries are untouched, so the
+    /// call is idempotent and order-insensitive.
+    pub fn ensure_worker(&mut self, worker: usize) {
+        if worker >= self.workers.len() {
+            self.workers.resize(worker + 1, WorkerState::new());
+        }
+    }
+
+    /// Marks `worker` departed at `round`: it keeps its history but is
+    /// no longer consulted and accrues no evidence. Departure is benign
+    /// and composes with quarantine — a quarantined worker that leaves
+    /// stays quarantined (the stronger standing wins), so a later rejoin
+    /// cannot launder a bad record.
+    pub fn depart_worker(&mut self, worker: usize, round: u64) {
+        self.ensure_worker(worker);
+        let state = &mut self.workers[worker];
+        if matches!(
+            state.standing,
+            WorkerStanding::Active | WorkerStanding::Probation { .. }
+        ) {
+            state.standing = WorkerStanding::Departed { since: round };
+        }
+    }
+
+    /// Readmits a departed worker (or creates a fresh entry for a brand
+    /// new joiner id). A rejoining worker resumes its prior suspicion
+    /// and evidence — churn must not reset the fold. Quarantined workers
+    /// are *not* readmitted by a rejoin; only the probation clock can do
+    /// that.
+    pub fn admit_worker(&mut self, worker: usize) {
+        self.ensure_worker(worker);
+        let state = &mut self.workers[worker];
+        if matches!(state.standing, WorkerStanding::Departed { .. }) {
+            state.standing = WorkerStanding::Active;
+        }
+    }
+
     /// Workers currently in service (active or on probation), ascending.
     pub fn active_workers(&self) -> Vec<usize> {
         (0..self.workers.len())
-            .filter(|&w| !self.is_quarantined(w))
+            .filter(|&w| self.in_service(w))
             .collect()
     }
 
@@ -274,7 +334,12 @@ impl ReputationLedger {
     pub fn max_active_suspicion(&self) -> f64 {
         self.workers
             .iter()
-            .filter(|w| !matches!(w.standing, WorkerStanding::Quarantined { .. }))
+            .filter(|w| {
+                matches!(
+                    w.standing,
+                    WorkerStanding::Active | WorkerStanding::Probation { .. }
+                )
+            })
             .map(|w| w.suspicion)
             .fold(0.0, f64::max)
     }
@@ -297,7 +362,7 @@ impl ReputationLedger {
         let mut absent = vec![0u64; k];
         for audit in audits {
             for &(w, verdict) in &audit.replicas {
-                if w >= k || self.is_quarantined(w) {
+                if w >= k || self.is_quarantined(w) || self.is_departed(w) {
                     continue;
                 }
                 match verdict {
@@ -328,6 +393,10 @@ impl ReputationLedger {
                     }
                     continue;
                 }
+                // Departed workers are out of the fold entirely: no
+                // probation clock, no decay, so a rejoin resumes from
+                // exactly the state it left.
+                WorkerStanding::Departed { .. } => continue,
                 WorkerStanding::Active | WorkerStanding::Probation { .. } => {}
             }
 
@@ -396,6 +465,7 @@ impl ReputationLedger {
                 WorkerStanding::Active => (0u8, 0u64, 0u8),
                 WorkerStanding::Quarantined { since, permanent } => (1, since, u8::from(permanent)),
                 WorkerStanding::Probation { since } => (2, since, 0),
+                WorkerStanding::Departed { since } => (3, since, 0),
             };
             out.push(tag);
             out.extend_from_slice(&since.to_le_bytes());
@@ -449,6 +519,7 @@ impl ReputationLedger {
                 0 => WorkerStanding::Active,
                 1 => WorkerStanding::Quarantined { since, permanent },
                 2 => WorkerStanding::Probation { since },
+                3 => WorkerStanding::Departed { since },
                 _ => return Err(LedgerError::Corrupted),
             };
             workers.push(WorkerState {
@@ -720,6 +791,65 @@ mod tests {
             ReputationLedger::from_bytes(&[]),
             Err(LedgerError::Corrupted)
         );
+    }
+
+    #[test]
+    fn membership_grows_and_evicts_with_churn() {
+        use ReplicaVerdict::*;
+        let mut ledger = ReputationLedger::new(3, cfg());
+
+        // A joiner beyond the founding universe gets a fresh entry.
+        ledger.ensure_worker(4);
+        assert_eq!(ledger.num_workers(), 5);
+        assert!(ledger.in_service(4));
+        assert_eq!(ledger.suspicion(4), 0.0);
+        // Idempotent; never shrinks.
+        ledger.ensure_worker(2);
+        assert_eq!(ledger.num_workers(), 5);
+
+        // Build some suspicion on worker 1, then let it leave.
+        for round in 1..=2 {
+            ledger.observe_round(round, &[audit(&[(1, Disagreed), (0, Agreed), (2, Agreed)])]);
+        }
+        let before = ledger.suspicion(1);
+        assert!(before > 0.0);
+        ledger.depart_worker(1, 3);
+        assert!(ledger.is_departed(1));
+        assert!(!ledger.in_service(1));
+        assert_eq!(ledger.active_workers(), vec![0, 2, 3, 4]);
+
+        // While gone: no evidence accrues, no decay, even if stale
+        // audits still name the worker.
+        ledger.observe_round(3, &[audit(&[(1, Disagreed), (0, Agreed), (2, Agreed)])]);
+        assert_eq!(ledger.suspicion(1).to_bits(), before.to_bits());
+        assert_eq!(ledger.evidence(1), 2);
+
+        // Rejoin resumes the fold from the preserved state.
+        ledger.admit_worker(1);
+        assert!(ledger.in_service(1));
+        assert_eq!(ledger.suspicion(1).to_bits(), before.to_bits());
+
+        // Departed standing round-trips through serialization.
+        ledger.depart_worker(4, 5);
+        let restored = ReputationLedger::from_bytes(&ledger.to_bytes()).unwrap();
+        assert_eq!(restored, ledger);
+        assert!(restored.is_departed(4));
+    }
+
+    #[test]
+    fn departure_does_not_launder_quarantine() {
+        use ReplicaVerdict::*;
+        let mut ledger = ReputationLedger::new(3, cfg());
+        for round in 1..=5 {
+            ledger.observe_round(round, &[audit(&[(0, Disagreed), (1, Agreed), (2, Agreed)])]);
+        }
+        assert!(ledger.is_quarantined(0));
+        // Leaving and rejoining must not clear the quarantine.
+        ledger.depart_worker(0, 6);
+        assert!(ledger.is_quarantined(0), "quarantine outranks departure");
+        ledger.admit_worker(0);
+        assert!(ledger.is_quarantined(0));
+        assert!(!ledger.in_service(0));
     }
 
     #[test]

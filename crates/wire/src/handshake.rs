@@ -24,7 +24,8 @@
 
 use crate::link::{Link, LinkError};
 use crate::message::{
-    check_frame, seal_frame, BodyReader, WireError, KIND_HELLO, KIND_REJECT, KIND_WELCOME,
+    check_frame, put_f32s_le, read_f32s_le, seal_frame, BodyReader, WireError, KIND_HELLO,
+    KIND_JOIN_REQUEST, KIND_JOIN_WELCOME, KIND_REJECT, KIND_WELCOME,
 };
 use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -71,7 +72,7 @@ impl fmt::Display for RejectReason {
 }
 
 /// The handshake frames.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Handshake {
     /// Worker → PS: first frame on every connection.
     Hello {
@@ -98,6 +99,33 @@ pub enum Handshake {
         job_id: u64,
         /// Why the connection was refused.
         reason: RejectReason,
+    },
+    /// Worker → PS: like [`Handshake::Hello`], but the sender is a *new*
+    /// process taking over the slot mid-training — it holds none of the
+    /// job's state and asks the PS to ship everything a member needs.
+    JoinRequest {
+        /// Which job this connection joins.
+        job_id: u64,
+        /// Which worker slot it takes over.
+        worker: u32,
+    },
+    /// PS → worker: admission for a joiner, carrying the state a fresh
+    /// process cannot derive on its own — the round the job is on, the
+    /// current model parameters, and the (possibly repaired) file set
+    /// the slot is expected to serve. Round traffic follows.
+    JoinWelcome {
+        /// Echo of the admitted job.
+        job_id: u64,
+        /// Echo of the admitted worker slot.
+        worker: u32,
+        /// Round the job is currently on; the joiner contributes from
+        /// the next broadcast.
+        current_round: u64,
+        /// The model as of the current round, so the joiner starts warm
+        /// instead of waiting a full broadcast behind.
+        params: Vec<f32>,
+        /// File indices this slot serves under the live placement.
+        files: Vec<u32>,
     },
 }
 
@@ -128,6 +156,29 @@ impl Handshake {
                 body.put_u8(reason.code());
                 seal_frame(KIND_REJECT, body)
             }
+            Handshake::JoinRequest { job_id, worker } => {
+                body.put_u64_le(*job_id);
+                body.put_u32_le(*worker);
+                seal_frame(KIND_JOIN_REQUEST, body)
+            }
+            Handshake::JoinWelcome {
+                job_id,
+                worker,
+                current_round,
+                params,
+                files,
+            } => {
+                body.put_u64_le(*job_id);
+                body.put_u32_le(*worker);
+                body.put_u64_le(*current_round);
+                body.put_u32_le(params.len() as u32);
+                put_f32s_le(&mut body, params);
+                body.put_u32_le(files.len() as u32);
+                for &file in files {
+                    body.put_u32_le(file);
+                }
+                seal_frame(KIND_JOIN_WELCOME, body)
+            }
         }
     }
 
@@ -157,6 +208,31 @@ impl Handshake {
                 Ok(Handshake::Reject {
                     job_id,
                     reason: RejectReason::from_code(code)?,
+                })
+            }
+            KIND_JOIN_REQUEST => Ok(Handshake::JoinRequest {
+                job_id: body.u64_le()?,
+                worker: body.u32_le()?,
+            }),
+            KIND_JOIN_WELCOME => {
+                let job_id = body.u64_le()?;
+                let worker = body.u32_le()?;
+                let current_round = body.u64_le()?;
+                let n = body.u32_le()? as usize;
+                let params =
+                    read_f32s_le(body.take(n.checked_mul(4).ok_or(WireError::MalformedBody)?)?);
+                let nf = body.u32_le()? as usize;
+                let raw = body.take(nf.checked_mul(4).ok_or(WireError::MalformedBody)?)?;
+                let files = raw
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                Ok(Handshake::JoinWelcome {
+                    job_id,
+                    worker,
+                    current_round,
+                    params,
+                    files,
                 })
             }
             other => Err(WireError::UnknownKind(other)),
@@ -221,6 +297,51 @@ pub fn client_handshake(
     }
 }
 
+/// Everything a [`Handshake::JoinWelcome`] granted a joiner: the live
+/// job state a fresh process needs to start serving its slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinGrant {
+    /// Round the job is currently on.
+    pub current_round: u64,
+    /// Current model parameters.
+    pub params: Vec<f32>,
+    /// File indices the slot serves under the live placement.
+    pub files: Vec<usize>,
+}
+
+/// Runs the worker side of the *join* handshake on a fresh connection:
+/// send `JoinRequest`, await `JoinWelcome` with the live job state.
+///
+/// # Errors
+///
+/// [`HandshakeError::Rejected`] when the PS refused, transport/protocol
+/// errors otherwise.
+pub fn client_join_handshake(
+    link: &mut dyn Link,
+    job_id: u64,
+    worker: u32,
+    timeout: Duration,
+) -> Result<JoinGrant, HandshakeError> {
+    link.send(Handshake::JoinRequest { job_id, worker }.encode())
+        .map_err(HandshakeError::Link)?;
+    let frame = link.recv_timeout(timeout).map_err(HandshakeError::Link)?;
+    match Handshake::decode(&frame).map_err(HandshakeError::Protocol)? {
+        Handshake::JoinWelcome {
+            job_id: jid,
+            worker: w,
+            current_round,
+            params,
+            files,
+        } if jid == job_id && w == worker => Ok(JoinGrant {
+            current_round,
+            params,
+            files: files.into_iter().map(|f| f as usize).collect(),
+        }),
+        Handshake::Reject { reason, .. } => Err(HandshakeError::Rejected(reason)),
+        _ => Err(HandshakeError::UnexpectedFrame),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +363,17 @@ mod tests {
             Handshake::Reject {
                 job_id: 7,
                 reason: RejectReason::BadWorker,
+            },
+            Handshake::JoinRequest {
+                job_id: 7,
+                worker: 9,
+            },
+            Handshake::JoinWelcome {
+                job_id: 7,
+                worker: 9,
+                current_round: 42,
+                params: vec![1.5, -2.25, 0.0],
+                files: vec![3, 8, 13, 18, 23],
             },
         ] {
             assert_eq!(Handshake::decode(&hs.encode()).unwrap(), hs);

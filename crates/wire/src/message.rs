@@ -34,12 +34,15 @@ const KIND_HASH_ANNOUNCE: u8 = 4;
 const KIND_PAYLOAD_REQUEST: u8 = 5;
 pub(crate) const KIND_GRADIENT_BATCH: u8 = 6;
 pub(crate) const KIND_GRADIENT_CHUNK: u8 = 7;
-// Kinds 8–10 are the socket-transport handshake (hello / welcome /
-// reject), decoded in [`crate::handshake`]; `Message::decode` reports
-// them as `UnknownKind` on purpose — they never appear inside a round.
+// Kinds 8–12 are the socket-transport handshake (hello / welcome /
+// reject / join-request / join-welcome), decoded in
+// [`crate::handshake`]; `Message::decode` reports them as `UnknownKind`
+// on purpose — they never appear inside a round.
 pub(crate) const KIND_HELLO: u8 = 8;
 pub(crate) const KIND_WELCOME: u8 = 9;
 pub(crate) const KIND_REJECT: u8 = 10;
+pub(crate) const KIND_JOIN_REQUEST: u8 = 11;
+pub(crate) const KIND_JOIN_WELCOME: u8 = 12;
 
 /// Errors from frame decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -35,9 +35,11 @@
 //! handshake, is told the current round, and resumes at the next
 //! broadcast.
 
-use crate::handshake::{client_handshake, Handshake, HandshakeError, RejectReason};
+use crate::handshake::{
+    client_handshake, client_join_handshake, Handshake, HandshakeError, RejectReason,
+};
 use crate::link::{Link, LinkError};
-use crate::server::{worker_loop, MessagePassingCluster, ServerConfig, WorkerExit};
+use crate::server::{worker_loop, MessagePassingCluster, RoundGauge, ServerConfig, WorkerExit};
 use crate::tcp::TcpLink;
 use crate::{Assignment, WireTrainingRun};
 use bytes::Bytes;
@@ -47,7 +49,7 @@ use crossbeam::channel::{unbounded, Sender};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -107,7 +109,14 @@ impl JobGate {
     }
 
     fn mark(&self, worker: usize) {
-        let mut connected = self.connected.lock().expect("gate lock poisoned");
+        // Poison recovery everywhere the gate locks: the data is a
+        // plain bool vector that no panic can leave half-written, and a
+        // gate hiccup must degrade (at worst, a handshake timeout) —
+        // never take the whole server down.
+        let mut connected = match self.connected.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         if let Some(slot) = connected.get_mut(worker) {
             *slot = true;
         }
@@ -117,7 +126,10 @@ impl JobGate {
     /// Waits for all slots; returns the connected count on timeout.
     fn wait(&self, timeout: Duration) -> Result<(), usize> {
         let deadline = Instant::now() + timeout;
-        let mut connected = self.connected.lock().expect("gate lock poisoned");
+        let mut connected = match self.connected.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         loop {
             if connected.iter().all(|&c| c) {
                 return Ok(());
@@ -126,11 +138,10 @@ impl JobGate {
             if remaining.is_zero() {
                 return Err(connected.iter().filter(|&&c| c).count());
             }
-            let (guard, _) = self
-                .cond
-                .wait_timeout(connected, remaining)
-                .expect("gate lock poisoned");
-            connected = guard;
+            connected = match self.cond.wait_timeout(connected, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
         }
     }
 }
@@ -142,7 +153,12 @@ struct JobHandle {
     /// `slots[w]` holds worker `w`'s current write-half, if connected.
     slots: Vec<Mutex<Option<TcpStream>>>,
     gate: JobGate,
-    round_gauge: AtomicU64,
+    /// Round counter + params snapshot, refreshed by the PS loop as
+    /// each round opens; reconnects read the round, joiners the model.
+    gauge: RoundGauge,
+    /// `files_of[w]`: the file set slot `w` serves under the job's
+    /// placement — shipped to joiners, who hold no local assignment.
+    files_of: Vec<Vec<u32>>,
     finished: AtomicBool,
     round_deadline: Duration,
 }
@@ -188,7 +204,9 @@ impl PsServer {
     ///
     /// # Panics
     ///
-    /// Panics if two jobs share a `job_id`, or if a PS thread panics.
+    /// Panics if two jobs share a `job_id` (a caller bug, caught before
+    /// any socket work). A panicking PS thread fails its own job with
+    /// [`ClusterError::Transport`] instead of propagating.
     pub fn serve(
         &self,
         jobs: Vec<JobSpec>,
@@ -216,7 +234,17 @@ impl PsServer {
                 fan_in: fan_in_tx,
                 slots: (0..k).map(|_| Mutex::new(None)).collect(),
                 gate: JobGate::new(k),
-                round_gauge: AtomicU64::new(0),
+                gauge: RoundGauge::new(job.initial_params.clone()),
+                files_of: (0..k)
+                    .map(|w| {
+                        job.assignment
+                            .graph()
+                            .files_of(w)
+                            .iter()
+                            .map(|&file| file as u32)
+                            .collect()
+                    })
+                    .collect(),
                 finished: AtomicBool::new(false),
                 round_deadline: job.config.round_deadline,
             });
@@ -275,7 +303,7 @@ impl PsServer {
                             &job.config,
                             slot_txs,
                             fan_in_rx,
-                            Some(&handle.round_gauge),
+                            Some(&handle.gauge),
                         );
                         // Job over: tell connected workers, then flip the
                         // finished flag (in that order — slot writers drain
@@ -294,9 +322,16 @@ impl PsServer {
             let mut results = Vec::with_capacity(job_threads.len());
             let mut first_err = None;
             for (job_id, thread) in job_threads {
-                match thread.join().expect("PS job thread panicked") {
-                    Ok(run) => results.push(JobResult { job_id, run }),
-                    Err(e) => first_err = first_err.or(Some(e)),
+                match thread.join() {
+                    Ok(Ok(run)) => results.push(JobResult { job_id, run }),
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    // A panicked PS thread fails its own job as a typed
+                    // error; sibling jobs still return their results.
+                    Err(_) => {
+                        first_err = first_err.or(Some(ClusterError::Transport(format!(
+                            "PS thread for job {job_id} panicked"
+                        ))));
+                    }
                 }
             }
             // Give slot writers a beat to flush the shutdown frames to
@@ -317,13 +352,20 @@ impl PsServer {
                     }
                 }
             }
-            accept_thread.join().expect("accept thread panicked");
+            // A panicked accept thread means no NEW connections were
+            // admitted — the jobs above already ran on whatever was
+            // connected, so degrade silently rather than die.
+            let _ = accept_thread.join();
             match first_err {
                 Some(e) => Err(e),
                 None => Ok(results),
             }
         })
-        .expect("PS scope panicked");
+        .unwrap_or_else(|_| {
+            Err(ClusterError::Transport(
+                "PS server scope panicked".to_string(),
+            ))
+        });
         outcome
     }
 }
@@ -360,10 +402,15 @@ fn admit_connection(
 ) -> Option<std::thread::JoinHandle<()>> {
     let mut link = TcpLink::from_stream(stream);
     let hello = link.recv_timeout(HELLO_TIMEOUT).ok()?;
-    let Ok(Handshake::Hello { job_id, worker }) = Handshake::decode(&hello) else {
-        // Not a hello — a confused or hostile peer. Drop silently; the
-        // protocol offers it nothing to talk to.
-        return None;
+    // A `Hello` is a known slot reconnecting with its own local state; a
+    // `JoinRequest` is a fresh process taking the slot over mid-training
+    // and asking for the live job state it cannot derive.
+    let (job_id, worker, joining) = match Handshake::decode(&hello) {
+        Ok(Handshake::Hello { job_id, worker }) => (job_id, worker, false),
+        Ok(Handshake::JoinRequest { job_id, worker }) => (job_id, worker, true),
+        // Anything else — a confused or hostile peer. Drop silently;
+        // the protocol offers it nothing to talk to.
+        _ => return None,
     };
     let reject = |mut link: TcpLink, reason: RejectReason| {
         let _ = link.send(Handshake::Reject { job_id, reason }.encode());
@@ -379,16 +426,26 @@ fn admit_connection(
     if w >= handle.slots.len() {
         return reject(link, RejectReason::BadWorker);
     }
-    // Welcome goes out BEFORE the write-half is installed in the slot:
-    // the slot writer only touches installed streams, so the worker is
-    // guaranteed to read Welcome before any round frame.
-    let welcome = Handshake::Welcome {
-        job_id,
-        worker,
-        current_round: handle.round_gauge.load(Ordering::SeqCst),
-        cluster_size: handle.slots.len() as u32,
+    // The admission reply goes out BEFORE the write-half is installed in
+    // the slot: the slot writer only touches installed streams, so the
+    // worker is guaranteed to read it before any round frame.
+    let reply = if joining {
+        Handshake::JoinWelcome {
+            job_id,
+            worker,
+            current_round: handle.gauge.round.load(Ordering::SeqCst),
+            params: handle.gauge.params_snapshot(),
+            files: handle.files_of[w].clone(),
+        }
+    } else {
+        Handshake::Welcome {
+            job_id,
+            worker,
+            current_round: handle.gauge.round.load(Ordering::SeqCst),
+            cluster_size: handle.slots.len() as u32,
+        }
     };
-    link.send(welcome.encode()).ok()?;
+    link.send(reply.encode()).ok()?;
 
     let write_half = link.stream().try_clone().ok()?;
     {
@@ -579,12 +636,31 @@ impl Link for ChaosLink<'_> {
 /// out, [`ClusterError::Transport`] for unrecoverable socket or
 /// handshake failures.
 pub fn run_tcp_worker(addr: SocketAddr, spec: &WorkerSpec) -> Result<(), ClusterError> {
+    run_tcp_member(addr, spec, false)
+}
+
+/// Runs a *joining* worker over TCP: a fresh process taking over a slot
+/// of a live job. It enters through the join handshake — receiving the
+/// current round, the current model parameters and the (possibly
+/// repaired) file set for its slot from the PS instead of deriving them
+/// from local state — then runs the ordinary protocol loop and
+/// contributes from the next broadcast. Reconnects re-join, picking up
+/// whatever placement the PS then serves.
+///
+/// # Errors
+///
+/// Same surface as [`run_tcp_worker`].
+pub fn run_tcp_joiner(addr: SocketAddr, spec: &WorkerSpec) -> Result<(), ClusterError> {
+    run_tcp_member(addr, spec, true)
+}
+
+fn run_tcp_member(addr: SocketAddr, spec: &WorkerSpec, joining: bool) -> Result<(), ClusterError> {
     let cluster = MessagePassingCluster::new(
         spec.assignment.clone(),
         Arc::clone(&spec.dataset),
         spec.model_dims.clone(),
     );
-    let ctx = cluster.worker_context(spec.worker_id, &spec.config);
+    let mut ctx = cluster.worker_context(spec.worker_id, &spec.config);
     let disconnect_round = spec.config.faults.disconnects_at(spec.worker_id);
     let stall_round = spec.config.faults.stalls_from(spec.worker_id);
     let mut disconnect_fired = false;
@@ -600,8 +676,22 @@ pub fn run_tcp_worker(addr: SocketAddr, spec: &WorkerSpec) -> Result<(), Cluster
             fired: &mut disconnect_fired,
             round: 0,
         };
-        match client_handshake(&mut link, spec.job_id, spec.worker_id as u32, HELLO_TIMEOUT) {
-            Ok(_current_round) => {}
+        let admitted = if joining {
+            client_join_handshake(&mut link, spec.job_id, spec.worker_id as u32, HELLO_TIMEOUT).map(
+                |grant| {
+                    // The grant's file set overrides the local
+                    // assignment: the PS is the placement authority for
+                    // a joiner, and a repair may have moved files onto
+                    // this slot since the job was specced.
+                    ctx.my_files = grant.files;
+                },
+            )
+        } else {
+            client_handshake(&mut link, spec.job_id, spec.worker_id as u32, HELLO_TIMEOUT)
+                .map(|_current_round| ())
+        };
+        match admitted {
+            Ok(()) => {}
             // The job ran to completion while this worker was away —
             // a clean exit, not a failure.
             Err(HandshakeError::Rejected(RejectReason::JobFinished)) => return Ok(()),

@@ -1,7 +1,7 @@
 //! The threaded message-passing parameter server.
 
-use crate::batch::{decode_gradient_batch, encode_gradient_batch};
-use crate::chunk::{encode_gradient_chunk_into, num_chunks, ChunkConfig};
+use crate::batch::{decode_gradient_batch, encode_gradient_batch, GradientBatchView};
+use crate::chunk::{encode_gradient_chunk_into, num_chunks, ChunkConfig, GradientChunkView};
 use crate::link::{ChannelLink, Link, LinkError};
 use crate::voter::ShardedFileVoter;
 use crate::{
@@ -20,7 +20,7 @@ use byz_reputation::{QuarantineEvent, ReputationConfig, ReputationLedger};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Attacks computable from a worker's *local* view (no collusion channel
@@ -102,6 +102,25 @@ pub enum RoundMode {
     /// while workers compute. Vote work hides inside the collection
     /// window instead of serializing after it.
     Streaming,
+    /// Bounded staleness: the PS closes each round once the *on-time*
+    /// quorum of files finalizes, never waiting for stragglers. A
+    /// worker's staleness lag is derived deterministically from the
+    /// fault plan — `λ(w) = min(⌈straggle_factor(w)⌉ − 1, s)` — so the
+    /// schedule is a pure function of the plan, never of observed
+    /// arrival times. Files with at least `q_min` on-time live holders
+    /// vote at their own round over the on-time replicas only (a late
+    /// holder is audited `Absent`, which is benign). Files below the
+    /// on-time quorum are *deferred*: their vote finalizes over all
+    /// live holders and folds into the round `lag` steps later, with
+    /// the winner discounted by `1/(1 + lag)`, in canonical
+    /// `(origin round, file, shard)` order. With `max_staleness = 0`
+    /// every lag is zero and the schedule is bit-identical to
+    /// [`RoundMode::Barrier`].
+    BoundedStaleness {
+        /// Maximum admitted lateness `s` in rounds; gradients due later
+        /// than `s` rounds after their origin are discarded like drops.
+        max_staleness: u64,
+    },
 }
 
 /// Training configuration for the message-passing server.
@@ -206,6 +225,14 @@ pub struct RoundSummary {
     /// Files that produced no winner this round (below `q_min`, or a
     /// hash-vote payload pull that failed verification or timed out).
     pub abandoned_files: usize,
+    /// Files whose vote was deferred to a later round because they fell
+    /// below the on-time quorum. Always zero outside
+    /// [`RoundMode::BoundedStaleness`].
+    pub deferred_files: usize,
+    /// Stale winners from earlier rounds folded into this round's
+    /// update, discounted by `1/(1 + lag)`. Always zero outside
+    /// [`RoundMode::BoundedStaleness`].
+    pub stale_folded: usize,
     /// Suspicion scores after this round's reputation fold, indexed by
     /// worker. Empty when reputation is disabled.
     pub suspicions: Vec<f64>,
@@ -263,6 +290,138 @@ const STREAM_FLUSH_SHARD_LEN: usize = 4096;
 /// protocol's real deadlines live at the PS, so this only bounds how
 /// fast a worker notices a dead transport.
 const IDLE_RECV_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Live-round observability shared between a job's PS loop and its
+/// connection-admission path (socket deployment only): the iteration
+/// counter stamps reconnect handshakes, and the params snapshot arms
+/// join grants with the current model.
+pub(crate) struct RoundGauge {
+    /// Round the PS loop is currently on (0 before training starts).
+    pub(crate) round: AtomicU64,
+    /// The model as of the current round's broadcast.
+    pub(crate) params: Mutex<Vec<f32>>,
+}
+
+impl RoundGauge {
+    pub(crate) fn new(initial_params: Vec<f32>) -> Self {
+        RoundGauge {
+            round: AtomicU64::new(0),
+            params: Mutex::new(initial_params),
+        }
+    }
+
+    /// The current params snapshot, recovering from poisoning (the
+    /// writer replaces the value wholesale, so a poisoned snapshot is
+    /// still internally consistent).
+    pub(crate) fn params_snapshot(&self) -> Vec<f32> {
+        match self.params.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+/// Banked replica state for one deferred file (bounded staleness): the
+/// payloads collected so far, in whichever shape the wire delivers them.
+enum StaleReplicas {
+    /// Whole replicas from batched frames, in arrival order (the vote
+    /// sorts by worker internally).
+    Batched(Vec<(usize, Vec<f32>)>),
+    /// The file's incremental sharded voter, carried across rounds so
+    /// late chunk frames keep assembling into it.
+    Chunked(Box<ShardedFileVoter>),
+}
+
+/// A file that fell below the on-time quorum at its origin round and is
+/// waiting for its fold round `origin + lag`. Membership is fixed at the
+/// origin: `pending` lists the late live holders whose delivery the plan
+/// says will arrive (origin-round drops excluded up front), so the fold
+/// round's wait is deterministic in outcome.
+struct StaleFile {
+    origin: u64,
+    file: usize,
+    lag: u64,
+    /// The origin round's expected holder set — the vote's audit
+    /// reference (late holders that never complete audit `Absent`).
+    holders: Vec<usize>,
+    /// Late workers whose replica is still en route.
+    pending: Vec<usize>,
+    replicas: StaleReplicas,
+}
+
+/// Votes a due stale file over everything banked for it. Replicas are
+/// sorted by worker id before the vote, so the outcome is independent of
+/// arrival order.
+fn finalize_stale(stale: StaleFile, q_min: usize) -> Result<QuorumOutcome, QuorumError> {
+    match stale.replicas {
+        StaleReplicas::Batched(mut list) => {
+            list.sort_by_key(|&(w, _)| w);
+            quorum_vote_audited(&list, q_min, &stale.holders)
+        }
+        StaleReplicas::Chunked(voter) => voter.finalize(q_min, &stale.holders),
+    }
+}
+
+/// Banks a straggler's batched entries into whichever backlog slots
+/// expect them. Admission is frozen at the origin round (`holders`), the
+/// first arrival per worker wins (replayed frames cannot double-vote),
+/// and a matched delivery drains that worker from the slot's wait set.
+fn route_late_batch(backlog: &mut [StaleFile], batch: &GradientBatchView, model_len: usize) {
+    let w = batch.worker as usize;
+    for entry in &batch.entries {
+        let file = entry.file as usize;
+        // Same shape gate as on-time ingestion: a wrong-length entry
+        // must never reach the median.
+        if entry.len() != model_len {
+            continue;
+        }
+        let Some(slot) = backlog
+            .iter_mut()
+            .find(|s| s.origin == batch.iteration && s.file == file)
+        else {
+            continue;
+        };
+        if !slot.holders.contains(&w) {
+            continue;
+        }
+        if let StaleReplicas::Batched(list) = &mut slot.replicas {
+            if list.iter().all(|&(lw, _)| lw != w) {
+                let mut value = Vec::with_capacity(entry.len());
+                entry.extend_into(&mut value);
+                list.push((w, value));
+            }
+        }
+        if let Some(pos) = slot.pending.iter().position(|&p| p == w) {
+            slot.pending.remove(pos);
+        }
+    }
+}
+
+/// Chunked analogue of [`route_late_batch`]: feeds a chunk into the
+/// backlog voter expecting it (deferred files own their voter from the
+/// origin round on, so on-time and late chunks assemble in one place).
+/// Returns `true` when a slot claimed the chunk.
+fn route_late_chunk(backlog: &mut [StaleFile], view: &GradientChunkView) -> bool {
+    let w = view.worker as usize;
+    let Some(slot) = backlog
+        .iter_mut()
+        .find(|s| s.origin == view.iteration && s.file == view.file as usize)
+    else {
+        return false;
+    };
+    if !slot.holders.contains(&w) {
+        // The file is deferred but this sender is not an admitted
+        // holder; swallow the chunk so it cannot enter an on-time vote
+        // either.
+        return true;
+    }
+    if let StaleReplicas::Chunked(voter) = &mut slot.replicas {
+        voter.ingest(view);
+        let complete = voter.complete_workers();
+        slot.pending.retain(|p| !complete.contains(p));
+    }
+    true
+}
 
 /// A parameter server plus `K` worker threads, communicating exclusively
 /// through framed [`Message`]s over channels.
@@ -388,16 +547,18 @@ impl MessagePassingCluster {
     /// — which is what makes TCP ≡ channel bit-identity a structural
     /// property instead of a test-enforced hope.
     ///
-    /// `round_gauge`, when present, is stored with the current iteration
-    /// as each round opens; the socket server reads it to stamp
-    /// `current_round` into reconnect handshakes.
+    /// `gauge`, when present, is refreshed as each round opens: the
+    /// iteration counter stamps `current_round` into reconnect
+    /// handshakes, and the params snapshot arms join grants with the
+    /// current model (socket deployments only — in-process runs pass
+    /// `None` and skip the per-round clone).
     pub(crate) fn ps_loop(
         &self,
         initial_params: Vec<f32>,
         config: &ServerConfig,
         to_workers: &[Sender<Bytes>],
         from_workers: &Receiver<Bytes>,
-        round_gauge: Option<&AtomicU64>,
+        gauge: Option<&RoundGauge>,
     ) -> WireTrainingRun {
         let k = self.assignment.num_workers();
         let f = self.assignment.num_files();
@@ -428,9 +589,21 @@ impl MessagePassingCluster {
         };
         let mut next_files: Option<Vec<Vec<u32>>> = None;
 
+        // Bounded-staleness backlog, carried across rounds: files that
+        // fell below the on-time quorum at their origin wait here —
+        // banking late replicas as they trickle in — until their fold
+        // round. Empty in every other mode.
+        let mut stale_backlog: Vec<StaleFile> = Vec::new();
+
         for t in 1..=config.iterations as u64 {
-            if let Some(gauge) = round_gauge {
-                gauge.store(t, Ordering::SeqCst);
+            if let Some(gauge) = gauge {
+                gauge.round.store(t, Ordering::SeqCst);
+                // Poisoning cannot corrupt the snapshot (the writer
+                // replaces it wholesale), so recover rather than panic.
+                match gauge.params.lock() {
+                    Ok(mut snapshot) => *snapshot = params.clone(),
+                    Err(poisoned) => *poisoned.into_inner() = params.clone(),
+                }
             }
             let files = next_files.take().unwrap_or_else(&mut sample_files);
             let broadcast = Message::ModelBroadcast {
@@ -460,6 +633,10 @@ impl MessagePassingCluster {
             // Replica entries that never arrived (Full transport only;
             // set from the batch accounting below).
             let mut missing_entries = 0usize;
+            // Files newly parked by the bounded-staleness arms this
+            // round (zero elsewhere); they are *deferred*, not
+            // abandoned, and must not count against the latter.
+            let mut deferred_files = 0usize;
             let mut audits: Vec<VoteAudit> = Vec::new();
             // Frames from quarantined workers are dropped on arrival:
             // worker file sets are fixed at spawn, so the PS ignores the
@@ -579,7 +756,11 @@ impl MessagePassingCluster {
                     let winners = outcomes
                         .into_iter()
                         .map(|slot| {
-                            let outcome = slot.expect("every file slot flushed").ok()?;
+                            // An unflushed slot is impossible by
+                            // construction (the flush pass above covers
+                            // every file), but a PS must degrade — one
+                            // abandoned file — rather than die on it.
+                            let outcome = slot?.ok()?;
                             if !outcome.is_strict {
                                 non_strict += 1;
                             }
@@ -727,7 +908,11 @@ impl MessagePassingCluster {
                     let winners = outcomes
                         .into_iter()
                         .map(|slot| {
-                            let outcome = slot.expect("every file slot flushed").ok()?;
+                            // An unflushed slot is impossible by
+                            // construction (the flush pass above covers
+                            // every file), but a PS must degrade — one
+                            // abandoned file — rather than die on it.
+                            let outcome = slot?.ok()?;
                             if !outcome.is_strict {
                                 non_strict += 1;
                             }
@@ -925,6 +1110,407 @@ impl MessagePassingCluster {
                     vote_ns += vote_start.elapsed().as_nanos() as u64;
                     winners
                 }
+                (
+                    Transport::Full,
+                    WireFormat::Batched,
+                    RoundMode::BoundedStaleness { max_staleness },
+                ) => {
+                    // Bounded staleness, batched wire: workers behave
+                    // exactly as in barrier mode (one batched frame per
+                    // round, sent after any straggler delay), but the PS
+                    // closes the round once every *on-time* frame is in.
+                    // A straggler's frames are banked into the
+                    // cross-round backlog instead of this round's votes,
+                    // and files below the on-time quorum defer to
+                    // `origin + lag`. Every schedule decision — who is
+                    // late, which files defer, which late deliveries to
+                    // wait for — is a pure function of the fault plan,
+                    // never of observed arrival order, so the outcome is
+                    // deterministic. With `max_staleness = 0` nothing is
+                    // ever late and this arm replays the barrier arm
+                    // bit for bit.
+                    for buffer in &mut worker_buffers {
+                        buffer.clear();
+                    }
+                    for entries in &mut worker_entries {
+                        entries.clear();
+                    }
+                    let lag_of = |w: usize| -> u64 {
+                        (config.faults.straggle_factor(w).ceil() as u64)
+                            .saturating_sub(1)
+                            .min(max_staleness)
+                    };
+                    let holders: Vec<Vec<usize>> = (0..f)
+                        .map(|file| {
+                            self.assignment
+                                .graph()
+                                .workers_of(file)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect()
+                        })
+                        .collect();
+                    // A file is on-time iff at least `q_min` of its live
+                    // holders are lag-0; otherwise it defers by its
+                    // slowest live holder's lag. (All-lag-0 holders but
+                    // fewer than `q_min` of them stays on-time and fails
+                    // quorum exactly like the barrier arm.)
+                    let file_lag: Vec<u64> = (0..f)
+                        .map(|file| {
+                            let on_time = holders[file]
+                                .iter()
+                                .filter(|&&w| !config.faults.is_crashed(w) && lag_of(w) == 0)
+                                .count();
+                            if on_time >= config.quorum.q_min {
+                                0
+                            } else {
+                                holders[file]
+                                    .iter()
+                                    .filter(|&&w| !config.faults.is_crashed(w))
+                                    .map(|&w| lag_of(w))
+                                    .max()
+                                    .unwrap_or(0)
+                            }
+                        })
+                        .collect();
+                    // Park the deferred files *before* collecting:
+                    // admission and the expected-late wait set are frozen
+                    // from the plan now, so a late frame racing into this
+                    // very window already finds its slot.
+                    for file in 0..f {
+                        if file_lag[file] == 0 {
+                            continue;
+                        }
+                        deferred_files += 1;
+                        let pending: Vec<usize> = holders[file]
+                            .iter()
+                            .copied()
+                            .filter(|&w| {
+                                !config.faults.is_crashed(w)
+                                    && lag_of(w) > 0
+                                    && !config.faults.drops_replica(t, 0, w, file)
+                            })
+                            .collect();
+                        stale_backlog.push(StaleFile {
+                            origin: t,
+                            file,
+                            lag: file_lag[file],
+                            holders: holders[file].clone(),
+                            pending,
+                            replicas: StaleReplicas::Batched(Vec::new()),
+                        });
+                    }
+                    let mut entries_received = 0usize;
+                    let expected_frames = (0..k).filter(|&w| lag_of(w) == 0).count();
+                    let mut on_time_frames = 0usize;
+                    while on_time_frames < expected_frames {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        let Ok(batch) = decode_gradient_batch(&frame) else {
+                            on_time_frames += 1;
+                            continue;
+                        };
+                        let w = batch.worker as usize;
+                        if w < k && lag_of(w) > 0 {
+                            // A straggler's frame, possibly for an
+                            // earlier round: bank what its origin's
+                            // deferred files still expect; never let it
+                            // into an on-time vote.
+                            route_late_batch(&mut stale_backlog, &batch, params.len());
+                            continue;
+                        }
+                        on_time_frames += 1;
+                        entries_received += batch.entries.len();
+                        if batch.iteration != t {
+                            continue;
+                        }
+                        if w >= k || quarantined_mask[w] {
+                            continue;
+                        }
+                        let buffer = &mut worker_buffers[w];
+                        for entry in &batch.entries {
+                            if entry.len() != params.len() {
+                                continue;
+                            }
+                            let start = buffer.len();
+                            entry.extend_into(buffer);
+                            worker_entries[w].push((entry.file, start, entry.len()));
+                        }
+                    }
+                    // Hold the wire open only for deliveries the fold
+                    // below still expects (wait sets were frozen at each
+                    // file's origin, with the plan's drops excluded up
+                    // front), bounded by the round deadline.
+                    while stale_backlog
+                        .iter()
+                        .any(|s| s.origin + s.lag <= t && !s.pending.is_empty())
+                    {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(_) => break,
+                        };
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        let Ok(batch) = decode_gradient_batch(&frame) else {
+                            continue;
+                        };
+                        route_late_batch(&mut stale_backlog, &batch, params.len());
+                    }
+                    collect_end = Some(Instant::now());
+                    missing_entries = expected.saturating_sub(entries_received);
+
+                    // Vote every file in one parallel pass, exactly like
+                    // the barrier arm. Deferred files simply miss quorum
+                    // here (their on-time arrivals are below `q_min` by
+                    // construction) and are parked below instead of
+                    // abandoned; late holders of on-time files audit
+                    // `Absent`, which is benign.
+                    let r = self.assignment.replication();
+                    let mut per_file: Vec<Vec<(usize, &[f32])>> =
+                        (0..f).map(|_| Vec::with_capacity(r)).collect();
+                    for (w, entries) in worker_entries.iter().enumerate() {
+                        for &(file, start, len) in entries {
+                            if (file as usize) < f {
+                                per_file[file as usize]
+                                    .push((w, &worker_buffers[w][start..start + len]));
+                            }
+                        }
+                    }
+                    let vote_inputs: Vec<byz_aggregate::VoteInput<'_, &[f32]>> = (0..f)
+                        .map(|file| (per_file[file].as_slice(), holders[file].as_slice()))
+                        .collect();
+                    let vote_start = Instant::now();
+                    let winners: Vec<Option<Vec<f32>>> =
+                        quorum_vote_all_audited(&vote_inputs, config.quorum.q_min)
+                            .into_iter()
+                            .map(|vote| {
+                                let outcome = vote.ok()?;
+                                if !outcome.is_strict {
+                                    non_strict += 1;
+                                }
+                                if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                    degraded_votes += 1;
+                                }
+                                audits.push(outcome.audit.clone());
+                                Some(outcome.value)
+                            })
+                            .collect();
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
+                    // Merge the deferred files' on-time arrivals into
+                    // their slots (the straggler deliveries are already
+                    // there); the fold-round vote sorts by worker, so
+                    // the merge order is immaterial.
+                    for file in 0..f {
+                        if file_lag[file] == 0 {
+                            continue;
+                        }
+                        let Some(slot) = stale_backlog
+                            .iter_mut()
+                            .find(|s| s.origin == t && s.file == file)
+                        else {
+                            continue;
+                        };
+                        if let StaleReplicas::Batched(list) = &mut slot.replicas {
+                            for &(w, slice) in &per_file[file] {
+                                if list.iter().all(|&(lw, _)| lw != w) {
+                                    list.push((w, slice.to_vec()));
+                                }
+                            }
+                        }
+                    }
+                    winners
+                }
+                (
+                    Transport::Full,
+                    WireFormat::Chunked(chunk_cfg),
+                    RoundMode::BoundedStaleness { max_staleness },
+                ) => {
+                    // Bounded staleness, chunked wire: same plan-driven
+                    // schedule as the batched arm, with late replicas
+                    // assembling incrementally — a deferred file owns a
+                    // backlog [`ShardedFileVoter`] from its origin round
+                    // on, and both its on-time chunks and the
+                    // straggler's cross-round chunks route into it until
+                    // the fold round.
+                    let chunk_len = chunk_cfg.span_len();
+                    let chunks = num_chunks(params.len(), chunk_len);
+                    let lag_of = |w: usize| -> u64 {
+                        (config.faults.straggle_factor(w).ceil() as u64)
+                            .saturating_sub(1)
+                            .min(max_staleness)
+                    };
+                    let holders: Vec<Vec<usize>> = (0..f)
+                        .map(|file| {
+                            self.assignment
+                                .graph()
+                                .workers_of(file)
+                                .iter()
+                                .copied()
+                                .filter(|&w| !quarantined_mask[w])
+                                .collect()
+                        })
+                        .collect();
+                    let file_lag: Vec<u64> = (0..f)
+                        .map(|file| {
+                            let on_time = holders[file]
+                                .iter()
+                                .filter(|&&w| !config.faults.is_crashed(w) && lag_of(w) == 0)
+                                .count();
+                            if on_time >= config.quorum.q_min {
+                                0
+                            } else {
+                                holders[file]
+                                    .iter()
+                                    .filter(|&&w| !config.faults.is_crashed(w))
+                                    .map(|&w| lag_of(w))
+                                    .max()
+                                    .unwrap_or(0)
+                            }
+                        })
+                        .collect();
+                    for file in 0..f {
+                        if file_lag[file] == 0 {
+                            continue;
+                        }
+                        deferred_files += 1;
+                        // A late replica is awaited only if none of its
+                        // chunks are plan-dropped — a partially dropped
+                        // replica can never complete, and waiting for it
+                        // would stall the fold round at the deadline.
+                        let pending: Vec<usize> = holders[file]
+                            .iter()
+                            .copied()
+                            .filter(|&w| {
+                                !config.faults.is_crashed(w)
+                                    && lag_of(w) > 0
+                                    && (0..chunks)
+                                        .all(|c| !config.faults.drops_chunk(t, 0, w, file, c))
+                            })
+                            .collect();
+                        stale_backlog.push(StaleFile {
+                            origin: t,
+                            file,
+                            lag: file_lag[file],
+                            holders: holders[file].clone(),
+                            pending,
+                            replicas: StaleReplicas::Chunked(Box::new(ShardedFileVoter::new(
+                                file as u32,
+                                params.len(),
+                                chunk_len,
+                            ))),
+                        });
+                    }
+                    let mut voters: Vec<ShardedFileVoter> = (0..f)
+                        .map(|file| ShardedFileVoter::new(file as u32, params.len(), chunk_len))
+                        .collect();
+                    let expected_frames = (0..k).filter(|&w| lag_of(w) == 0).count() * l * chunks;
+                    let mut on_time_frames = 0usize;
+                    while on_time_frames < expected_frames {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        };
+                        if first_frame.is_none() {
+                            first_frame = Some(Instant::now());
+                        }
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        let Ok(view) = decode_gradient_chunk(&frame) else {
+                            on_time_frames += 1;
+                            continue;
+                        };
+                        let w = view.worker as usize;
+                        let late_worker = w < k && lag_of(w) > 0;
+                        if !late_worker {
+                            on_time_frames += 1;
+                        }
+                        if w >= k {
+                            continue;
+                        }
+                        // Chunks for a deferred file — this round's or
+                        // an earlier round's — assemble in the backlog;
+                        // everything the backlog does not claim is an
+                        // on-time chunk for this round's voters.
+                        if route_late_chunk(&mut stale_backlog, &view) {
+                            continue;
+                        }
+                        if late_worker || view.iteration != t || quarantined_mask[w] {
+                            continue;
+                        }
+                        let Some(voter) = voters.get_mut(view.file as usize) else {
+                            continue;
+                        };
+                        voter.ingest(&view);
+                    }
+                    while stale_backlog
+                        .iter()
+                        .any(|s| s.origin + s.lag <= t && !s.pending.is_empty())
+                    {
+                        let Some(window) = recv_window(round_start) else {
+                            break;
+                        };
+                        let frame = match from_workers.recv_timeout(window) {
+                            Ok(fr) => fr,
+                            Err(_) => break,
+                        };
+                        frames_received += 1;
+                        bytes_received += frame.len();
+                        let Ok(view) = decode_gradient_chunk(&frame) else {
+                            continue;
+                        };
+                        route_late_chunk(&mut stale_backlog, &view);
+                    }
+                    collect_end = Some(Instant::now());
+                    // Deferred files' replicas live in the backlog, not
+                    // these voters, so they count as not-yet-arrived
+                    // here — consistent with "missing at the round's own
+                    // close", and deterministic either way.
+                    let complete: usize = voters.iter().map(|v| v.complete_workers().len()).sum();
+                    missing_entries = expected.saturating_sub(complete);
+
+                    let vote_start = Instant::now();
+                    let mut winners: Vec<Option<Vec<f32>>> = Vec::with_capacity(f);
+                    for file in 0..f {
+                        if file_lag[file] > 0 {
+                            winners.push(None);
+                            continue;
+                        }
+                        match voters[file].finalize(config.quorum.q_min, &holders[file]) {
+                            Ok(outcome) => {
+                                if !outcome.is_strict {
+                                    non_strict += 1;
+                                }
+                                if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                    degraded_votes += 1;
+                                }
+                                audits.push(outcome.audit.clone());
+                                winners.push(Some(outcome.value));
+                            }
+                            Err(_) => winners.push(None),
+                        }
+                    }
+                    vote_ns += vote_start.elapsed().as_nanos() as u64;
+                    winners
+                }
                 (Transport::HashVote, _, _) => {
                     // Phase 1: collect fingerprints.
                     let mut per_file: HashMap<u32, Vec<(usize, Fingerprint)>> = HashMap::new();
@@ -1078,8 +1664,53 @@ impl MessagePassingCluster {
                 Transport::Full => missing_entries,
                 Transport::HashVote => expected.saturating_sub(frames_received.min(expected)),
             };
-            let abandoned_files = winners.iter().filter(|w| w.is_none()).count();
-            let available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
+
+            // Bounded staleness: fold the backlog entries due this round.
+            // Their votes run over everything banked for them (replica
+            // sets frozen at the origin round), the winners are
+            // discounted by `1/(1 + lag)` and appended after this
+            // round's on-time winners in (origin, file) order — the
+            // order slots were parked — and their audits join this
+            // round's reputation fold.
+            let mut stale_values: Vec<Vec<f32>> = Vec::new();
+            let mut stale_failed = 0usize;
+            if stale_backlog.iter().any(|s| s.origin + s.lag <= t) {
+                let vote_start = Instant::now();
+                let mut keep = Vec::with_capacity(stale_backlog.len());
+                for stale in stale_backlog.drain(..) {
+                    if stale.origin + stale.lag > t {
+                        keep.push(stale);
+                        continue;
+                    }
+                    let lag = stale.lag;
+                    match finalize_stale(stale, config.quorum.q_min) {
+                        Ok(outcome) => {
+                            if !outcome.is_strict {
+                                non_strict += 1;
+                            }
+                            if matches!(outcome.provenance, Provenance::Degraded { .. }) {
+                                degraded_votes += 1;
+                            }
+                            audits.push(outcome.audit);
+                            let discount = 1.0 / (1.0 + lag as f32);
+                            stale_values.push(outcome.value.iter().map(|v| v * discount).collect());
+                        }
+                        // A due file whose banked replicas still miss
+                        // quorum (late drops, deadline) is abandoned at
+                        // its fold round, exactly like an on-time quorum
+                        // failure.
+                        Err(_) => stale_failed += 1,
+                    }
+                }
+                stale_backlog = keep;
+                vote_ns += vote_start.elapsed().as_nanos() as u64;
+            }
+
+            let abandoned_files =
+                winners.iter().filter(|w| w.is_none()).count() - deferred_files + stale_failed;
+            let stale_folded = stale_values.len();
+            let mut available: Vec<Vec<f32>> = winners.into_iter().flatten().collect();
+            available.append(&mut stale_values);
             let update_start = Instant::now();
             if !available.is_empty() {
                 // Invariant expect: `available` is non-empty and every
@@ -1134,6 +1765,8 @@ impl MessagePassingCluster {
                 missing_votes,
                 degraded_votes,
                 abandoned_files,
+                deferred_files,
+                stale_folded,
                 suspicions,
                 reputation_events,
                 quarantined_workers,
@@ -1291,7 +1924,11 @@ pub(crate) fn worker_loop(ctx: &WorkerContext, link: &mut dyn Link) -> WorkerExi
                                     return WorkerExit::LinkClosed;
                                 }
                             }
-                            (RoundMode::Barrier, _) => {
+                            // Bounded staleness is a PS-side schedule:
+                            // the worker sends exactly what it would in
+                            // barrier mode, straggler delay and all, and
+                            // the PS decides what is on time.
+                            (RoundMode::Barrier | RoundMode::BoundedStaleness { .. }, _) => {
                                 if !dropped {
                                     batch.push((file_idx as u32, gradient));
                                 }
@@ -1316,7 +1953,12 @@ pub(crate) fn worker_loop(ctx: &WorkerContext, link: &mut dyn Link) -> WorkerExi
                         }
                     }
                 }
-                if ctx.transport == Transport::Full && ctx.mode == RoundMode::Barrier {
+                if ctx.transport == Transport::Full
+                    && matches!(
+                        ctx.mode,
+                        RoundMode::Barrier | RoundMode::BoundedStaleness { .. }
+                    )
+                {
                     match ctx.wire {
                         WireFormat::Batched => {
                             // Sent even when every entry was dropped: the

@@ -4,7 +4,7 @@
 //! the collection window, update overlapped with late votes, next
 //! round's split prefetched — but never *what* any stage sees. These
 //! tests pin that contract at both layers: the in-process trainer
-//! (`TrainingConfig::streaming`) and the message-passing wire
+//! (`TrainingConfig::mode`) and the message-passing wire
 //! (`ServerConfig::mode = RoundMode::Streaming`), with Byzantine
 //! workers, crashes, stragglers, message drops, reputation and both
 //! wire formats in play. They hold at any `BYZ_KERNEL_THREADS` (CI runs
@@ -31,7 +31,7 @@ fn small_dataset() -> (Dataset, Dataset) {
     .generate()
 }
 
-fn config(streaming: bool, chunking: Option<ChunkConfig>) -> TrainingConfig {
+fn config(mode: RoundMode, chunking: Option<ChunkConfig>) -> TrainingConfig {
     TrainingConfig {
         batch_size: 100,
         iterations: 8,
@@ -44,7 +44,7 @@ fn config(streaming: bool, chunking: Option<ChunkConfig>) -> TrainingConfig {
         faults: FaultPlan::new(5).crash(11).straggle(2, 4.0).drop_rate(0.1),
         reputation: Some(ReputationConfig::default()),
         chunking,
-        streaming,
+        mode,
         ..TrainingConfig::default()
     }
 }
@@ -102,16 +102,16 @@ fn assert_histories_bit_identical(barrier: &TrainingHistory, streaming: &Trainin
 
 #[test]
 fn streaming_trainer_matches_barrier_unchunked() {
-    let barrier = run(config(false, None));
-    let streaming = run(config(true, None));
+    let barrier = run(config(RoundMode::Barrier, None));
+    let streaming = run(config(RoundMode::Streaming, None));
     assert_histories_bit_identical(&barrier, &streaming);
 }
 
 #[test]
 fn streaming_trainer_matches_barrier_chunked() {
     let cfg = ChunkConfig::dense(128);
-    let barrier = run(config(false, Some(cfg)));
-    let streaming = run(config(true, Some(cfg)));
+    let barrier = run(config(RoundMode::Barrier, Some(cfg)));
+    let streaming = run(config(RoundMode::Streaming, Some(cfg)));
     assert_histories_bit_identical(&barrier, &streaming);
 }
 
